@@ -1,0 +1,35 @@
+"""E10 — §5.2: segmentation's two-level translation and rigidity."""
+
+from repro.experiments import e10_segmentation as e10
+
+from benchmarks.conftest import emit
+
+
+def test_e10_latency_vs_segments(benchmark):
+    rows = benchmark.pedantic(e10.latency_vs_segments,
+                              kwargs={"refs": 6000}, rounds=1, iterations=1)
+    header = (f"{'segments':>8} {'guarded cyc/acc':>16} {'segm. cyc/acc':>14} "
+              f"{'slowdown':>9} {'desc miss rate':>15}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r.segments:>8} {r.guarded_cpa:>16.2f} "
+                     f"{r.segmentation_cpa:>14.2f} {r.slowdown:>9.2f} "
+                     f"{r.descriptor_miss_rate:>15.2%}")
+    emit("E10 / §5.2 — segmentation pays a serial translation level",
+         "\n".join(lines))
+    assert all(r.slowdown > 1 for r in rows)
+
+
+def test_e10_rigidity_table(benchmark):
+    rows = benchmark(e10.rigidity_table)
+    header = f"{'system':<18} {'max segments':<28} {'max segment size':<26}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r.system:<18} {r.max_segments:<28} {r.max_segment_bytes:<26}")
+    lines.append("")
+    lines.append("floating split (Figure 1): "
+                 + ", ".join(f"{c}x{s}B" for c, s in
+                             e10.flexibility_demonstration()[:4]) + ", ...")
+    emit("E10 / §5.2 — fixed vs floating segment/offset boundary",
+         "\n".join(lines))
+    assert len(rows) == 4

@@ -1,0 +1,24 @@
+"""E11 — §5.3: table-based capabilities' indirection latency."""
+
+from repro.experiments import e11_captable as e11
+
+from benchmarks.conftest import emit
+
+
+def test_e11_indirection_latency(benchmark):
+    rows = benchmark.pedantic(e11.latency_vs_objects,
+                              kwargs={"refs": 6000}, rounds=1, iterations=1)
+    header = (f"{'live objects':>12} {'guarded cyc/acc':>16} "
+              f"{'captable cyc/acc':>17} {'slowdown':>9} {'capcache miss':>14}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r.live_objects:>12} {r.guarded_cpa:>16.2f} "
+                     f"{r.captable_cpa:>17.2f} {r.slowdown:>9.2f} "
+                     f"{r.capcache_miss_rate:>14.2%}")
+    storage = e11.storage_comparison()
+    lines.append("")
+    for k, v in storage.items():
+        lines.append(f"{k}: {v}")
+    emit("E11 / §5.3 — capability-table indirection vs guarded pointers",
+         "\n".join(lines))
+    assert rows[-1].slowdown > rows[0].slowdown

@@ -1,0 +1,23 @@
+"""E12 — §5.4: software fault isolation's dynamic check overhead."""
+
+from repro.experiments import e12_sfi as e12
+
+from benchmarks.conftest import emit
+
+
+def test_e12_overhead_sweep(benchmark):
+    rows = benchmark.pedantic(e12.overhead_sweep,
+                              kwargs={"refs": 8000}, rounds=1, iterations=1)
+    header = (f"{'mode':<16} {'safe fraction':>13} {'SFI overhead':>13} "
+              f"{'check instrs':>13}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        mode = "full isolation" if r.check_reads else "sandboxing"
+        lines.append(f"{mode:<16} {r.safe_fraction:>13.2f} "
+                     f"{r.overhead:>13.2%} {r.check_instructions:>13}")
+    for k, v in e12.qualitative_gap().items():
+        lines.append(f"\n{k}: {v}")
+    emit("E12 / §5.4 — SFI pays per dynamic reference; guarded pointers don't",
+         "\n".join(lines))
+    basic = [r for r in rows if not r.check_reads]
+    assert basic[0].overhead > basic[-1].overhead > -0.01

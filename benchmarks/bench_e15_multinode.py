@@ -1,0 +1,40 @@
+"""E15 — §3 extension: remote access scales, protection doesn't."""
+
+from repro.experiments import e15_multinode as e15
+
+from benchmarks.conftest import emit
+
+
+def test_e15_latency_vs_distance(benchmark):
+    points = benchmark.pedantic(e15.latency_vs_distance, rounds=1,
+                                iterations=1)
+    header = f"{'hops':>5} {'load stall cycles':>18} {'mesh messages':>14}"
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(f"{p.hops:>5} {p.stall_cycles:>18} {p.messages:>14}")
+    lines.append("")
+    lines.append("latency follows the mesh; hop 0 is an ordinary local miss.")
+    emit("E15 / §3 — remote access latency across the mesh", "\n".join(lines))
+    stalls = [p.stall_cycles for p in points]
+    assert stalls == sorted(stalls)
+    assert points[0].messages == 0 and points[-1].messages == 2
+
+
+def test_e15_protection_locality(benchmark):
+    result = benchmark.pedantic(e15.protection_stays_local,
+                                kwargs={"attempts": 8},
+                                rounds=1, iterations=1)
+    lines = [
+        f"forbidden remote stores attempted : 8",
+        f"denied (PermissionFault at issue) : {result.denied_remote_stores}",
+        f"mesh messages consumed            : {result.network_messages}",
+        f"protection state at the home node : "
+        f"{result.remote_protection_state_bytes} bytes",
+        "",
+        "the capability is the pointer: no node keeps tables about any",
+        "other node's rights, and denials never reach the network.",
+    ]
+    emit("E15 / §3 — protection work stays on the issuing node",
+         "\n".join(lines))
+    assert result.denied_remote_stores == 8
+    assert result.network_messages == 0

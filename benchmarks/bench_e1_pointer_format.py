@@ -1,0 +1,27 @@
+"""E1 — Figure 1: the guarded-pointer format (encode/decode)."""
+
+from repro.experiments import e1_pointer_format as e1
+
+from benchmarks.conftest import emit
+
+
+def test_e1_format_table(benchmark):
+    rows = benchmark(e1.format_table)
+    budget = e1.bit_budget()
+    lines = [f"bit budget: {budget} (total "
+             f"{sum(budget.values())} bits + 1 tag)"]
+    header = (f"{'pointer':<24} {'perm':<14} {'len':>3} {'word':<20} "
+              f"{'segment':<28}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        seg = f"[{r.segment_base:#x}, +{r.segment_size:#x})"
+        lines.append(f"{r.description:<24} {r.perm:<14} {r.seglen:>3} "
+                     f"{r.word_hex:<20} {seg:<28}")
+    emit("E1 / Figure 1 — guarded pointer format", "\n".join(lines))
+    assert len(rows) == len(e1.REPRESENTATIVE)
+
+
+def test_e1_roundtrip_throughput(benchmark):
+    verified = benchmark(e1.exhaustive_roundtrip, 2048)
+    assert verified == 2048

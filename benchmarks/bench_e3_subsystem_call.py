@@ -1,0 +1,21 @@
+"""E3 — Figure 3: protected subsystem entry vs trap-mediated service."""
+
+from repro.experiments import e3_subsystem_call as e3
+
+from benchmarks.conftest import emit
+
+
+def test_e3_call_comparison(benchmark):
+    costs = benchmark(e3.compare)
+    lines = [
+        f"{'variant':<28} {'total cycles':>12} {'overhead vs inline':>20}",
+        "-" * 62,
+        f"{'inline (no boundary)':<28} {costs.inline:>12} {0:>20}",
+        f"{'enter pointer (Figure 3)':<28} {costs.enter:>12} {costs.enter_overhead:>20}",
+        f"{'kernel trap':<28} {costs.trap:>12} {costs.trap_overhead:>20}",
+        "",
+        f"protected call is {costs.speedup_vs_trap:.1f}x cheaper than the trap path",
+    ]
+    emit("E3 / Figure 3 — one-way protected subsystem call", "\n".join(lines))
+    assert costs.inline < costs.enter < costs.trap
+    assert costs.speedup_vs_trap > 2

@@ -1,0 +1,20 @@
+"""E4 — Figure 4: two-way protection via return segments."""
+
+from repro.experiments import e4_two_way as e4
+
+from benchmarks.conftest import emit
+
+
+def test_e4_cost_vs_live_pointers(benchmark):
+    points = benchmark(e4.sweep, 8)
+    header = f"{'live pointers saved':>20} {'call cycles':>12}"
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(f"{p.save_slots:>20} {p.cycles:>12}")
+    marginal = e4.marginal_cost_per_pointer(points)
+    lines.append("")
+    lines.append(f"marginal cost: {marginal:.1f} cycles per encapsulated pointer "
+                 f"(one ST + one LD, no kernel)")
+    emit("E4 / Figure 4 — two-way protection cost", "\n".join(lines))
+    assert points[-1].cycles > points[0].cycles
+    assert 0 < marginal < 20

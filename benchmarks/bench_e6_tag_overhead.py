@@ -1,0 +1,36 @@
+"""E6 — §4.1: tag storage overhead and protection-hardware inventory."""
+
+from repro.experiments import e6_tag_overhead as e6
+
+from benchmarks.conftest import emit
+
+
+def test_e6_storage_overhead(benchmark):
+    rows = benchmark(e6.storage_overhead)
+    check = e6.paper_claim_check()
+    header = f"{'memory':>12} {'data bits':>14} {'tag bits':>12} {'overhead':>9}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r.memory_bytes:>12} {r.data_bits:>14} "
+                     f"{r.tag_bits:>12} {r.overhead:>9.4%}")
+    lines.append("")
+    lines.append(f"paper claim: ~1.5%   measured: {check['measured']:.4%} "
+                 f"(exactly 1/64)")
+    emit("E6 / §4.1 — tag bit storage overhead", "\n".join(lines))
+    assert all(abs(r.overhead - 1 / 64) < 1e-12 for r in rows)
+
+
+def test_e6_hardware_inventory(benchmark):
+    inv = benchmark(e6.inventory)
+    header = (f"{'scheme':<20} {'tag/word':>8} {'LBs':>4} {'per-bank':>9} "
+              f"{'tables':>7} {'critical path':>14}")
+    lines = [header, "-" * len(header)]
+    for h in inv:
+        lines.append(f"{h.scheme:<20} {h.tag_bits_per_word:>8} "
+                     f"{h.lookaside_buffers:>4} "
+                     f"{str(h.ports_scale_with_banks):>9} "
+                     f"{h.tables_in_memory:>7} "
+                     f"{str(h.checks_on_critical_path):>14}")
+    emit("E6 / §4.1+§5 — protection hardware inventory", "\n".join(lines))
+    guarded = next(h for h in inv if h.scheme == "guarded-pointers")
+    assert guarded.tables_in_memory == 0

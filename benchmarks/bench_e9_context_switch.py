@@ -1,0 +1,59 @@
+"""E9 — §5.1/§3: context-switch cost across every protection scheme."""
+
+from repro.experiments import e9_context_switch as e9
+
+from benchmarks.conftest import emit
+
+
+def test_e9_switch_cost_table(benchmark):
+    table = benchmark(e9.switch_cost_table)
+    header = f"{'scheme':<20} {'cycles per domain switch':>25}"
+    lines = [header, "-" * len(header)]
+    for scheme, cycles in table.items():
+        lines.append(f"{scheme:<20} {cycles:>25}")
+    emit("E9 / §5.1 — pure protection work per context switch", "\n".join(lines))
+    assert table["guarded-pointers"] == 0
+
+
+def test_e9_quantum_sweep(benchmark):
+    results = benchmark.pedantic(
+        e9.sweep,
+        kwargs={"quanta": (1, 10, 100, 1000), "refs_per_process": 3000},
+        rounds=1, iterations=1)
+    schemes = [row.scheme for row in results[0].rows]
+    header = f"{'quantum':>8} " + " ".join(f"{s[:12]:>13}" for s in schemes)
+    lines = ["total cycles relative to guarded pointers, 4 processes:",
+             header, "-" * len(header)]
+    for qr in results:
+        cells = " ".join(f"{qr.relative(s):>13.2f}" for s in schemes)
+        lines.append(f"{qr.quantum:>8} {cells}")
+    lines.append("")
+    lines.append("at quantum 1 (cycle-by-cycle interleaving) the flush-based")
+    lines.append("design collapses; guarded pointers are quantum-insensitive.")
+    emit("E9 / §5.1 — multiprogramming cost vs switch granularity",
+         "\n".join(lines))
+    fine = results[0]
+    assert fine.relative("paged-separate") > 3
+    assert fine.relative("guarded-pointers") == 1.0
+
+
+def test_e9_workload_robustness(benchmark):
+    results = benchmark.pedantic(
+        e9.workload_sweep,
+        kwargs={"quantum": 10, "refs_per_process": 2000},
+        rounds=1, iterations=1)
+    schemes = [row.scheme for row in next(iter(results.values())).rows]
+    header = f"{'workload':>14} " + " ".join(f"{s[:12]:>13}" for s in schemes)
+    lines = ["total cycles relative to guarded pointers, quantum 10:",
+             header, "-" * len(header)]
+    for name, qr in results.items():
+        cells = " ".join(f"{qr.relative(s):>13.2f}" for s in schemes)
+        lines.append(f"{name:>14} {cells}")
+    lines.append("")
+    lines.append("the ordering holds across locality profiles: guarded")
+    lines.append("pointers never lose, and the flush design never wins.")
+    emit("E9b / §5.1 — robustness across workloads", "\n".join(lines))
+    for qr in results.values():
+        assert qr.relative("paged-separate") >= 1.0
+        for row in qr.rows:
+            assert qr.relative(row.scheme) >= 0.99

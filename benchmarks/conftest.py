@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eNN_*.py`` file regenerates one experiment from DESIGN.md
+§4: it times the experiment's computational kernel with
+pytest-benchmark and prints the result table the paper implies (run
+with ``-s`` or read the captured output / bench_output.txt).
+"""
+
+import sys
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block so the bench log doubles as the
+    experiment record."""
+    bar = "=" * 72
+    sys.stdout.write(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Accumulates every printed block (handy for tee'd logs)."""
+    blocks = []
+
+    def _record(title: str, body: str) -> None:
+        blocks.append((title, body))
+        emit(title, body)
+
+    return _record

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""A full MAP node: 16 threads, 8 protection domains, zero-cost switching.
+
+Recreates the scenario §1 says traditional protection cannot handle:
+threads from *different* protection domains interleaved cycle by cycle
+on the same clusters.  Eight "tenants" each run two worker threads that
+stream through a private segment and consult a shared read-only
+configuration segment; every tenant gets the shared pointer RESTRICTed
+to read-only.
+
+Shows:
+* all 4 clusters × 4 thread slots busy across 8 domains;
+* the shared config is readable by everyone, writable by no one but
+  the owner (a write attempt faults);
+* the same workload on a 'conventional' configuration (domain-switch
+  drain + flushes) to show why the M-Machine needed guarded pointers.
+
+Run:  python examples/multithreaded_node.py
+"""
+
+from repro.core.operations import lea, restrict
+from repro.core.permissions import Permission
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+
+TENANTS = 8
+THREADS_PER_TENANT = 2
+ITERATIONS = 120
+
+#: work over a cache-resident private scratch line (r1), mixing in the
+#: shared config word (r2 is a read-only pointer every tenant received)
+WORKER = f"""
+    movi r3, {ITERATIONS}
+    ld r6, r2, 0          ; read shared config (read-only pointer)
+loop:
+    beq r3, done
+    ld r4, r1, 0          | addi r5, r5, 1
+    st r5, r1, 8
+    add r5, r5, r6
+    subi r3, r3, 1
+    br loop
+done:
+    halt
+"""
+
+
+def build_node(config: ChipConfig):
+    kernel = Kernel(MAPChip(config))
+    # one shared, owner-writable config segment
+    config_rw = kernel.allocate_segment(4096, eager=True)
+    paddr = kernel.chip.page_table.walk(config_rw.segment_base)
+    kernel.chip.memory.store_word(paddr, TaggedWord.integer(7))
+    config_ro = restrict(config_rw.word, Permission.READ_ONLY)
+
+    threads = []
+    index = 0
+    for tenant in range(TENANTS):
+        entry = kernel.load_program(WORKER)
+        for worker in range(THREADS_PER_TENANT):
+            private = kernel.allocate_segment(64 * 1024)
+            # stagger each thread's hot line so the (power-of-two
+            # aligned) segments don't all collide in one cache set —
+            # the usual allocator/page-colouring countermeasure
+            scratch = lea(private.word, (index * 17 % 512) * 64)
+            threads.append(kernel.spawn(
+                entry, domain=tenant + 1,
+                regs={1: scratch.word, 2: config_ro.word},
+                stack_bytes=0,
+            ))
+            index += 1
+    return kernel, config_rw, config_ro, threads
+
+
+def run_and_report(label: str, config: ChipConfig):
+    kernel, config_rw, config_ro, threads = build_node(config)
+    result = kernel.run(max_cycles=2_000_000)
+    halted = sum(1 for t in threads if t.state is ThreadState.HALTED)
+    stalls = sum(c.switch_stall_cycles for c in kernel.chip.clusters)
+    print(f"{label:<14} cycles={result.cycles:>7}  "
+          f"bundles={result.issued_bundles:>6}  "
+          f"utilization={result.utilization:.3f}  "
+          f"domain-switch stalls={stalls}")
+    assert halted == len(threads), result.reason
+    return kernel, config_ro, result
+
+
+def main():
+    print(f"{TENANTS} tenants x {THREADS_PER_TENANT} threads, "
+          f"{TENANTS} protection domains, 4 clusters\n")
+
+    guarded_cfg = ChipConfig(memory_bytes=16 * 1024 * 1024)
+    conventional_cfg = ChipConfig(memory_bytes=16 * 1024 * 1024,
+                                  domain_switch_penalty=8,
+                                  flush_on_domain_switch=True)
+
+    kernel, config_ro, guarded = run_and_report("guarded", guarded_cfg)
+    _, _, conventional = run_and_report("conventional", conventional_cfg)
+
+    print(f"\nconventional machine needs "
+          f"{conventional.cycles / guarded.cycles:.1f}x the cycles to "
+          f"interleave these domains — the M-Machine's reason for "
+          f"guarded pointers (§1, §3).")
+
+    print("\n-- tenant tries to scribble on the shared config --")
+    vandal = kernel.load_program("""
+        movi r3, 0
+        st r3, r2, 0
+        halt
+    """)
+    t = kernel.spawn(vandal, regs={2: config_ro.word}, stack_bytes=0)
+    kernel.run()
+    print(f"   {t.state.name}: {type(t.fault.cause).__name__} — "
+          f"read-only means read-only, even for cached, shared data")
+
+
+if __name__ == "__main__":
+    main()

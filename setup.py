@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` must use the legacy (non-PEP-660) editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Closed-form and measured models for §4's cost claims."""
+
+from repro.analysis.addrspace import (
+    gc_interval_for_headroom,
+    lifetime_table,
+    paper_judgement,
+    time_to_exhaustion,
+)
+from repro.analysis.fragmentation import (
+    EXPECTED_UNIFORM_BINADE,
+    WORST_CASE,
+    ChurnResult,
+    NoCoalesceAllocator,
+    churn,
+    compare_buddy_vs_nocoalesce,
+    granted_bytes,
+    physical_waste_fraction,
+    rounding_overhead,
+)
+from repro.analysis.overhead import (
+    HARDWARE_INVENTORY,
+    HardwareInventory,
+    address_bits_lost,
+    address_space_shrink_factor,
+    addressable_bytes,
+    memory_bits,
+    sharing_entries_guarded,
+    sharing_entries_paged,
+    tag_overhead,
+)
+
+__all__ = [
+    "gc_interval_for_headroom",
+    "lifetime_table",
+    "paper_judgement",
+    "time_to_exhaustion",
+    "EXPECTED_UNIFORM_BINADE",
+    "WORST_CASE",
+    "ChurnResult",
+    "NoCoalesceAllocator",
+    "churn",
+    "compare_buddy_vs_nocoalesce",
+    "granted_bytes",
+    "physical_waste_fraction",
+    "rounding_overhead",
+    "HARDWARE_INVENTORY",
+    "HardwareInventory",
+    "address_bits_lost",
+    "address_space_shrink_factor",
+    "addressable_bytes",
+    "memory_bits",
+    "sharing_entries_guarded",
+    "sharing_entries_paged",
+    "tag_overhead",
+]

@@ -1,0 +1,183 @@
+"""Fragmentation models for power-of-two segments (paper §4.2).
+
+Two effects, both quantified by experiment E7:
+
+* **Internal**: an object of ``s`` bytes occupies a ``2**ceil(log2 s)``
+  byte segment.  For sizes uniform over a binade the expected
+  granted/requested ratio is 4/3; the worst case is 2 (just past a
+  power of two).  The paper notes this wastes little *physical* memory
+  because frames are allocated page-by-page underneath.
+* **External**: freed segments may not coalesce into usable sizes.  The
+  paper prescribes a buddy system; :func:`churn` measures fragmentation
+  under allocate/free churn with buddy coalescing, and
+  :class:`NoCoalesceAllocator` provides the contrast (same interface,
+  no buddy merging).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mem.allocator import Block, BuddyAllocator, OutOfVirtualSpace, round_up_log2
+
+
+def granted_bytes(requested: int) -> int:
+    """Segment bytes granted for a request (power-of-two rounding)."""
+    return 1 << round_up_log2(requested)
+
+
+def rounding_overhead(sizes) -> float:
+    """granted/requested over a population of object sizes."""
+    requested = sum(sizes)
+    granted = sum(granted_bytes(s) for s in sizes)
+    if requested == 0:
+        raise ValueError("empty size population")
+    return granted / requested
+
+
+#: expected granted/requested for sizes uniform within one binade
+#: (E[2^(k+1)] / E[s], s ~ U(2^k, 2^(k+1)]) = 2 / 1.5
+EXPECTED_UNIFORM_BINADE = 4 / 3
+
+#: worst-case granted/requested (object one byte past a power of two)
+WORST_CASE = 2.0
+
+
+def physical_waste_fraction(requested: int, page_bytes: int = 4096) -> float:
+    """Fraction of *physical* memory wasted when only touched pages are
+    backed by frames: the paper's argument that internal fragmentation
+    costs address space, not DRAM.  The object touches all its bytes;
+    only the final partial page of the object is physical waste."""
+    if requested <= 0:
+        raise ValueError("requested must be positive")
+    pages = -(-requested // page_bytes)
+    return (pages * page_bytes - requested) / (pages * page_bytes)
+
+
+class NoCoalesceAllocator:
+    """A first-fit power-of-two allocator *without* buddy merging —
+    the strawman §4.2's buddy recommendation is measured against.
+
+    Free blocks are kept per order and never merged, so long-running
+    churn shatters the arena.  Interface mirrors
+    :class:`~repro.mem.allocator.BuddyAllocator` where E7 needs it.
+    """
+
+    def __init__(self, base: int, order: int, min_order: int = 0):
+        self.base = base
+        self.order = order
+        self.min_order = min_order
+        self._free: dict[int, list[int]] = {k: [] for k in range(min_order, order + 1)}
+        self._free[order].append(base)
+        self._allocated: dict[int, int] = {}
+
+    @property
+    def total_bytes(self) -> int:
+        return 1 << self.order
+
+    @property
+    def free_bytes(self) -> int:
+        return sum((1 << k) * len(v) for k, v in self._free.items())
+
+    def largest_free_order(self) -> int | None:
+        for k in range(self.order, self.min_order - 1, -1):
+            if self._free[k]:
+                return k
+        return None
+
+    def external_fragmentation(self) -> float:
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - (1 << self.largest_free_order()) / free
+
+    def allocate(self, nbytes: int) -> Block:
+        want = max(round_up_log2(nbytes), self.min_order)
+        k = want
+        while k <= self.order and not self._free[k]:
+            k += 1
+        if k > self.order:
+            raise OutOfVirtualSpace(f"no free block of 2**{want} bytes")
+        base = self._free[k].pop()
+        # split down, but the upper halves go on free lists and are
+        # never rejoined — the whole point of this strawman
+        while k > want:
+            k -= 1
+            self._free[k].append(base + (1 << k))
+        self._allocated[base] = want
+        return Block(base, want)
+
+    def free(self, block: Block) -> None:
+        order = self._allocated.pop(block.base, None)
+        if order is None or order != block.order:
+            raise ValueError(f"block not allocated: {block}")
+        self._free[order].append(block.base)
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one churn run."""
+
+    allocations: int
+    failures: int                 #: allocations refused for lack of space
+    final_fragmentation: float    #: external fragmentation at the end
+    peak_fragmentation: float
+    mean_fragmentation: float
+
+
+def churn(allocator, steps: int = 2000, max_bytes: int = 4096,
+          live_target: int = 64, seed: int = 0, drain: bool = True) -> ChurnResult:
+    """Random allocate/free churn against any allocator with the
+    buddy-style interface.  Sizes are log-uniform in [1, max_bytes].
+
+    With ``drain=True`` (default) all live blocks are freed at the end
+    before ``final_fragmentation`` is read, so the final number isolates
+    what the allocator *cannot recover* — a buddy system coalesces back
+    to one block; a non-coalescing allocator stays shattered.
+    """
+    rng = random.Random(seed)
+    live: list[Block] = []
+    failures = 0
+    allocations = 0
+    frag_series = []
+    for _ in range(steps):
+        want_alloc = len(live) < live_target or rng.random() < 0.5
+        if want_alloc:
+            size = 1 << rng.randrange(0, round_up_log2(max_bytes) + 1)
+            size = max(1, size - rng.randrange(0, max(size // 2, 1)))
+            allocations += 1
+            try:
+                live.append(allocator.allocate(size))
+            except OutOfVirtualSpace:
+                failures += 1
+        elif live:
+            allocator.free(live.pop(rng.randrange(len(live))))
+        frag_series.append(allocator.external_fragmentation())
+    if drain:
+        for block in live:
+            allocator.free(block)
+    return ChurnResult(
+        allocations=allocations,
+        failures=failures,
+        final_fragmentation=allocator.external_fragmentation() if drain
+        else frag_series[-1],
+        peak_fragmentation=max(frag_series),
+        mean_fragmentation=sum(frag_series) / len(frag_series),
+    )
+
+
+def compare_buddy_vs_nocoalesce(order: int = 16, steps: int = 4000,
+                                seed: int = 0) -> dict[str, ChurnResult]:
+    """E7's headline: identical churn — including occasional requests a
+    quarter the size of the arena — on a buddy allocator and on the
+    no-coalesce strawman."""
+    max_bytes = 1 << (order - 2)
+    buddy = BuddyAllocator(base=0, order=order)
+    naive = NoCoalesceAllocator(base=0, order=order)
+    return {
+        "buddy": churn(buddy, steps=steps, max_bytes=max_bytes,
+                       live_target=16, seed=seed),
+        "no-coalesce": churn(naive, steps=steps, max_bytes=max_bytes,
+                             live_target=16, seed=seed),
+    }

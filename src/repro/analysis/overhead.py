@@ -1,0 +1,76 @@
+"""Storage and hardware overheads of guarded pointers (paper §4.1–§4.2)
+and the sharing-state arithmetic of §5.1 (experiments E6 and E8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import ADDRESS_BITS, LENGTH_BITS, PERM_BITS, WORD_BITS
+
+
+def tag_overhead(word_bits: int = WORD_BITS) -> float:
+    """Memory overhead of one tag bit per word: 1/64 ≈ 1.56 %, which the
+    paper rounds to "a 1.5% increase"."""
+    return 1 / word_bits
+
+
+def address_bits_lost() -> int:
+    """Virtual-address bits spent on the permission and length fields."""
+    return PERM_BITS + LENGTH_BITS
+
+
+def address_space_shrink_factor() -> int:
+    """How much smaller the virtual address space becomes (2**10 — the
+    paper's "factor of 1000" for Amoeba-style sparse-capability
+    schemes)."""
+    return 1 << address_bits_lost()
+
+
+def addressable_bytes() -> int:
+    """1.8e16 bytes — the paper's §4.2 figure."""
+    return 1 << ADDRESS_BITS
+
+
+def sharing_entries_paged(pages: int, processes: int) -> int:
+    """Page-table entries for m processes to share n pages: n×m (§5.1)."""
+    return pages * processes
+
+
+def sharing_entries_guarded(processes: int) -> int:
+    """Guarded pointers (or capabilities): one pointer per process,
+    independent of the shared region's size."""
+    return processes
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareInventory:
+    """Protection hardware a scheme needs (the qualitative §4.1/§5
+    table, made explicit for bench E6)."""
+
+    scheme: str
+    tag_bits_per_word: int        #: storage tags
+    lookaside_buffers: int        #: TLBs/PLBs/descriptor caches beyond the TLB
+    ports_scale_with_banks: bool  #: must protection state be replicated
+                                  #: per cache bank?
+    tables_in_memory: int         #: protection/segment/capability tables
+    checks_on_critical_path: bool #: is a table lookup serialized before
+                                  #: or during cache access?
+
+
+#: §4.1/§5 in one table: what each scheme puts in hardware.
+HARDWARE_INVENTORY = [
+    HardwareInventory("guarded-pointers", 1, 0, False, 0, False),
+    HardwareInventory("paged-separate", 0, 0, True, 1, True),
+    HardwareInventory("paged-asid", 0, 0, True, 1, True),
+    HardwareInventory("domain-page", 0, 1, True, 2, True),
+    HardwareInventory("page-group", 0, 0, True, 1, True),
+    HardwareInventory("segmentation", 0, 1, True, 2, True),
+    HardwareInventory("capability-table", 0, 1, True, 2, True),
+    HardwareInventory("sfi", 0, 0, False, 0, False),
+]
+
+
+def memory_bits(words: int, tagged: bool) -> int:
+    """Total storage bits for ``words`` 64-bit words, with or without
+    the tag."""
+    return words * (WORD_BITS + (1 if tagged else 0))

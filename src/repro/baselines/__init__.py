@@ -1,0 +1,50 @@
+"""The §5 comparison schemes as trace-driven timing models.
+
+``ALL_SCHEMES`` builds one instance of every scheme — benchmarks
+iterate it to print cross-scheme tables.
+"""
+
+from repro.baselines.asid import AsidPagedScheme
+from repro.baselines.base import Lookaside, ProtectionScheme, SchemeMetrics, SimpleCache
+from repro.baselines.captable import CapTableScheme
+from repro.baselines.domain_page import DomainPageScheme
+from repro.baselines.guarded import GuardedPointerScheme
+from repro.baselines.page_group import PageGroupScheme
+from repro.baselines.paged import PagedSeparateScheme
+from repro.baselines.segmentation import SegmentationScheme
+from repro.baselines.sfi import SFIScheme
+
+#: constructors for every scheme, in the order §5 discusses them
+SCHEME_CLASSES = [
+    GuardedPointerScheme,
+    PagedSeparateScheme,
+    AsidPagedScheme,
+    DomainPageScheme,
+    PageGroupScheme,
+    SegmentationScheme,
+    CapTableScheme,
+    SFIScheme,
+]
+
+
+def all_schemes(costs=None, **kwargs):
+    """Fresh instances of every scheme sharing one cost model."""
+    return [cls(costs, **kwargs) for cls in SCHEME_CLASSES]
+
+
+__all__ = [
+    "AsidPagedScheme",
+    "Lookaside",
+    "ProtectionScheme",
+    "SchemeMetrics",
+    "SimpleCache",
+    "CapTableScheme",
+    "DomainPageScheme",
+    "GuardedPointerScheme",
+    "PageGroupScheme",
+    "PagedSeparateScheme",
+    "SegmentationScheme",
+    "SFIScheme",
+    "SCHEME_CLASSES",
+    "all_schemes",
+]

@@ -1,0 +1,41 @@
+"""ASID-tagged paging (§5.1, second variant).
+
+Address-space identifiers remove the flushes: TLB entries and cache
+tags carry the process id.  The cost moves elsewhere — shared data
+becomes synonyms ("no data can be shared in a virtually addressed cache
+using this system"), so the same shared line occupies one cache line
+and one TLB entry *per process*, and sharing through main memory still
+needs n×m page-table entries (E8).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef
+
+PAGE_BYTES = 4096
+
+
+class AsidPagedScheme(ProtectionScheme):
+    name = "paged-asid"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+
+    def access(self, ref: MemRef) -> int:
+        cycles = self.costs.cache_hit
+        # cache tags are (ASID, vaddr): no cross-process sharing of lines
+        if not self.cache.probe(ref.vaddr, space=ref.pid):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe((ref.pid, ref.vaddr // PAGE_BYTES)):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        if pid == self.current_pid:
+            return 0
+        return self.costs.asid_switch

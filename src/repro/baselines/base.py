@@ -1,0 +1,165 @@
+"""Common machinery for the §5 protection-scheme comparison.
+
+Every scheme implements :class:`ProtectionScheme`: it consumes the same
+:class:`~repro.sim.trace.MemRef`/:class:`~repro.sim.trace.Switch`
+events and charges cycles through the same :class:`~repro.sim.costs.
+CostModel`, so the cross-scheme numbers in E9–E12 are commensurable.
+
+Two reusable hardware models live here:
+
+* :class:`Lookaside` — an LRU lookaside buffer (TLB, PLB, descriptor
+  cache, capability cache) keyed by arbitrary tuples, so a scheme that
+  tags entries with an address-space or domain id just includes it in
+  the key.
+* :class:`SimpleCache` — a set-associative L1 model whose tag can
+  optionally include a space id (that is how ASID schemes lose in-cache
+  sharing: the same shared line occupies one way per address space).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef, Switch, Trace
+
+
+class Lookaside:
+    """Fully-associative LRU buffer over hashable keys."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("lookaside buffer needs at least one entry")
+        self.entries = entries
+        self._cache: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, key) -> bool:
+        """Touch ``key``; True on hit.  A miss installs the entry."""
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._cache[key] = True
+        if len(self._cache) > self.entries:
+            self._cache.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        self._cache.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._cache)
+
+
+class SimpleCache:
+    """Set-associative cache; tags may include a space id.
+
+    ``space`` is 0 for single-address-space schemes (everyone shares
+    lines) and the ASID/process id for schemes whose virtual tags are
+    qualified — which makes shared data occupy one line per space.
+    """
+
+    def __init__(self, total_bytes: int = 128 * 1024, line_bytes: int = 64,
+                 ways: int = 2):
+        self.line_bytes = line_bytes
+        self.sets = total_bytes // line_bytes // ways
+        self.ways = ways
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, vaddr: int, space: int = 0) -> bool:
+        line = vaddr // self.line_bytes
+        index = line % self.sets
+        key = (space, line)
+        entry = self._sets[index]
+        if key in entry:
+            entry.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        entry[key] = True
+        if len(entry) > self.ways:
+            entry.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+
+@dataclass
+class SchemeMetrics:
+    """Per-run accounting for one scheme."""
+
+    accesses: int = 0
+    access_cycles: int = 0
+    switches: int = 0
+    switch_cycles: int = 0
+    check_instructions: int = 0   #: SFI-style inserted instructions
+    protection_faults: int = 0    #: access-control rejections/software traps
+
+    @property
+    def total_cycles(self) -> int:
+        return self.access_cycles + self.switch_cycles
+
+    @property
+    def cycles_per_access(self) -> float:
+        return self.access_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def cycles_per_switch(self) -> float:
+        return self.switch_cycles / self.switches if self.switches else 0.0
+
+
+class ProtectionScheme(abc.ABC):
+    """One §5 protection scheme as a trace-driven timing model."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "abstract"
+
+    def __init__(self, costs: CostModel | None = None):
+        self.costs = costs or CostModel()
+        self.metrics = SchemeMetrics()
+        self.current_pid: int | None = None
+
+    # -- the two scheme-defining operations ---------------------------------
+
+    @abc.abstractmethod
+    def access(self, ref: MemRef) -> int:
+        """Cycles charged for one reference (protection + translation +
+        cache), excluding the work the program itself does."""
+
+    @abc.abstractmethod
+    def switch(self, pid: int) -> int:
+        """Cycles charged to change the protection domain to ``pid``."""
+
+    # -- bookkeeping for the sharing experiment (E8) ----------------------------
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        """Protection-state entries needed for ``processes`` processes
+        to share ``pages`` pages.  Page-table-based schemes need n×m;
+        capability schemes need one pointer per process."""
+        return pages * processes
+
+    # -- driver ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SchemeMetrics:
+        """Consume a trace, accumulating metrics."""
+        for event in trace:
+            if isinstance(event, Switch):
+                cycles = self.switch(event.pid)
+                self.current_pid = event.pid
+                self.metrics.switches += 1
+                self.metrics.switch_cycles += cycles
+            else:
+                cycles = self.access(event)
+                self.metrics.accesses += 1
+                self.metrics.access_cycles += cycles
+        return self.metrics

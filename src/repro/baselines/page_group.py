@@ -1,0 +1,75 @@
+"""HP PA-RISC page-group protection (Lee [18], §5.1).
+
+Access control is per page group: each TLB entry carries a group id
+that must match one of four special access-id registers.  Switches are
+cheap (reload the four registers; no flushes), but (a) the TLB and the
+four comparators sit on *every* access, and (b) a process touching more
+than four groups traps to software to rotate the registers — both
+disadvantages the paper calls out.  ``ref.segment`` serves as the page
+group id.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef
+
+PAGE_BYTES = 4096
+GROUP_REGISTERS = 4
+
+
+class PageGroupScheme(ProtectionScheme):
+    name = "page-group"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+        #: LRU contents of the four access-id registers
+        self._groups: OrderedDict[int, bool] = OrderedDict()
+        #: per-process register contents, restored by the OS at switch
+        self._saved: dict[int, OrderedDict] = {}
+        self.group_traps = 0
+
+    def _check_group(self, group: int) -> int:
+        """Compare against the four registers; software-rotate on miss."""
+        if group in self._groups:
+            self._groups.move_to_end(group)
+            return 0
+        self.group_traps += 1
+        self.metrics.protection_faults += 1
+        self._groups[group] = True
+        if len(self._groups) > GROUP_REGISTERS:
+            self._groups.popitem(last=False)
+        return self.costs.group_miss_trap
+
+    def access(self, ref: MemRef) -> int:
+        # the TLB supplies the page-group id, so it is probed on every
+        # access (hit overlaps the cache; a miss serialises the walk)
+        cycles = self.costs.cache_hit
+        if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+            cycles += self.costs.tlb_walk
+        cycles += self._check_group(ref.segment)
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        if pid == self.current_pid:
+            return 0
+        # the OS saves this process's four access-id registers and
+        # restores the next one's — cheap, no TLB or cache flush
+        if self.current_pid is not None:
+            self._saved[self.current_pid] = self._groups
+        self._groups = self._saved.get(pid, OrderedDict())
+        return self.costs.group_register_reload
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        # sharing = access to the same page group: one group id per
+        # sharing process (in its register set / protection state), but
+        # the group occupies one of only four fast slots per process
+        return processes

@@ -1,0 +1,43 @@
+"""Separate-address-space paging (§5.1, first variant).
+
+Each process has its own page table and the TLB has no address-space
+identifiers, so every protection-domain change must install a new page
+table, flush the TLB and purge the virtually-addressed cache.  Access
+itself looks like the guarded-pointer path; the scheme loses on
+switches and on the refill misses that follow them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef
+
+PAGE_BYTES = 4096
+
+
+class PagedSeparateScheme(ProtectionScheme):
+    name = "paged-separate"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+
+    def access(self, ref: MemRef) -> int:
+        cycles = self.costs.cache_hit
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        if pid == self.current_pid:
+            return 0
+        self.tlb.flush()
+        self.cache.flush()
+        return (self.costs.page_table_switch
+                + self.costs.tlb_flush
+                + self.costs.cache_flush)

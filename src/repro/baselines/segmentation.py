@@ -1,0 +1,57 @@
+"""Classical table-based segmentation (§5.2 — B5000, Multics, Monads).
+
+Each process owns a table of segment descriptors.  Every reference
+first resolves its segment descriptor (descriptor cache, else a memory
+lookup into the table) and adds base+offset *before* the cache can be
+indexed — the extra serial translation level the paper charges against
+segmentation — then proceeds through paging (two-level translation).
+Switching processes swaps the descriptor-table base and invalidates the
+descriptor cache.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef
+
+PAGE_BYTES = 4096
+
+
+class SegmentationScheme(ProtectionScheme):
+    name = "segmentation"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64,
+                 descriptor_entries: int = 16):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+        self.descriptors = Lookaside(descriptor_entries)
+
+    def access(self, ref: MemRef) -> int:
+        # level 1: segment descriptor + relocation add, serial with cache
+        cycles = self.costs.segment_add
+        if not self.descriptors.probe((ref.pid, ref.segment)):
+            cycles += self.costs.descriptor_miss
+        # level 2: the ordinary paged memory path
+        cycles += self.costs.cache_hit
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        if pid == self.current_pid:
+            return 0
+        # per-process descriptor tables: the cached descriptors die
+        self.descriptors.flush()
+        return self.costs.segment_table_switch
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        # "Every process must have its own segment descriptor for each
+        # shared segment and only the operating system can make these
+        # available" (§5.2) — one descriptor per process, regardless of
+        # size, but each requires OS intervention to install.
+        return processes

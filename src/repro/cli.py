@@ -1,0 +1,127 @@
+"""Command-line interface: assemble, disassemble and run MAP programs.
+
+Usage (``python -m repro <command> ...``):
+
+* ``asm FILE.s``           — assemble; print encoded words as hex.
+* ``disasm FILE.s``        — assemble then disassemble (round-trip view).
+* ``run FILE.s``           — run on a fresh kernel; print the result and
+  final register file.  ``--data N`` allocates an N-byte read/write
+  segment into r1; ``--trace`` prints the issue stream; ``--max-cycles``
+  bounds the run.
+* ``isa``                  — print the opcode table.
+
+The CLI is intentionally thin: everything it does is one call into the
+library, so scripts can do the same without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.pointer import GuardedPointer
+from repro.machine.assembler import assemble
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.disasm import disassemble_words
+from repro.machine.isa import OP_INFO, Opcode
+from repro.machine.tracer import Tracer
+from repro.runtime.kernel import Kernel
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(Path(args.file).read_text())
+    for i, word in enumerate(program.encode()):
+        print(f"{i * 8:#06x}: {word.value:#018x}")
+    for label, offset in sorted(program.labels.items(), key=lambda kv: kv[1]):
+        print(f"; {label} = {offset:#x}")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = assemble(Path(args.file).read_text())
+    print(disassemble_words(program.encode()))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=args.memory)))
+    tracer = Tracer(kernel.chip) if args.trace else None
+    regs: dict[int, object] = {}
+    if args.data:
+        segment = kernel.allocate_segment(args.data)
+        regs[1] = segment.word
+        print(f"; r1 = {args.data}-byte read/write segment at "
+              f"{segment.segment_base:#x}")
+    entry = kernel.load_program(Path(args.file).read_text())
+    thread = kernel.spawn(entry, regs=regs)
+    result = kernel.run(max_cycles=args.max_cycles)
+
+    if tracer is not None:
+        print(tracer.format())
+        print()
+    print(f"; {result.reason} after {result.cycles} cycles, "
+          f"{result.issued_bundles} bundles")
+    if thread.fault is not None:
+        print(f"; fault: {thread.fault}")
+    for index in range(16):
+        word = thread.regs.read(index)
+        if word.value == 0 and not word.tag:
+            continue
+        if word.tag:
+            pointer = GuardedPointer.from_word(word)
+            print(f"r{index:<3}= {pointer}")
+        else:
+            print(f"r{index:<3}= {word.value} ({word.value:#x})")
+    for index in range(16):
+        value = thread.regs.read_f(index)
+        if value:
+            print(f"f{index:<3}= {value}")
+    return 0 if result.reason == "halted" else 1
+
+
+def cmd_isa(args: argparse.Namespace) -> int:
+    for op, (slot, fmt) in OP_INFO.items():
+        operands = ", ".join(fmt.value) if fmt.value else ""
+        print(f"{op.name.lower():<10} {slot.name.lower():<4} {operands}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="guarded-pointer MAP machine tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble a .s file to hex words")
+    p_asm.add_argument("file")
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_dis = sub.add_parser("disasm", help="assemble then disassemble")
+    p_dis.add_argument("file")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_run = sub.add_parser("run", help="run a .s file on a fresh kernel")
+    p_run.add_argument("file")
+    p_run.add_argument("--data", type=int, default=0, metavar="BYTES",
+                       help="allocate a data segment into r1")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the issue stream")
+    p_run.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_run.add_argument("--memory", type=int, default=8 * 1024 * 1024,
+                       help="physical memory bytes")
+    p_run.set_defaults(func=cmd_run)
+
+    p_isa = sub.add_parser("isa", help="print the opcode table")
+    p_isa.set_defaults(func=cmd_isa)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Guarded pointers — the paper's core contribution.
+
+Public surface:
+
+* :class:`~repro.core.word.TaggedWord` — 64-bit word + tag bit.
+* :class:`~repro.core.pointer.GuardedPointer` — decoded pointer view.
+* :class:`~repro.core.permissions.Permission` — 4-bit permission codes.
+* The checked operations in :mod:`repro.core.operations` (LEA, LEAB,
+  RESTRICT, SUBSEG, SETPTR, ISPOINTER and the access/jump checks).
+* The fault hierarchy in :mod:`repro.core.exceptions`.
+"""
+
+from repro.core.constants import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    ADDRESS_SPACE_BYTES,
+    MAX_SEGLEN,
+    WORD_BITS,
+    WORD_BYTES,
+    offset_mask,
+    segment_mask,
+)
+from repro.core.exceptions import (
+    BoundsFault,
+    EncodingFault,
+    GuardedPointerFault,
+    PageFault,
+    PermissionFault,
+    PrivilegeFault,
+    RestrictFault,
+    SubsegFault,
+    TagFault,
+)
+from repro.core.operations import (
+    check_jump,
+    check_load,
+    check_store,
+    integer_to_pointer,
+    ispointer,
+    lea,
+    leab,
+    pointer_to_integer,
+    restrict,
+    setptr,
+    subseg,
+)
+from repro.core.permissions import Permission, Right, is_strict_subset, rights_of
+from repro.core.pointer import GuardedPointer, decode_fields, encode_fields
+from repro.core.word import TaggedWord
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "ADDRESS_SPACE_BYTES",
+    "MAX_SEGLEN",
+    "WORD_BITS",
+    "WORD_BYTES",
+    "offset_mask",
+    "segment_mask",
+    "BoundsFault",
+    "EncodingFault",
+    "GuardedPointerFault",
+    "PageFault",
+    "PermissionFault",
+    "PrivilegeFault",
+    "RestrictFault",
+    "SubsegFault",
+    "TagFault",
+    "check_jump",
+    "check_load",
+    "check_store",
+    "integer_to_pointer",
+    "ispointer",
+    "lea",
+    "leab",
+    "pointer_to_integer",
+    "restrict",
+    "setptr",
+    "subseg",
+    "Permission",
+    "Right",
+    "is_strict_subset",
+    "rights_of",
+    "GuardedPointer",
+    "decode_fields",
+    "encode_fields",
+    "TaggedWord",
+]

@@ -1,0 +1,79 @@
+"""Bit-field layout of a guarded pointer (paper, Figure 1).
+
+A guarded pointer is a 64-bit word plus one out-of-band tag bit::
+
+    tag | perm[63:60] | seglen[59:54] | address[53:0]
+
+* ``perm``    — 4 bits naming the operations permitted on the segment.
+* ``seglen``  — 6 bits holding log2 of the segment length in bytes.
+* ``address`` — 54 bits naming a byte in the single global address space.
+
+Segments are a power of two bytes long and aligned on their length, so
+``seglen`` splits the address into a *fixed* segment field (the high
+``54 - seglen`` bits) and a *variable* offset field (the low ``seglen``
+bits).  The segment base is the address with every offset bit cleared.
+"""
+
+from __future__ import annotations
+
+#: Width of a machine word in bits (excluding the tag bit).
+WORD_BITS = 64
+
+#: Width of a machine word in bytes.
+WORD_BYTES = WORD_BITS // 8
+
+#: Number of virtual-address bits in a guarded pointer.
+ADDRESS_BITS = 54
+
+#: Number of bits encoding log2(segment length).
+LENGTH_BITS = 6
+
+#: Number of bits encoding the permission field.
+PERM_BITS = 4
+
+#: Mask selecting the 54-bit address field of a pointer word.
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: Bit position of the least-significant length bit.
+LENGTH_SHIFT = ADDRESS_BITS
+
+#: Mask selecting the (shifted-down) length field.
+LENGTH_FIELD_MASK = (1 << LENGTH_BITS) - 1
+
+#: Bit position of the least-significant permission bit.
+PERM_SHIFT = ADDRESS_BITS + LENGTH_BITS
+
+#: Mask selecting the (shifted-down) permission field.
+PERM_FIELD_MASK = (1 << PERM_BITS) - 1
+
+#: Mask selecting all 64 bits of a word.
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Size of the virtual address space in bytes (2**54).
+ADDRESS_SPACE_BYTES = 1 << ADDRESS_BITS
+
+#: Largest legal value of the segment-length field: a segment may span
+#: the entire 2**54-byte address space.
+MAX_SEGLEN = ADDRESS_BITS
+
+# Sanity: the three fields plus nothing else fill the word.
+assert PERM_BITS + LENGTH_BITS + ADDRESS_BITS == WORD_BITS
+
+
+def offset_mask(seglen: int) -> int:
+    """Mask selecting the variable offset bits of a segment of log2 size
+    ``seglen``."""
+    if not 0 <= seglen <= MAX_SEGLEN:
+        raise ValueError(f"segment length field out of range: {seglen}")
+    return (1 << seglen) - 1
+
+
+def segment_mask(seglen: int) -> int:
+    """Mask selecting the fixed segment bits of the 54-bit address for a
+    segment of log2 size ``seglen``.
+
+    This is the mask the paper's *masked comparator* applies when
+    validating pointer arithmetic (Figure 2): the masked bits must not
+    change across an LEA.
+    """
+    return ADDRESS_MASK & ~offset_mask(seglen)

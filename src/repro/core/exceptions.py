@@ -1,0 +1,63 @@
+"""Fault hierarchy for guarded-pointer hardware.
+
+Every architectural check the paper describes raises a distinct fault so
+tests and the machine's event plumbing can tell them apart:
+
+* using a non-pointer where a pointer is required  → :class:`TagFault`
+* using a pointer whose permission forbids the op  → :class:`PermissionFault`
+* deriving a pointer outside its segment           → :class:`BoundsFault`
+* executing a privileged op in user mode           → :class:`PrivilegeFault`
+* referencing an unmapped page                     → :class:`PageFault`
+"""
+
+from __future__ import annotations
+
+
+class GuardedPointerFault(Exception):
+    """Base class for all architectural faults raised by pointer checks."""
+
+
+class TagFault(GuardedPointerFault):
+    """A word without the pointer tag bit was used where a guarded
+    pointer is required (e.g. as the address of a load)."""
+
+
+class PermissionFault(GuardedPointerFault):
+    """A pointer's permission field forbids the attempted operation,
+    e.g. storing through a read-only pointer, loading through an enter
+    pointer, or jumping through a data pointer."""
+
+
+class BoundsFault(GuardedPointerFault):
+    """Pointer arithmetic produced an address outside the segment of the
+    source pointer (the masked comparator of Figure 2 fired)."""
+
+
+class PrivilegeFault(GuardedPointerFault):
+    """A privileged operation (SETPTR, or a privileged instruction) was
+    attempted without an execute-privileged instruction pointer."""
+
+
+class RestrictFault(GuardedPointerFault):
+    """RESTRICT was asked to substitute a permission that is not a
+    strict subset of the source pointer's permission."""
+
+
+class SubsegFault(GuardedPointerFault):
+    """SUBSEG was asked for a segment that is not contained in the
+    source pointer's segment."""
+
+
+class PageFault(GuardedPointerFault):
+    """The referenced virtual page has no translation.  Raised by the
+    memory system, not by pointer checks; it is the hook §4.3 uses for
+    revocation and relocation."""
+
+    def __init__(self, vaddr: int, message: str = ""):
+        self.vaddr = vaddr
+        super().__init__(message or f"page fault at virtual address {vaddr:#x}")
+
+
+class EncodingFault(GuardedPointerFault):
+    """A pointer could not be encoded because a field is out of range
+    (e.g. an address wider than 54 bits or a misaligned segment)."""

@@ -1,0 +1,81 @@
+"""Tagged machine words.
+
+The M-Machine extends every 64-bit word — in registers and in memory —
+with one tag bit that marks the word as a guarded pointer.  User code
+cannot set the tag; only the privileged SETPTR operation can (§2.2).
+
+:class:`TaggedWord` is immutable.  Arithmetic on words is done on plain
+ints masked to 64 bits; the helpers here centralise that masking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import WORD_MASK
+
+
+def to_u64(value: int) -> int:
+    """Truncate an int to an unsigned 64-bit value (two's complement)."""
+    return value & WORD_MASK
+
+
+def to_s64(value: int) -> int:
+    """Interpret a 64-bit value as a signed two's-complement integer."""
+    value &= WORD_MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedWord:
+    """A 64-bit value plus the pointer tag bit.
+
+    ``tag=True`` marks the word as a guarded pointer.  Equality and
+    hashing include the tag, so a forged integer with pointer-shaped
+    bits never compares equal to the pointer itself.
+    """
+
+    value: int
+    tag: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= WORD_MASK:
+            object.__setattr__(self, "value", to_u64(self.value))
+
+    @staticmethod
+    def integer(value: int) -> "TaggedWord":
+        """Build an untagged (integer) word from any int, truncating to
+        64 bits."""
+        return TaggedWord(to_u64(value), tag=False)
+
+    @staticmethod
+    def zero() -> "TaggedWord":
+        """The all-zero untagged word — the reset value of registers and
+        freshly allocated memory."""
+        return TaggedWord(0, tag=False)
+
+    @property
+    def is_pointer(self) -> bool:
+        """True when the tag bit is set (the ISPOINTER predicate)."""
+        return self.tag
+
+    def untagged(self) -> "TaggedWord":
+        """The same bits with the tag cleared.
+
+        This is what happens when a pointer is used as input to a
+        non-pointer operation (§2.2): it silently becomes an integer
+        with the same bit fields.
+        """
+        if not self.tag:
+            return self
+        return TaggedWord(self.value, tag=False)
+
+    def as_signed(self) -> int:
+        """The 64-bit value as a signed integer."""
+        return to_s64(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        marker = "ptr" if self.tag else "int"
+        return f"TaggedWord({marker}:{self.value:#018x})"

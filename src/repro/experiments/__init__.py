@@ -1,0 +1,63 @@
+"""One module per reproduced experiment (see DESIGN.md §4).
+
+Each module exposes pure functions that compute the experiment's rows;
+``benchmarks/`` wraps them in pytest-benchmark harnesses and prints the
+tables recorded in EXPERIMENTS.md.
+
+=====  ==============================================================
+E1     Figure 1 — pointer format round-trips, bit budget
+E2     Figure 2 — LEA masked-comparator exactness, checked-arith rate
+E3     Figure 3 — enter-pointer call vs inline vs kernel trap
+E4     Figure 4 — two-way protection cost vs live pointers
+E5     Figure 5/§3 — multithreading across domains, 3 machine configs
+E6     §4.1 — tag storage overhead, protection-hardware inventory
+E7     §4.2 — internal/external fragmentation, buddy vs no-coalesce
+E8     §5.1 — sharing: n×m page-table entries vs m pointers; in-cache
+E9     §5.1/§3 — context-switch cost across schemes vs quantum
+E10    §5.2 — segmentation two-level latency + rigidity table
+E11    §5.3 — capability-table indirection latency
+E12    §5.4 — SFI dynamic check overhead
+E13    §4.3 — revocation unmap vs sweep; address-space GC scaling
+E14    §4.2 — sparse software capabilities vs the tag bit
+E15    §3 (extension) — guarded pointers across the mesh
+A1–A4  ablations of the design ingredients (see ``ablations``)
+=====  ==============================================================
+"""
+
+from repro.experiments import (
+    ablations,
+    e1_pointer_format,
+    e2_lea_checks,
+    e3_subsystem_call,
+    e4_two_way,
+    e5_multithreading,
+    e6_tag_overhead,
+    e7_fragmentation,
+    e8_sharing,
+    e9_context_switch,
+    e10_segmentation,
+    e11_captable,
+    e12_sfi,
+    e13_revocation_gc,
+    e14_sparse_capabilities,
+    e15_multinode,
+)
+
+__all__ = [
+    "ablations",
+    "e1_pointer_format",
+    "e2_lea_checks",
+    "e3_subsystem_call",
+    "e4_two_way",
+    "e5_multithreading",
+    "e6_tag_overhead",
+    "e7_fragmentation",
+    "e8_sharing",
+    "e9_context_switch",
+    "e10_segmentation",
+    "e11_captable",
+    "e12_sfi",
+    "e13_revocation_gc",
+    "e14_sparse_capabilities",
+    "e15_multinode",
+]

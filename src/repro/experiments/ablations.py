@@ -1,0 +1,270 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+These are not in the paper's evaluation — they probe *why* the design
+is the way it is by removing one ingredient at a time:
+
+* **A1 — cache banking.** §3: the 4-bank interleaved cache "allows the
+  memory system to accept up to four memory requests during each
+  cycle, matching the peak rate at which the processor clusters can
+  generate requests."  Sweep the bank count under a 4-cluster
+  memory-heavy load.
+* **A2 — translate-before-cache.** §5.1's virtual-cache argument:
+  putting the TLB on every access (a physically-addressed or
+  TLB-checked design) versus only on misses.  Uses a
+  :class:`TranslateFirstScheme` variant of the guarded scheme.
+* **A3 — cost-model sensitivity.** E9's cross-scheme ordering under
+  perturbed cost parameters: the guarded-pointer win must not hinge on
+  one lucky constant.
+* **A4 — hardware RESTRICT vs gateway emulation.** §2.2: "RESTRICT and
+  SUBSEG are not completely necessary" — measure what the M-Machine's
+  gateway approach costs relative to the one-instruction hardware path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.baselines.guarded import GuardedPointerScheme
+from repro.core.operations import lea
+from repro.baselines.paged import PagedSeparateScheme
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.runtime import services as services_mod
+from repro.runtime.kernel import Kernel
+from repro.sim.costs import CostModel
+from repro.sim.multiprogram import interleave
+from repro.sim.trace import MemRef
+from repro.sim.workloads import working_set
+
+
+# ---------------------------------------------------------------------------
+# A1 — cache bank count on the MAP simulator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BankPoint:
+    banks: int
+    cycles: int
+    bank_conflicts: int
+
+
+#: four clusters re-reading their (cache-resident) hot lines every
+#: cycle — the peak demand §3 sizes the banked cache for; with one bank
+#: the four concurrent requests serialise, with four they proceed in
+#: parallel
+_HOTLOOP = """
+    movi r2, {iterations}
+loop:
+    beq r2, done
+    ld r3, r1, 0
+    ld r4, r1, 0
+    ld r5, r1, 0
+    subi r2, r2, 1
+    br loop
+done:
+    halt
+"""
+
+
+def bank_sweep(bank_counts=(1, 2, 4), iterations: int = 150) -> list[BankPoint]:
+    points = []
+    for banks in bank_counts:
+        chip = MAPChip(ChipConfig(memory_bytes=8 * 1024 * 1024,
+                                  cache_banks=banks))
+        kernel = Kernel(chip)
+        for t in range(4):
+            entry = kernel.load_program(_HOTLOOP.format(iterations=iterations))
+            data = kernel.allocate_segment(4096, eager=True)
+            # stagger each thread's hot line into a distinct bank
+            hot = lea(data.word, (t % max(banks, 1)) * 64)
+            kernel.spawn(entry, cluster=t, regs={1: hot.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=10_000_000)
+        assert result.reason == "halted", result.reason
+        points.append(BankPoint(
+            banks=banks,
+            cycles=result.cycles,
+            bank_conflicts=chip.cache.stats.bank_conflicts,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# A2 — translation position
+# ---------------------------------------------------------------------------
+
+class TranslateFirstScheme(ProtectionScheme):
+    """Guarded pointers with the TLB on *every* access — what the memory
+    path would look like without the virtually-addressed cache.  The
+    TLB's miss cost now sits on the critical path of every reference,
+    and a multi-banked cache would need one TLB port per bank."""
+
+    name = "guarded-translate-first"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+
+    def access(self, ref: MemRef) -> int:
+        # translation completes before the cache can be indexed: the
+        # serial cycle is paid on every access, the walk on TLB misses
+        cycles = self.costs.tlb_serial + self.costs.cache_hit
+        if not self.tlb.probe(ref.vaddr // 4096):
+            cycles += self.costs.tlb_walk
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class TranslationPoint:
+    scheme: str
+    cycles_per_access: float
+    tlb_probes: int
+
+
+def translation_position(refs: int = 10_000, pages: int = 512,
+                         costs: CostModel | None = None,
+                         seed: int = 29) -> list[TranslationPoint]:
+    """Same low-locality workload through both translation positions."""
+    costs = costs or CostModel()
+    trace = working_set(0, refs, hot_pages=16, cold_pages=pages,
+                        hot_fraction=0.6, seed=seed)
+    points = []
+    for scheme in (GuardedPointerScheme(costs), TranslateFirstScheme(costs)):
+        metrics = scheme.run(trace)
+        points.append(TranslationPoint(
+            scheme=scheme.name,
+            cycles_per_access=metrics.cycles_per_access,
+            tlb_probes=scheme.tlb.hits + scheme.tlb.misses,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# A3 — cost-model sensitivity of the E9 headline
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    variant: str
+    paged_over_guarded: float
+
+
+def cost_sensitivity(refs_per_process: int = 2000,
+                     seed: int = 31) -> list[SensitivityPoint]:
+    """The E9 quantum-1 headline (flush paging vs guarded) under halved
+    and doubled flush/walk costs: the ordering must be robust."""
+    base = CostModel()
+    variants = {
+        "default": base,
+        "cheap-flushes": dc_replace(base, tlb_flush=base.tlb_flush // 2,
+                                    cache_flush=base.cache_flush // 2),
+        "dear-flushes": dc_replace(base, tlb_flush=base.tlb_flush * 2,
+                                   cache_flush=base.cache_flush * 2),
+        "cheap-walks": dc_replace(base, tlb_walk=base.tlb_walk // 2),
+        "dear-walks": dc_replace(base, tlb_walk=base.tlb_walk * 2),
+    }
+    traces = [working_set(pid, refs_per_process, seed=seed + pid)
+              for pid in range(4)]
+    trace = interleave(traces, quantum=1)
+    points = []
+    for name, costs in variants.items():
+        guarded = GuardedPointerScheme(costs).run(trace).total_cycles
+        paged = PagedSeparateScheme(costs).run(trace).total_cycles
+        points.append(SensitivityPoint(variant=name,
+                                       paged_over_guarded=paged / guarded))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# A5 — overcommit: paging beneath segments (§4.2's substrate)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OvercommitPoint:
+    overcommit: float          #: touched bytes / physical bytes
+    cycles: int
+    evictions: int
+    swap_ins: int
+
+
+def overcommit_sweep(ratios=(0.5, 1.5, 3.0), frames: int = 24,
+                     swap_cycles: int = 200) -> list[OvercommitPoint]:
+    """One thread sweeping an address range larger than physical memory:
+    §4.2's premise that segments live on paging means over-committed
+    virtual space degrades gracefully (eviction latency) rather than
+    failing."""
+    from repro.runtime.swap import SwapManager
+    page = 4096
+    points = []
+    for ratio in ratios:
+        chip = MAPChip(ChipConfig(memory_bytes=frames * page))
+        kernel = Kernel(chip, arena_base=1 << 22, arena_order=22)
+        swap = SwapManager(kernel, swap_cycles=swap_cycles)
+        pages_touched = max(int(frames * ratio), 1)
+        data = kernel.allocate_segment(pages_touched * page)
+        touches = "\n".join(
+            f"st r2, r1, {i * page}" for i in range(pages_touched))
+        entry = kernel.load_program(f"movi r2, 1\n{touches}\nhalt")
+        kernel.spawn(entry, regs={1: data.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=5_000_000)
+        assert result.reason == "halted", result.reason
+        points.append(OvercommitPoint(
+            overcommit=ratio,
+            cycles=result.cycles,
+            evictions=swap.stats.evictions,
+            swap_ins=swap.stats.swap_ins,
+        ))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# A4 — hardware RESTRICT vs the M-Machine's gateway emulation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RestrictCosts:
+    hardware_cycles: int
+    gateway_cycles: int
+
+    @property
+    def emulation_factor(self) -> float:
+        return self.gateway_cycles / self.hardware_cycles
+
+
+def restrict_hardware_vs_gateway() -> RestrictCosts:
+    """Total cycles to restrict a pointer to read-only, both ways."""
+    # hardware: one RESTRICT instruction
+    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+    data = kernel.allocate_segment(4096)
+    entry = kernel.load_program("""
+        movi r4, perm:read_only
+        restrict r5, r3, r4
+        halt
+    """)
+    kernel.spawn(entry, regs={3: data.word}, stack_bytes=0)
+    hw = kernel.run()
+    assert hw.reason == "halted"
+
+    # gateway: enter-priv call into the SETPTR routine
+    kernel2 = Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+    svc = services_mod.install(kernel2)
+    data2 = kernel2.allocate_segment(4096)
+    entry2 = kernel2.load_program("""
+        movi r4, perm:read_only
+        getip r15, ret
+        jmp r1
+    ret:
+        halt
+    """)
+    thread = kernel2.spawn(entry2, regs={1: svc.restrict_gateway.word,
+                                         3: data2.word}, stack_bytes=0)
+    gw = kernel2.run()
+    assert gw.reason == "halted"
+    assert thread.regs.read(5).tag
+    return RestrictCosts(hardware_cycles=hw.cycles, gateway_cycles=gw.cycles)

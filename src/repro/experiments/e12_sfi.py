@@ -1,0 +1,83 @@
+"""E12 — §5.4: guarded pointers versus software fault isolation.
+
+SFI inserts check instructions before every store/jump (and load, for
+full isolation) that cannot be proven safe statically; the cost is paid
+on every dynamic execution.  Guarded pointers do the equivalent check
+in parallel hardware for free.  This experiment sweeps the fraction of
+references a compiler can prove safe and the read-checking mode, and
+reports SFI's dynamic overhead over the guarded-pointer baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.baselines.guarded import GuardedPointerScheme
+from repro.baselines.sfi import SFIScheme
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef, Trace
+from repro.sim.workloads import working_set
+
+
+@dataclass(frozen=True)
+class SFIRow:
+    safe_fraction: float
+    check_reads: bool
+    guarded_cycles: int
+    sfi_cycles: int
+    check_instructions: int
+
+    @property
+    def overhead(self) -> float:
+        return self.sfi_cycles / self.guarded_cycles - 1.0
+
+
+def _with_safety(trace: Trace, safe_fraction: float, seed: int) -> Trace:
+    """Mark a fraction of references statically safe."""
+    rng = random.Random(seed)
+    events = []
+    for e in trace:
+        if isinstance(e, MemRef):
+            events.append(dc_replace(e, statically_safe=rng.random() < safe_fraction))
+        else:
+            events.append(e)
+    return Trace(events)
+
+
+def overhead_sweep(safe_fractions=(0.0, 0.25, 0.5, 0.75, 0.95),
+                   refs: int = 10_000, write_ratio: float = 0.3,
+                   costs: CostModel | None = None, seed: int = 23) -> list[SFIRow]:
+    costs = costs or CostModel()
+    base = working_set(0, refs, write_ratio=write_ratio, seed=seed)
+    rows = []
+    for check_reads in (False, True):
+        for safe in safe_fractions:
+            trace = _with_safety(base, safe, seed + int(safe * 100))
+            guarded = GuardedPointerScheme(costs)
+            sfi = SFIScheme(costs, check_reads=check_reads)
+            gm = guarded.run(trace)
+            sm = sfi.run(trace)
+            rows.append(SFIRow(
+                safe_fraction=safe,
+                check_reads=check_reads,
+                guarded_cycles=gm.total_cycles,
+                sfi_cycles=sm.total_cycles,
+                check_instructions=sm.check_instructions,
+            ))
+    return rows
+
+
+def qualitative_gap() -> dict[str, str]:
+    """§5.4's non-quantitative point, recorded alongside the numbers."""
+    return {
+        "enforcement": "SFI relies on every binary having passed the "
+                       "safe toolchain; hand-written code bypasses it. "
+                       "Guarded pointers are enforced by hardware on "
+                       "every word.",
+        "registers": "SFI reserves dedicated registers for the check "
+                     "code; guarded pointers reserve none.",
+        "optimization": "post-pass check code escapes compiler "
+                        "optimization; guarded-pointer casts are plain "
+                        "instructions exposed to it (§2.2).",
+    }

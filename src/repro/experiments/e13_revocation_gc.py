@@ -1,0 +1,120 @@
+"""E13 — §4.3: revocation, relocation and address-space GC.
+
+Capabilities make revocation hard: possession is access.  The paper
+offers two mechanisms with very different costs, both measured here:
+
+* **Unmap** the segment's pages in the single global page table — cost
+  proportional to the segment's page count; every stale pointer then
+  faults on use.
+* **Sweep** memory overwriting every copy of the capability — cost
+  proportional to all of memory (every word must be examined).
+
+Plus the flip side of never recycling addresses: the tag-driven
+address-space GC, whose scan cost scales with *mapped* memory only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.runtime.gc import AddressSpaceGC, sweep_revoke
+from repro.runtime.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class RevocationRow:
+    segment_bytes: int
+    memory_bytes: int
+    unmap_pages: int          #: page-table operations for unmap revocation
+    sweep_words: int          #: words examined for sweep revocation
+    copies_overwritten: int
+
+    @property
+    def sweep_to_unmap_ratio(self) -> float:
+        return self.sweep_words / max(self.unmap_pages, 1)
+
+
+def _kernel(memory_bytes: int) -> Kernel:
+    return Kernel(MAPChip(ChipConfig(memory_bytes=memory_bytes)))
+
+
+def revocation_costs(segment_sizes=(4096, 65536, 1 << 20),
+                     memory_bytes: int = 4 * 1024 * 1024,
+                     holders: int = 8) -> list[RevocationRow]:
+    """Unmap vs sweep for several segment sizes; ``holders`` other
+    segments each hold one copy of the victim pointer."""
+    rows = []
+    for size in segment_sizes:
+        kernel = _kernel(memory_bytes)
+        victim = kernel.allocate_segment(size, eager=True)
+        for i in range(holders):
+            holder = kernel.allocate_segment(4096, eager=True)
+            paddr = kernel.chip.page_table.walk(holder.segment_base)
+            kernel.chip.memory.store_word(paddr, victim.word)
+        unmap_pages = size // kernel.chip.page_table.page_bytes
+        words_scanned, overwritten = sweep_revoke(kernel, victim)
+        rows.append(RevocationRow(
+            segment_bytes=size,
+            memory_bytes=memory_bytes,
+            unmap_pages=max(unmap_pages, 1),
+            sweep_words=words_scanned,
+            copies_overwritten=overwritten,
+        ))
+    return rows
+
+
+@dataclass(frozen=True)
+class GCRow:
+    segments: int
+    live_fraction: float
+    words_scanned: int
+    segments_freed: int
+    bytes_freed: int
+
+
+def gc_scaling(segment_counts=(8, 32, 128), segment_bytes: int = 8192,
+               live_fraction: float = 0.5,
+               memory_bytes: int = 8 * 1024 * 1024) -> list[GCRow]:
+    """GC scan work versus heap population.  Half the segments are
+    reachable from a root chain; the rest are garbage."""
+    rows = []
+    for count in segment_counts:
+        kernel = _kernel(memory_bytes)
+        segments = [kernel.allocate_segment(segment_bytes, eager=True)
+                    for _ in range(count)]
+        live = segments[: max(int(count * live_fraction), 1)]
+        # chain the live segments: root -> s0 -> s1 -> ...
+        for a, b in zip(live, live[1:]):
+            paddr = kernel.chip.page_table.walk(a.segment_base)
+            kernel.chip.memory.store_word(paddr, b.word)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(extra_roots=[live[0]])
+        rows.append(GCRow(
+            segments=count,
+            live_fraction=live_fraction,
+            words_scanned=stats.words_scanned,
+            segments_freed=stats.segments_freed,
+            bytes_freed=stats.bytes_freed,
+        ))
+    return rows
+
+
+def relocation_by_unmap(memory_bytes: int = 4 * 1024 * 1024) -> dict[str, int]:
+    """§4.3's relocation recipe: unmap the old pages; each subsequent
+    access faults and is repaired.  Returns the bookkeeping counts from
+    doing it once."""
+    kernel = _kernel(memory_bytes)
+    victim = kernel.allocate_segment(16 * 4096, eager=True)
+    pages = 16
+    table = kernel.chip.page_table
+    base_page = victim.segment_base // table.page_bytes
+    for page in range(base_page, base_page + pages):
+        table.unmap(page)
+    faults_on_use = 0
+    try:
+        table.walk(victim.segment_base)
+    except Exception:
+        faults_on_use += 1
+    return {"pages_unmapped": pages, "faults_on_first_use": faults_on_use}

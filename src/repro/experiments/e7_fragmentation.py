@@ -1,0 +1,83 @@
+"""E7 — §4.2: fragmentation of power-of-two segments.
+
+* Internal fragmentation across object-size distributions (uniform,
+  log-uniform within binades, real-ish small-object mixes), against the
+  closed-form expectation of 4/3 for uniform-in-binade sizes and the
+  worst case of 2.
+* Physical vs virtual waste: the paper's argument that rounding wastes
+  address space, not DRAM, because frames are allocated page-by-page.
+* External fragmentation under churn: the buddy allocator (§4.2's
+  recommendation) against a non-coalescing strawman.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.analysis.fragmentation import (
+    EXPECTED_UNIFORM_BINADE,
+    ChurnResult,
+    compare_buddy_vs_nocoalesce,
+    granted_bytes,
+    physical_waste_fraction,
+    rounding_overhead,
+)
+
+
+@dataclass(frozen=True)
+class DistributionRow:
+    distribution: str
+    objects: int
+    overhead_factor: float     #: granted/requested
+    physical_waste: float      #: fraction of touched pages wasted
+
+
+def _size_populations(n: int = 20_000, seed: int = 7) -> dict[str, list[int]]:
+    rng = random.Random(seed)
+    return {
+        "uniform-in-binade": [rng.randint(1025, 2048) for _ in range(n)],
+        "log-uniform 1B..1MB": [
+            rng.randint((1 << k) + 1, 1 << (k + 1))
+            for k in (rng.randrange(0, 20) for _ in range(n))
+        ],
+        "small-objects (8..256B)": [rng.randint(8, 256) for _ in range(n)],
+        "pages (4KB..64KB)": [rng.randint(4096, 65536) for _ in range(n)],
+        "powers-of-two": [1 << rng.randrange(3, 20) for _ in range(n)],
+    }
+
+
+def internal_fragmentation_table(n: int = 20_000, seed: int = 7) -> list[DistributionRow]:
+    rows = []
+    for name, sizes in _size_populations(n, seed).items():
+        total_requested = sum(sizes)
+        total_pages = sum(-(-s // 4096) for s in sizes)
+        physical = 1 - total_requested / (total_pages * 4096)
+        rows.append(DistributionRow(
+            distribution=name,
+            objects=len(sizes),
+            overhead_factor=rounding_overhead(sizes),
+            physical_waste=physical,
+        ))
+    return rows
+
+
+def closed_form_check(seed: int = 11) -> dict[str, float]:
+    """Measured uniform-in-binade overhead against 4/3."""
+    rng = random.Random(seed)
+    sizes = [rng.randint(2 ** 14 + 1, 2 ** 15) for _ in range(50_000)]
+    return {
+        "measured": rounding_overhead(sizes),
+        "expected": EXPECTED_UNIFORM_BINADE,
+    }
+
+
+def external_fragmentation(order: int = 16, steps: int = 4000,
+                           seeds=(0, 1, 2)) -> dict[str, list[ChurnResult]]:
+    """Churn at several seeds: buddy coalescing vs none."""
+    results: dict[str, list[ChurnResult]] = {"buddy": [], "no-coalesce": []}
+    for seed in seeds:
+        run = compare_buddy_vs_nocoalesce(order=order, steps=steps, seed=seed)
+        results["buddy"].append(run["buddy"])
+        results["no-coalesce"].append(run["no-coalesce"])
+    return results

@@ -1,0 +1,95 @@
+"""E8 — §5.1: the cost of sharing.
+
+Two measurements:
+
+* **Protection state**: page-based schemes need one page-table entry
+  per (page, process) — n×m growth; guarded pointers need one pointer
+  per process, whatever the region size.
+* **In-cache sharing**: processes referencing the same data through a
+  virtually-addressed cache.  Guarded pointers (single space) share
+  lines; ASID-tagged schemes hold one synonym copy per process and miss
+  proportionally more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.overhead import sharing_entries_guarded, sharing_entries_paged
+from repro.baselines import all_schemes
+from repro.baselines.asid import AsidPagedScheme
+from repro.baselines.guarded import GuardedPointerScheme
+from repro.sim.costs import CostModel
+from repro.sim.workloads import shared_access
+
+
+@dataclass(frozen=True)
+class EntriesRow:
+    pages: int
+    processes: int
+    paged_entries: int
+    guarded_entries: int
+
+    @property
+    def ratio(self) -> float:
+        return self.paged_entries / self.guarded_entries
+
+
+def entries_grid(page_counts=(16, 256, 4096),
+                 process_counts=(2, 8, 32)) -> list[EntriesRow]:
+    """Protection-state entries over an (n pages × m processes) grid."""
+    rows = []
+    for pages in page_counts:
+        for processes in process_counts:
+            rows.append(EntriesRow(
+                pages=pages,
+                processes=processes,
+                paged_entries=sharing_entries_paged(pages, processes),
+                guarded_entries=sharing_entries_guarded(processes),
+            ))
+    return rows
+
+
+def entries_all_schemes(pages: int = 256,
+                        processes: int = 8) -> dict[str, int]:
+    """Protection-state entries each §5 scheme needs for ``processes``
+    processes to share ``pages`` pages — n×m for the page-table-per-
+    process family, m for the capability family."""
+    return {
+        scheme.name: scheme.share_cost_entries(pages, processes)
+        for scheme in all_schemes()
+    }
+
+
+@dataclass(frozen=True)
+class InCacheRow:
+    processes: int
+    guarded_misses: int
+    asid_misses: int
+    guarded_cycles: int
+    asid_cycles: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.asid_misses / max(self.guarded_misses, 1)
+
+
+def in_cache_sharing(process_counts=(1, 2, 4, 8), refs_per_process: int = 2000,
+                     costs: CostModel | None = None, seed: int = 9) -> list[InCacheRow]:
+    """Same shared-region trace through both cache-tagging disciplines."""
+    costs = costs or CostModel()
+    rows = []
+    for m in process_counts:
+        trace = shared_access(list(range(m)), refs_per_process, seed=seed)
+        guarded = GuardedPointerScheme(costs)
+        asid = AsidPagedScheme(costs)
+        gm = guarded.run(trace)
+        am = asid.run(trace)
+        rows.append(InCacheRow(
+            processes=m,
+            guarded_misses=guarded.cache.misses,
+            asid_misses=asid.cache.misses,
+            guarded_cycles=gm.total_cycles,
+            asid_cycles=am.total_cycles,
+        ))
+    return rows

@@ -1,0 +1,92 @@
+"""E9 — §5.1 / §3: context-switch cost across protection schemes.
+
+Runs the same multiprogrammed working-set mix through every §5 scheme
+at several switch granularities (quantum in references per slice).  At
+quantum 1 this is the M-Machine's cycle-by-cycle domain interleaving;
+at 10⁴ it is classic timeslicing.  The prediction: guarded pointers
+(and other single-space schemes) are insensitive to the quantum, the
+flush-everything design collapses as quanta shrink, and the crossover
+ordering matches §5's qualitative argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import all_schemes
+from repro.sim.costs import CostModel
+from repro.sim.multiprogram import interleave
+from repro.sim.runner import Row, run_comparison
+from repro.sim.workloads import gups, pointer_chase, working_set, zipf
+
+
+@dataclass(frozen=True)
+class QuantumResult:
+    quantum: int
+    rows: list  #: list[Row]
+
+    def cycles(self, scheme: str) -> int:
+        return next(r for r in self.rows if r.scheme == scheme).total_cycles
+
+    def relative(self, scheme: str, baseline: str = "guarded-pointers") -> float:
+        return self.cycles(scheme) / self.cycles(baseline)
+
+
+def make_trace(processes: int = 4, refs_per_process: int = 4000,
+               quantum: int = 100, seed: int = 13):
+    traces = [
+        working_set(pid, refs_per_process, hot_pages=8, cold_pages=128,
+                    seed=seed + pid)
+        for pid in range(processes)
+    ]
+    return interleave(traces, quantum=quantum)
+
+
+def sweep(quanta=(1, 10, 100, 1000, 10_000), processes: int = 4,
+          refs_per_process: int = 4000, costs: CostModel | None = None,
+          seed: int = 13) -> list[QuantumResult]:
+    costs = costs or CostModel()
+    results = []
+    for quantum in quanta:
+        trace = make_trace(processes, refs_per_process, quantum, seed)
+        rows = run_comparison(all_schemes(costs), trace)
+        results.append(QuantumResult(quantum=quantum, rows=rows))
+    return results
+
+
+#: per-process generators the workload sweep draws from
+WORKLOADS = {
+    "working-set": lambda pid, n, seed: working_set(pid, n, seed=seed),
+    "zipf": lambda pid, n, seed: zipf(pid, n, seed=seed),
+    "gups": lambda pid, n, seed: gups(pid, n // 2, seed=seed),
+    "pointer-chase": lambda pid, n, seed: pointer_chase(pid, n, seed=seed),
+}
+
+
+def workload_sweep(quantum: int = 10, processes: int = 4,
+                   refs_per_process: int = 3000,
+                   costs: CostModel | None = None,
+                   seed: int = 47) -> dict[str, QuantumResult]:
+    """The cross-scheme comparison under four locality profiles — the
+    E9 shape must not be an artifact of one synthetic workload."""
+    costs = costs or CostModel()
+    results = {}
+    for name, make in WORKLOADS.items():
+        traces = [make(pid, refs_per_process, seed + pid)
+                  for pid in range(processes)]
+        trace = interleave(traces, quantum=quantum)
+        rows = run_comparison(all_schemes(costs), trace)
+        results[name] = QuantumResult(quantum=quantum, rows=rows)
+    return results
+
+
+def switch_cost_table(costs: CostModel | None = None) -> dict[str, int]:
+    """Pure per-switch protection work (no trace): what each scheme
+    charges to change domains."""
+    costs = costs or CostModel()
+    table = {}
+    for scheme in all_schemes(costs):
+        scheme.switch(0)
+        scheme.current_pid = 0
+        table[scheme.name] = scheme.switch(1)
+    return table

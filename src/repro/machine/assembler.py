@@ -1,0 +1,249 @@
+"""Two-pass assembler for MAP programs.
+
+Syntax (one bundle per line; ``|`` separates slot operations; ``;``
+starts a comment)::
+
+    ; sum the array at r1, length in r2
+    loop:
+        beq r2, done      | ld r3, r1, 0
+        add r4, r4, r3    | lea r1, r1, 8
+        subi r2, r2, 1
+        br loop
+    done:
+        halt
+
+Operands are registers (``r0``–``r15``, ``f0``–``f15``), signed
+integers (decimal or ``0x`` hex), permission names (``perm:read_only``
+etc., which assemble to their 4-bit codes), or labels.  Branches
+(``br``, ``beq``, ``bne``) and ``getip`` take a label or an explicit
+byte displacement; the assembler converts labels to displacements
+relative to the *current* bundle's address, matching the hardware's
+LEA-on-IP semantics.
+
+A ``.word <int>`` directive emits a bundle-sized data item (the value
+in its first word).  Protected subsystems use labelled ``.word 0``
+slots for the pointers they keep in their code segment (Figure 3); the
+loader patches real pointers into those slots at install time.
+
+``assemble`` returns a :class:`Program` that knows its items and its
+label table; the loader places the encoded words in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.permissions import Permission
+from repro.core.word import TaggedWord
+from repro.machine.isa import (
+    BUNDLE_BYTES,
+    NUM_REGS,
+    OP_INFO,
+    Bundle,
+    Opcode,
+    Operation,
+)
+
+
+class AssemblyError(Exception):
+    """Bad assembly source; message carries the line number."""
+
+
+#: integer-slot opcodes whose immediate may be written as a label
+_LABEL_IMM = {Opcode.BR, Opcode.BEQ, Opcode.BNE, Opcode.GETIP}
+
+#: mnemonics, lowercased opcode names
+_MNEMONICS = {op.name.lower(): op for op in Opcode}
+
+
+@dataclass(frozen=True, slots=True)
+class DataItem:
+    """A bundle-sized data slot in the instruction stream (``.word``)."""
+
+    value: int
+
+    def encode(self) -> list[TaggedWord]:
+        return [TaggedWord.integer(self.value), TaggedWord.zero(), TaggedWord.zero()]
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """Assembled program: a sequence of bundles and data items."""
+
+    items: tuple  #: Bundle | DataItem, each BUNDLE_BYTES long
+    labels: dict[str, int]  #: label → byte offset from program start
+
+    @property
+    def bundles(self) -> tuple[Bundle, ...]:
+        return tuple(item for item in self.items if isinstance(item, Bundle))
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.items) * BUNDLE_BYTES
+
+    def encode(self) -> list:
+        """Flat list of encoded words, 3 per item."""
+        words = []
+        for item in self.items:
+            words.extend(item.encode())
+        return words
+
+
+@dataclass
+class _PendingOp:
+    opcode: Opcode
+    fields: dict[str, int]
+    label: str | None  # unresolved label for the immediate
+    line_no: int
+
+
+def _parse_register(token: str, line_no: int) -> tuple[str, int]:
+    bank = token[0]
+    if bank not in ("r", "f") or not token[1:].isdigit():
+        raise AssemblyError(f"line {line_no}: expected register, got {token!r}")
+    index = int(token[1:])
+    if index >= NUM_REGS:
+        raise AssemblyError(f"line {line_no}: register index out of range: {token}")
+    return bank, index
+
+
+def _parse_immediate(token: str, line_no: int) -> int:
+    if token.startswith("perm:"):
+        name = token[5:].upper()
+        try:
+            return int(Permission[name])
+        except KeyError:
+            raise AssemblyError(f"line {line_no}: unknown permission {name!r}") from None
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: bad immediate {token!r}") from None
+
+
+def _parse_op(text: str, line_no: int) -> _PendingOp:
+    parts = text.replace(",", " ").split()
+    mnemonic, operands = parts[0].lower(), parts[1:]
+    opcode = _MNEMONICS.get(mnemonic)
+    if opcode is None:
+        raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+    expected = OP_INFO[opcode][1].value
+    if len(operands) != len(expected):
+        raise AssemblyError(
+            f"line {line_no}: {mnemonic} expects {len(expected)} operands "
+            f"({', '.join(expected)}), got {len(operands)}"
+        )
+    fields: dict[str, int] = {}
+    label: str | None = None
+    for name, token in zip(expected, operands):
+        if name == "imm":
+            is_label_ok = opcode in _LABEL_IMM
+            looks_numeric = token.lstrip("+-").replace("_", "")[:1].isdigit() \
+                or token.startswith("perm:")
+            if is_label_ok and not looks_numeric:
+                label = token
+                fields["imm"] = 0
+            else:
+                fields["imm"] = _parse_immediate(token, line_no)
+        else:
+            bank, index = _parse_register(token, line_no)
+            # float registers are encoded in the same 4-bit fields; the
+            # opcode determines which bank an index names.
+            fields[name] = index
+            _check_bank(opcode, name, bank, line_no)
+    return _PendingOp(opcode, fields, label, line_no)
+
+
+#: which register bank each operand of each opcode uses
+_FP_BANK_OPERANDS: dict[Opcode, set[str]] = {
+    Opcode.LDF: {"rd"},
+    Opcode.STF: {"rd"},
+    Opcode.FADD: {"rd", "ra", "rb"},
+    Opcode.FSUB: {"rd", "ra", "rb"},
+    Opcode.FMUL: {"rd", "ra", "rb"},
+    Opcode.FDIV: {"rd", "ra", "rb"},
+    Opcode.FMOV: {"rd", "ra"},
+    Opcode.ITOF: {"rd"},
+    Opcode.FTOI: {"ra"},
+}
+
+
+def _check_bank(opcode: Opcode, operand: str, bank: str, line_no: int) -> None:
+    wants_fp = operand in _FP_BANK_OPERANDS.get(opcode, set())
+    if wants_fp and bank != "f":
+        raise AssemblyError(
+            f"line {line_no}: {opcode.name.lower()} operand {operand} must be "
+            f"an f register"
+        )
+    if not wants_fp and bank != "r":
+        raise AssemblyError(
+            f"line {line_no}: {opcode.name.lower()} operand {operand} must be "
+            f"an r register"
+        )
+
+
+def assemble(source: str) -> Program:
+    """Assemble MAP assembly text into a :class:`Program`."""
+    # pass 1: split lines into labels and pending items
+    pending: list[list[_PendingOp] | DataItem] = []
+    labels: dict[str, int] = {}
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        while line and ":" in line.split()[0]:
+            head, _, rest = line.partition(":")
+            label = head.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = len(pending) * BUNDLE_BYTES
+            line = rest.strip()
+        if not line:
+            continue
+        if line.startswith(".word"):
+            token = line[len(".word"):].strip()
+            pending.append(DataItem(_parse_immediate(token, line_no)))
+            continue
+        if line.startswith("."):
+            raise AssemblyError(f"line {line_no}: unknown directive {line.split()[0]!r}")
+        ops = [_parse_op(part.strip(), line_no) for part in line.split("|")]
+        if len(ops) > 3:
+            raise AssemblyError(f"line {line_no}: more than three slot operations")
+        pending.append(ops)
+
+    # pass 2: resolve labels, build bundles, check slot/write conflicts
+    items: list = []
+    for index, entry in enumerate(pending):
+        if isinstance(entry, DataItem):
+            items.append(entry)
+            continue
+        ops = entry
+        here = index * BUNDLE_BYTES
+        resolved: list[Operation] = []
+        for op in ops:
+            fields = dict(op.fields)
+            if op.label is not None:
+                target = labels.get(op.label)
+                if target is None:
+                    raise AssemblyError(
+                        f"line {op.line_no}: undefined label {op.label!r}"
+                    )
+                fields["imm"] = target - here
+            try:
+                resolved.append(Operation(op.opcode, **fields))
+            except ValueError as e:
+                raise AssemblyError(f"line {op.line_no}: {e}") from None
+        try:
+            bundle = Bundle.of(*resolved)
+        except ValueError as e:
+            raise AssemblyError(f"line {ops[0].line_no}: {e}") from None
+        seen: set[tuple[str, int]] = set()
+        for o in bundle.operations:
+            for target in Bundle.of(o).written_registers():
+                if target in seen:
+                    raise AssemblyError(
+                        f"line {ops[0].line_no}: two writes to "
+                        f"{target[0]}{target[1]} in one bundle"
+                    )
+                seen.add(target)
+        items.append(bundle)
+    return Program(items=tuple(items), labels=labels)

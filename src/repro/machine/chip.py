@@ -1,0 +1,235 @@
+"""The MAP chip: four clusters over a 4-bank cache and one external
+memory interface (§3, Figure 5).
+
+The chip wires together every substrate — tagged memory, the single
+global page table, the shared TLB, the interleaved virtually-addressed
+cache and the clusters — and drives them cycle by cycle.  Because all
+threads share one virtual address space and protection travels inside
+pointers, the chip has *no* per-process state: spawning a thread is
+writing registers, and interleaving threads from different protection
+domains costs nothing.
+
+Instruction fetch is functional (no timing charge): the paper's claims
+concern data-side protection checks, and modelling an I-cache would add
+noise without changing any experiment's shape.  Fetches still translate
+through the page table, so unmapping a code page faults execution
+exactly as §4.3 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.exceptions import PermissionFault
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.cluster import Cluster
+from repro.machine.faults import FaultRecord
+from repro.machine.isa import OP_BYTES, SLOTS, Bundle
+from repro.machine.thread import Thread, ThreadState
+from repro.mem.cache import BankedCache
+from repro.mem.page_table import PageTable
+from repro.mem.physical import FrameAllocator
+from repro.mem.tagged_memory import TaggedMemory
+from repro.mem.tlb import TLB
+
+
+@dataclass(frozen=True, slots=True)
+class ChipConfig:
+    """Architectural and timing parameters of one MAP node.
+
+    Defaults follow §3: 4 clusters × 4 user threads, 128 KB of on-chip
+    cache in 4 banks, 8 MB of external memory.  The two ``domain_*``
+    knobs exist only to model *conventional* machines for experiment
+    E5; guarded-pointer operation leaves them at 0/False.
+    """
+
+    clusters: int = 4
+    threads_per_cluster: int = 4
+    memory_bytes: int = 8 * 1024 * 1024
+    page_bytes: int = 4096
+    cache_bytes: int = 128 * 1024
+    cache_banks: int = 4
+    cache_line_bytes: int = 64
+    cache_ways: int = 2
+    cache_hit_cycles: int = 1
+    external_cycles: int = 10
+    tlb_entries: int = 64
+    tlb_walk_cycles: int = 20
+    domain_switch_penalty: int = 0
+    flush_on_domain_switch: bool = False
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`MAPChip.run`."""
+
+    cycles: int
+    issued_bundles: int
+    reason: str  #: "halted" | "max_cycles" | "deadlock"
+
+    @property
+    def utilization(self) -> float:
+        return self.issued_bundles / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ChipStats:
+    cycles: int = 0
+    issued_bundles: int = 0
+    faults: int = 0
+
+
+class MAPChip:
+    """A single M-Machine node."""
+
+    def __init__(self, config: ChipConfig | None = None):
+        self.config = config or ChipConfig()
+        c = self.config
+        self.memory = TaggedMemory(c.memory_bytes)
+        self.frames = FrameAllocator(c.memory_bytes, c.page_bytes)
+        self.page_table = PageTable(c.page_bytes, self.frames)
+        self.tlb = TLB(self.page_table, entries=c.tlb_entries,
+                       walk_cycles=c.tlb_walk_cycles)
+        self.cache = BankedCache(
+            self.memory,
+            self.tlb,
+            total_bytes=c.cache_bytes,
+            banks=c.cache_banks,
+            line_bytes=c.cache_line_bytes,
+            ways=c.cache_ways,
+            hit_cycles=c.cache_hit_cycles,
+            external_cycles=c.external_cycles,
+        )
+        self.clusters = [
+            Cluster(i, self, slots=c.threads_per_cluster) for i in range(c.clusters)
+        ]
+        self.stats = ChipStats()
+        self.fault_log: list[FaultRecord] = []
+        #: kernel hook: called with (record, thread) when a thread
+        #: faults; may repair and resume the thread.
+        self.fault_handler: Callable[[FaultRecord, Thread], None] | None = None
+        #: audit hook: called with (thread, target_pointer, new_ip,
+        #: cycle) on every JMP (see repro.machine.verifier)
+        self.jump_auditor: Callable | None = None
+        #: multicomputer wiring (repro.machine.multicomputer): this
+        #: node's id and the router that services non-local addresses
+        self.node_id = 0
+        self.router = None
+        self._next_tid = 0
+        self.now = 0
+
+    # -- thread management ------------------------------------------------
+
+    def spawn(
+        self,
+        ip: GuardedPointer,
+        domain: int = 0,
+        cluster: int | None = None,
+        regs: dict[int, object] | None = None,
+    ) -> Thread:
+        """Create a thread and place it on a cluster.
+
+        ``regs`` pre-loads integer registers: values may be
+        :class:`~repro.core.word.TaggedWord` (including pointer words)
+        or plain ints.
+        """
+        thread = Thread(tid=self._next_tid, ip=ip, domain=domain)
+        self._next_tid += 1
+        if regs:
+            for index, value in regs.items():
+                word = value if isinstance(value, TaggedWord) else TaggedWord.integer(value)
+                thread.regs.write(index, word)
+        if cluster is None:
+            def occupancy(i: int) -> int:
+                return sum(1 for t in self.clusters[i].live_threads()
+                           if t.state is not ThreadState.HALTED)
+            cluster = min(range(len(self.clusters)), key=occupancy)
+        self.clusters[cluster].add_thread(thread)
+        return thread
+
+    def all_threads(self) -> list[Thread]:
+        return [t for cl in self.clusters for t in cl.live_threads()]
+
+    # -- the memory port used by the clusters ----------------------------
+
+    def access_memory(self, vaddr: int, write: bool, now: int, value=None):
+        """One data access: the local banked cache for home addresses,
+        the mesh for remote ones (multicomputer operation, §3)."""
+        if self.router is not None and not self.router.is_local(self, vaddr):
+            return self.router.remote_access(self, vaddr, write, now, value)
+        return self.cache.access(vaddr, write, now, value=value)
+
+    # -- instruction fetch ---------------------------------------------------
+
+    def fetch(self, ip: GuardedPointer) -> Bundle:
+        """Fetch and decode the bundle at ``ip`` (functional path)."""
+        if not ip.permission.is_execute:
+            raise PermissionFault("instruction pointer is not an execute pointer")
+        words = []
+        for slot in range(SLOTS):
+            vaddr = ip.address + slot * OP_BYTES
+            if not ip.contains(vaddr):
+                raise PermissionFault("bundle extends past the code segment")
+            if self.router is not None and not self.router.is_local(self, vaddr):
+                home, physical = self.router.remote_walk(vaddr)
+                words.append(home.memory.load_word(physical))
+            else:
+                physical = self.page_table.walk(vaddr)
+                words.append(self.memory.load_word(physical))
+        return Bundle.decode(words)
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def report_fault(self, record: FaultRecord, thread: Thread) -> None:
+        self.fault_log.append(record)
+        self.stats.faults += 1
+        if self.fault_handler is not None:
+            self.fault_handler(record, thread)
+
+    # -- the clock -------------------------------------------------------------
+
+    def step(self) -> int:
+        """Advance one cycle; returns bundles issued this cycle."""
+        issued = 0
+        for cluster in self.clusters:
+            if cluster.step(self.now):
+                issued += 1
+        self.now += 1
+        self.stats.cycles += 1
+        self.stats.issued_bundles += issued
+        return issued
+
+    def run(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run until every thread is halted (or faulted with no handler
+        to resume it), the machine deadlocks, or ``max_cycles`` pass."""
+        start_cycle = self.now
+        start_bundles = self.stats.issued_bundles
+        idle_streak = 0
+        while self.now - start_cycle < max_cycles:
+            live = [t for t in self.all_threads()
+                    if t.state not in (ThreadState.HALTED, ThreadState.FAULTED)]
+            if not live:
+                states = {t.state for t in self.all_threads()}
+                if states <= {ThreadState.HALTED}:
+                    reason = "halted"
+                elif ThreadState.FAULTED in states:
+                    reason = "faulted"
+                else:
+                    reason = "deadlock"
+                return RunResult(self.now - start_cycle,
+                                 self.stats.issued_bundles - start_bundles, reason)
+            issued = self.step()
+            if issued == 0 and all(t.state is not ThreadState.READY
+                                   for t in self.all_threads()):
+                idle_streak += 1
+                # every runnable thread is blocked; fast-forward sanity
+                if idle_streak > 10_000:
+                    return RunResult(self.now - start_cycle,
+                                     self.stats.issued_bundles - start_bundles,
+                                     "deadlock")
+            else:
+                idle_streak = 0
+        return RunResult(max_cycles, self.stats.issued_bundles - start_bundles,
+                         "max_cycles")

@@ -1,0 +1,402 @@
+"""One MAP cluster: an integer, a memory and a floating-point unit fed
+by up to four resident threads (§3, Figure 5).
+
+Every cycle the cluster wakes any threads whose memory operations have
+completed, selects one ready thread round-robin, and issues its current
+bundle to the three units.  All guarded-pointer checks (§2.2) happen
+here, *before* an operation reaches the memory system:
+
+* the integer unit checks jump targets (enter→execute conversion);
+* the memory unit checks tag, permission and segment bounds on every
+  load, store and pointer-manipulation op;
+* nothing downstream re-checks anything.
+
+Fault atomicity: a bundle commits no architectural state unless every
+operation in it passes its checks, so a faulted bundle can simply be
+re-executed after the kernel repairs the cause.  Operations are
+evaluated int → fp → mem, with the memory access — the only operation
+with a side effect beyond registers — performed last.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.core import operations as ops
+from repro.core.exceptions import GuardedPointerFault, PermissionFault, RestrictFault
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord, to_s64
+from repro.machine.faults import FaultRecord, TrapFault
+from repro.machine.isa import BUNDLE_BYTES, Bundle, Opcode, Operation
+from repro.machine.registers import float_to_word, word_to_float
+from repro.machine.thread import Thread, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.chip import MAPChip
+
+
+class _Halt(Exception):
+    """Internal: bundle executed a HALT."""
+
+
+def _ieee_div(a: float, b: float) -> float:
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a == 0 or math.isnan(a):
+            return math.nan
+        return math.inf if (a > 0) == (b >= 0) else -math.inf
+
+
+_INT_ALU = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: a >> (b & 63),
+    Opcode.SLT: lambda a, b: int(to_s64(a) < to_s64(b)),
+    Opcode.SEQ: lambda a, b: int(a == b),
+}
+
+_INT_ALU_IMM = {
+    Opcode.ADDI: Opcode.ADD,
+    Opcode.SUBI: Opcode.SUB,
+    Opcode.ANDI: Opcode.AND,
+    Opcode.ORI: Opcode.OR,
+    Opcode.XORI: Opcode.XOR,
+    Opcode.SHLI: Opcode.SHL,
+    Opcode.SHRI: Opcode.SHR,
+    Opcode.SLTI: Opcode.SLT,
+    Opcode.SEQI: Opcode.SEQ,
+}
+
+_FP_ALU = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: _ieee_div,
+}
+
+
+class Cluster:
+    """Thread slots plus the three execution units."""
+
+    def __init__(self, cluster_id: int, chip: "MAPChip", slots: int = 4):
+        self.cluster_id = cluster_id
+        self.chip = chip
+        self.slots: list[Thread | None] = [None] * slots
+        self._next_slot = 0  # round-robin cursor
+        self.last_domain: int | None = None
+        self._stall_until = 0
+        #: thread waiting out a domain-switch drain; it issues first
+        #: when the drain ends
+        self._pending: Thread | None = None
+        self.issued_cycles = 0
+        self.idle_cycles = 0
+        self.switch_stall_cycles = 0
+
+    # -- thread management ------------------------------------------------
+
+    def add_thread(self, thread: Thread) -> int:
+        for i, slot in enumerate(self.slots):
+            if slot is None:
+                self.slots[i] = thread
+                return i
+        # a halted thread's slot can be reused: its architectural state
+        # is dead and system software would have reaped it
+        for i, slot in enumerate(self.slots):
+            if slot is not None and slot.state is ThreadState.HALTED:
+                self.slots[i] = thread
+                return i
+        raise RuntimeError(f"cluster {self.cluster_id} has no free thread slot")
+
+    def remove_thread(self, thread: Thread) -> None:
+        for i, slot in enumerate(self.slots):
+            if slot is thread:
+                self.slots[i] = None
+                return
+        raise ValueError("thread is not resident on this cluster")
+
+    def live_threads(self) -> list[Thread]:
+        return [t for t in self.slots if t is not None]
+
+    # -- per-cycle issue ----------------------------------------------------
+
+    def step(self, now: int) -> bool:
+        """Run one cycle; returns True when a bundle issued."""
+        for thread in self.live_threads():
+            thread.maybe_wake(now)
+
+        if now < self._stall_until:
+            self.switch_stall_cycles += 1
+            return False
+
+        if self._pending is not None and self._pending.state is ThreadState.READY:
+            thread = self._pending
+            self._pending = None
+        else:
+            self._pending = None
+            thread = self._select(now)
+        if thread is None:
+            self.idle_cycles += 1
+            return False
+
+        # E5 contrast knob: a conventional machine pays to interleave
+        # threads from different protection domains.  Guarded pointers
+        # leave this at zero.
+        penalty = self.chip.config.domain_switch_penalty
+        if penalty and self.last_domain is not None and thread.domain != self.last_domain:
+            self._stall_until = now + penalty
+            self._pending = thread  # issues as soon as the drain ends
+            self.last_domain = thread.domain
+            if self.chip.config.flush_on_domain_switch:
+                self.chip.tlb.flush()
+                self.chip.cache.flush()
+            self.switch_stall_cycles += 1
+            return False
+        self.last_domain = thread.domain
+
+        self._execute_bundle(thread, now)
+        self.issued_cycles += 1
+        return True
+
+    def _select(self, now: int) -> Thread | None:
+        n = len(self.slots)
+        for i in range(n):
+            index = (self._next_slot + i) % n
+            thread = self.slots[index]
+            if thread is not None and thread.state is ThreadState.READY:
+                self._next_slot = (index + 1) % n
+                return thread
+        return None
+
+    # -- bundle execution ----------------------------------------------------
+
+    def _execute_bundle(self, thread: Thread, now: int) -> None:
+        try:
+            bundle = self.chip.fetch(thread.ip)
+        except Exception as cause:  # decode/translation failure at fetch
+            self._fault(thread, cause, "fetch", now)
+            return
+
+        commits: list[tuple[str, int, object]] = []
+        branch_target: GuardedPointer | None = None
+        halted = False
+        block_until: int | None = None
+        pending: list[tuple[str, int, object]] = []
+
+        try:
+            target = self._exec_int(thread, bundle.int_op, commits, now)
+            if target is _Halt:
+                halted = True
+            elif target is not None:
+                branch_target = target
+            self._exec_fp(thread, bundle.fp_op, commits)
+            block_until, pending = self._exec_mem(thread, bundle.mem_op, commits, now)
+        except GuardedPointerFault as cause:
+            self._fault(thread, cause, self._fault_site(bundle, cause), now)
+            return
+
+        # Commit phase: nothing above faulted.
+        for bank, index, value in commits:
+            if bank == "r":
+                thread.regs.write(index, value)
+            else:
+                thread.regs.write_f(index, value)
+
+        thread.stats.bundles += 1
+        thread.stats.operations += sum(
+            1 for op in bundle.operations
+            if op.opcode not in (Opcode.NOP, Opcode.FNOP)
+        )
+
+        if halted:
+            thread.state = ThreadState.HALTED
+            return
+
+        try:
+            if branch_target is not None:
+                thread.ip = branch_target
+            else:
+                thread.ip = ops.lea(thread.ip.word, BUNDLE_BYTES)
+        except GuardedPointerFault as cause:
+            # running off the end of the code segment
+            self._fault(thread, cause, "ip-advance", now)
+            return
+
+        if block_until is not None and block_until > now + 1:
+            thread.pending_writes.extend(pending)
+            thread.stats.stall_cycles += block_until - (now + 1)
+            thread.block_until(block_until)
+        else:
+            for bank, index, value in pending:
+                if bank == "r":
+                    thread.regs.write(index, value)
+                else:
+                    thread.regs.write_f(index, value)
+
+    # -- the integer unit ------------------------------------------------------
+
+    def _exec_int(self, thread: Thread, op: Operation, commits: list,
+                  now: int):
+        """Returns a branch-target pointer, the _Halt sentinel, or None."""
+        code = op.opcode
+        regs = thread.regs
+        if code is Opcode.NOP:
+            return None
+        if code is Opcode.HALT:
+            return _Halt
+        if code is Opcode.TRAP:
+            raise TrapFault(op.imm)
+        if code in _INT_ALU:
+            a = regs.read(op.ra).untagged().value
+            b = regs.read(op.rb).untagged().value
+            commits.append(("r", op.rd, TaggedWord.integer(_INT_ALU[code](a, b))))
+            return None
+        if code in _INT_ALU_IMM:
+            a = regs.read(op.ra).untagged().value
+            b = op.imm & ((1 << 64) - 1)
+            fn = _INT_ALU[_INT_ALU_IMM[code]]
+            commits.append(("r", op.rd, TaggedWord.integer(fn(a, b))))
+            return None
+        if code is Opcode.MOVI:
+            commits.append(("r", op.rd, TaggedWord.integer(op.imm)))
+            return None
+        if code is Opcode.MOV:
+            # MOV preserves the tag: copying a pointer yields the pointer.
+            commits.append(("r", op.rd, regs.read(op.ra)))
+            return None
+        if code is Opcode.ISPTR:
+            commits.append(("r", op.rd, ops.ispointer(regs.read(op.ra))))
+            return None
+        if code is Opcode.GETIP:
+            commits.append(("r", op.rd, ops.lea(thread.ip.word, op.imm).word))
+            return None
+        if code is Opcode.BR:
+            return ops.lea(thread.ip.word, op.imm)
+        if code in (Opcode.BEQ, Opcode.BNE):
+            value = regs.read(op.rd).untagged().value
+            taken = (value == 0) if code is Opcode.BEQ else (value != 0)
+            return ops.lea(thread.ip.word, op.imm) if taken else None
+        if code is Opcode.JMP:
+            target_word = regs.read(op.ra)
+            new_ip = ops.check_jump(target_word, thread.privileged)
+            auditor = self.chip.jump_auditor
+            if auditor is not None:
+                auditor(thread, GuardedPointer.from_word(target_word),
+                        new_ip, now)
+            return new_ip
+        raise AssertionError(f"unhandled integer op {code.name}")
+
+    # -- the floating-point unit -------------------------------------------------
+
+    def _exec_fp(self, thread: Thread, op: Operation, commits: list) -> None:
+        code = op.opcode
+        regs = thread.regs
+        if code in (Opcode.FNOP, Opcode.NOP):
+            return
+        if code in _FP_ALU:
+            result = _FP_ALU[code](regs.read_f(op.ra), regs.read_f(op.rb))
+            commits.append(("f", op.rd, result))
+            return
+        if code is Opcode.FMOV:
+            commits.append(("f", op.rd, regs.read_f(op.ra)))
+            return
+        if code is Opcode.ITOF:
+            commits.append(("f", op.rd, float(regs.read(op.ra).as_signed())))
+            return
+        if code is Opcode.FTOI:
+            commits.append(("r", op.rd, TaggedWord.integer(int(regs.read_f(op.ra)))))
+            return
+        raise AssertionError(f"unhandled fp op {code.name}")
+
+    # -- the memory unit ------------------------------------------------------
+
+    def _exec_mem(self, thread: Thread, op: Operation, commits: list, now: int):
+        """Returns (block_until, pending_writes)."""
+        code = op.opcode
+        regs = thread.regs
+        no_block = (None, [])
+        if code in (Opcode.NOP, Opcode.FNOP):
+            return no_block
+
+        if code is Opcode.LD or code is Opcode.LDF:
+            ptr = ops.lea(regs.read(op.ra), op.imm)
+            ops.check_load(ptr.word)
+            result = self.chip.access_memory(ptr.address, write=False, now=now)
+            if code is Opcode.LD:
+                write = ("r", op.rd, result.word)
+            else:
+                write = ("f", op.rd, word_to_float(result.word))
+            return result.ready_cycle, [write]
+
+        if code is Opcode.ST or code is Opcode.STF:
+            ptr = ops.lea(regs.read(op.ra), op.imm)
+            ops.check_store(ptr.word)
+            if code is Opcode.ST:
+                value = regs.read(op.rd)
+            else:
+                value = float_to_word(regs.read_f(op.rd))
+            self.chip.access_memory(ptr.address, write=True, now=now, value=value)
+            return no_block  # stores are buffered; the thread proceeds
+
+        if code is Opcode.LEA:
+            commits.append(("r", op.rd, ops.lea(regs.read(op.ra), op.imm).word))
+            return no_block
+        if code is Opcode.LEAR:
+            offset = to_s64(regs.read(op.rb).untagged().value)
+            commits.append(("r", op.rd, ops.lea(regs.read(op.ra), offset).word))
+            return no_block
+        if code is Opcode.LEAB:
+            commits.append(("r", op.rd, ops.leab(regs.read(op.ra), op.imm).word))
+            return no_block
+        if code is Opcode.LEABR:
+            offset = to_s64(regs.read(op.rb).untagged().value)
+            commits.append(("r", op.rd, ops.leab(regs.read(op.ra), offset).word))
+            return no_block
+        if code is Opcode.SETPTR:
+            forged = ops.setptr(regs.read(op.ra), privileged=thread.privileged)
+            commits.append(("r", op.rd, forged.word))
+            return no_block
+        if code is Opcode.RESTRICT:
+            perm_code = regs.read(op.rb).untagged().value
+            try:
+                perm = Permission(perm_code)
+            except ValueError:
+                raise RestrictFault(f"not a permission code: {perm_code}") from None
+            commits.append(("r", op.rd, ops.restrict(regs.read(op.ra), perm).word))
+            return no_block
+        if code is Opcode.SUBSEG:
+            length = regs.read(op.rb).untagged().value
+            commits.append(("r", op.rd, ops.subseg(regs.read(op.ra), length).word))
+            return no_block
+        raise AssertionError(f"unhandled memory op {code.name}")
+
+    # -- fault plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _fault_site(bundle: Bundle, cause: Exception) -> str:
+        if isinstance(cause, TrapFault):
+            return "trap"
+        for op in bundle.operations:
+            if op.opcode not in (Opcode.NOP, Opcode.FNOP):
+                return op.opcode.name.lower()
+        return "bundle"
+
+    def _fault(self, thread: Thread, cause: Exception, site: str, now: int) -> None:
+        if not isinstance(cause, GuardedPointerFault):
+            cause = PermissionFault(f"{type(cause).__name__}: {cause}")
+        record = FaultRecord(
+            thread_id=thread.tid,
+            cycle=now,
+            cause=cause,
+            opcode_name=site,
+            ip_address=thread.ip.address,
+        )
+        thread.record_fault(record)
+        self.chip.report_fault(record, thread)

@@ -1,0 +1,104 @@
+"""Memory-mapped devices.
+
+§2.3: "Even an I/O driver can be implemented as an unprivileged
+protected subsystem by protecting access to the read/write pointer of a
+memory-mapped I/O device."  These devices give that sentence something
+to run against: each is a word-addressed register file living in a
+physical range claimed via
+:meth:`~repro.mem.tagged_memory.TaggedMemory.attach_device`.
+
+:func:`map_device` wires one into a kernel: it reserves a page-sized
+virtual segment, backs it with a dedicated frame, attaches the device
+to that frame, and returns the read/write pointer — *the* capability
+for the device, which system software then locks inside a driver
+subsystem's code segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.runtime.kernel import Kernel
+
+
+class ConsoleDevice:
+    """A write-only character console.
+
+    Register map (word offsets in bytes):
+
+    =====  =========================================
+    0x00   DATA  — store: append ``chr(value & 0xff)``
+    0x08   STATUS — load: 1 (always ready)
+    0x10   COUNT — load: characters written so far
+    =====  =========================================
+    """
+
+    DATA = 0x00
+    STATUS = 0x08
+    COUNT = 0x10
+
+    def __init__(self) -> None:
+        self.output: list[str] = []
+
+    @property
+    def text(self) -> str:
+        return "".join(self.output)
+
+    def store(self, offset: int, word: TaggedWord) -> None:
+        if offset == self.DATA:
+            self.output.append(chr(word.value & 0xFF))
+        # stores to other registers are ignored (write-only console)
+
+    def load(self, offset: int) -> TaggedWord:
+        if offset == self.STATUS:
+            return TaggedWord.integer(1)
+        if offset == self.COUNT:
+            return TaggedWord.integer(len(self.output))
+        return TaggedWord.zero()
+
+
+class BlockDevice:
+    """A trivially simple storage device: a seek register and a data
+    window.
+
+    =====  ==================================================
+    0x00   SECTOR — store: select the active 8-byte sector
+    0x08   DATA   — load/store: the selected sector's word
+    =====  ==================================================
+    """
+
+    SECTOR = 0x00
+    DATA = 0x08
+
+    def __init__(self, sectors: int = 64):
+        self.sectors = sectors
+        self._store: dict[int, TaggedWord] = {}
+        self._selected = 0
+
+    def store(self, offset: int, word: TaggedWord) -> None:
+        if offset == self.SECTOR:
+            self._selected = word.value % self.sectors
+        elif offset == self.DATA:
+            self._store[self._selected] = word
+
+    def load(self, offset: int) -> TaggedWord:
+        if offset == self.SECTOR:
+            return TaggedWord.integer(self._selected)
+        if offset == self.DATA:
+            return self._store.get(self._selected, TaggedWord.zero())
+        return TaggedWord.zero()
+
+
+def map_device(kernel: Kernel, device) -> GuardedPointer:
+    """Back a fresh page-sized segment with ``device`` and return the
+    read/write pointer — the single capability that controls it."""
+    page_bytes = kernel.chip.page_table.page_bytes
+    pointer = kernel.allocate_segment(page_bytes, Permission.READ_WRITE)
+    frame = kernel.chip.frames.allocate()
+    kernel.chip.page_table.map(
+        pointer.segment_base // page_bytes, physical_address=frame)
+    kernel.chip.memory.attach_device(frame, page_bytes, device)
+    return pointer

@@ -1,0 +1,80 @@
+"""Disassembler for MAP code.
+
+Produces assembler-compatible text: ``assemble(disassemble_program(p))``
+re-encodes to the same words (modulo labels, which decompile to explicit
+byte displacements the assembler accepts).  Used by debugging tools and
+by the round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.word import TaggedWord
+from repro.machine.isa import (
+    OP_INFO,
+    SLOTS,
+    Bundle,
+    DecodeError,
+    Fmt,
+    Opcode,
+    Operation,
+)
+
+#: operands of each opcode that name f registers (mirrors the
+#: assembler's bank table)
+_FP_OPERANDS: dict[Opcode, set[str]] = {
+    Opcode.LDF: {"rd"},
+    Opcode.STF: {"rd"},
+    Opcode.FADD: {"rd", "ra", "rb"},
+    Opcode.FSUB: {"rd", "ra", "rb"},
+    Opcode.FMUL: {"rd", "ra", "rb"},
+    Opcode.FDIV: {"rd", "ra", "rb"},
+    Opcode.FMOV: {"rd", "ra"},
+    Opcode.ITOF: {"rd"},
+    Opcode.FTOI: {"ra"},
+}
+
+
+def disassemble_op(op: Operation) -> str:
+    """One operation as assembler text."""
+    fmt = OP_INFO[op.opcode][1]
+    fp_operands = _FP_OPERANDS.get(op.opcode, set())
+    parts = []
+    for name in fmt.value:
+        if name == "imm":
+            parts.append(str(op.imm))
+        else:
+            bank = "f" if name in fp_operands else "r"
+            parts.append(f"{bank}{getattr(op, name)}")
+    mnemonic = op.opcode.name.lower()
+    return f"{mnemonic} {', '.join(parts)}".strip()
+
+
+def disassemble_bundle(bundle: Bundle) -> str:
+    """One bundle as a source line, omitting filler NOPs where other
+    slots carry work."""
+    ops = [op for op in bundle.operations
+           if op.opcode not in (Opcode.NOP, Opcode.FNOP)]
+    if not ops:
+        return "nop"
+    return " | ".join(disassemble_op(op) for op in ops)
+
+
+def disassemble_words(words: list[TaggedWord]) -> str:
+    """A flat word list (3 per item) back to source text.
+
+    Words that do not decode as instructions (``.word`` data items)
+    are emitted as ``.word`` directives, so mixed code/data programs —
+    e.g. protected subsystems with pointer slots — survive the trip.
+    """
+    if len(words) % SLOTS:
+        raise ValueError(f"word count not a multiple of {SLOTS}")
+    lines = []
+    for i in range(0, len(words), SLOTS):
+        chunk = words[i:i + SLOTS]
+        try:
+            bundle = Bundle.decode(chunk)
+        except DecodeError:
+            lines.append(f".word {chunk[0].value:#x}")
+            continue
+        lines.append(disassemble_bundle(bundle))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Machine-level fault records.
+
+When a guarded-pointer check, decode, or translation fails during
+execution, the thread stops with a :class:`FaultRecord` describing what
+happened.  System software (``repro.runtime.kernel``) inspects the
+record, repairs the cause (maps a page, rejects the access, services a
+trap) and either resumes or kills the thread.  Because no architectural
+state is committed for a faulting bundle, resuming simply re-executes
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import GuardedPointerFault
+
+
+class TrapFault(GuardedPointerFault):
+    """A TRAP instruction: a synchronous call into the kernel.
+
+    Guarded pointers make most services unprivileged (enter-pointer
+    subsystems); TRAP exists so experiment E3 can compare against the
+    conventional trap-mediated path.
+    """
+
+    def __init__(self, code: int):
+        self.code = code
+        super().__init__(f"trap {code}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRecord:
+    """Everything the kernel needs to service a fault."""
+
+    thread_id: int
+    cycle: int
+    cause: GuardedPointerFault
+    opcode_name: str
+    ip_address: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"thread {self.thread_id} @cycle {self.cycle}: "
+            f"{type(self.cause).__name__} in {self.opcode_name} "
+            f"(ip={self.ip_address:#x}): {self.cause}"
+        )

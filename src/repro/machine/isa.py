@@ -1,0 +1,327 @@
+"""The MAP instruction set (§3).
+
+The MAP's clusters are statically-scheduled LIW processors with three
+execution units — integer, memory and floating point — so an
+instruction *bundle* holds up to three operations, one per slot.  Each
+operation is encoded in one 64-bit word::
+
+    opcode[63:58] | rd[57:54] | ra[53:50] | rb[49:46] | imm[43:0] (signed)
+
+and a bundle is three consecutive words (int, mem, fp order), 24 bytes,
+so the instruction pointer — itself a guarded execute pointer — steps by
+:data:`BUNDLE_BYTES` per bundle and branch displacements are byte
+offsets checked by the LEA bounds rule.
+
+Guarded-pointer operations (LEA/LEAB/RESTRICT/SUBSEG/SETPTR and the
+checked LD/ST) live in the memory slot; ISPOINTER, jumps and traps in
+the integer slot, mirroring where the checking hardware sits (§2.2,
+§4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.word import TaggedWord
+
+#: Bytes per encoded operation.
+OP_BYTES = 8
+
+#: Operations per bundle (int, mem, fp).
+SLOTS = 3
+
+#: Bytes per instruction bundle.
+BUNDLE_BYTES = OP_BYTES * SLOTS
+
+#: Number of integer and of floating-point registers per thread.
+NUM_REGS = 16
+
+#: Width of the signed immediate field.
+IMM_BITS = 44
+
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+IMM_MIN = -(1 << (IMM_BITS - 1))
+
+
+class Slot(enum.IntEnum):
+    """Execution-unit slot an operation occupies."""
+
+    INT = 0
+    MEM = 1
+    FP = 2
+
+
+class Fmt(enum.Enum):
+    """Operand formats, used by the encoder and the assembler."""
+
+    NONE = ()                       # HALT
+    RRR = ("rd", "ra", "rb")        # add rd, ra, rb
+    RRI = ("rd", "ra", "imm")       # addi rd, ra, imm
+    RR = ("rd", "ra")               # mov rd, ra
+    RI = ("rd", "imm")              # movi rd, imm
+    R = ("ra",)                     # jmp ra
+    I = ("imm",)                    # br imm  / trap imm
+
+
+class Opcode(enum.IntEnum):
+    """All MAP operations.  Values are the 6-bit encodings."""
+
+    # -- integer slot --------------------------------------------------
+    NOP = 0
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    AND = 4
+    OR = 5
+    XOR = 6
+    SHL = 7
+    SHR = 8
+    SLT = 9
+    SEQ = 10
+    ADDI = 11
+    SUBI = 12
+    ANDI = 13
+    ORI = 14
+    XORI = 15
+    SHLI = 16
+    SHRI = 17
+    SLTI = 18
+    SEQI = 19
+    MOVI = 20
+    MOV = 21
+    ISPTR = 22
+    BR = 23       #: IP-relative branch (byte displacement, LEA-checked)
+    BEQ = 24      #: branch when ra == 0
+    BNE = 25      #: branch when ra != 0
+    JMP = 26      #: jump through a pointer (enter→execute conversion)
+    GETIP = 27    #: rd ← execute pointer at IP + imm (for return addresses)
+    HALT = 28
+    TRAP = 29     #: synchronous trap to the kernel with code imm
+
+    # -- memory slot ---------------------------------------------------
+    LD = 32       #: rd ← mem[ra + imm]
+    ST = 33       #: mem[ra + imm] ← rd  (rd is read)
+    LDF = 34      #: f[rd] ← mem[ra + imm]
+    STF = 35      #: mem[ra + imm] ← f[rd]
+    LEA = 36
+    LEAR = 37     #: LEA with register offset
+    LEAB = 38
+    LEABR = 39
+    SETPTR = 40   #: privileged
+    RESTRICT = 41 #: rd ← restrict(ra, perm=rb)
+    SUBSEG = 42   #: rd ← subseg(ra, len=rb)
+
+    # -- floating-point slot --------------------------------------------
+    FNOP = 48
+    FADD = 49
+    FSUB = 50
+    FMUL = 51
+    FDIV = 52
+    FMOV = 53
+    ITOF = 54     #: f[rd] ← float(r[ra])
+    FTOI = 55     #: r[rd] ← int(f[ra])
+
+
+#: slot and operand format of every opcode
+OP_INFO: dict[Opcode, tuple[Slot, Fmt]] = {
+    Opcode.NOP: (Slot.INT, Fmt.NONE),
+    Opcode.ADD: (Slot.INT, Fmt.RRR),
+    Opcode.SUB: (Slot.INT, Fmt.RRR),
+    Opcode.MUL: (Slot.INT, Fmt.RRR),
+    Opcode.AND: (Slot.INT, Fmt.RRR),
+    Opcode.OR: (Slot.INT, Fmt.RRR),
+    Opcode.XOR: (Slot.INT, Fmt.RRR),
+    Opcode.SHL: (Slot.INT, Fmt.RRR),
+    Opcode.SHR: (Slot.INT, Fmt.RRR),
+    Opcode.SLT: (Slot.INT, Fmt.RRR),
+    Opcode.SEQ: (Slot.INT, Fmt.RRR),
+    Opcode.ADDI: (Slot.INT, Fmt.RRI),
+    Opcode.SUBI: (Slot.INT, Fmt.RRI),
+    Opcode.ANDI: (Slot.INT, Fmt.RRI),
+    Opcode.ORI: (Slot.INT, Fmt.RRI),
+    Opcode.XORI: (Slot.INT, Fmt.RRI),
+    Opcode.SHLI: (Slot.INT, Fmt.RRI),
+    Opcode.SHRI: (Slot.INT, Fmt.RRI),
+    Opcode.SLTI: (Slot.INT, Fmt.RRI),
+    Opcode.SEQI: (Slot.INT, Fmt.RRI),
+    Opcode.MOVI: (Slot.INT, Fmt.RI),
+    Opcode.MOV: (Slot.INT, Fmt.RR),
+    Opcode.ISPTR: (Slot.INT, Fmt.RR),
+    Opcode.BR: (Slot.INT, Fmt.I),
+    Opcode.BEQ: (Slot.INT, Fmt.RI),
+    Opcode.BNE: (Slot.INT, Fmt.RI),
+    Opcode.JMP: (Slot.INT, Fmt.R),
+    Opcode.GETIP: (Slot.INT, Fmt.RI),
+    Opcode.HALT: (Slot.INT, Fmt.NONE),
+    Opcode.TRAP: (Slot.INT, Fmt.I),
+    Opcode.LD: (Slot.MEM, Fmt.RRI),
+    Opcode.ST: (Slot.MEM, Fmt.RRI),
+    Opcode.LDF: (Slot.MEM, Fmt.RRI),
+    Opcode.STF: (Slot.MEM, Fmt.RRI),
+    Opcode.LEA: (Slot.MEM, Fmt.RRI),
+    Opcode.LEAR: (Slot.MEM, Fmt.RRR),
+    Opcode.LEAB: (Slot.MEM, Fmt.RRI),
+    Opcode.LEABR: (Slot.MEM, Fmt.RRR),
+    Opcode.SETPTR: (Slot.MEM, Fmt.RR),
+    Opcode.RESTRICT: (Slot.MEM, Fmt.RRR),
+    Opcode.SUBSEG: (Slot.MEM, Fmt.RRR),
+    Opcode.FNOP: (Slot.FP, Fmt.NONE),
+    Opcode.FADD: (Slot.FP, Fmt.RRR),
+    Opcode.FSUB: (Slot.FP, Fmt.RRR),
+    Opcode.FMUL: (Slot.FP, Fmt.RRR),
+    Opcode.FDIV: (Slot.FP, Fmt.RRR),
+    Opcode.FMOV: (Slot.FP, Fmt.RR),
+    Opcode.ITOF: (Slot.FP, Fmt.RR),
+    Opcode.FTOI: (Slot.FP, Fmt.RR),
+}
+
+assert set(OP_INFO) == set(Opcode)
+
+#: Opcodes that write an integer register through the ``rd`` field.
+WRITES_RD = {
+    op for op, (_, fmt) in OP_INFO.items()
+    if fmt in (Fmt.RRR, Fmt.RRI, Fmt.RR, Fmt.RI) and op not in
+    (Opcode.ST, Opcode.STF, Opcode.BEQ, Opcode.BNE, Opcode.LDF,
+     Opcode.ITOF, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+     Opcode.FMOV)
+}
+
+#: Opcodes that write a floating-point register through ``rd``.
+WRITES_FD = {Opcode.LDF, Opcode.ITOF, Opcode.FADD, Opcode.FSUB,
+             Opcode.FMUL, Opcode.FDIV, Opcode.FMOV}
+
+
+class DecodeError(Exception):
+    """A word does not decode to a legal operation."""
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One decoded operation: an opcode plus register/immediate fields."""
+
+    opcode: Opcode
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "ra", "rb"):
+            reg = getattr(self, name)
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"{name} out of range: {reg}")
+        if not IMM_MIN <= self.imm <= IMM_MAX:
+            raise ValueError(f"immediate out of range: {self.imm}")
+
+    @property
+    def slot(self) -> Slot:
+        return OP_INFO[self.opcode][0]
+
+    @property
+    def fmt(self) -> Fmt:
+        return OP_INFO[self.opcode][1]
+
+    def encode(self) -> TaggedWord:
+        """Pack into an untagged 64-bit word."""
+        imm_field = self.imm & ((1 << IMM_BITS) - 1)
+        raw = (
+            (int(self.opcode) << 58)
+            | (self.rd << 54)
+            | (self.ra << 50)
+            | (self.rb << 46)
+            | imm_field
+        )
+        return TaggedWord.integer(raw)
+
+    @staticmethod
+    def decode(word: TaggedWord) -> "Operation":
+        """Unpack a 64-bit word; raises :class:`DecodeError` on a
+        reserved opcode or a tagged word (pointers are not code)."""
+        if word.tag:
+            raise DecodeError("cannot execute a pointer as an instruction")
+        raw = word.value
+        code = (raw >> 58) & 0x3F
+        try:
+            opcode = Opcode(code)
+        except ValueError:
+            raise DecodeError(f"reserved opcode {code}") from None
+        imm = raw & ((1 << IMM_BITS) - 1)
+        if imm >= 1 << (IMM_BITS - 1):
+            imm -= 1 << IMM_BITS
+        return Operation(
+            opcode,
+            rd=(raw >> 54) & 0xF,
+            ra=(raw >> 50) & 0xF,
+            rb=(raw >> 46) & 0xF,
+            imm=imm,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        fields = self.fmt.value
+        shown = ", ".join(str(getattr(self, f)) for f in fields)
+        return f"{self.opcode.name.lower()} {shown}".strip()
+
+
+@dataclass(frozen=True, slots=True)
+class Bundle:
+    """One LIW instruction: up to three operations, one per slot."""
+
+    int_op: Operation
+    mem_op: Operation
+    fp_op: Operation
+
+    def __post_init__(self) -> None:
+        if self.int_op.slot is not Slot.INT:
+            raise ValueError(f"{self.int_op.opcode.name} is not an integer-slot op")
+        if self.mem_op.slot is not Slot.MEM and self.mem_op.opcode is not Opcode.NOP:
+            raise ValueError(f"{self.mem_op.opcode.name} is not a memory-slot op")
+        # the fp slot's filler is FNOP (an FP-slot op), so a strict slot
+        # check here lets the disassembler tell code from .word data
+        if self.fp_op.slot is not Slot.FP:
+            raise ValueError(f"{self.fp_op.opcode.name} is not an fp-slot op")
+
+    @staticmethod
+    def of(*ops: Operation) -> "Bundle":
+        """Build a bundle from 1–3 operations, filling empty slots with
+        NOPs.  At most one operation per slot."""
+        slots: dict[Slot, Operation] = {}
+        for op in ops:
+            if op.slot in slots:
+                raise ValueError(f"two operations in the {op.slot.name} slot")
+            slots[op.slot] = op
+        return Bundle(
+            int_op=slots.get(Slot.INT, Operation(Opcode.NOP)),
+            mem_op=slots.get(Slot.MEM, Operation(Opcode.NOP)),
+            fp_op=slots.get(Slot.FP, Operation(Opcode.FNOP)),
+        )
+
+    @property
+    def operations(self) -> tuple[Operation, Operation, Operation]:
+        return (self.int_op, self.mem_op, self.fp_op)
+
+    def encode(self) -> list[TaggedWord]:
+        """Three words, int/mem/fp order."""
+        return [op.encode() for op in self.operations]
+
+    @staticmethod
+    def decode(words: list[TaggedWord]) -> "Bundle":
+        if len(words) != SLOTS:
+            raise DecodeError(f"a bundle is {SLOTS} words, got {len(words)}")
+        ops = [Operation.decode(w) for w in words]
+        try:
+            return Bundle(int_op=ops[0], mem_op=ops[1], fp_op=ops[2])
+        except ValueError as e:
+            raise DecodeError(str(e)) from None
+
+    def written_registers(self) -> set[tuple[str, int]]:
+        """(bank, index) pairs written by this bundle — used by the
+        assembler to reject intra-bundle write conflicts, which a
+        statically-scheduled LIW forbids."""
+        written = set()
+        for op in self.operations:
+            if op.opcode in WRITES_RD:
+                written.add(("r", op.rd))
+            elif op.opcode in WRITES_FD:
+                written.add(("f", op.rd))
+        return written

@@ -1,0 +1,172 @@
+"""The M-Machine as a multicomputer (§3).
+
+Multiple MAP nodes share the single 54-bit global address space: the
+high-order address bits name the *home node* of every byte.  A guarded
+pointer therefore works unchanged across the machine — permission and
+bounds checks still happen in the issuing node's execution units, and
+no node needs any table describing another node's protection state.
+That is the multicomputer half of the paper's story: capability
+protection with zero distributed bookkeeping.
+
+Remote accesses travel the 3-D mesh (request and reply through
+:class:`~repro.machine.network.MeshNetwork`), are serviced by the home
+node's memory, and are not cached locally (the real M-Machine cached
+remote blocks under an LTLB protocol; bypassing keeps the model simple
+and conservative — remote stays slower than local, which is the only
+property the experiments rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constants import ADDRESS_BITS
+from repro.core.exceptions import PageFault
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip, RunResult
+from repro.machine.network import MeshNetwork, MeshShape
+from repro.machine.thread import Thread, ThreadState
+from repro.mem.cache import AccessResult
+from repro.runtime.kernel import Kernel
+
+
+def node_bits_for(nodes: int) -> int:
+    """Address bits reserved to name the home node."""
+    if nodes <= 0:
+        raise ValueError("need at least one node")
+    return max(nodes - 1, 0).bit_length()
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """The global-address-space carve-up across nodes."""
+
+    node_bits: int
+
+    @property
+    def shift(self) -> int:
+        return ADDRESS_BITS - self.node_bits
+
+    def home_of(self, vaddr: int) -> int:
+        return vaddr >> self.shift if self.node_bits else 0
+
+    def base_of(self, node: int) -> int:
+        return node << self.shift
+
+    def span(self) -> int:
+        """Bytes of address space per node."""
+        return 1 << self.shift
+
+
+class Multicomputer:
+    """A mesh of MAP nodes over one global address space.
+
+    Each node gets its own :class:`~repro.runtime.kernel.Kernel` whose
+    arena lives inside the node's partition; page faults on remote
+    addresses are forwarded to the home node's kernel, so demand paging
+    works machine-wide.
+    """
+
+    def __init__(self, shape: MeshShape | None = None,
+                 chip_config: ChipConfig | None = None,
+                 hop_cycles: int = 5, interface_cycles: int = 10,
+                 arena_order: int = 30):
+        self.shape = shape or MeshShape()
+        self.network = MeshNetwork(self.shape, hop_cycles=hop_cycles,
+                                   interface_cycles=interface_cycles)
+        self.partition = Partition(node_bits_for(self.shape.nodes))
+        if arena_order > self.partition.shift:
+            raise ValueError("arena larger than a node's partition")
+        config = chip_config or ChipConfig()
+        self.chips: list[MAPChip] = []
+        self.kernels: list[Kernel] = []
+        for node in range(self.shape.nodes):
+            chip = MAPChip(config)
+            chip.node_id = node
+            chip.router = self
+            arena_base = self.partition.base_of(node) + (1 << arena_order)
+            kernel = Kernel(chip, arena_base=arena_base,
+                            arena_order=arena_order)
+            chip.fault_handler = self._make_fault_handler(kernel)
+            self.chips.append(chip)
+            self.kernels.append(kernel)
+
+    # -- the router contract used by MAPChip.access_memory ---------------
+
+    def is_local(self, chip: MAPChip, vaddr: int) -> bool:
+        return self.partition.home_of(vaddr) == chip.node_id
+
+    def remote_access(self, chip: MAPChip, vaddr: int, write: bool,
+                      now: int, value: TaggedWord | None = None) -> AccessResult:
+        """Service an access whose home is another node."""
+        home = self.chips[self.partition.home_of(vaddr)]
+        physical = home.page_table.walk(vaddr)  # PageFault → local thread
+        arrive = self.network.deliver(chip.node_id, home.node_id, now)
+        serviced = arrive + home.cache.external_cycles
+        reply = self.network.deliver(home.node_id, chip.node_id, serviced)
+        if write:
+            if value is None:
+                raise ValueError("store requires a value")
+            home.memory.store_word(physical, value)
+            word = TaggedWord.zero()
+        else:
+            word = home.memory.load_word(physical)
+        return AccessResult(word=word, ready_cycle=reply, hit=False, bank=-1)
+
+    def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:
+        """Functional translation at the home node (used by fetch)."""
+        home = self.chips[self.partition.home_of(vaddr)]
+        return home, home.page_table.walk(vaddr)
+
+    # -- machine-wide fault handling ------------------------------------------
+
+    def _make_fault_handler(self, local_kernel: Kernel):
+        def handler(record, thread: Thread) -> None:
+            cause = record.cause
+            if isinstance(cause, PageFault):
+                home = self.kernels[self.partition.home_of(cause.vaddr)]
+                if home is not local_kernel and home._demand_page(cause.vaddr):
+                    thread.resume()
+                    return
+            local_kernel._handle_fault(record, thread)
+        return handler
+
+    # -- global-kernel conveniences -----------------------------------------------
+
+    def allocate_on(self, node: int, nbytes: int, perm=None,
+                    eager: bool = False) -> GuardedPointer:
+        kwargs = {} if perm is None else {"perm": perm}
+        return self.kernels[node].allocate_segment(nbytes, eager=eager, **kwargs)
+
+    def load_on(self, node: int, source, **kwargs) -> GuardedPointer:
+        return self.kernels[node].load_program(source, **kwargs)
+
+    def spawn_on(self, node: int, entry: GuardedPointer, **kwargs) -> Thread:
+        return self.kernels[node].spawn(entry, **kwargs)
+
+    # -- the machine-wide clock ----------------------------------------------------
+
+    def all_threads(self) -> list[Thread]:
+        return [t for chip in self.chips for t in chip.all_threads()]
+
+    def run(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Step every node in lockstep until all threads stop."""
+        cycles = 0
+        issued = 0
+        while cycles < max_cycles:
+            live = [t for t in self.all_threads()
+                    if t.state in (ThreadState.READY, ThreadState.BLOCKED)]
+            if not live:
+                states = {t.state for t in self.all_threads()}
+                if states <= {ThreadState.HALTED}:
+                    reason = "halted"
+                elif ThreadState.FAULTED in states:
+                    reason = "faulted"
+                else:
+                    reason = "deadlock"
+                return RunResult(cycles, issued, reason)
+            for chip in self.chips:
+                issued += chip.step()
+            cycles += 1
+        return RunResult(cycles, issued, "max_cycles")

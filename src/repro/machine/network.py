@@ -1,0 +1,105 @@
+"""The M-Machine's 3-dimensional mesh interconnect (§3).
+
+"The M-Machine is a multicomputer with a 3-dimensional mesh
+interconnect and multithreaded processing nodes."  This module models
+the mesh at message granularity: dimension-ordered (x, then y, then z)
+routing, per-hop latency, and a serialised network-interface port per
+node — enough fidelity for the remote-memory timing the guarded-pointer
+story needs, without simulating flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class MeshShape:
+    """Mesh dimensions; node ids are dense in x-major order."""
+
+    x: int = 2
+    y: int = 2
+    z: int = 2
+
+    @property
+    def nodes(self) -> int:
+        return self.x * self.y * self.z
+
+    def coordinates(self, node: int) -> tuple[int, int, int]:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node id out of range: {node}")
+        return (node % self.x, (node // self.x) % self.y,
+                node // (self.x * self.y))
+
+    def node_at(self, cx: int, cy: int, cz: int) -> int:
+        if not (0 <= cx < self.x and 0 <= cy < self.y and 0 <= cz < self.z):
+            raise ValueError(f"coordinates out of range: {(cx, cy, cz)}")
+        return cx + cy * self.x + cz * self.x * self.y
+
+    def hops(self, a: int, b: int) -> int:
+        """Manhattan distance — hop count of dimension-ordered routing."""
+        ax, ay, az = self.coordinates(a)
+        bx, by, bz = self.coordinates(b)
+        return abs(ax - bx) + abs(ay - by) + abs(az - bz)
+
+    def route(self, a: int, b: int) -> list[int]:
+        """The node sequence of dimension-ordered (x→y→z) routing."""
+        path = [a]
+        ax, ay, az = self.coordinates(a)
+        bx, by, bz = self.coordinates(b)
+        while ax != bx:
+            ax += 1 if bx > ax else -1
+            path.append(self.node_at(ax, ay, az))
+        while ay != by:
+            ay += 1 if by > ay else -1
+            path.append(self.node_at(ax, ay, az))
+        while az != bz:
+            az += 1 if bz > az else -1
+            path.append(self.node_at(ax, ay, az))
+        return path
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    total_hops: int = 0
+    port_wait_cycles: int = 0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.messages if self.messages else 0.0
+
+
+class MeshNetwork:
+    """Message-level mesh timing: per-hop latency plus one serialised
+    network-interface port per node."""
+
+    def __init__(self, shape: MeshShape | None = None, hop_cycles: int = 5,
+                 interface_cycles: int = 10):
+        self.shape = shape or MeshShape()
+        self.hop_cycles = hop_cycles
+        self.interface_cycles = interface_cycles
+        self._port_busy_until = [0] * self.shape.nodes
+        self.stats = NetworkStats()
+
+    def deliver(self, source: int, destination: int, now: int) -> int:
+        """Inject a message at ``now``; returns its arrival cycle.
+
+        The source's network interface serialises injections; transit
+        is hops × hop latency; the destination interface adds its cost.
+        """
+        begin = max(now, self._port_busy_until[source])
+        self.stats.port_wait_cycles += begin - now
+        hops = self.shape.hops(source, destination)
+        inject_done = begin + self.interface_cycles
+        self._port_busy_until[source] = inject_done
+        arrival = inject_done + hops * self.hop_cycles + self.interface_cycles
+        self.stats.messages += 1
+        self.stats.total_hops += hops
+        return arrival
+
+    def round_trip(self, source: int, destination: int, now: int) -> int:
+        """Request + reply (a remote memory access): returns the cycle
+        the reply reaches the source."""
+        arrive = self.deliver(source, destination, now)
+        return self.deliver(destination, source, arrive)

@@ -1,0 +1,90 @@
+"""Thread contexts.
+
+The MAP keeps several threads resident per cluster and selects among
+them every cycle; a thread's entire protection state is its register
+contents and instruction pointer, which is why switching threads —
+even across protection domains — costs nothing (§3).
+
+``domain`` tags the thread's protection domain.  Guarded-pointer
+hardware never looks at it; experiment E5 uses it to model conventional
+machines that must do work when consecutively issued threads belong to
+different domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.faults import FaultRecord
+from repro.machine.registers import RegisterFile
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"        #: may issue this cycle
+    BLOCKED = "blocked"    #: waiting on the memory system
+    HALTED = "halted"      #: executed HALT
+    FAULTED = "faulted"    #: stopped on a fault, awaiting the kernel
+
+
+@dataclass
+class ThreadStats:
+    bundles: int = 0
+    operations: int = 0
+    stall_cycles: int = 0
+    faults: int = 0
+
+
+@dataclass
+class Thread:
+    """One hardware thread slot's architectural state."""
+
+    tid: int
+    ip: GuardedPointer
+    domain: int = 0
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    state: ThreadState = ThreadState.READY
+    wake_at: int = 0
+    #: register writes deferred until a blocking load completes:
+    #: list of ("r"|"f", index, value)
+    pending_writes: list = field(default_factory=list)
+    fault: FaultRecord | None = None
+    stats: ThreadStats = field(default_factory=ThreadStats)
+
+    def __post_init__(self) -> None:
+        if not self.ip.permission.is_execute:
+            raise ValueError("a thread's IP must be an execute pointer")
+
+    @property
+    def privileged(self) -> bool:
+        """True while running with an execute-privileged IP (§2.2)."""
+        return self.ip.permission is Permission.EXECUTE_PRIV
+
+    def block_until(self, cycle: int) -> None:
+        self.state = ThreadState.BLOCKED
+        self.wake_at = cycle
+
+    def maybe_wake(self, now: int) -> None:
+        if self.state is ThreadState.BLOCKED and now >= self.wake_at:
+            for bank, index, value in self.pending_writes:
+                if bank == "r":
+                    self.regs.write(index, value)
+                else:
+                    self.regs.write_f(index, value)
+            self.pending_writes.clear()
+            self.state = ThreadState.READY
+
+    def record_fault(self, record: FaultRecord) -> None:
+        self.state = ThreadState.FAULTED
+        self.fault = record
+        self.stats.faults += 1
+
+    def resume(self) -> None:
+        """Clear a fault and make the thread runnable again; the
+        faulting bundle re-executes because nothing was committed."""
+        if self.state is not ThreadState.FAULTED:
+            raise ValueError("only a faulted thread can be resumed")
+        self.fault = None
+        self.state = ThreadState.READY

@@ -1,0 +1,87 @@
+"""Execution tracing for the MAP simulator.
+
+A :class:`Tracer` hooks a chip and records one event per issued bundle
+(plus faults and jumps), giving per-thread timelines for debugging and
+for the pipeline-behaviour assertions in the test suite.  Tracing is
+pull-based and zero-cost when not attached.
+
+The hook point is :meth:`Cluster.step`'s bundle execution; rather than
+invade the cluster, the tracer wraps ``chip.fetch`` (every executed
+bundle is fetched exactly once per issue) and reads thread state around
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.chip import MAPChip
+from repro.machine.disasm import disassemble_bundle
+from repro.machine.isa import Bundle
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One fetched-and-issued bundle."""
+
+    cycle: int
+    address: int
+    text: str
+    privileged: bool
+    thread_id: int | None = None
+
+
+@dataclass
+class Tracer:
+    """Records every fetch on a chip.
+
+    Because a bundle is fetched exactly when it issues (and re-fetched
+    when a faulted bundle is resumed), the fetch stream *is* the issue
+    stream.  Thread attribution uses the unique IP address: each
+    event's thread is the thread whose IP matched at fetch time.
+    """
+
+    chip: MAPChip
+    events: list = field(default_factory=list)
+    limit: int = 100_000
+
+    def __post_init__(self) -> None:
+        self._original_fetch = self.chip.fetch
+        self.chip.fetch = self._traced_fetch  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        self.chip.fetch = self._original_fetch  # type: ignore[method-assign]
+
+    def _traced_fetch(self, ip) -> Bundle:
+        bundle = self._original_fetch(ip)
+        if len(self.events) < self.limit:
+            thread_id = None
+            for thread in self.chip.all_threads():
+                if thread.ip == ip:
+                    thread_id = thread.tid
+                    break
+            self.events.append(TraceEvent(
+                cycle=self.chip.now,
+                address=ip.address,
+                text=disassemble_bundle(bundle),
+                privileged=ip.permission.name == "EXECUTE_PRIV",
+                thread_id=thread_id,
+            ))
+        return bundle
+
+    # -- queries --------------------------------------------------------
+
+    def for_thread(self, tid: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.thread_id == tid]
+
+    def privileged_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.privileged]
+
+    def format(self, events=None) -> str:
+        """Human-readable listing."""
+        lines = []
+        for e in events if events is not None else self.events:
+            mode = "K" if e.privileged else "u"
+            tid = "?" if e.thread_id is None else e.thread_id
+            lines.append(f"{e.cycle:>8} t{tid} {mode} {e.address:#010x}  {e.text}")
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Architectural security monitor.
+
+A passive checker that watches a running chip and raises
+:class:`InvariantViolation` the moment any of the paper's security
+invariants breaks.  It exists to *test the simulator itself*: the
+protection argument of the paper holds only if the implementation never
+lets these slip, so the test suite runs adversarial programs under the
+monitor.
+
+Invariants checked:
+
+* **I1 — privilege provenance.** A thread's IP may become
+  execute-privileged only by jumping through an enter-privileged
+  pointer (§2.2: "Privileged mode is entered by jumping to an
+  enter-privileged pointer"), or by being born privileged (spawned by
+  the kernel).
+* **I2 — IP sanity.** Every live thread's IP is an execute pointer
+  whose address lies inside its own segment.
+* **I3 — tag hygiene in registers.** Every tagged register word decodes
+  to a valid permission code (no reserved encodings escaped the checked
+  operations).
+* **I4 — tag hygiene in memory.** Likewise for every tagged word in
+  physical memory (sweep check; call explicitly, it's O(memory)).
+* **I5 — jump legality.** Every audited control transfer targeted an
+  execute or enter pointer (the cluster should have faulted anything
+  else; the monitor double-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.chip import MAPChip
+from repro.machine.thread import Thread, ThreadState
+
+
+class InvariantViolation(Exception):
+    """A security invariant of the architecture was broken."""
+
+
+@dataclass(frozen=True, slots=True)
+class JumpRecord:
+    """One audited control transfer."""
+
+    thread_id: int
+    cycle: int
+    source_perm: Permission        #: permission of the *target word*
+    target_address: int
+    was_escalation: bool
+
+
+@dataclass
+class MonitorStats:
+    jumps_audited: int = 0
+    escalations: int = 0
+    register_sweeps: int = 0
+    memory_sweeps: int = 0
+
+
+class SecurityMonitor:
+    """Attach to a chip; it audits every jump and exposes sweeps."""
+
+    def __init__(self, chip: MAPChip):
+        self.chip = chip
+        self.stats = MonitorStats()
+        self.log: list[JumpRecord] = []
+        self._was_privileged: dict[int, bool] = {}
+        chip.jump_auditor = self._audit_jump
+
+    # -- I1 + I5: audited control transfers -------------------------------
+
+    def _audit_jump(self, thread: Thread, target: GuardedPointer,
+                    new_ip: GuardedPointer, cycle: int) -> None:
+        perm = target.permission
+        if not (perm.is_execute or perm.is_enter):
+            raise InvariantViolation(
+                f"I5: thread {thread.tid} jumped through a "
+                f"{perm.name} pointer"
+            )
+        was_priv = self._was_privileged.get(thread.tid, thread.privileged)
+        escalates = (new_ip.permission is Permission.EXECUTE_PRIV
+                     and not was_priv)
+        if escalates and perm is not Permission.ENTER_PRIV:
+            raise InvariantViolation(
+                f"I1: thread {thread.tid} escalated to privileged mode "
+                f"via a {perm.name} pointer (only ENTER_PRIV may)"
+            )
+        self._was_privileged[thread.tid] = \
+            new_ip.permission is Permission.EXECUTE_PRIV
+        self.stats.jumps_audited += 1
+        if escalates:
+            self.stats.escalations += 1
+        self.log.append(JumpRecord(
+            thread_id=thread.tid,
+            cycle=cycle,
+            source_perm=perm,
+            target_address=new_ip.address,
+            was_escalation=escalates,
+        ))
+
+    def note_spawn(self, thread: Thread) -> None:
+        """Record a thread's birth privilege so kernel-spawned
+        privileged threads don't read as escalations."""
+        self._was_privileged[thread.tid] = thread.privileged
+
+    # -- I2 + I3: per-thread sweeps ---------------------------------------------
+
+    def check_threads(self) -> None:
+        """Validate IP sanity and register tag hygiene for every live
+        thread."""
+        self.stats.register_sweeps += 1
+        for thread in self.chip.all_threads():
+            if thread.state is ThreadState.HALTED:
+                continue
+            ip = thread.ip
+            if not ip.permission.is_execute:
+                raise InvariantViolation(
+                    f"I2: thread {thread.tid} IP has permission "
+                    f"{ip.permission.name}"
+                )
+            if not ip.contains(ip.address):
+                raise InvariantViolation(
+                    f"I2: thread {thread.tid} IP address outside its segment"
+                )
+            for index in range(16):
+                word = thread.regs.read(index)
+                if not word.tag:
+                    continue
+                try:
+                    GuardedPointer.from_word(word)
+                except Exception as e:
+                    raise InvariantViolation(
+                        f"I3: thread {thread.tid} r{index} holds a tagged "
+                        f"word that does not decode: {e}"
+                    ) from None
+
+    # -- I4: memory sweep ----------------------------------------------------------
+
+    def check_memory(self) -> None:
+        """Validate that every tagged word in physical memory decodes."""
+        self.stats.memory_sweeps += 1
+        for address, word in self.chip.memory.scan_tagged():
+            try:
+                GuardedPointer.from_word(word)
+            except Exception as e:
+                raise InvariantViolation(
+                    f"I4: tagged word at physical {address:#x} does not "
+                    f"decode: {e}"
+                ) from None
+
+    # -- convenience -----------------------------------------------------------------
+
+    def run_checked(self, max_cycles: int = 1_000_000, sweep_every: int = 64):
+        """Drive the chip like :meth:`MAPChip.run`, sweeping thread
+        state every ``sweep_every`` cycles and memory at the end."""
+        start = self.chip.now
+        while self.chip.now - start < max_cycles:
+            live = [t for t in self.chip.all_threads()
+                    if t.state in (ThreadState.READY, ThreadState.BLOCKED)]
+            if not live:
+                break
+            self.chip.step()
+            if (self.chip.now - start) % sweep_every == 0:
+                self.check_threads()
+        self.check_threads()
+        self.check_memory()

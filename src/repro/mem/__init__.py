@@ -1,0 +1,28 @@
+"""Memory substrate: tagged memory, paging, TLB, the MAP's 4-bank
+interleaved virtual cache, and the buddy allocator for power-of-two
+segments."""
+
+from repro.mem.allocator import Block, BuddyAllocator, OutOfVirtualSpace, round_up_log2
+from repro.mem.cache import AccessResult, BankedCache, CacheStats
+from repro.mem.page_table import PageTable, Translation
+from repro.mem.physical import FrameAllocator, OutOfPhysicalMemory
+from repro.mem.tagged_memory import AlignmentFault, TaggedMemory
+from repro.mem.tlb import TLB, TLBStats
+
+__all__ = [
+    "Block",
+    "BuddyAllocator",
+    "OutOfVirtualSpace",
+    "round_up_log2",
+    "AccessResult",
+    "BankedCache",
+    "CacheStats",
+    "PageTable",
+    "Translation",
+    "FrameAllocator",
+    "OutOfPhysicalMemory",
+    "AlignmentFault",
+    "TaggedMemory",
+    "TLB",
+    "TLBStats",
+]

@@ -1,0 +1,220 @@
+"""The MAP chip's interleaved, virtually-addressed cache (§3, Figure 5).
+
+Four banks, interleaved on low-order line-address bits, so the memory
+system accepts up to four requests per cycle — one per bank — matching
+the peak issue rate of the four clusters.  The cache is virtually
+addressed *and* virtually tagged; translation happens only on a miss,
+through the shared TLB.  Requests that miss arbitrate for the single
+external memory interface, which handles one request at a time.
+
+The cache here is a *timing* model: data moves functionally through
+:class:`~repro.mem.tagged_memory.TaggedMemory` via the page table, while
+this module decides how many cycles each access costs.  That split keeps
+functional correctness independent of timing parameters, which the
+benchmarks vary.
+
+Because guarded pointers carry all protection state, nothing in this
+module checks permissions — exactly the paper's point: "encoding all
+protection information in a guarded pointer eliminates any need for
+table lookup prior to or during cache access."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.word import TaggedWord
+from repro.mem.tagged_memory import TaggedMemory
+from repro.mem.tlb import TLB
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    bank_conflicts: int = 0
+    writebacks: int = 0
+    external_accesses: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    word: TaggedWord        #: data (untagged zero for stores)
+    ready_cycle: int        #: cycle at which the result is available
+    hit: bool
+    bank: int
+
+
+class _Bank:
+    """One set-associative bank holding virtual line tags."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = sets
+        self.ways = ways
+        # per-set LRU list of (virtual line number, dirty)
+        self._lines: list[list[tuple[int, bool]]] = [[] for _ in range(sets)]
+        #: cycle until which this bank's port is busy
+        self.busy_until = 0
+
+    def lookup(self, line: int, index: int) -> bool:
+        entry = self._lines[index]
+        for i, (tag, dirty) in enumerate(entry):
+            if tag == line:
+                entry.append(entry.pop(i))  # LRU update
+                return True
+        return False
+
+    def fill(self, line: int, dirty: bool, index: int) -> tuple[int, bool] | None:
+        """Insert a line; returns the evicted (line, dirty) if any."""
+        entry = self._lines[index]
+        victim = None
+        if len(entry) >= self.ways:
+            victim = entry.pop(0)
+        entry.append((line, dirty))
+        return victim
+
+    def mark_dirty(self, line: int, index: int) -> None:
+        entry = self._lines[index]
+        for i, (tag, _) in enumerate(entry):
+            if tag == line:
+                entry[i] = (tag, True)
+                return
+
+    def invalidate_all(self) -> int:
+        count = sum(len(s) for s in self._lines)
+        for s in self._lines:
+            s.clear()
+        return count
+
+
+class BankedCache:
+    """4-bank interleaved virtually-addressed cache over tagged memory.
+
+    Default geometry mirrors the MAP chip: 128 KB total, 4 banks,
+    64-byte lines, 2-way associative.  Timing parameters:
+
+    * ``hit_cycles`` — latency of a bank hit.
+    * ``external_cycles`` — latency of one external-memory transfer
+      (line fill or writeback), serialised through the single port.
+    * TLB walk cycles are charged on misses only (virtual tags).
+    """
+
+    def __init__(
+        self,
+        memory: TaggedMemory,
+        tlb: TLB,
+        total_bytes: int = 128 * 1024,
+        banks: int = 4,
+        line_bytes: int = 64,
+        ways: int = 2,
+        hit_cycles: int = 1,
+        external_cycles: int = 10,
+    ):
+        if banks <= 0 or banks & (banks - 1):
+            raise ValueError("bank count must be a power of two")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        lines_total = total_bytes // line_bytes
+        sets = lines_total // (banks * ways)
+        if sets <= 0:
+            raise ValueError("cache too small for its geometry")
+        self.memory = memory
+        self.tlb = tlb
+        self.banks = banks
+        self.line_bytes = line_bytes
+        self.hit_cycles = hit_cycles
+        self.external_cycles = external_cycles
+        self._banks = [_Bank(sets, ways) for _ in range(banks)]
+        #: cycle until which the single external interface is busy
+        self._external_busy_until = 0
+        self.stats = CacheStats()
+
+    # -- geometry ------------------------------------------------------
+
+    def line_of(self, vaddr: int) -> int:
+        return vaddr // self.line_bytes
+
+    def bank_of(self, vaddr: int) -> int:
+        """Addresses are interleaved across banks on low-order line bits."""
+        return self.line_of(vaddr) % self.banks
+
+    # -- the access path ------------------------------------------------
+
+    def access(self, vaddr: int, write: bool, now: int,
+               value: TaggedWord | None = None) -> AccessResult:
+        """Perform one word access at cycle ``now``.
+
+        Loads return the word; stores require ``value``.  Functional
+        data always reaches physical memory through the page table, so
+        :class:`~repro.core.exceptions.PageFault` propagates from here
+        when the page is unmapped — translation is attempted even on
+        cache hits for stores-through, keeping revocation-by-unmap
+        (§4.3) airtight in the model.
+        """
+        bank_index = self.bank_of(vaddr)
+        bank = self._banks[bank_index]
+        line = self.line_of(vaddr)
+        # standard interleaved indexing: the bank bits do not feed the
+        # set index, so consecutive same-bank lines use consecutive sets
+        set_index = (line // self.banks) % bank.sets
+
+        # Bank port arbitration: a busy bank delays the request.
+        start = max(now, bank.busy_until)
+        if start > now:
+            self.stats.bank_conflicts += 1
+
+        was_hit = bank.lookup(line, set_index)
+        if was_hit:
+            self.stats.hits += 1
+            ready = start + self.hit_cycles
+            bank.busy_until = ready
+            if write:
+                bank.mark_dirty(line, set_index)
+        else:
+            self.stats.misses += 1
+            # Miss: translate (TLB), then fetch the line through the
+            # single external port.
+            _, walk = self.tlb.translate(vaddr)
+            request_at = start + self.hit_cycles + walk
+            begin = max(request_at, self._external_busy_until)
+            done = begin + self.external_cycles
+            self.stats.external_accesses += 1
+            victim = bank.fill(line, dirty=write, index=set_index)
+            if victim is not None and victim[1]:
+                # dirty writeback occupies the external port too
+                self.stats.writebacks += 1
+                self.stats.external_accesses += 1
+                done += self.external_cycles
+            self._external_busy_until = done
+            ready = done
+            bank.busy_until = ready
+
+        # Functional path: move the data now (timing handled above).
+        physical = self.tlb.page_table.walk(vaddr)
+        if write:
+            if value is None:
+                raise ValueError("store requires a value")
+            self.memory.store_word(physical, value)
+            word = TaggedWord.zero()
+        else:
+            word = self.memory.load_word(physical)
+        return AccessResult(word=word, ready_cycle=ready, hit=was_hit, bank=bank_index)
+
+    def flush(self) -> int:
+        """Invalidate every line (no functional effect in this model,
+        since data is written through).  Returns lines invalidated.
+        Guarded pointers never require this; separate-address-space
+        baselines flush on every protection-domain switch."""
+        self.stats.flushes += 1
+        return sum(bank.invalidate_all() for bank in self._banks)

@@ -1,0 +1,55 @@
+"""Physical page-frame allocator.
+
+Physical memory is allocated page-by-page, independent of segmentation
+(§4.2) — this is why power-of-two *virtual* segments waste little
+physical memory: only the pages a segment actually touches are backed
+by frames.
+"""
+
+from __future__ import annotations
+
+
+class OutOfPhysicalMemory(Exception):
+    """No free page frames remain."""
+
+
+class FrameAllocator:
+    """Free-list allocator over a fixed pool of page frames."""
+
+    def __init__(self, memory_bytes: int, page_bytes: int):
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        if memory_bytes % page_bytes:
+            raise ValueError("memory size must be a multiple of the page size")
+        self.page_bytes = page_bytes
+        self.total_frames = memory_bytes // page_bytes
+        self._free = list(range(self.total_frames - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_frames(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self) -> int:
+        """Return the physical byte address of a free frame."""
+        if not self._free:
+            raise OutOfPhysicalMemory(
+                f"all {self.total_frames} frames are in use"
+            )
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame * self.page_bytes
+
+    def release(self, frame_address: int) -> None:
+        """Return a frame (by byte address) to the free pool."""
+        if frame_address % self.page_bytes:
+            raise ValueError(f"not a frame address: {frame_address:#x}")
+        frame = frame_address // self.page_bytes
+        if frame not in self._allocated:
+            raise ValueError(f"frame {frame} is not allocated")
+        self._allocated.remove(frame)
+        self._free.append(frame)

@@ -1,0 +1,138 @@
+"""Tagged physical memory.
+
+Every 64-bit word of M-Machine memory carries one extra tag bit (§4.1),
+so a pointer stored to memory remains a pointer when reloaded, and an
+integer can never masquerade as one.  Storage is word-granular: the
+architecture is byte-addressed but loads and stores move whole words,
+and word addresses must be 8-byte aligned (the MAP's memory units).
+
+The class also keeps the bit-accounting used by experiment E6: the tag
+adds exactly 1 bit per 64, a 1.5625 % capacity overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.constants import WORD_BYTES
+from repro.core.word import TaggedWord
+
+
+class AlignmentFault(Exception):
+    """A word access used a non-word-aligned byte address."""
+
+
+class TaggedMemory:
+    """Word-addressable physical memory with a tag bit per word.
+
+    Words are stored sparsely; unwritten words read as untagged zero,
+    like zero-filled DRAM.  Addresses given to :meth:`load_word` /
+    :meth:`store_word` are *byte* addresses and must be word-aligned.
+
+    Memory-mapped devices may claim physical ranges with
+    :meth:`attach_device`; accesses there go to the device instead of
+    DRAM (the paper's I/O story: a device is just a physical range some
+    pointer names, §2.3).
+    """
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % WORD_BYTES:
+            raise ValueError(f"memory size must be a positive multiple of {WORD_BYTES}")
+        self.size_bytes = size_bytes
+        self._words: dict[int, TaggedWord] = {}
+        #: (start, end, device) MMIO ranges
+        self._devices: list[tuple[int, int, object]] = []
+
+    # -- memory-mapped I/O ----------------------------------------------
+
+    def attach_device(self, start: int, length: int, device) -> None:
+        """Claim ``[start, start+length)`` for ``device``, which must
+        provide ``load(offset) -> TaggedWord`` and
+        ``store(offset, word)`` (offsets are word-aligned bytes)."""
+        if start % WORD_BYTES or length % WORD_BYTES or length <= 0:
+            raise ValueError("device range must be word-aligned and non-empty")
+        end = start + length
+        if end > self.size_bytes:
+            raise ValueError("device range outside physical memory")
+        for s, e, _ in self._devices:
+            if start < e and s < end:
+                raise ValueError("device ranges overlap")
+        self._devices.append((start, end, device))
+
+    def _device_at(self, byte_address: int):
+        for start, end, device in self._devices:
+            if start <= byte_address < end:
+                return start, device
+        return None
+
+    # -- capacity accounting (E6) -------------------------------------
+
+    @property
+    def size_words(self) -> int:
+        return self.size_bytes // WORD_BYTES
+
+    @property
+    def data_bits(self) -> int:
+        """Bits of untagged payload this memory holds."""
+        return self.size_words * 64
+
+    @property
+    def tag_bits(self) -> int:
+        """Bits spent on tags."""
+        return self.size_words
+
+    @property
+    def tag_overhead(self) -> float:
+        """Tag bits as a fraction of data bits (the paper's ~1.5 %)."""
+        return self.tag_bits / self.data_bits
+
+    # -- access --------------------------------------------------------
+
+    def _word_index(self, byte_address: int) -> int:
+        if byte_address % WORD_BYTES:
+            raise AlignmentFault(f"unaligned word access at {byte_address:#x}")
+        if not 0 <= byte_address < self.size_bytes:
+            raise IndexError(f"physical address out of range: {byte_address:#x}")
+        return byte_address // WORD_BYTES
+
+    def load_word(self, byte_address: int) -> TaggedWord:
+        """Read the tagged word at a word-aligned byte address."""
+        index = self._word_index(byte_address)
+        hit = self._device_at(byte_address)
+        if hit is not None:
+            start, device = hit
+            return device.load(byte_address - start)
+        return self._words.get(index, TaggedWord.zero())
+
+    def store_word(self, byte_address: int, word: TaggedWord) -> None:
+        """Write a tagged word at a word-aligned byte address.
+
+        The tag travels with the word: storing a pointer keeps it a
+        pointer.  User-mode software can only produce tagged words via
+        the checked pointer operations, so no check is needed here.
+        """
+        index = self._word_index(byte_address)
+        hit = self._device_at(byte_address)
+        if hit is not None:
+            start, device = hit
+            device.store(byte_address - start, word)
+            return
+        if word.value == 0 and not word.tag:
+            self._words.pop(index, None)
+        else:
+            self._words[index] = word
+
+    def words_in_use(self) -> int:
+        """Number of words holding a nonzero value or a tag (for tests
+        and memory-footprint reporting)."""
+        return len(self._words)
+
+    def scan_tagged(self, start: int = 0, length: int | None = None):
+        """Yield ``(byte_address, word)`` for every tagged word in the
+        given byte range.  This is the hardware assist the paper notes
+        for garbage collection: pointers are self-identifying (§2.2,
+        §4.3)."""
+        end_byte = self.size_bytes if length is None else min(start + length, self.size_bytes)
+        first = (start + WORD_BYTES - 1) // WORD_BYTES
+        last = end_byte // WORD_BYTES
+        for index, word in sorted(self._words.items()):
+            if first <= index < last and word.tag:
+                yield index * WORD_BYTES, word

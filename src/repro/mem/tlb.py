@@ -1,0 +1,92 @@
+"""Translation lookaside buffer.
+
+Under guarded pointers the TLB is consulted only on cache misses (the
+cache is virtually addressed and tagged, §3), is shared by every
+process (single address space — no ASID field, no flush on context
+switch), and holds translations only, not protection bits.
+
+The TLB is modelled as fully-associative with LRU replacement, which is
+what small hardware TLBs of the era approximated.  Statistics feed the
+context-switch and translation-cost experiments (E9, E10).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.mem.page_table import PageTable
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    flushes: int = 0
+    walk_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class TLB:
+    """LRU translation cache in front of a :class:`PageTable`."""
+
+    page_table: PageTable
+    entries: int = 64
+    walk_cycles: int = 20
+    stats: TLBStats = field(default_factory=TLBStats)
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        self._cache: OrderedDict[int, int] = OrderedDict()
+        self._generation = self.page_table.generation
+
+    def _check_generation(self) -> None:
+        # Unmap invalidates: flush lazily when the page table changed.
+        # (Real hardware would shoot down individual entries; a full
+        # flush is conservative and simpler, and unmaps are rare.)
+        if self._generation != self.page_table.generation:
+            self._cache.clear()
+            self._generation = self.page_table.generation
+
+    def translate(self, vaddr: int) -> tuple[int, int]:
+        """Translate a virtual byte address.
+
+        Returns ``(physical_address, cycles)`` where ``cycles`` is 0 on
+        a hit (lookup overlaps the cache-miss handling) and
+        ``walk_cycles`` on a miss.  Raises
+        :class:`~repro.core.exceptions.PageFault` through the walk.
+        """
+        self._check_generation()
+        page = self.page_table.page_of(vaddr)
+        frame = self._cache.get(page)
+        if frame is not None:
+            self._cache.move_to_end(page)
+            self.stats.hits += 1
+            return frame + self.page_table.page_offset(vaddr), 0
+        self.stats.misses += 1
+        self.stats.walk_cycles += self.walk_cycles
+        physical = self.page_table.walk(vaddr)
+        frame = physical - self.page_table.page_offset(vaddr)
+        self._cache[page] = frame
+        if len(self._cache) > self.entries:
+            self._cache.popitem(last=False)
+        return physical, self.walk_cycles
+
+    def flush(self) -> None:
+        """Discard all cached translations.  Guarded pointers never need
+        this on a context switch; baselines without ASIDs do."""
+        self._cache.clear()
+        self.stats.flushes += 1
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,39 @@
+"""System software on top of the MAP chip: the privileged kernel,
+processes as protection domains, protected subsystems (Figures 3/4), a
+bounds-checked heap, and address-space garbage collection (§4.3)."""
+
+from repro.runtime import abi
+from repro.runtime.acl import DENIED, AccessControlledObject
+from repro.runtime.gc import AddressSpaceGC, GCStats, sweep_revoke
+from repro.runtime.kernel import Kernel, KernelStats, Segment
+from repro.runtime.malloc import Heap, OutOfHeap
+from repro.runtime.process import Process, ProcessManager
+from repro.runtime.relocation import Forwarding, RelocationStats, Relocator
+from repro.runtime.services import Services, install as install_services
+from repro.runtime.subsystem import ProtectedSubsystem, ReturnSegment
+from repro.runtime.swap import SwapManager, SwapStats
+
+__all__ = [
+    "abi",
+    "DENIED",
+    "AccessControlledObject",
+    "AddressSpaceGC",
+    "GCStats",
+    "sweep_revoke",
+    "Kernel",
+    "KernelStats",
+    "Segment",
+    "Heap",
+    "OutOfHeap",
+    "Process",
+    "ProcessManager",
+    "Forwarding",
+    "RelocationStats",
+    "Relocator",
+    "Services",
+    "install_services",
+    "ProtectedSubsystem",
+    "ReturnSegment",
+    "SwapManager",
+    "SwapStats",
+]

@@ -1,0 +1,109 @@
+"""A software calling convention for MAP programs.
+
+The paper's ISA has no call/return instructions — calls are GETIP +
+JMP, and the stack is just a read/write segment (here: a guarded
+pointer, so overflow faults in hardware instead of smashing anything).
+This module packages the convention as assembly-text macros so tests
+and examples can write recursive code.
+
+Convention:
+
+=====  =================================================
+r13    scratch used by the macros (return-IP shuttling)
+r14    stack pointer (grows downward, 8-byte slots)
+r15    return instruction pointer (live across a call)
+=====  =================================================
+
+``prologue(n)`` saves r15 and makes room for ``n`` locals;
+``epilogue(n)`` restores and returns.  ``push``/``pop`` move single
+registers.  ``call`` names a label in the same program; for calls
+through pointers use ``call_reg``.
+
+A frame looks like::
+
+    high addresses
+      caller frame ...
+      saved r15            <- sp after prologue header
+      local n-1
+      ...
+      local 0              <- sp
+    low addresses
+"""
+
+from __future__ import annotations
+
+from repro.machine.isa import BUNDLE_BYTES
+
+#: stack-pointer register index, by convention
+SP = 14
+
+#: return-IP register index, by convention
+RA = 15
+
+
+def push(reg: str) -> str:
+    """Push one register (grows the stack down)."""
+    return f"""
+    lea r{SP}, r{SP}, -8
+    st {reg}, r{SP}, 0
+    """
+
+
+def pop(reg: str) -> str:
+    """Pop into one register."""
+    return f"""
+    ld {reg}, r{SP}, 0
+    lea r{SP}, r{SP}, 8
+    """
+
+
+def prologue(locals_count: int = 0) -> str:
+    """Function entry: save the return IP, reserve locals."""
+    reserve = f"\n    lea r{SP}, r{SP}, -{8 * locals_count}" if locals_count else ""
+    return push(f"r{RA}") + reserve
+
+
+def epilogue(locals_count: int = 0) -> str:
+    """Function exit: drop locals, restore the return IP, return."""
+    drop = f"\n    lea r{SP}, r{SP}, {8 * locals_count}" if locals_count else ""
+    return f"""{drop}
+    ld r{RA}, r{SP}, 0
+    lea r{SP}, r{SP}, 8
+    jmp r{RA}
+    """
+
+
+def call(label: str, _tmp: int = 13) -> str:
+    """Call a label in the same program.
+
+    GETIP needs the *byte displacement to the bundle after the jump*;
+    the macro expands to exactly two bundles, so the return point is
+    2 bundles ahead of the GETIP.
+    """
+    return f"""
+    getip r{RA}, {2 * BUNDLE_BYTES}
+    br {label}
+    """
+
+
+def call_reg(reg: str) -> str:
+    """Call through a pointer (execute or enter) held in ``reg``."""
+    return f"""
+    getip r{RA}, {2 * BUNDLE_BYTES}
+    jmp {reg}
+    """
+
+
+def local_offset(index: int) -> int:
+    """Byte offset of local ``index`` from the post-prologue SP."""
+    if index < 0:
+        raise ValueError("local index must be non-negative")
+    return 8 * index
+
+
+def store_local(reg: str, index: int) -> str:
+    return f"\n    st {reg}, r{SP}, {local_offset(index)}\n"
+
+
+def load_local(reg: str, index: int) -> str:
+    return f"\n    ld {reg}, r{SP}, {local_offset(index)}\n"

@@ -1,0 +1,144 @@
+"""Protected indirection with access-control lists (paper §4.3).
+
+Plain capabilities cannot revoke one process's rights without touching
+everyone's pointers.  The paper's answer: "protected indirection can be
+implemented by requiring that all accesses to an object be made through
+a protected subsystem.  In addition to restricting the access methods
+for the object, the subsystem ... can implement arbitrary protection
+mechanisms, such as per-process access control lists.  Revoking a
+single process' access rights can be performed by updating the access
+control list."
+
+:class:`AccessControlledObject` is that construction, end to end:
+
+* clients are named by **KEY pointers** (§2.1) — unforgeable tickets;
+* the mediating subsystem holds the only data pointer to the object
+  and an ACL segment of key slots, both sealed in its code segment;
+* a call presents a key in r3; the subsystem (in MAP assembly) verifies
+  the tag with ISPTR and scans the ACL by word equality;
+* :meth:`grant` and :meth:`revoke` edit ACL slots — revocation takes
+  one store, touches no client, and needs no memory sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operations import restrict
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.isa import BUNDLE_BYTES
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+
+#: value returned in r11 when the ACL denies the caller
+DENIED = (1 << 64) - 1
+
+
+def _mediator_source(slots: int) -> str:
+    """The ACL-checking read mediator.
+
+    ABI: r3 = caller's key, r15 = return IP; r11 = object word 0, or
+    all-ones when denied.  Clobbers r6–r10.
+    """
+    return f"""
+entry:
+    isptr r9, r3          ; a key must be a real pointer, not leaked bits
+    beq r9, deny
+    getip r10, aclptr
+    ld r10, r10, 0        ; the ACL segment
+    movi r6, {slots}
+scan:
+    ld r7, r10, 0
+    seq r8, r7, r3        ; unforgeable keys compare by word equality
+    bne r8, allow
+    subi r6, r6, 1
+    beq r6, deny          ; exhausted — and never LEA past the table
+    lea r10, r10, 8
+    br scan
+allow:
+    getip r9, objptr
+    ld r9, r9, 0          ; the one data pointer to the object
+    ld r11, r9, 0
+    movi r9, 0
+    movi r10, 0
+    jmp r15
+deny:
+    movi r11, -1
+    movi r9, 0
+    movi r10, 0
+    jmp r15
+aclptr:
+    .word 0
+objptr:
+    .word 0
+"""
+
+
+@dataclass
+class AccessControlledObject:
+    """A kernel-installed ACL-mediated object."""
+
+    kernel: Kernel
+    subsystem: ProtectedSubsystem
+    acl_segment: GuardedPointer
+    object_segment: GuardedPointer
+    slots: int
+
+    @property
+    def enter(self) -> GuardedPointer:
+        """What clients call (plus a key they were granted)."""
+        return self.subsystem.enter
+
+    @staticmethod
+    def install(kernel: Kernel, object_segment: GuardedPointer,
+                slots: int = 8) -> "AccessControlledObject":
+        acl = kernel.allocate_segment(slots * 8, Permission.READ_WRITE,
+                                      eager=True)
+        subsystem = ProtectedSubsystem.install(
+            kernel, _mediator_source(slots),
+            data={"aclptr": acl, "objptr": object_segment})
+        return AccessControlledObject(
+            kernel=kernel, subsystem=subsystem, acl_segment=acl,
+            object_segment=object_segment, slots=slots)
+
+    # -- key management (run by the object's owner) --------------------
+
+    def mint_key(self) -> GuardedPointer:
+        """A fresh unforgeable ticket: a KEY pointer to a unique
+        one-byte segment."""
+        name = self.kernel.allocate_segment(1)
+        return restrict(name.word, Permission.KEY)
+
+    def _slot_address(self, index: int) -> int:
+        return self.acl_segment.segment_base + index * 8
+
+    def _write_slot(self, index: int, word: TaggedWord) -> None:
+        paddr = self.kernel.chip.page_table.walk(self._slot_address(index))
+        self.kernel.chip.memory.store_word(paddr, word)
+
+    def _read_slot(self, index: int) -> TaggedWord:
+        paddr = self.kernel.chip.page_table.walk(self._slot_address(index))
+        return self.kernel.chip.memory.load_word(paddr)
+
+    def grant(self, key: GuardedPointer) -> None:
+        """Add ``key`` to the ACL (idempotent)."""
+        free = None
+        for index in range(self.slots):
+            slot = self._read_slot(index)
+            if slot == key.word:
+                return
+            if free is None and not slot.tag and slot.value == 0:
+                free = index
+        if free is None:
+            raise RuntimeError("ACL full")
+        self._write_slot(free, key.word)
+
+    def revoke(self, key: GuardedPointer) -> bool:
+        """Remove ``key`` — one store; no client pointer is touched."""
+        for index in range(self.slots):
+            if self._read_slot(index) == key.word:
+                self._write_slot(index, TaggedWord.zero())
+                return True
+        return False

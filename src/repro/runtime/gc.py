@@ -1,0 +1,139 @@
+"""Address-space garbage collection and revocation (paper §4.3).
+
+Without enforced indirection, virtual addresses are allocated "for all
+time", so system software periodically garbage-collects the address
+space.  Guarded pointers make this tractable: pointers are
+self-identifying via the tag bit, so live segments are found by
+recursively scanning reachable segments from the roots (thread
+registers plus any persistent roots).
+
+The same tag-driven sweep implements the expensive side of revocation:
+overwriting every copy of a capability (``sweep_revoke``), which the
+paper contrasts with the cheap page-table unmap
+(:meth:`~repro.runtime.kernel.Kernel.free_segment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constants import WORD_BYTES
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.runtime.kernel import Kernel, Segment
+
+
+@dataclass
+class GCStats:
+    """Work accounting for one collection (feeds experiment E13)."""
+
+    roots: int = 0
+    segments_scanned: int = 0
+    words_scanned: int = 0
+    pointers_found: int = 0
+    segments_live: int = 0
+    segments_freed: int = 0
+    bytes_freed: int = 0
+
+
+class AddressSpaceGC:
+    """Mark-and-free collector over the kernel's segment table."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    # -- root discovery ----------------------------------------------------
+
+    def thread_roots(self) -> list[GuardedPointer]:
+        """Pointers live in any thread's registers or IP."""
+        roots = []
+        for thread in self.kernel.chip.all_threads():
+            roots.append(thread.ip)
+            for word in thread.regs.pointers():
+                roots.append(GuardedPointer.from_word(word))
+        return roots
+
+    # -- collection -------------------------------------------------------------
+
+    def collect(self, extra_roots: list[GuardedPointer] | None = None,
+                free: bool = True) -> GCStats:
+        """Mark segments reachable from thread registers (plus
+        ``extra_roots``), then free the rest.  Returns work accounting.
+        """
+        stats = GCStats()
+        roots = self.thread_roots() + list(extra_roots or [])
+        stats.roots = len(roots)
+
+        live: set[int] = set()  # segment bases
+        work: list[Segment] = []
+        for root in roots:
+            segment = self.kernel.segment_of(root.address)
+            if segment is not None and segment.base not in live:
+                live.add(segment.base)
+                work.append(segment)
+
+        while work:
+            segment = work.pop()
+            stats.segments_scanned += 1
+            for pointer in self._scan_segment(segment, stats):
+                target = self.kernel.segment_of(pointer.address)
+                if target is not None and target.base not in live:
+                    live.add(target.base)
+                    work.append(target)
+
+        stats.segments_live = len(live)
+        if free:
+            for segment in list(self.kernel.segments.values()):
+                if segment.base not in live:
+                    self.kernel.free_segment(segment.pointer)
+                    stats.segments_freed += 1
+                    stats.bytes_freed += segment.size
+        return stats
+
+    def _scan_segment(self, segment: Segment, stats: GCStats):
+        """Yield every guarded pointer stored in the segment's mapped
+        pages.  Unmapped pages hold no data and are skipped — demand
+        paging keeps the scan proportional to memory actually touched.
+        """
+        table = self.kernel.chip.page_table
+        memory = self.kernel.chip.memory
+        page_bytes = table.page_bytes
+        start = segment.base
+        end = segment.base + segment.size
+        vaddr = start
+        while vaddr < end:
+            page = table.page_of(vaddr)
+            page_end = min((page + 1) * page_bytes, end)
+            if table.is_mapped(page):
+                physical = table.walk(vaddr)
+                span = page_end - vaddr
+                stats.words_scanned += span // WORD_BYTES
+                for _, word in memory.scan_tagged(physical, span):
+                    stats.pointers_found += 1
+                    yield GuardedPointer.from_word(word)
+            vaddr = page_end
+
+
+def sweep_revoke(kernel: Kernel, target: GuardedPointer) -> tuple[int, int]:
+    """Revoke by exhaustive sweep: overwrite every stored copy of a
+    pointer into ``target``'s segment with an untagged zero, and clear
+    any such pointer from thread registers.
+
+    Returns ``(words_scanned, pointers_overwritten)`` — the cost the
+    paper says makes unmap-based revocation preferable.
+    """
+    base, limit = target.segment_base, target.segment_limit
+    memory = kernel.chip.memory
+    overwritten = 0
+    for address, word in list(memory.scan_tagged()):
+        pointer = GuardedPointer.from_word(word)
+        if base <= pointer.address < limit:
+            memory.store_word(address, TaggedWord.zero())
+            overwritten += 1
+    for thread in kernel.chip.all_threads():
+        for index in range(16):
+            word = thread.regs.read(index)
+            if word.tag and base <= GuardedPointer.from_word(word).address < limit:
+                thread.regs.write(index, TaggedWord.zero())
+                overwritten += 1
+    return memory.size_words, overwritten

@@ -1,0 +1,250 @@
+"""Privileged system software for the MAP chip.
+
+The kernel is the only software that may forge pointers (SETPTR runs in
+privileged mode), so it owns:
+
+* the **virtual address space** — a buddy allocator hands out
+  power-of-two aligned segments (§4.2), physical pages are demand-mapped
+  on first touch;
+* **program loading** — assembling code into fresh execute segments and
+  patching pointer slots (the pointers a protected subsystem keeps in
+  its code segment, Figure 3);
+* **fault handling** — demand paging on :class:`PageFault`, TRAP
+  dispatch, and killing threads with unservable faults;
+* **privileged services** reached two ways, so experiment E3 can compare
+  them: TRAP (conventional trap into the kernel) and enter-privileged
+  gateway routines written in MAP assembly that use SETPTR directly —
+  the M-Machine's preferred style (§2.2).
+
+The kernel is deliberately small: guarded pointers make most services
+unprivileged (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.constants import WORD_BYTES
+from repro.core.exceptions import PageFault
+from repro.core.operations import lea
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.assembler import Program, assemble
+from repro.machine.chip import MAPChip
+from repro.machine.faults import FaultRecord, TrapFault
+from repro.machine.isa import BUNDLE_BYTES
+from repro.machine.thread import Thread, ThreadState
+from repro.mem.allocator import Block, BuddyAllocator, round_up_log2
+from repro.mem.physical import OutOfPhysicalMemory
+
+
+@dataclass
+class Segment:
+    """A kernel-tracked virtual segment and its canonical pointer."""
+
+    block: Block
+    pointer: GuardedPointer
+
+    @property
+    def base(self) -> int:
+        return self.block.base
+
+    @property
+    def size(self) -> int:
+        return self.block.size
+
+
+@dataclass
+class KernelStats:
+    demand_pages: int = 0
+    traps: int = 0
+    killed_threads: int = 0
+
+
+class Kernel:
+    """System software state for one MAP node."""
+
+    #: default virtual arena: 1 GiB at 1 GiB (the buddy system needs the
+    #: base aligned on the arena size; keeping the bottom of the address
+    #: space unmapped catches null-ish pointers)
+    ARENA_BASE = 1 << 30
+    ARENA_ORDER = 30
+
+    def __init__(self, chip: MAPChip | None = None,
+                 arena_base: int | None = None, arena_order: int | None = None):
+        self.chip = chip or MAPChip()
+        self.allocator = BuddyAllocator(
+            base=self.ARENA_BASE if arena_base is None else arena_base,
+            order=self.ARENA_ORDER if arena_order is None else arena_order,
+            min_order=0,
+        )
+        self.segments: dict[int, Segment] = {}  # base -> Segment
+        self.stats = KernelStats()
+        self.trap_handlers: dict[int, Callable[[Thread, FaultRecord], None]] = {}
+        self.chip.fault_handler = self._handle_fault
+
+    # -- segments ---------------------------------------------------------
+
+    def allocate_segment(
+        self,
+        nbytes: int,
+        perm: Permission = Permission.READ_WRITE,
+        eager: bool = False,
+    ) -> GuardedPointer:
+        """Carve a fresh segment out of the arena and return its
+        pointer.  Pages are mapped on first touch unless ``eager``."""
+        block = self.allocator.allocate(nbytes)
+        pointer = GuardedPointer.make(perm, block.order, block.base)
+        self.segments[block.base] = Segment(block, pointer)
+        if eager:
+            self.chip.page_table.ensure_mapped(block.base, block.size)
+        return pointer
+
+    def free_segment(self, pointer: GuardedPointer) -> None:
+        """Release a segment's address space and unmap its pages.
+
+        The capability caveat of §4.3 applies: copies of the pointer may
+        survive elsewhere; unmapping guarantees they fault.
+        """
+        segment = self.segments.pop(pointer.segment_base, None)
+        if segment is None:
+            raise ValueError(f"no segment at {pointer.segment_base:#x}")
+        self._unmap_range(segment.base, segment.size)
+        self.allocator.free(segment.block)
+
+    def _unmap_range(self, base: int, size: int) -> int:
+        """Unmap every page fully covered by ``[base, base+size)``.
+
+        Sub-page segments share their page with neighbours, so nothing
+        is unmapped for them — the granularity mismatch the paper notes
+        in §4.3.  Page-sized-or-larger segments are page-aligned
+        (power-of-two alignment), so they cover their pages exactly.
+        """
+        table = self.chip.page_table
+        if size < table.page_bytes:
+            return 0
+        unmapped = 0
+        for page in range(base // table.page_bytes, (base + size) // table.page_bytes):
+            if table.is_mapped(page):
+                table.unmap(page)
+                unmapped += 1
+        return unmapped
+
+    def segment_of(self, address: int) -> Segment | None:
+        """The kernel segment containing ``address``, if any."""
+        for segment in self.segments.values():
+            if segment.base <= address < segment.base + segment.size:
+                return segment
+        return None
+
+    # -- program loading -----------------------------------------------------
+
+    def load_program(
+        self,
+        program: Program | str,
+        perm: Permission = Permission.EXECUTE_USER,
+        patches: dict[str, GuardedPointer | TaggedWord] | None = None,
+    ) -> GuardedPointer:
+        """Install a program in a fresh code segment.
+
+        ``patches`` maps label names to pointers (or raw words) written
+        into the labelled ``.word`` slots — this is how a protected
+        subsystem gets the pointers to its private data structures into
+        its code segment (Figure 3).  Returns a pointer to the entry
+        (first bundle) with permission ``perm``.
+        """
+        if isinstance(program, str):
+            program = assemble(program)
+        pointer = self.allocate_segment(program.size_bytes, perm=perm, eager=True)
+        base = pointer.segment_base
+        table = self.chip.page_table
+        for i, word in enumerate(program.encode()):
+            self.chip.memory.store_word(table.walk(base + i * WORD_BYTES), word)
+        for label, value in (patches or {}).items():
+            offset = program.labels.get(label)
+            if offset is None:
+                raise ValueError(f"no label {label!r} in program")
+            word = value.word if isinstance(value, GuardedPointer) else value
+            self.chip.memory.store_word(table.walk(base + offset), word)
+        # the entry pointer addresses bundle 0 but spans the whole segment
+        return pointer.with_fields(address=base)
+
+    # -- threads ----------------------------------------------------------------
+
+    def spawn(self, entry: GuardedPointer, domain: int = 0,
+              regs: dict[int, object] | None = None,
+              cluster: int | None = None,
+              stack_bytes: int = 4096) -> Thread:
+        """Start a thread at ``entry`` with a fresh stack segment in r14
+        (if ``stack_bytes``).
+
+        The stack grows downward (see :mod:`repro.runtime.abi`), so r14
+        points at the segment's top word; overflowing the stack walks
+        off the segment's *bottom* and faults in hardware.
+        """
+        regs = dict(regs or {})
+        if stack_bytes:
+            stack = self.allocate_segment(stack_bytes, Permission.READ_WRITE)
+            top = lea(stack.word, stack.segment_size - WORD_BYTES)
+            regs.setdefault(14, top.word)
+        return self.chip.spawn(entry, domain=domain, regs=regs, cluster=cluster)
+
+    def run(self, max_cycles: int = 1_000_000):
+        return self.chip.run(max_cycles)
+
+    # -- fault handling ------------------------------------------------------------
+
+    def register_trap(self, code: int,
+                      handler: Callable[[Thread, FaultRecord], None]) -> None:
+        self.trap_handlers[code] = handler
+
+    def _handle_fault(self, record: FaultRecord, thread: Thread) -> None:
+        cause = record.cause
+        if isinstance(cause, PageFault):
+            if self._demand_page(cause.vaddr):
+                thread.resume()
+                return
+            self.stats.killed_threads += 1
+            return  # leave the thread faulted: unserviceable
+        if isinstance(cause, TrapFault):
+            self.stats.traps += 1
+            handler = self.trap_handlers.get(cause.code)
+            if handler is not None:
+                handler(thread, record)
+                if thread.fault is record and thread.state is ThreadState.FAULTED:
+                    # handler did not resume explicitly: service-and-return
+                    # semantics — skip the trap bundle
+                    thread.resume()
+                    self.advance_past_fault(thread)
+                return
+            self.stats.killed_threads += 1
+            return
+        # protection faults are program errors: the thread stays dead
+        self.stats.killed_threads += 1
+
+    def _demand_page(self, vaddr: int) -> bool:
+        """Map the faulting page iff it belongs to a live segment.
+
+        Returns False — leaving the thread faulted — for stray
+        addresses *and* when physical memory is exhausted (this kernel
+        has no swap; a production one would evict here).
+        """
+        segment = self.segment_of(vaddr)
+        if segment is None:
+            return False
+        page = self.chip.page_table.page_of(vaddr)
+        if not self.chip.page_table.is_mapped(page):
+            try:
+                self.chip.page_table.map(page)
+            except OutOfPhysicalMemory:
+                return False
+            self.stats.demand_pages += 1
+        return True
+
+    @staticmethod
+    def advance_past_fault(thread: Thread) -> None:
+        """Move a resumed thread past its faulting bundle (used by trap
+        handlers that service-and-return)."""
+        thread.ip = thread.ip.with_fields(address=thread.ip.address + BUNDLE_BYTES)

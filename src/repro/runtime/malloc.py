@@ -1,0 +1,78 @@
+"""A guarded-pointer-native heap allocator.
+
+``Heap`` carves a kernel segment into power-of-two chunks and hands out
+pointers **bounded to the chunk**: every allocation is SUBSEG-derived
+from the heap's segment pointer, so buffer overruns past an object's
+end fault in hardware instead of corrupting the neighbour.  This is the
+paper's RESTRICT/SUBSEG story (§2.2) applied to a classic segregated
+free-list malloc.
+
+Because SUBSEG only shrinks, the heap needs no privilege: any user
+process holding a read/write segment pointer can run this allocator on
+it.
+"""
+
+from __future__ import annotations
+
+from repro.core.operations import leab, subseg
+from repro.core.pointer import GuardedPointer
+from repro.mem.allocator import Block, BuddyAllocator, OutOfVirtualSpace, round_up_log2
+
+
+class OutOfHeap(Exception):
+    """The heap segment cannot satisfy the request."""
+
+
+class Heap:
+    """Sub-allocates one segment into bounds-checked chunks.
+
+    The internal bookkeeping reuses :class:`BuddyAllocator` over the
+    segment's address range, so chunks are aligned powers of two — a
+    requirement for the derived pointers' SUBSEG lengths to describe
+    them exactly.
+    """
+
+    def __init__(self, segment: GuardedPointer, min_chunk: int = 16):
+        if segment.offset != 0:
+            segment = leab(segment.word, 0)
+        self.segment = segment
+        self._buddy = BuddyAllocator(
+            base=segment.segment_base,
+            order=segment.seglen,
+            min_order=round_up_log2(min_chunk),
+        )
+        self._live: dict[int, int] = {}  # base -> order
+
+    def allocate(self, nbytes: int) -> GuardedPointer:
+        """Return a pointer whose segment is exactly the chunk."""
+        try:
+            block = self._buddy.allocate(nbytes)
+        except OutOfVirtualSpace as e:
+            raise OutOfHeap(str(e)) from None
+        self._live[block.base] = block.order
+        # derive: move to the chunk, then shrink the bounds to it
+        at_chunk = leab(self.segment.word, block.base - self.segment.segment_base)
+        if block.order == self.segment.seglen:
+            return at_chunk  # the chunk is the whole segment
+        return subseg(at_chunk.word, block.order)
+
+    def free(self, pointer: GuardedPointer) -> None:
+        """Release a chunk previously returned by :meth:`allocate`."""
+        order = self._live.pop(pointer.segment_base, None)
+        if order is None or order != pointer.seglen:
+            raise ValueError("not a live allocation of this heap")
+        self._buddy.free(Block(pointer.segment_base, order))
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    @property
+    def free_bytes(self) -> int:
+        return self._buddy.free_bytes
+
+    def internal_fragmentation(self) -> float:
+        return self._buddy.internal_fragmentation()
+
+    def external_fragmentation(self) -> float:
+        return self._buddy.external_fragmentation()

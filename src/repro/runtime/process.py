@@ -1,0 +1,79 @@
+"""Processes as protection domains.
+
+Under guarded pointers a "process" is not an address space — everyone
+shares the single 54-bit space.  A process is exactly *the set of
+pointers it has been issued* (§1): its protection domain.  This module
+is therefore bookkeeping: it groups a code segment, data segments and
+threads under a domain id, and its sharing operations are nothing more
+than handing a pointer (possibly RESTRICTed) to another process —
+the paper's point that sharing needs no operating-system tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import RestrictFault
+from repro.core.operations import restrict
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.thread import Thread
+from repro.runtime.kernel import Kernel
+
+
+@dataclass
+class Process:
+    """One protection domain: an entry point, its segments and threads."""
+
+    kernel: Kernel
+    domain: int
+    entry: GuardedPointer
+    segments: list[GuardedPointer] = field(default_factory=list)
+    threads: list[Thread] = field(default_factory=list)
+
+    def start(self, regs: dict[int, object] | None = None,
+              cluster: int | None = None) -> Thread:
+        """Spawn a thread at the process entry point."""
+        thread = self.kernel.spawn(self.entry, domain=self.domain,
+                                   regs=regs, cluster=cluster)
+        self.threads.append(thread)
+        return thread
+
+    def grant(self, pointer: GuardedPointer, to: "Process",
+              perm: Permission | None = None) -> GuardedPointer:
+        """Share a segment with another process by giving it a pointer —
+        optionally RESTRICTed first.  This is the *entire* sharing
+        mechanism; contrast with the n×m page-table entries a paged
+        system needs (E8)."""
+        if perm is not None and perm is not pointer.permission:
+            try:
+                pointer = restrict(pointer.word, perm)
+            except RestrictFault:
+                raise
+        to.segments.append(pointer)
+        return pointer
+
+
+class ProcessManager:
+    """Creates processes with fresh domains."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self._next_domain = 1
+        self.processes: list[Process] = []
+
+    def create(self, source: str,
+               data_bytes: int = 0,
+               perm: Permission = Permission.EXECUTE_USER) -> Process:
+        """Load ``source`` into a new code segment and wrap it in a new
+        protection domain.  A data segment of ``data_bytes`` (pointer in
+        ``segments[0]``) is allocated when requested."""
+        entry = self.kernel.load_program(source, perm=perm)
+        process = Process(kernel=self.kernel, domain=self._next_domain, entry=entry)
+        self._next_domain += 1
+        if data_bytes:
+            process.segments.append(
+                self.kernel.allocate_segment(data_bytes, Permission.READ_WRITE)
+            )
+        self.processes.append(process)
+        return process

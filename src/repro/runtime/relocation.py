@@ -1,0 +1,164 @@
+"""Segment relocation by unmap-and-patch (paper §4.3).
+
+Without protected indirection, moving a segment would mean finding
+every copy of every pointer into it.  The paper's recipe avoids the
+sweep:
+
+  "All guarded pointers to a segment can be simultaneously invalidated
+   by unmapping the segment's address space in the page table. ...
+   Segments can be relocated by updating the pointer causing the
+   exception on each reference to the relocated segment."
+
+:class:`Relocator` implements exactly that:
+
+1. ``relocate(old, size)`` copies the segment's live pages to a fresh
+   virtual range, unmaps the old range and records the forwarding entry.
+2. Its fault handler intercepts :class:`PageFault`\\ s whose address
+   falls in a forwarded range, rewrites the *faulting thread's* stale
+   register pointers to the new base, and resumes the thread — the
+   bundle re-executes with the updated pointer and never knows.
+
+Stale pointers in *memory* are patched the same lazy way: they fault
+when loaded and used.  (We patch registers because that is where the
+faulting pointer lives at trap time — the paper's "updating the pointer
+causing the exception".)
+
+The limitation the paper notes is visible here too: unmapping works at
+page granularity, so relocating a sub-page segment would take its page
+neighbours with it; :meth:`relocate` therefore requires page-aligned
+segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import PageFault
+from repro.core.pointer import GuardedPointer
+from repro.machine.faults import FaultRecord
+from repro.machine.thread import Thread
+from repro.runtime.kernel import Kernel
+
+
+@dataclass(frozen=True, slots=True)
+class Forwarding:
+    """One relocated range: [old_base, old_base+size) → new_base."""
+
+    old_base: int
+    new_base: int
+    size: int
+
+    def covers(self, address: int) -> bool:
+        return self.old_base <= address < self.old_base + self.size
+
+    def translate(self, address: int) -> int:
+        return self.new_base + (address - self.old_base)
+
+
+@dataclass
+class RelocationStats:
+    relocations: int = 0
+    pages_moved: int = 0
+    pointers_patched: int = 0
+    faults_serviced: int = 0
+
+
+class Relocator:
+    """Installs itself as the kernel's page-fault layer for forwarded
+    ranges; all other faults fall through to the kernel's handler."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.forwardings: list[Forwarding] = []
+        self._retired_blocks: dict[int, object] = {}
+        self.stats = RelocationStats()
+        self._inner = kernel.chip.fault_handler
+        kernel.chip.fault_handler = self._handle_fault
+
+    # -- the move ---------------------------------------------------------
+
+    def relocate(self, pointer: GuardedPointer) -> GuardedPointer:
+        """Move the segment behind ``pointer`` to fresh address space;
+        returns the new canonical pointer.  Existing pointers keep
+        working lazily through the fault path."""
+        segment = self.kernel.segments.get(pointer.segment_base)
+        if segment is None:
+            raise ValueError(f"no segment at {pointer.segment_base:#x}")
+        table = self.kernel.chip.page_table
+        if segment.size < table.page_bytes:
+            raise ValueError(
+                "relocation works at page granularity (§4.3); "
+                f"segment is only {segment.size} bytes"
+            )
+        old_base, size = segment.base, segment.size
+        new_pointer = self.kernel.allocate_segment(size, pointer.permission)
+        new_base = new_pointer.segment_base
+
+        # move the *mapped* pages: remap each backing frame at the new
+        # virtual page and unmap the old one (no data copy needed — the
+        # frame itself moves)
+        pages = size // table.page_bytes
+        for i in range(pages):
+            old_page = old_base // table.page_bytes + i
+            if not table.is_mapped(old_page):
+                continue
+            frame = table.walk(old_page * table.page_bytes)
+            table.unmap(old_page, release_frame=False)
+            new_page = new_base // table.page_bytes + i
+            if table.is_mapped(new_page):
+                table.unmap(new_page)
+            table.map(new_page, physical_address=frame)
+            self.stats.pages_moved += 1
+
+        # Record the forwarding.  The old *address space* stays reserved
+        # (not returned to the buddy) while stale pointers may exist —
+        # recycling it would let a fresh segment's demand faults be
+        # mistaken for forwarded ones.  §4.3's address-space GC is the
+        # eventual reclaimer; retire() releases it explicitly.
+        del self.kernel.segments[old_base]
+        fwd = Forwarding(old_base, new_base, size)
+        self.forwardings.append(fwd)
+        self._retired_blocks[old_base] = segment.block
+        self.stats.relocations += 1
+        return new_pointer
+
+    def retire(self, fwd: Forwarding) -> None:
+        """Drop a forwarding and recycle its old address space — legal
+        once no stale pointers remain (e.g. after a GC sweep)."""
+        self.forwardings.remove(fwd)
+        block = self._retired_blocks.pop(fwd.old_base)
+        self.kernel.allocator.free(block)
+
+    # -- the lazy patch ------------------------------------------------------
+
+    def _forwarding_for(self, address: int) -> Forwarding | None:
+        for fwd in self.forwardings:
+            if fwd.covers(address):
+                return fwd
+        return None
+
+    def _handle_fault(self, record: FaultRecord, thread: Thread) -> None:
+        cause = record.cause
+        if isinstance(cause, PageFault):
+            fwd = self._forwarding_for(cause.vaddr)
+            if fwd is not None:
+                self._patch_thread(thread, fwd)
+                self.stats.faults_serviced += 1
+                thread.resume()
+                return
+        if self._inner is not None:
+            self._inner(record, thread)
+
+    def _patch_thread(self, thread: Thread, fwd: Forwarding) -> None:
+        """Rewrite every stale register pointer into the forwarded range
+        — 'updating the pointer causing the exception' (§4.3)."""
+        for index in range(16):
+            word = thread.regs.read(index)
+            if not word.tag:
+                continue
+            pointer = GuardedPointer.from_word(word)
+            if fwd.covers(pointer.address):
+                moved = pointer.with_fields(
+                    address=fwd.translate(pointer.address))
+                thread.regs.write(index, moved.word)
+                self.stats.pointers_patched += 1

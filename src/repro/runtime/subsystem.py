@@ -1,0 +1,131 @@
+"""Protected subsystems (paper §2.3, Figures 3 and 4).
+
+A protected subsystem is code that executes in its own protection
+domain and can only be entered at published entry points — *without
+kernel intervention*.  The machinery is pure guarded pointers:
+
+* The subsystem's code segment holds pointers to its private data
+  structures (``.word`` slots patched at install time).  Callers hold
+  only an **enter** pointer, which confers no read/write/modify rights;
+  jumping through it converts it to an execute pointer, and only then
+  can the subsystem code load its private pointers out of the segment
+  (Figure 3 — one-way protection: the subsystem's data is safe from the
+  caller).
+
+* For **two-way** protection (Figure 4) the caller encapsulates its own
+  protection domain in a *return segment*: it writes its live pointers
+  into the segment, wipes them from the register file, and passes only
+  an enter pointer to the return segment.  The segment begins with a
+  reload trampoline; the subsystem returns by jumping to it, which
+  restores the caller's registers and jumps to the saved return IP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.isa import BUNDLE_BYTES
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.assembler import Program, assemble
+from repro.runtime.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class ProtectedSubsystem:
+    """An installed subsystem: callers get :attr:`enter`, nothing else."""
+
+    enter: GuardedPointer          #: what callers hold (ENTER_USER/PRIV)
+    execute: GuardedPointer        #: kernel-held execute pointer (debugging)
+    program: Program
+
+    @staticmethod
+    def install(
+        kernel: Kernel,
+        source: str | Program,
+        data: dict[str, GuardedPointer | TaggedWord] | None = None,
+        privileged: bool = False,
+    ) -> "ProtectedSubsystem":
+        """Load subsystem code and patch its private-data pointer slots.
+
+        ``data`` maps ``.word`` labels in ``source`` to the pointers the
+        subsystem owns.  With ``privileged=True`` the result is an
+        enter-privileged gateway — the M-Machine's mechanism for
+        exposing SETPTR-based services to user code (§2.2).
+        """
+        program = assemble(source) if isinstance(source, str) else source
+        exec_perm = Permission.EXECUTE_PRIV if privileged else Permission.EXECUTE_USER
+        enter_perm = Permission.ENTER_PRIV if privileged else Permission.ENTER_USER
+        execute = kernel.load_program(program, perm=exec_perm, patches=data)
+        # Enter pointers cannot be derived by RESTRICT (entry is not a
+        # subset of execute rights); the privileged kernel forges them.
+        enter = GuardedPointer.make(enter_perm, execute.seglen, execute.address)
+        return ProtectedSubsystem(enter=enter, execute=execute, program=program)
+
+
+@dataclass(frozen=True)
+class ReturnSegment:
+    """A Figure-4 return segment: trampoline code plus save slots.
+
+    The caller holds two pointers to the same segment — :attr:`enter`
+    (passed to the subsystem; confers entry only) and
+    :attr:`readwrite` (used to write the saved state, then wiped from
+    the register file before the call).
+
+    Layout: ``save_slots`` pointer slots, then the RETIP slot, then the
+    reload trampoline.  The trampoline restores r1..r<save_slots> and
+    jumps to the saved return pointer.
+    """
+
+    enter: GuardedPointer
+    readwrite: GuardedPointer
+    save_slots: int
+    program: Program
+
+    #: register that receives the return-segment enter pointer by
+    #: convention (the one register the caller does not wipe)
+    ENTER_REG = 13
+
+    def slot_offset(self, index: int) -> int:
+        """Byte offset of save slot ``index`` (for the caller's STs)."""
+        if not 0 <= index < self.save_slots:
+            raise IndexError(f"save slot out of range: {index}")
+        return self.program.labels[f"slot{index}"]
+
+    @property
+    def retip_offset(self) -> int:
+        """Byte offset of the saved-return-IP slot."""
+        return self.program.labels["retip"]
+
+    @staticmethod
+    def build(kernel: Kernel, save_slots: int = 4) -> "ReturnSegment":
+        """Install a return segment with ``save_slots`` pointer slots.
+
+        The trampoline reloads slot *i* into register *i+1* (r1..r12 are
+        usable; r13 is the enter-pointer convention register, r15 the
+        jump target), so ``save_slots`` must be ≤ 12.
+        """
+        if not 0 <= save_slots <= 12:
+            raise ValueError("save_slots must be between 0 and 12")
+        lines = ["entry:", "    getip r15, slot_area"]
+        # reload each saved register through an execute-derived pointer;
+        # .word slots are bundle-sized, hence the BUNDLE_BYTES stride
+        for i in range(save_slots):
+            lines.append(f"    ld r{i + 1}, r15, {i * BUNDLE_BYTES}")
+        lines.append(f"    ld r15, r15, {save_slots * BUNDLE_BYTES} ; saved RETIP")
+        lines.append("    jmp r15")
+        lines.append("slot_area:")
+        for i in range(save_slots):
+            lines.append(f"slot{i}:")
+            lines.append("    .word 0")
+        lines.append("retip:")
+        lines.append("    .word 0")
+        source = "\n".join(lines)
+        program = assemble(source)
+        execute = kernel.load_program(program, perm=Permission.EXECUTE_USER)
+        base = execute.segment_base
+        enter = GuardedPointer.make(Permission.ENTER_USER, execute.seglen, base)
+        readwrite = GuardedPointer.make(Permission.READ_WRITE, execute.seglen, base)
+        return ReturnSegment(enter=enter, readwrite=readwrite,
+                             save_slots=save_slots, program=program)

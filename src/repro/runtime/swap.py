@@ -1,0 +1,137 @@
+"""Demand paging with eviction to a backing store.
+
+§4.2 leans on paging beneath segmentation: "physical space is allocated
+on a page-by-page basis, independent of segmentation."  The base kernel
+demand-maps pages but dies when frames run out; :class:`SwapManager`
+completes the story with an LRU evictor and a software backing store,
+so over-committed address space keeps working — just slower.
+
+Tags swap too: the backing store holds :class:`TaggedWord` values, so a
+pointer paged out and back in is still a pointer.  (On real hardware
+the tag bits travel with the DRAM words into the swap device's format.)
+
+Timing is charged through the chip's fault path: an evicting demand
+fault blocks the thread for ``swap_cycles`` before it resumes, standing
+in for the (enormously larger) disk latency of the era at a magnitude
+the cycle-level experiments can still afford.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.exceptions import PageFault
+from repro.core.word import TaggedWord
+from repro.machine.faults import FaultRecord
+from repro.machine.thread import Thread
+from repro.mem.physical import OutOfPhysicalMemory
+from repro.runtime.kernel import Kernel
+
+
+@dataclass
+class SwapStats:
+    demand_pages: int = 0
+    evictions: int = 0
+    swap_ins: int = 0
+
+
+class SwapManager:
+    """LRU page eviction layered over a kernel's fault handling."""
+
+    def __init__(self, kernel: Kernel, reserve_frames: int = 2,
+                 swap_cycles: int = 200):
+        self.kernel = kernel
+        self.reserve_frames = reserve_frames
+        self.swap_cycles = swap_cycles
+        self.stats = SwapStats()
+        #: page number → list of tagged words (page-sized)
+        self._store: dict[int, list[TaggedWord]] = {}
+        #: LRU over resident pages (approximated by fault order — the
+        #: model has no access bits; touched-most-recently-faulted)
+        self._resident: OrderedDict[int, bool] = OrderedDict()
+        self._inner = kernel.chip.fault_handler
+        kernel.chip.fault_handler = self._handle_fault
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def swapped_pages(self) -> int:
+        return len(self._store)
+
+    def note_use(self, page: int) -> None:
+        if page in self._resident:
+            self._resident.move_to_end(page)
+
+    # -- the page mover ------------------------------------------------------
+
+    def _page_words(self, physical_base: int) -> list[TaggedWord]:
+        memory = self.kernel.chip.memory
+        page_bytes = self.kernel.chip.page_table.page_bytes
+        return [memory.load_word(physical_base + i * 8)
+                for i in range(page_bytes // 8)]
+
+    def _write_page(self, physical_base: int, words: list[TaggedWord]) -> None:
+        memory = self.kernel.chip.memory
+        for i, word in enumerate(words):
+            memory.store_word(physical_base + i * 8, word)
+
+    def _evict_one(self) -> None:
+        """Push the least-recently-faulted resident page to the store."""
+        table = self.kernel.chip.page_table
+        while self._resident:
+            victim, _ = self._resident.popitem(last=False)
+            if not table.is_mapped(victim):
+                continue  # unmapped behind our back (free/revoke)
+            physical = table.walk(victim * table.page_bytes)
+            self._store[victim] = self._page_words(physical)
+            self._write_page(physical, [TaggedWord.zero()] *
+                             (table.page_bytes // 8))
+            table.unmap(victim)
+            self.stats.evictions += 1
+            return
+        raise OutOfPhysicalMemory("nothing left to evict")
+
+    def _ensure_frame_available(self) -> None:
+        frames = self.kernel.chip.frames
+        while frames.free_frames < max(self.reserve_frames, 1):
+            self._evict_one()
+
+    def _fault_in(self, vaddr: int) -> bool:
+        """Map the page at ``vaddr``, evicting if needed; restores
+        swapped contents.  Returns False for stray addresses."""
+        if self.kernel.segment_of(vaddr) is None:
+            return False
+        table = self.kernel.chip.page_table
+        page = table.page_of(vaddr)
+        if table.is_mapped(page):
+            self.note_use(page)
+            return True
+        self._ensure_frame_available()
+        translation = table.map(page)
+        self.stats.demand_pages += 1
+        stored = self._store.pop(page, None)
+        if stored is not None:
+            self._write_page(translation.physical_address, stored)
+            self.stats.swap_ins += 1
+        self._resident[page] = True
+        return True
+
+    # -- fault handling ---------------------------------------------------------
+
+    def _handle_fault(self, record: FaultRecord, thread: Thread) -> None:
+        cause = record.cause
+        if isinstance(cause, PageFault):
+            moved_before = self.stats.evictions + self.stats.swap_ins
+            try:
+                serviced = self._fault_in(cause.vaddr)
+            except OutOfPhysicalMemory:
+                serviced = False
+            if serviced:
+                thread.resume()
+                if self.stats.evictions + self.stats.swap_ins > moved_before:
+                    # this fault moved pages: pay the device latency
+                    thread.block_until(record.cycle + self.swap_cycles)
+                return
+        if self._inner is not None:
+            self._inner(record, thread)

@@ -1,0 +1,60 @@
+"""Workload generation, the shared cost model, and the cross-scheme
+experiment driver."""
+
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.metrics import (
+    Summary,
+    geometric_mean,
+    histogram,
+    page_footprint,
+    speedup_table,
+)
+from repro.sim.multiprogram import interleave, switch_intensity
+from repro.sim.runner import Row, format_table, relative_to, run_comparison
+from repro.sim.trace import Event, MemRef, Switch, Trace
+from repro.sim.workloads import (
+    PROCESS_SPAN,
+    SHARED_BASE,
+    gups,
+    matrix_traversal,
+    multi_segment,
+    pointer_chase,
+    process_base,
+    random_uniform,
+    sequential,
+    shared_access,
+    working_set,
+    zipf,
+)
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostModel",
+    "interleave",
+    "switch_intensity",
+    "Row",
+    "format_table",
+    "relative_to",
+    "run_comparison",
+    "Event",
+    "MemRef",
+    "Switch",
+    "Trace",
+    "PROCESS_SPAN",
+    "SHARED_BASE",
+    "Summary",
+    "geometric_mean",
+    "histogram",
+    "page_footprint",
+    "speedup_table",
+    "gups",
+    "matrix_traversal",
+    "multi_segment",
+    "pointer_chase",
+    "process_base",
+    "random_uniform",
+    "sequential",
+    "shared_access",
+    "working_set",
+    "zipf",
+]

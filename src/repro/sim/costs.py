@@ -1,0 +1,59 @@
+"""Cycle-cost parameters shared by every protection scheme.
+
+The paper's comparisons (§5) are architectural, not measured on one
+testbed, so the harness makes every cost an explicit parameter with an
+early-90s-plausible default.  Benchmarks print the model they used;
+sweeping a parameter shows how robust each comparison's *shape* is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """All timing knobs, in cycles unless noted."""
+
+    # -- common memory system -------------------------------------------
+    cache_hit: int = 1               #: L1 access
+    cache_miss_penalty: int = 10     #: line fill from external memory
+    tlb_walk: int = 20               #: software page-table walk on TLB miss
+    tlb_serial: int = 1              #: added when translation must finish
+                                     #: *before* the cache can be indexed
+                                     #: (physically-addressed designs)
+
+    # -- page-based schemes -----------------------------------------------
+    page_table_switch: int = 5       #: write the page-table base register
+    tlb_flush: int = 10              #: invalidate the whole TLB
+    cache_flush: int = 40            #: purge a virtually-addressed cache
+    asid_switch: int = 1             #: write the ASID register
+
+    # -- Domain-Page (PLB) [17] -------------------------------------------
+    plb_walk: int = 20               #: protection-table walk on PLB miss
+    plb_switch: int = 1              #: change the current-domain register
+
+    # -- PA-RISC page groups [18] ------------------------------------------
+    group_register_reload: int = 4   #: refill the four page-group registers
+    group_miss_trap: int = 100       #: software trap when >4 groups are live
+
+    # -- segmentation (§5.2) -------------------------------------------------
+    segment_add: int = 1             #: base+offset add before the cache
+    descriptor_miss: int = 12        #: fetch a descriptor from the segment table
+    segment_table_switch: int = 5    #: swap the segment-table base
+
+    # -- table-based capabilities (§5.3) ---------------------------------------
+    captable_lookup: int = 12        #: capability → virtual address via table
+    capcache_hit: int = 0            #: hit in the capability cache (parallel)
+
+    # -- software fault isolation [25] --------------------------------------------
+    sfi_check_instructions: int = 4  #: inserted per guarded store/jump
+    sfi_read_check_instructions: int = 2  #: per guarded load (full SFI only)
+
+    # -- kernel paths ------------------------------------------------------------------
+    trap_entry: int = 50             #: enter the kernel on a trap
+    trap_return: int = 30            #: return from the kernel
+
+
+#: The default model used by every benchmark unless overridden.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,82 @@
+"""Aggregation helpers for experiment results.
+
+Small, dependency-free statistics the benchmarks and report generator
+share: summaries, geometric means (the right average for speedup
+ratios), and simple text histograms for trace locality inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number summary plus mean."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    stddev: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("empty sample")
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        mid = n // 2
+        median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+        variance = sum((v - mean) ** 2 for v in ordered) / n
+        return Summary(count=n, minimum=ordered[0], maximum=ordered[-1],
+                       mean=mean, median=median, stddev=math.sqrt(variance))
+
+
+def geometric_mean(ratios: Iterable[float]) -> float:
+    """The correct average of speedups/slowdowns."""
+    values = list(ratios)
+    if not values:
+        raise ValueError("empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_table(cycles_by_scheme: dict[str, int],
+                  baseline: str) -> dict[str, float]:
+    """scheme → slowdown relative to ``baseline`` (1.0 for the baseline)."""
+    base = cycles_by_scheme[baseline]
+    if base <= 0:
+        raise ValueError("baseline consumed no cycles")
+    return {name: cycles / base for name, cycles in cycles_by_scheme.items()}
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40) -> str:
+    """Plain-text histogram (for locality eyeballing in bench logs)."""
+    if not values:
+        raise ValueError("empty sample")
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        return f"[{lo}] {'#' * width} ({len(values)})"
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - lo) / span), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"[{lo + i * span:>12.1f}] {bar} ({count})")
+    return "\n".join(lines)
+
+
+def page_footprint(addresses: Iterable[int], page_bytes: int = 4096) -> int:
+    """Distinct pages a trace touches — the refill bill a flush incurs."""
+    return len({a // page_bytes for a in addresses})

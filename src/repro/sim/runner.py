@@ -1,0 +1,58 @@
+"""Experiment driver: run schemes over traces and tabulate results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime, fine for types
+    from repro.baselines.base import ProtectionScheme, SchemeMetrics
+
+
+@dataclass(frozen=True)
+class Row:
+    """One scheme's results on one trace."""
+
+    scheme: str
+    metrics: "SchemeMetrics"
+
+    @property
+    def cycles_per_access(self) -> float:
+        return self.metrics.cycles_per_access
+
+    @property
+    def total_cycles(self) -> int:
+        return self.metrics.total_cycles
+
+
+def run_comparison(schemes: list["ProtectionScheme"], trace: Trace) -> list[Row]:
+    """Run every scheme over its own copy of the trace."""
+    return [Row(scheme=s.name, metrics=s.run(trace)) for s in schemes]
+
+
+def format_table(rows: list[Row], title: str = "") -> str:
+    """Plain-text results table (benchmarks print these)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'scheme':<20} {'accesses':>9} {'cyc/access':>10} "
+              f"{'switches':>9} {'cyc/switch':>10} {'total cyc':>12}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        m = row.metrics
+        lines.append(
+            f"{row.scheme:<20} {m.accesses:>9} {m.cycles_per_access:>10.2f} "
+            f"{m.switches:>9} {m.cycles_per_switch:>10.1f} {m.total_cycles:>12}"
+        )
+    return "\n".join(lines)
+
+
+def relative_to(rows: list[Row], baseline: str = "guarded-pointers") -> dict[str, float]:
+    """Total cycles of each scheme relative to the named baseline."""
+    base = next(r for r in rows if r.scheme == baseline).total_cycles
+    if base == 0:
+        raise ValueError("baseline consumed zero cycles")
+    return {r.scheme: r.total_cycles / base for r in rows}

@@ -1,0 +1,77 @@
+"""Memory-reference traces.
+
+A trace is the common currency of the baseline comparison (E9–E12):
+every protection scheme consumes the same sequence of
+:class:`MemRef`/:class:`Switch` events, so cross-scheme cycle counts are
+commensurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """One memory reference issued by process ``pid``."""
+
+    pid: int
+    vaddr: int
+    write: bool = False
+    #: id of the segment/object the reference targets (used by
+    #: segmentation and capability baselines to find the descriptor;
+    #: page-based schemes ignore it)
+    segment: int = 0
+    #: True when a compiler could prove the access safe statically
+    #: (SFI skips its check code for these)
+    statically_safe: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Switch:
+    """A context switch to process ``pid``."""
+
+    pid: int
+
+
+Event = MemRef | Switch
+
+
+@dataclass
+class Trace:
+    """An event sequence plus summary metadata."""
+
+    events: list = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def references(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, MemRef))
+
+    @property
+    def switches(self) -> int:
+        return sum(1 for e in self.events if isinstance(e, Switch))
+
+    @property
+    def processes(self) -> set[int]:
+        pids = set()
+        for e in self.events:
+            pids.add(e.pid)
+        return pids
+
+    def extend(self, events: Iterable[Event]) -> "Trace":
+        self.events.extend(events)
+        return self
+
+    @staticmethod
+    def concat(traces: Iterable["Trace"]) -> "Trace":
+        merged = Trace()
+        for t in traces:
+            merged.events.extend(t.events)
+        return merged

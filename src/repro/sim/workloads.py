@@ -1,0 +1,179 @@
+"""Synthetic workload generators.
+
+The paper's trace properties of interest are locality (how often the
+TLB/PLB/caches hit), working-set size (how much refill a flush costs),
+and sharing degree (how many processes touch the same data).  Each
+generator parameterises one of these; all take explicit seeds.
+
+Address-space convention: process ``p`` owns the 16 MiB region starting
+at ``PROCESS_SPAN * (p + 1)``; shared regions live below
+``PROCESS_SPAN``.  Under single-address-space schemes these are actual
+virtual addresses; separate-address-space schemes treat them as
+per-process addresses anyway, so the comparison stays fair.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.trace import MemRef, Trace
+
+#: bytes of private virtual space per process
+PROCESS_SPAN = 16 * 1024 * 1024
+
+#: base of the shared region (below every process's private region)
+SHARED_BASE = 0
+
+
+def process_base(pid: int) -> int:
+    return PROCESS_SPAN * (pid + 1)
+
+
+def sequential(pid: int, n: int, stride: int = 8, write_ratio: float = 0.0,
+               seed: int = 0, segment: int = 0) -> Trace:
+    """A unit-stride sweep — the paper's §2.2 array-walk loop."""
+    rng = random.Random(seed)
+    base = process_base(pid)
+    events = [
+        MemRef(pid, base + i * stride, write=rng.random() < write_ratio,
+               segment=segment, statically_safe=True)
+        for i in range(n)
+    ]
+    return Trace(events)
+
+
+def random_uniform(pid: int, n: int, span_bytes: int = 1 << 20,
+                   write_ratio: float = 0.3, seed: int = 0,
+                   segment: int = 0) -> Trace:
+    """Uniformly random word accesses over ``span_bytes``."""
+    rng = random.Random(seed)
+    base = process_base(pid)
+    events = [
+        MemRef(pid, base + rng.randrange(span_bytes // 8) * 8,
+               write=rng.random() < write_ratio, segment=segment)
+        for _ in range(n)
+    ]
+    return Trace(events)
+
+
+def working_set(pid: int, n: int, hot_pages: int = 8, cold_pages: int = 256,
+                hot_fraction: float = 0.9, page_bytes: int = 4096,
+                write_ratio: float = 0.3, seed: int = 0,
+                segment: int = 0) -> Trace:
+    """A 90/10-style model: ``hot_fraction`` of references land in
+    ``hot_pages``, the rest spread over ``cold_pages``."""
+    rng = random.Random(seed)
+    base = process_base(pid)
+    events = []
+    for _ in range(n):
+        if rng.random() < hot_fraction:
+            page = rng.randrange(hot_pages)
+        else:
+            page = hot_pages + rng.randrange(cold_pages)
+        vaddr = base + page * page_bytes + rng.randrange(page_bytes // 8) * 8
+        events.append(MemRef(pid, vaddr, write=rng.random() < write_ratio,
+                             segment=segment))
+    return Trace(events)
+
+
+def pointer_chase(pid: int, n: int, nodes: int = 1024, node_bytes: int = 64,
+                  seed: int = 0, segment: int = 0) -> Trace:
+    """Follow a random cyclic permutation of ``nodes`` — low locality,
+    every access data-dependent (no access is statically safe)."""
+    rng = random.Random(seed)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    base = process_base(pid)
+    events = []
+    node = 0
+    for _ in range(n):
+        events.append(MemRef(pid, base + order[node] * node_bytes,
+                             segment=segment, statically_safe=False))
+        node = (node + 1) % nodes
+    return Trace(events)
+
+
+def shared_access(pids: list[int], n_per_process: int,
+                  shared_bytes: int = 1 << 16, write_ratio: float = 0.2,
+                  seed: int = 0, segment: int = 1) -> Trace:
+    """Every process references the same shared region (E8, in-cache
+    sharing): references interleave round-robin across processes."""
+    rng = random.Random(seed)
+    events = []
+    for _ in range(n_per_process):
+        # one shared location per step, touched by every process — real
+        # sharing, so schemes with per-space cache tags pay for synonyms
+        vaddr = SHARED_BASE + rng.randrange(shared_bytes // 8) * 8
+        write = rng.random() < write_ratio
+        for pid in pids:
+            events.append(MemRef(pid, vaddr, write=write, segment=segment))
+    return Trace(events)
+
+
+def zipf(pid: int, n: int, pages: int = 256, exponent: float = 1.1,
+         page_bytes: int = 4096, write_ratio: float = 0.3,
+         seed: int = 0, segment: int = 0) -> Trace:
+    """Zipf-distributed page popularity — the long-tailed locality of
+    real shared services (rank-r page drawn ∝ 1/r^exponent)."""
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** exponent) for rank in range(1, pages + 1)]
+    base = process_base(pid)
+    events = []
+    for _ in range(n):
+        page = rng.choices(range(pages), weights=weights)[0]
+        vaddr = base + page * page_bytes + rng.randrange(page_bytes // 8) * 8
+        events.append(MemRef(pid, vaddr, write=rng.random() < write_ratio,
+                             segment=segment))
+    return Trace(events)
+
+
+def matrix_traversal(pid: int, rows: int = 64, cols: int = 64,
+                     by_row: bool = True, element_bytes: int = 8,
+                     seed: int = 0, segment: int = 0) -> Trace:
+    """Row-major matrix walked by rows (unit stride) or by columns
+    (stride = one row) — the classic locality contrast for cache
+    studies.  Reads only; every access statically analysable."""
+    base = process_base(pid)
+    events = []
+    if by_row:
+        order = ((r, c) for r in range(rows) for c in range(cols))
+    else:
+        order = ((r, c) for c in range(cols) for r in range(rows))
+    for r, c in order:
+        vaddr = base + (r * cols + c) * element_bytes
+        events.append(MemRef(pid, vaddr, segment=segment,
+                             statically_safe=True))
+    return Trace(events)
+
+
+def gups(pid: int, n: int, table_bytes: int = 1 << 22, seed: int = 0,
+         segment: int = 0) -> Trace:
+    """Giga-updates-per-second style random read-modify-write over a
+    large table: every access is a data-dependent write miss — the
+    worst case for every protection scheme with per-access table
+    lookups."""
+    rng = random.Random(seed)
+    base = process_base(pid)
+    events = []
+    for _ in range(n):
+        vaddr = base + rng.randrange(table_bytes // 8) * 8
+        events.append(MemRef(pid, vaddr, write=False, segment=segment))
+        events.append(MemRef(pid, vaddr, write=True, segment=segment))
+    return Trace(events)
+
+
+def multi_segment(pid: int, n: int, segments: int = 16,
+                  segment_bytes: int = 64 * 1024, seed: int = 0) -> Trace:
+    """References spread over many segments/objects — stresses
+    descriptor caches (segmentation) and capability caches (E10, E11),
+    and page-group registers (a process with >4 live groups)."""
+    rng = random.Random(seed)
+    base = process_base(pid)
+    events = []
+    for _ in range(n):
+        seg = rng.randrange(segments)
+        vaddr = base + seg * segment_bytes + rng.randrange(segment_bytes // 8) * 8
+        events.append(MemRef(pid, vaddr, segment=seg))
+    return Trace(events)

@@ -1,0 +1,123 @@
+"""Tests for the fragmentation models (§4.2, experiment E7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fragmentation import (
+    EXPECTED_UNIFORM_BINADE,
+    WORST_CASE,
+    NoCoalesceAllocator,
+    churn,
+    compare_buddy_vs_nocoalesce,
+    granted_bytes,
+    physical_waste_fraction,
+    rounding_overhead,
+)
+from repro.mem.allocator import BuddyAllocator, OutOfVirtualSpace
+
+
+class TestRounding:
+    @pytest.mark.parametrize("s,g", [(1, 1), (2, 2), (3, 4), (100, 128),
+                                     (4096, 4096), (4097, 8192)])
+    def test_granted(self, s, g):
+        assert granted_bytes(s) == g
+
+    @given(st.integers(min_value=1, max_value=1 << 30))
+    def test_granted_bounds(self, s):
+        g = granted_bytes(s)
+        assert s <= g < 2 * s
+
+    def test_worst_case_approached(self):
+        assert rounding_overhead([2 ** 10 + 1]) == pytest.approx(
+            WORST_CASE, rel=0.01)
+
+    def test_uniform_binade_expectation(self):
+        rng = random.Random(42)
+        sizes = [rng.randint(1025, 2048) for _ in range(20000)]
+        assert rounding_overhead(sizes) == pytest.approx(
+            EXPECTED_UNIFORM_BINADE, rel=0.02)
+
+    def test_exact_powers_waste_nothing(self):
+        assert rounding_overhead([2 ** k for k in range(12)]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rounding_overhead([])
+
+
+class TestPhysicalWaste:
+    def test_exact_pages_waste_nothing(self):
+        assert physical_waste_fraction(8192, page_bytes=4096) == 0.0
+
+    def test_partial_last_page(self):
+        # 4097 bytes → 2 pages, 4095 bytes wasted
+        assert physical_waste_fraction(4097) == pytest.approx(4095 / 8192)
+
+    def test_physical_waste_below_virtual_waste(self):
+        # the §4.2 claim: rounding costs address space, not DRAM — for
+        # objects spanning many pages, physical waste is negligible
+        # while virtual waste approaches 50 %
+        s = 5_000_000
+        virtual_waste = 1 - s / granted_bytes(s)
+        assert virtual_waste > 0.4
+        assert physical_waste_fraction(s) < 0.001
+
+    def test_multi_page_objects_waste_at_most_one_page(self):
+        # sub-page segments pack into shared pages (buddy layout is
+        # virtually contiguous); for larger objects the physical waste
+        # is bounded by one partial page regardless of rounding
+        for s in (4097, 5000, 100_000, 5_000_000):
+            pages = -(-s // 4096)
+            assert physical_waste_fraction(s) * pages * 4096 < 4096
+
+
+class TestNoCoalesceAllocator:
+    def test_basic_alloc_free(self):
+        a = NoCoalesceAllocator(base=0, order=10)
+        b = a.allocate(64)
+        assert b.size == 64
+        a.free(b)
+        assert a.free_bytes == 1024
+
+    def test_never_coalesces(self):
+        a = NoCoalesceAllocator(base=0, order=10)
+        blocks = [a.allocate(64) for _ in range(16)]
+        for b in blocks:
+            a.free(b)
+        # all space free, but the largest block is still only 64 bytes
+        assert a.free_bytes == 1024
+        assert a.largest_free_order() == 6
+        with pytest.raises(OutOfVirtualSpace):
+            a.allocate(512)
+
+    def test_double_free_rejected(self):
+        a = NoCoalesceAllocator(base=0, order=10)
+        b = a.allocate(16)
+        a.free(b)
+        with pytest.raises(ValueError):
+            a.free(b)
+
+
+class TestChurn:
+    def test_deterministic(self):
+        r1 = churn(BuddyAllocator(0, 18), steps=500, seed=3)
+        r2 = churn(BuddyAllocator(0, 18), steps=500, seed=3)
+        assert r1 == r2
+
+    def test_buddy_beats_no_coalesce(self):
+        results = compare_buddy_vs_nocoalesce(order=16, steps=3000, seed=11)
+        buddy, naive = results["buddy"], results["no-coalesce"]
+        # after draining, the buddy system coalesces back to one block
+        assert buddy.final_fragmentation == 0.0
+        assert naive.final_fragmentation > 0.3
+        assert buddy.failures <= naive.failures
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_buddy_failures_rare_at_low_load(self, seed):
+        result = churn(BuddyAllocator(0, 22), steps=1000, max_bytes=4096,
+                       live_target=32, seed=seed)
+        assert result.failures == 0

@@ -1,0 +1,73 @@
+"""Tests for the §4.1/§4.2 overhead arithmetic (experiments E6, E8)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    HARDWARE_INVENTORY,
+    address_bits_lost,
+    address_space_shrink_factor,
+    addressable_bytes,
+    memory_bits,
+    sharing_entries_guarded,
+    sharing_entries_paged,
+    tag_overhead,
+)
+
+
+class TestTagOverhead:
+    def test_one_sixty_fourth(self):
+        assert tag_overhead() == pytest.approx(1 / 64)
+
+    def test_paper_rounds_to_1_5_percent(self):
+        assert round(tag_overhead() * 100, 1) == 1.6 or tag_overhead() < 0.016
+
+    def test_memory_bits(self):
+        assert memory_bits(1000, tagged=False) == 64000
+        assert memory_bits(1000, tagged=True) == 65000
+        ratio = memory_bits(1000, True) / memory_bits(1000, False)
+        assert ratio == pytest.approx(1.015625)
+
+
+class TestAddressSpace:
+    def test_ten_bits_lost(self):
+        assert address_bits_lost() == 10
+
+    def test_shrink_factor_about_1000(self):
+        assert address_space_shrink_factor() == 1024
+
+    def test_1_8e16_bytes(self):
+        assert addressable_bytes() == pytest.approx(1.8e16, rel=0.01)
+
+
+class TestSharingEntries:
+    def test_paged_is_n_by_m(self):
+        assert sharing_entries_paged(pages=100, processes=10) == 1000
+
+    def test_guarded_is_m(self):
+        assert sharing_entries_guarded(processes=10) == 10
+
+    def test_crossover_immediate(self):
+        # guarded wins as soon as the region exceeds one page
+        for m in (2, 8, 64):
+            assert sharing_entries_guarded(m) < sharing_entries_paged(2, m)
+
+
+class TestHardwareInventory:
+    def test_guarded_needs_only_the_tag(self):
+        guarded = next(h for h in HARDWARE_INVENTORY
+                       if h.scheme == "guarded-pointers")
+        assert guarded.tag_bits_per_word == 1
+        assert guarded.lookaside_buffers == 0
+        assert guarded.tables_in_memory == 0
+        assert not guarded.ports_scale_with_banks
+        assert not guarded.checks_on_critical_path
+
+    def test_every_table_scheme_is_on_the_critical_path(self):
+        for h in HARDWARE_INVENTORY:
+            if h.tables_in_memory > 0:
+                assert h.checks_on_critical_path
+
+    def test_inventory_covers_all_schemes(self):
+        from repro.baselines import SCHEME_CLASSES
+        names = {h.scheme for h in HARDWARE_INVENTORY}
+        assert names == {cls.name for cls in SCHEME_CLASSES}

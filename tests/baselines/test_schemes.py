@@ -1,0 +1,264 @@
+"""Tests for the §5 protection-scheme models.
+
+Beyond unit behaviour, these tests pin the *shapes* the paper claims:
+who pays on switches, who pays per access, who shares the cache.
+"""
+
+import pytest
+
+from repro.baselines import (
+    AsidPagedScheme,
+    CapTableScheme,
+    DomainPageScheme,
+    GuardedPointerScheme,
+    PageGroupScheme,
+    PagedSeparateScheme,
+    SegmentationScheme,
+    SFIScheme,
+    all_schemes,
+)
+from repro.baselines.base import Lookaside, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.multiprogram import interleave
+from repro.sim.runner import relative_to, run_comparison
+from repro.sim.trace import MemRef, Switch, Trace
+from repro.sim.workloads import sequential, shared_access, working_set
+
+COSTS = CostModel()
+
+
+class TestLookaside:
+    def test_hit_after_install(self):
+        lb = Lookaside(4)
+        assert not lb.probe("a")
+        assert lb.probe("a")
+        assert lb.hits == 1 and lb.misses == 1
+
+    def test_lru_eviction(self):
+        lb = Lookaside(2)
+        lb.probe("a"); lb.probe("b"); lb.probe("a"); lb.probe("c")
+        assert lb.probe("a")       # recently used, kept
+        assert not lb.probe("b")   # evicted by c
+
+    def test_flush(self):
+        lb = Lookaside(4)
+        lb.probe("a")
+        lb.flush()
+        assert not lb.probe("a")
+
+
+class TestSimpleCache:
+    def test_spatial_locality_within_line(self):
+        c = SimpleCache(total_bytes=1024, line_bytes=64, ways=2)
+        assert not c.probe(0)
+        assert c.probe(8)   # same line
+        assert c.probe(63)
+
+    def test_space_partitions_lines(self):
+        c = SimpleCache(total_bytes=1024, line_bytes=64, ways=2)
+        c.probe(0, space=1)
+        assert not c.probe(0, space=2)  # ASID synonym: separate line
+
+    def test_shared_space_shares_lines(self):
+        c = SimpleCache(total_bytes=1024, line_bytes=64, ways=2)
+        c.probe(0, space=0)
+        assert c.probe(0, space=0)
+
+
+class TestGuardedScheme:
+    def test_zero_switch_cost(self):
+        s = GuardedPointerScheme(COSTS)
+        assert s.switch(1) == 0
+        assert s.switch(2) == 0
+
+    def test_hit_costs_one_cycle(self):
+        s = GuardedPointerScheme(COSTS)
+        s.access(MemRef(0, 0))           # cold miss
+        assert s.access(MemRef(0, 8)) == COSTS.cache_hit
+
+    def test_sharing_entries_linear_in_processes(self):
+        s = GuardedPointerScheme(COSTS)
+        assert s.share_cost_entries(pages=1000, processes=5) == 5
+
+
+class TestPagedSeparate:
+    def test_switch_flushes_everything(self):
+        s = PagedSeparateScheme(COSTS)
+        s.run(Trace([Switch(0), MemRef(0, 0), MemRef(0, 8)]))
+        cost = s.switch(1)
+        assert cost == (COSTS.page_table_switch + COSTS.tlb_flush
+                        + COSTS.cache_flush)
+        # post-switch, the warm line is gone
+        assert s.access(MemRef(1, 8)) > COSTS.cache_hit
+
+    def test_same_pid_switch_free(self):
+        s = PagedSeparateScheme(COSTS)
+        s.run(Trace([Switch(0)]))
+        assert s.switch(0) == 0
+
+    def test_sharing_entries_n_by_m(self):
+        s = PagedSeparateScheme(COSTS)
+        assert s.share_cost_entries(pages=1000, processes=5) == 5000
+
+
+class TestAsid:
+    def test_cheap_switch_no_flush(self):
+        s = AsidPagedScheme(COSTS)
+        s.run(Trace([Switch(0), MemRef(0, 0)]))
+        assert s.switch(1) == COSTS.asid_switch
+        s.current_pid = 1
+        # process 0's line survived the switch
+        s.run(Trace([Switch(0)]))
+        assert s.access(MemRef(0, 8)) == COSTS.cache_hit
+
+    def test_no_in_cache_sharing(self):
+        s = AsidPagedScheme(COSTS)
+        s.access(MemRef(0, 0x100))
+        # same address, different process: synonym, cold miss
+        assert s.access(MemRef(1, 0x100)) > COSTS.cache_hit
+
+
+class TestDomainPage:
+    def test_plb_probed_every_access(self):
+        s = DomainPageScheme(COSTS)
+        s.access(MemRef(0, 0))
+        s.access(MemRef(0, 8))
+        assert s.plb.hits + s.plb.misses == 2
+
+    def test_plb_cold_after_new_domain_page(self):
+        s = DomainPageScheme(COSTS)
+        s.access(MemRef(0, 0))
+        first = s.access(MemRef(1, 8))   # same page, new domain
+        assert first >= COSTS.plb_walk  # protection entry is per-domain
+
+    def test_in_cache_sharing_works(self):
+        s = DomainPageScheme(COSTS)
+        s.access(MemRef(0, 0x100))
+        cost = s.access(MemRef(1, 0x100))
+        # cache hit (shared line); only the PLB missed
+        assert cost == COSTS.cache_hit + COSTS.plb_walk
+
+
+class TestPageGroup:
+    def test_four_groups_fit(self):
+        s = PageGroupScheme(COSTS)
+        trace = Trace([MemRef(0, i * 4096, segment=i % 4) for i in range(100)])
+        s.run(trace)
+        assert s.group_traps == 4  # one cold trap per group
+
+    def test_fifth_group_thrashes(self):
+        s = PageGroupScheme(COSTS)
+        trace = Trace([MemRef(0, i * 4096, segment=i % 5) for i in range(100)])
+        s.run(trace)
+        assert s.group_traps == 100  # LRU of 4 over 5 groups: every access traps
+
+    def test_switch_restores_registers(self):
+        s = PageGroupScheme(COSTS)
+        s.run(Trace([Switch(0), MemRef(0, 0, segment=1)]))
+        s.run(Trace([Switch(1), MemRef(1, 0, segment=2)]))
+        traps_before = s.group_traps
+        s.run(Trace([Switch(0), MemRef(0, 8, segment=1)]))
+        assert s.group_traps == traps_before  # group 1 restored with process 0
+
+
+class TestSegmentation:
+    def test_every_access_pays_the_add(self):
+        s = SegmentationScheme(COSTS)
+        s.access(MemRef(0, 0, segment=1))
+        warm = s.access(MemRef(0, 8, segment=1))
+        assert warm == COSTS.segment_add + COSTS.cache_hit
+
+    def test_descriptor_cache_flushed_on_switch(self):
+        s = SegmentationScheme(COSTS)
+        s.run(Trace([Switch(0), MemRef(0, 0, segment=1)]))
+        s.switch(1)
+        s.current_pid = 1
+        cost = s.access(MemRef(1, 8, segment=1))
+        assert cost >= COSTS.descriptor_miss
+
+
+class TestCapTable:
+    def test_warm_capability_still_pays_nothing_extra(self):
+        costs = CostModel(capcache_hit=1)
+        s = CapTableScheme(costs)
+        s.access(MemRef(0, 0, segment=3))
+        warm = s.access(MemRef(0, 8, segment=3))
+        assert warm == costs.capcache_hit + costs.cache_hit
+
+    def test_cold_capability_pays_table_lookup(self):
+        s = CapTableScheme(COSTS)
+        s.access(MemRef(0, 0, segment=3))
+        cold = s.access(MemRef(0, 8, segment=4))
+        assert cold >= COSTS.captable_lookup
+
+    def test_free_switch_and_cheap_sharing(self):
+        s = CapTableScheme(COSTS)
+        assert s.switch(5) == 0
+        assert s.share_cost_entries(pages=1000, processes=7) == 7
+
+
+class TestSFI:
+    def test_unsafe_write_pays_check(self):
+        s = SFIScheme(COSTS)
+        s.access(MemRef(0, 0, write=True, statically_safe=True))  # warm the line
+        safe = s.access(MemRef(0, 8, write=True, statically_safe=True))
+        unsafe = s.access(MemRef(0, 16, write=True, statically_safe=False))
+        assert unsafe - safe == COSTS.sfi_check_instructions
+        assert s.metrics.check_instructions == COSTS.sfi_check_instructions
+
+    def test_reads_free_in_basic_sandboxing(self):
+        s = SFIScheme(COSTS, check_reads=False)
+        s.access(MemRef(0, 0, write=False, statically_safe=False))
+        assert s.metrics.check_instructions == 0
+
+    def test_reads_checked_in_full_isolation(self):
+        s = SFIScheme(COSTS, check_reads=True)
+        s.access(MemRef(0, 0, write=False, statically_safe=False))
+        assert s.metrics.check_instructions == COSTS.sfi_read_check_instructions
+
+
+class TestCrossSchemeShapes:
+    """The qualitative outcomes §5 predicts, measured."""
+
+    def make_multiprogram(self, quantum):
+        traces = [working_set(pid, 2000, seed=pid) for pid in range(4)]
+        return interleave(traces, quantum=quantum)
+
+    def test_guarded_beats_flush_paging_under_fine_interleaving(self):
+        trace = self.make_multiprogram(quantum=1)
+        rows = run_comparison(
+            [GuardedPointerScheme(COSTS), PagedSeparateScheme(COSTS)], trace)
+        rel = relative_to(rows)
+        assert rel["paged-separate"] > 2.0  # flushes dominate
+
+    def test_flush_paging_recovers_with_coarse_quanta(self):
+        fine = run_comparison([PagedSeparateScheme(COSTS)],
+                              self.make_multiprogram(quantum=1))
+        coarse = run_comparison([PagedSeparateScheme(COSTS)],
+                                self.make_multiprogram(quantum=1000))
+        assert coarse[0].total_cycles < fine[0].total_cycles
+
+    def test_guarded_never_loses_to_two_level_schemes(self):
+        trace = self.make_multiprogram(quantum=100)
+        rows = run_comparison(
+            [GuardedPointerScheme(COSTS), SegmentationScheme(COSTS),
+             CapTableScheme(COSTS)], trace)
+        rel = relative_to(rows)
+        assert rel["segmentation"] > 1.0
+        assert rel["capability-table"] > 1.0
+
+    def test_in_cache_sharing_guarded_vs_asid(self):
+        trace = shared_access([0, 1, 2, 3], 2000, seed=9)
+        g = GuardedPointerScheme(COSTS)
+        a = AsidPagedScheme(COSTS)
+        g.run(trace)
+        a.run(trace)
+        assert g.cache.misses < a.cache.misses  # synonyms quadruple misses
+
+    def test_all_schemes_run_clean(self):
+        trace = self.make_multiprogram(quantum=50)
+        rows = run_comparison(all_schemes(COSTS), trace)
+        assert len(rows) == 8
+        for row in rows:
+            assert row.metrics.accesses == trace.references
+            assert row.total_cycles > 0

@@ -1,0 +1,38 @@
+"""Sharing-cost growth laws per scheme (feeds E8b)."""
+
+import pytest
+
+from repro.baselines import SCHEME_CLASSES, all_schemes
+from repro.experiments.e8_sharing import entries_all_schemes
+
+
+class TestGrowthLaws:
+    N_BY_M = {"paged-separate", "paged-asid", "domain-page"}
+    LINEAR_IN_M = {"guarded-pointers", "capability-table", "segmentation",
+                   "page-group", "sfi"}
+
+    def test_partition_is_complete(self):
+        names = {cls.name for cls in SCHEME_CLASSES}
+        assert names == self.N_BY_M | self.LINEAR_IN_M
+
+    @pytest.mark.parametrize("pages,processes", [(16, 2), (256, 8), (4096, 32)])
+    def test_laws_hold(self, pages, processes):
+        for scheme in all_schemes():
+            entries = scheme.share_cost_entries(pages, processes)
+            if scheme.name in self.N_BY_M:
+                assert entries == pages * processes
+            else:
+                assert entries == processes
+
+    def test_capability_family_independent_of_region_size(self):
+        for scheme in all_schemes():
+            if scheme.name in self.LINEAR_IN_M:
+                small = scheme.share_cost_entries(1, 8)
+                huge = scheme.share_cost_entries(1 << 20, 8)
+                assert small == huge
+
+    def test_entries_all_schemes_helper(self):
+        table = entries_all_schemes(pages=64, processes=4)
+        assert table["guarded-pointers"] == 4
+        assert table["paged-separate"] == 256
+        assert len(table) == len(SCHEME_CLASSES)

@@ -1,0 +1,134 @@
+"""Unit and property tests for the guarded-pointer format (Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import constants as c
+from repro.core.exceptions import EncodingFault, TagFault
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer, decode_fields, encode_fields
+from repro.core.word import TaggedWord
+
+perms = st.sampled_from(list(Permission))
+seglens = st.integers(min_value=0, max_value=c.MAX_SEGLEN)
+addresses = st.integers(min_value=0, max_value=c.ADDRESS_MASK)
+
+
+class TestEncoding:
+    @given(perms, seglens, addresses)
+    def test_fields_roundtrip(self, perm, seglen, address):
+        raw = encode_fields(int(perm), seglen, address)
+        assert decode_fields(raw) == (int(perm), seglen, address)
+
+    @given(perms, seglens, addresses)
+    def test_pointer_exposes_fields(self, perm, seglen, address):
+        p = GuardedPointer.make(perm, seglen, address)
+        assert p.permission == perm
+        assert p.seglen == seglen
+        assert p.address == address
+
+    def test_encoding_fits_in_64_bits(self):
+        raw = encode_fields(15, c.MAX_SEGLEN, c.ADDRESS_MASK)
+        assert raw <= c.WORD_MASK
+
+    def test_address_too_wide_rejected(self):
+        with pytest.raises(EncodingFault):
+            encode_fields(0, 0, 1 << c.ADDRESS_BITS)
+
+    def test_seglen_beyond_address_space_rejected(self):
+        with pytest.raises(EncodingFault):
+            GuardedPointer.make(Permission.READ_ONLY, c.MAX_SEGLEN + 1, 0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(EncodingFault):
+            encode_fields(-1, 0, 0)
+        with pytest.raises(EncodingFault):
+            encode_fields(0, -1, 0)
+        with pytest.raises(EncodingFault):
+            encode_fields(0, 0, -1)
+
+
+class TestFromWord:
+    def test_untagged_word_is_not_a_pointer(self):
+        raw = encode_fields(int(Permission.READ_WRITE), 4, 0x1000)
+        with pytest.raises(TagFault):
+            GuardedPointer.from_word(TaggedWord(raw, tag=False))
+
+    def test_reserved_permission_code_rejected(self):
+        raw = encode_fields(9, 4, 0x1000)
+        with pytest.raises(ValueError):
+            GuardedPointer.from_word(TaggedWord(raw, tag=True))
+
+    @given(perms, seglens, addresses)
+    def test_word_roundtrip(self, perm, seglen, address):
+        p = GuardedPointer.make(perm, seglen, address)
+        q = GuardedPointer.from_word(p.word)
+        assert q == p
+
+
+class TestSegmentGeometry:
+    def test_base_clears_offset_bits(self):
+        p = GuardedPointer.make(Permission.READ_WRITE, 8, 0x12345)
+        assert p.segment_base == 0x12300
+        assert p.offset == 0x45
+        assert p.segment_size == 256
+        assert p.segment_limit == 0x12400
+
+    def test_single_byte_segment(self):
+        p = GuardedPointer.make(Permission.READ_ONLY, 0, 0x77)
+        assert p.segment_base == 0x77
+        assert p.segment_size == 1
+        assert p.offset == 0
+        assert p.contains(0x77)
+        assert not p.contains(0x78)
+
+    def test_whole_address_space_segment(self):
+        p = GuardedPointer.make(Permission.READ_WRITE, c.MAX_SEGLEN, 0xABC)
+        assert p.segment_base == 0
+        assert p.segment_size == c.ADDRESS_SPACE_BYTES
+        assert p.contains(c.ADDRESS_MASK)
+
+    @given(perms, seglens, addresses)
+    def test_base_is_aligned_on_length(self, perm, seglen, address):
+        p = GuardedPointer.make(perm, seglen, address)
+        assert p.segment_base % p.segment_size == 0
+
+    @given(perms, seglens, addresses)
+    def test_address_within_segment(self, perm, seglen, address):
+        p = GuardedPointer.make(perm, seglen, address)
+        assert p.segment_base <= p.address < p.segment_limit
+        assert p.address == p.segment_base + p.offset
+
+    @given(seglens, addresses)
+    def test_contains_matches_interval(self, seglen, address):
+        p = GuardedPointer.make(Permission.READ_ONLY, seglen, address)
+        assert p.contains(p.segment_base)
+        assert p.contains(p.segment_limit - 1)
+        if p.segment_limit <= c.ADDRESS_MASK:
+            assert not p.contains(p.segment_limit)
+        if p.segment_base > 0:
+            assert not p.contains(p.segment_base - 1)
+
+
+class TestConversions:
+    def test_as_integer_clears_tag_keeps_bits(self):
+        p = GuardedPointer.make(Permission.KEY, 10, 0xBEEF)
+        w = p.as_integer()
+        assert not w.tag
+        assert w.value == p.word.value
+
+    def test_with_fields_substitutes_one_field(self):
+        p = GuardedPointer.make(Permission.READ_WRITE, 12, 0x5000)
+        q = p.with_fields(perm=Permission.READ_ONLY)
+        assert q.permission == Permission.READ_ONLY
+        assert q.seglen == p.seglen
+        assert q.address == p.address
+
+    def test_tag_survives_only_via_pointer(self):
+        # A forged integer with pointer-shaped bits is not a pointer.
+        p = GuardedPointer.make(Permission.READ_WRITE, 12, 0x5000)
+        forged = TaggedWord(p.word.value, tag=False)
+        assert forged != p.word
+        with pytest.raises(TagFault):
+            GuardedPointer.from_word(forged)

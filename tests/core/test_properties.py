@@ -1,0 +1,152 @@
+"""Deeper property tests on the core pointer algebra."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as c
+from repro.core.exceptions import BoundsFault, RestrictFault, SubsegFault
+from repro.core.operations import (
+    integer_to_pointer,
+    lea,
+    leab,
+    pointer_to_integer,
+    restrict,
+    subseg,
+)
+from repro.core.permissions import Permission, is_strict_subset, rights_of
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+
+perms = st.sampled_from(list(Permission))
+seglens = st.integers(min_value=0, max_value=c.MAX_SEGLEN)
+addresses = st.integers(min_value=0, max_value=c.ADDRESS_MASK)
+data_perms = st.sampled_from([Permission.READ_ONLY, Permission.READ_WRITE,
+                              Permission.EXECUTE_USER, Permission.EXECUTE_PRIV])
+
+
+class TestRestrictMatrix:
+    """Exhaustive 7×7 legality matrix: RESTRICT succeeds exactly when
+    the rights are a strict subset — no pair escapes."""
+
+    def test_every_pair(self):
+        for source, target in itertools.product(Permission, Permission):
+            p = GuardedPointer.make(source, 12, 0x5000)
+            legal = is_strict_subset(target, source)
+            if legal:
+                q = restrict(p.word, target)
+                assert q.permission is target
+            else:
+                with pytest.raises(RestrictFault):
+                    restrict(p.word, target)
+
+    def test_restriction_is_monotone_in_rights(self):
+        # if a chain src → a → b is legal stepwise, src → b is legal
+        for src, a, b in itertools.product(Permission, repeat=3):
+            if is_strict_subset(a, src) and is_strict_subset(b, a):
+                p = GuardedPointer.make(src, 8, 0x100)
+                q = restrict(restrict(p.word, a).word, b)
+                assert q.permission is b
+                # and the direct restriction agrees
+                assert restrict(p.word, b).permission is b
+
+    @given(perms, perms)
+    def test_restrict_never_amplifies(self, source, target):
+        p = GuardedPointer.make(source, 8, 0x100)
+        try:
+            q = restrict(p.word, target)
+        except RestrictFault:
+            return
+        new = rights_of(q.permission)
+        old = rights_of(p.permission)
+        assert (new & old) == new and new != old
+
+
+class TestDerivationChains:
+    @settings(max_examples=200, deadline=None)
+    @given(seglens, addresses,
+           st.lists(st.integers(min_value=-4096, max_value=4096), max_size=16))
+    def test_lea_chain_equals_single_lea(self, seglen, address, offsets):
+        p = GuardedPointer.make(Permission.READ_WRITE, seglen, address)
+        q = p
+        total = 0
+        for off in offsets:
+            try:
+                q = lea(q.word, off)
+                total += off
+            except BoundsFault:
+                return  # chain broke; nothing to compare
+        if total == 0:
+            assert q == p
+        else:
+            assert q == lea(p.word, total)
+
+    @settings(max_examples=200, deadline=None)
+    @given(seglens, addresses)
+    def test_leab_is_idempotent(self, seglen, address):
+        p = GuardedPointer.make(Permission.READ_WRITE, seglen, address)
+        base = leab(p.word, 0)
+        assert leab(base.word, 0) == base
+        assert base.offset == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=c.MAX_SEGLEN), addresses,
+           st.data())
+    def test_subseg_chain_monotone(self, seglen, address, data):
+        p = GuardedPointer.make(Permission.READ_WRITE, seglen, address)
+        lengths = sorted(
+            data.draw(st.lists(st.integers(min_value=0, max_value=seglen - 1),
+                               min_size=1, max_size=5, unique=True)),
+            reverse=True)
+        q = p
+        for length in lengths:
+            q = subseg(q.word, length)
+            assert p.contains(q.segment_base)
+            assert q.segment_limit <= p.segment_limit
+            assert q.address == p.address
+
+    @given(st.integers(min_value=1, max_value=c.MAX_SEGLEN), addresses)
+    def test_subseg_then_lea_cannot_escape(self, seglen, address):
+        p = GuardedPointer.make(Permission.READ_WRITE, seglen, address)
+        q = subseg(p.word, seglen - 1)
+        # any successful LEA from q stays inside q's (smaller) segment
+        with pytest.raises(BoundsFault):
+            lea(q.word, q.segment_size)
+
+
+class TestCastAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(seglens, addresses, data_perms)
+    def test_ptr_int_ptr_round_trip(self, seglen, address, perm):
+        p = GuardedPointer.make(perm, seglen, address)
+        offset = pointer_to_integer(p.word)
+        q = integer_to_pointer(p.word, offset)
+        assert q.address == p.address
+        assert q.seglen == p.seglen
+
+    @given(seglens, addresses)
+    def test_offset_always_fits_segment(self, seglen, address):
+        p = GuardedPointer.make(Permission.READ_WRITE, seglen, address)
+        offset = pointer_to_integer(p.word)
+        assert 0 <= offset.value < p.segment_size
+
+
+class TestTagDiscipline:
+    @given(perms, seglens, addresses)
+    def test_untagging_then_retagging_needs_privilege(self, perm, seglen, address):
+        from repro.core.exceptions import PrivilegeFault
+        from repro.core.operations import setptr
+        p = GuardedPointer.make(perm, seglen, address)
+        stripped = p.as_integer()
+        with pytest.raises(PrivilegeFault):
+            setptr(stripped, privileged=False)
+        assert setptr(stripped, privileged=True) == p
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_arbitrary_bits_never_check_as_pointer(self, bits):
+        from repro.core.exceptions import TagFault
+        from repro.core.operations import check_load
+        with pytest.raises(TagFault):
+            check_load(TaggedWord(bits, tag=False))

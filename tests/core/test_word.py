@@ -1,0 +1,72 @@
+"""Unit tests for tagged words."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import WORD_MASK
+from repro.core.word import TaggedWord, to_s64, to_u64
+
+
+class TestConstruction:
+    def test_zero_is_untagged(self):
+        w = TaggedWord.zero()
+        assert w.value == 0
+        assert not w.tag
+
+    def test_integer_truncates_to_64_bits(self):
+        w = TaggedWord.integer(1 << 64)
+        assert w.value == 0
+
+    def test_negative_integer_wraps_twos_complement(self):
+        w = TaggedWord.integer(-1)
+        assert w.value == WORD_MASK
+        assert w.as_signed() == -1
+
+    def test_direct_constructor_masks_value(self):
+        w = TaggedWord((1 << 64) | 5)
+        assert w.value == 5
+
+    def test_is_pointer_mirrors_tag(self):
+        assert TaggedWord(1, tag=True).is_pointer
+        assert not TaggedWord(1, tag=False).is_pointer
+
+
+class TestEquality:
+    def test_tag_participates_in_equality(self):
+        assert TaggedWord(7, tag=True) != TaggedWord(7, tag=False)
+        assert TaggedWord(7, tag=True) == TaggedWord(7, tag=True)
+
+    def test_hashable_and_distinct(self):
+        s = {TaggedWord(7, tag=True), TaggedWord(7, tag=False)}
+        assert len(s) == 2
+
+
+class TestUntagged:
+    def test_untagged_clears_tag_only(self):
+        w = TaggedWord(0xDEAD, tag=True)
+        u = w.untagged()
+        assert u.value == 0xDEAD
+        assert not u.tag
+
+    def test_untagged_is_identity_for_integers(self):
+        w = TaggedWord(3, tag=False)
+        assert w.untagged() is w
+
+    def test_word_is_immutable(self):
+        w = TaggedWord(1)
+        with pytest.raises(AttributeError):
+            w.value = 2
+
+
+class TestSignedness:
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_roundtrip(self, x):
+        assert to_s64(to_u64(x)) == x
+
+    @given(st.integers())
+    def test_to_u64_always_in_range(self, x):
+        assert 0 <= to_u64(x) <= WORD_MASK
+
+    def test_min_int64(self):
+        assert to_s64(1 << 63) == -(1 << 63)

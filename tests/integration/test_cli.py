@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    f = tmp_path / "prog.s"
+    f.write_text("""
+        movi r2, 21
+        add r3, r2, r2
+        halt
+    """)
+    return str(f)
+
+
+@pytest.fixture
+def data_program(tmp_path):
+    f = tmp_path / "data.s"
+    f.write_text("""
+        movi r2, 7
+        st r2, r1, 0
+        ld r3, r1, 0
+        halt
+    """)
+    return str(f)
+
+
+class TestAsm:
+    def test_prints_words(self, program_file, capsys):
+        assert main(["asm", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "0x0000" in out
+        assert out.count("0x00") >= 3
+
+    def test_prints_labels(self, tmp_path, capsys):
+        f = tmp_path / "l.s"
+        f.write_text("start:\n  br start")
+        main(["asm", str(f)])
+        assert "start = 0x0" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_round_trip_view(self, program_file, capsys):
+        assert main(["disasm", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "movi r2, 21" in out
+        assert "add r3, r2, r2" in out
+        assert "halt" in out
+
+
+class TestRun:
+    def test_runs_and_prints_registers(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "halted" in out
+        assert "r3 = 42" in out.replace("r3 =", "r3 =") or "r3" in out
+        assert "42" in out
+
+    def test_data_segment_flag(self, data_program, capsys):
+        assert main(["run", "--data", "4096", data_program]) == 0
+        out = capsys.readouterr().out
+        assert "read/write segment" in out
+        assert "7" in out
+
+    def test_trace_flag(self, program_file, capsys):
+        main(["run", "--trace", program_file])
+        out = capsys.readouterr().out
+        assert "movi r2, 21" in out
+
+    def test_faulting_program_exits_nonzero(self, tmp_path, capsys):
+        f = tmp_path / "bad.s"
+        f.write_text("ld r2, r1, 0\nhalt")  # r1 is an integer
+        assert main(["run", str(f)]) == 1
+        assert "fault" in capsys.readouterr().out
+
+    def test_max_cycles(self, tmp_path, capsys):
+        f = tmp_path / "loop.s"
+        f.write_text("loop:\n  br loop")
+        assert main(["run", "--max-cycles", "50", str(f)]) == 1
+        assert "max_cycles" in capsys.readouterr().out
+
+
+class TestIsa:
+    def test_lists_all_opcodes(self, capsys):
+        assert main(["isa"]) == 0
+        out = capsys.readouterr().out
+        assert "setptr" in out
+        assert "restrict" in out
+        assert "fadd" in out

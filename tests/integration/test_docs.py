@@ -1,0 +1,59 @@
+"""Documentation freshness: generated docs match the code they document."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestGeneratedDocs:
+    def test_isa_md_is_current(self, tmp_path):
+        """docs/ISA.md must equal what the generator produces now."""
+        out = tmp_path / "ISA.md"
+        subprocess.run(
+            [sys.executable, str(REPO / "tools/generate_isa_md.py"), str(out)],
+            check=True, cwd=REPO, capture_output=True)
+        committed = (REPO / "docs/ISA.md").read_text()
+        assert out.read_text() == committed, \
+            "docs/ISA.md is stale — run tools/generate_isa_md.py"
+
+    def test_experiments_md_exists_and_covers_everything(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for experiment in [f"E{i} " for i in range(1, 16)]:
+            assert f"## {experiment}" in text.replace("—", "- ") or \
+                f"## {experiment.strip()} —" in text, f"missing {experiment}"
+        for ablation in ("A1", "A2", "A3", "A4", "A5"):
+            assert ablation in text
+
+
+class TestCrossReferences:
+    def test_readme_links_resolve(self):
+        text = (REPO / "README.md").read_text()
+        for path in ("DESIGN.md", "EXPERIMENTS.md", "docs/ISA.md",
+                     "docs/TUTORIAL.md"):
+            assert path in text
+            assert (REPO / path).exists()
+
+    def test_design_bench_targets_exist(self):
+        """Every bench file DESIGN.md names must exist."""
+        import re
+        text = (REPO / "DESIGN.md").read_text()
+        for match in re.finditer(r"benchmarks/\w+\.py", text):
+            assert (REPO / match.group()).exists(), match.group()
+
+    def test_examples_readme_lists_every_script(self):
+        listed = (REPO / "examples/README.md").read_text()
+        for script in (REPO / "examples").glob("*.py"):
+            assert script.name in listed, f"{script.name} missing from examples/README.md"
+
+    def test_experiment_modules_have_benches(self):
+        """Every eNN experiment module has a matching bench file."""
+        experiments = (REPO / "src/repro/experiments").glob("e*_*.py")
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        for module in experiments:
+            number = module.stem.split("_")[0]  # e.g. "e13"
+            assert any(b.startswith(f"bench_{number}_") for b in benches), \
+                f"no bench for {module.name}"

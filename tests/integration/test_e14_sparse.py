@@ -1,0 +1,39 @@
+"""Integration tests for E14 (sparse-capability comparison)."""
+
+import pytest
+
+from repro.experiments import e14_sparse_capabilities as e14
+
+
+class TestSparseAttack:
+    def test_expected_hits_scale_with_shrink(self):
+        attacks = e14.shrink_comparison(live_objects=1 << 14,
+                                        guesses=500_000)
+        assert attacks[54].expected_hits == pytest.approx(
+            attacks[64].expected_hits * 1024)
+
+    def test_measured_hits_track_expectation(self):
+        # use a dense-enough configuration that hits actually occur
+        a = e14.sparse_attack(address_bits=40, live_objects=1 << 18,
+                              guesses=500_000)
+        assert a.hits == pytest.approx(a.expected_hits, rel=0.3)
+
+    def test_64_bit_space_is_effectively_unguessable(self):
+        a = e14.sparse_attack(address_bits=64, live_objects=1 << 16,
+                              guesses=500_000)
+        assert a.hits == 0
+
+    def test_deterministic(self):
+        a = e14.sparse_attack(48, 1 << 12, 10_000, seed=5)
+        b = e14.sparse_attack(48, 1 << 12, 10_000, seed=5)
+        assert a == b
+
+
+class TestGuardedAttack:
+    def test_brute_force_never_succeeds(self):
+        result = e14.guarded_attack(guesses=50_000)
+        assert result.successes == 0
+        assert result.tag_faults == result.guesses
+
+    def test_shrink_factor_is_1024(self):
+        assert e14.shrink_factor() == 1024

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs clean end to end.
+
+The examples are part of the public deliverable; this keeps them from
+rotting as the library evolves.  They run in-process (imported as
+modules) so coverage tools see them and failures carry full tracebacks.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_all_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "filesystem_subsystem", "multithreaded_node",
+            "secure_heap", "multinode_sharing", "console_driver"} <= names

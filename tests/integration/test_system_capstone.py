@@ -1,0 +1,178 @@
+"""Capstone: a miniature operating system assembled entirely from
+unprivileged protected subsystems (paper §2.3's closing argument —
+"With protected entry to user-level subsystems, very few services
+actually need to be privileged").
+
+One kernel boots:
+
+* a memory-mapped console behind an unprivileged driver subsystem;
+* a "file system" subsystem owning a private block table;
+* the SETPTR gateway services;
+
+then two user processes in different protection domains run
+concurrently: a producer writes a record into the file system, a
+consumer reads it back and prints it through the console driver.  The
+only privileged activity after boot is demand paging.
+"""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.devices import ConsoleDevice, map_device
+from repro.machine.thread import ThreadState
+from repro.machine.verifier import SecurityMonitor
+from repro.runtime import services as services_mod
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+
+#: file system: r3 = block, r4 = value, r5 = 0 read / 1 write; result r11
+FS = """
+entry:
+    getip r10, table
+    ld r10, r10, 0
+    shli r6, r3, 3          ; block -> byte offset (1 word per block)
+    lear r6, r10, r6        ; bounds-checked block pointer
+    beq r5, read
+    st r4, r6, 0            ; write path
+    movi r11, 1
+    br out
+read:
+    ld r11, r6, 0
+out:
+    movi r10, 0
+    movi r6, 0
+    jmp r15
+table:
+    .word 0
+"""
+
+#: console driver: r3 = char
+DRIVER = """
+entry:
+    getip r10, device
+    ld r10, r10, 0
+    andi r3, r3, 0xff
+    st r3, r10, 0
+    movi r10, 0
+    jmp r15
+device:
+    .word 0
+"""
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+    monitor = SecurityMonitor(kernel.chip)
+    services_mod.install(kernel)
+    console = ConsoleDevice()
+    mmio = map_device(kernel, console)
+    driver = ProtectedSubsystem.install(kernel, DRIVER, data={"device": mmio})
+    table = kernel.allocate_segment(64 * 8, eager=True)
+    fs = ProtectedSubsystem.install(kernel, FS, data={"table": table})
+    return kernel, monitor, console, driver, fs, table
+
+
+class TestMiniOS:
+    def test_producer_consumer_through_subsystems(self, world):
+        kernel, monitor, console, driver, fs, _ = world
+
+        # producer (domain 1): write 'Z' into block 7, then set block 0
+        # to 1 as a "ready" flag
+        producer = kernel.load_program(f"""
+            movi r3, 7
+            movi r4, {ord('Z')}
+            movi r5, 1
+            getip r15, w1
+            jmp r1              ; fs.write(7, 'Z')
+        w1:
+            movi r3, 0
+            movi r4, 1
+            movi r5, 1
+            getip r15, w2
+            jmp r1              ; fs.write(0, 1) — ready flag
+        w2:
+            halt
+        """)
+        # consumer (domain 2): poll block 0, then read block 7 and print
+        consumer = kernel.load_program(f"""
+        poll:
+            movi r3, 0
+            movi r5, 0
+            getip r15, check
+            jmp r1              ; fs.read(0)
+        check:
+            beq r11, poll
+            movi r3, 7
+            movi r5, 0
+            getip r15, got
+            jmp r1              ; fs.read(7)
+        got:
+            mov r3, r11
+            getip r15, printed
+            jmp r2              ; driver.putc
+        printed:
+            halt
+        """)
+        tp = kernel.spawn(producer, domain=1, regs={1: fs.enter.word},
+                          stack_bytes=0)
+        tc = kernel.spawn(consumer, domain=2,
+                          regs={1: fs.enter.word, 2: driver.enter.word},
+                          stack_bytes=0)
+        monitor.note_spawn(tp)
+        monitor.note_spawn(tc)
+        monitor.run_checked(max_cycles=200_000)
+        assert tp.state is ThreadState.HALTED, tp.fault
+        assert tc.state is ThreadState.HALTED, tc.fault
+        assert console.text == "Z"
+        # every crossing was audited, none escalated privilege
+        assert monitor.stats.escalations == 0
+        assert monitor.stats.jumps_audited >= 8
+
+    def test_file_system_bounds_protect_the_table(self, world):
+        kernel, monitor, console, driver, fs, table = world
+        vandal = kernel.load_program("""
+            movi r3, 9999      ; far past the 64-block table
+            movi r4, 1
+            movi r5, 1
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(vandal, domain=3, regs={1: fs.enter.word},
+                         stack_bytes=0)
+        kernel.run(max_cycles=50_000)
+        # the subsystem's own LEAR check catches it; the fault is
+        # attributed to the vandal's thread
+        assert t.state is ThreadState.FAULTED
+
+    def test_domains_cannot_cross_talk_without_pointers(self, world):
+        kernel, monitor, console, driver, fs, table = world
+        # a process given only the DRIVER cannot reach the FS table
+        snoop = kernel.load_program("""
+            ld r2, r1, 0
+            halt
+        """)
+        t = kernel.spawn(snoop, domain=4, regs={1: driver.enter.word},
+                         stack_bytes=0)
+        kernel.run(max_cycles=50_000)
+        assert t.state is ThreadState.FAULTED
+
+    def test_only_privileged_work_is_paging(self, world):
+        kernel, monitor, console, driver, fs, _ = world
+        client = kernel.load_program(f"""
+            movi r3, {ord('k')}
+            getip r15, ret
+            jmp r2
+        ret:
+            halt
+        """)
+        t = kernel.spawn(client, domain=5, regs={2: driver.enter.word})
+        monitor.note_spawn(t)
+        monitor.run_checked(max_cycles=50_000)
+        assert console.text == "k"
+        assert kernel.stats.traps == 0           # no kernel calls
+        assert monitor.stats.escalations == 0    # no privileged code ran

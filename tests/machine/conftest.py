@@ -1,0 +1,36 @@
+"""Shared helpers for machine tests: a small chip and a raw loader."""
+
+import pytest
+
+from repro.core.constants import MAX_SEGLEN
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.assembler import assemble
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.mem.allocator import round_up_log2
+
+
+@pytest.fixture
+def chip():
+    return MAPChip(ChipConfig(memory_bytes=1024 * 1024))
+
+
+def load(chip, source, base=0x10000, perm=Permission.EXECUTE_USER):
+    """Assemble ``source``, place it at ``base`` and return an execute
+    pointer to its first bundle.  The code segment is sized to the
+    program (power of two, aligned at ``base``)."""
+    program = assemble(source)
+    seglen = max(round_up_log2(max(program.size_bytes, 1)), 3)
+    assert base % (1 << seglen) == 0, "test base must be aligned for the program"
+    chip.page_table.ensure_mapped(base, program.size_bytes)
+    for i, word in enumerate(program.encode()):
+        chip.memory.store_word(chip.page_table.walk(base + i * 8), word)
+    return GuardedPointer.make(perm, seglen, base)
+
+
+def data_segment(chip, base, size, perm=Permission.READ_WRITE):
+    """Map a data segment and return a pointer to it."""
+    seglen = round_up_log2(max(size, 1))
+    assert base % (1 << seglen) == 0
+    chip.page_table.ensure_mapped(base, size)
+    return GuardedPointer.make(perm, seglen, base)

@@ -1,0 +1,146 @@
+"""Tests for the MAP assembler."""
+
+import pytest
+
+from repro.machine.assembler import AssemblyError, assemble
+from repro.machine.isa import BUNDLE_BYTES, Opcode
+
+
+class TestBasics:
+    def test_single_op_line(self):
+        p = assemble("halt")
+        assert len(p.bundles) == 1
+        assert p.bundles[0].int_op.opcode is Opcode.HALT
+
+    def test_comments_and_blank_lines_ignored(self):
+        p = assemble("""
+            ; a comment
+            movi r1, 5   ; trailing comment
+
+            halt
+        """)
+        assert len(p.bundles) == 2
+
+    def test_three_slot_bundle(self):
+        p = assemble("add r1, r2, r3 | ld r4, r5, 8 | fadd f1, f2, f3")
+        b = p.bundles[0]
+        assert b.int_op.opcode is Opcode.ADD
+        assert b.mem_op.opcode is Opcode.LD
+        assert b.fp_op.opcode is Opcode.FADD
+
+    def test_size_bytes(self):
+        p = assemble("movi r1, 1\nhalt")
+        assert p.size_bytes == 2 * BUNDLE_BYTES
+
+    def test_operands_parse(self):
+        p = assemble("movi r1, -42")
+        assert p.bundles[0].int_op.imm == -42
+        p = assemble("movi r1, 0xff")
+        assert p.bundles[0].int_op.imm == 255
+
+    def test_permission_names(self):
+        p = assemble("movi r1, perm:read_only")
+        assert p.bundles[0].int_op.imm == 0
+        p = assemble("movi r1, perm:key")
+        assert p.bundles[0].int_op.imm == 6
+
+
+class TestLabels:
+    def test_forward_and_backward_branches(self):
+        p = assemble("""
+        start:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            bne r1, loop
+            br start
+            halt
+        """)
+        # loop is bundle 1 (offset 24); the bne is bundle 2 (offset 48)
+        assert p.labels == {"start": 0, "loop": BUNDLE_BYTES}
+        bne = p.bundles[2].int_op
+        assert bne.imm == BUNDLE_BYTES - 2 * BUNDLE_BYTES  # -24
+        br = p.bundles[3].int_op
+        assert br.imm == 0 - 3 * BUNDLE_BYTES
+
+    def test_label_on_its_own_line(self):
+        p = assemble("here:\n  halt")
+        assert p.labels["here"] == 0
+
+    def test_getip_with_label(self):
+        p = assemble("""
+            getip r15, ret
+            halt
+        ret:
+            halt
+        """)
+        assert p.bundles[0].int_op.imm == 2 * BUNDLE_BYTES
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("br nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a:\nhalt\na:\nhalt")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("movi r16, 0")
+
+    def test_fp_op_requires_f_registers(self):
+        with pytest.raises(AssemblyError, match="must be an f register"):
+            assemble("fadd r1, f2, f3")
+
+    def test_int_op_rejects_f_registers(self):
+        with pytest.raises(AssemblyError, match="must be an r register"):
+            assemble("add f1, r2, r3")
+
+    def test_two_ops_same_slot(self):
+        with pytest.raises(AssemblyError, match="slot"):
+            assemble("add r1, r2, r3 | sub r4, r5, r6")
+
+    def test_double_write_rejected(self):
+        with pytest.raises(AssemblyError, match="two writes"):
+            assemble("add r1, r2, r3 | ld r1, r4, 0")
+
+    def test_double_write_different_banks_ok(self):
+        p = assemble("add r1, r2, r3 | ldf f1, r4, 0")
+        assert len(p.bundles) == 1
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("movi r1, 1\nmovi r2, 2\nbogus r3")
+
+    def test_more_than_three_ops(self):
+        with pytest.raises(AssemblyError):
+            assemble("nop | nop | fnop | nop")
+
+
+class TestMixedBankOps:
+    def test_ldf_uses_f_destination(self):
+        p = assemble("ldf f3, r1, 16")
+        op = p.bundles[0].mem_op
+        assert op.opcode is Opcode.LDF
+        assert op.rd == 3 and op.ra == 1 and op.imm == 16
+
+    def test_ftoi_mixed_banks(self):
+        p = assemble("ftoi r2, f5")
+        op = p.bundles[0].fp_op
+        assert op.rd == 2 and op.ra == 5
+
+    def test_encode_decode_through_program(self):
+        p = assemble("movi r1, 7 | lea r2, r3, 8 | fmov f1, f2")
+        from repro.machine.isa import Bundle
+        words = p.encode()
+        assert Bundle.decode(words[:3]) == p.bundles[0]

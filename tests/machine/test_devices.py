@@ -1,0 +1,147 @@
+"""Memory-mapped devices and the unprivileged I/O driver (§2.3)."""
+
+import pytest
+
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.devices import BlockDevice, ConsoleDevice, map_device
+from repro.machine.thread import ThreadState
+from repro.mem.tagged_memory import TaggedMemory
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+class TestAttachDevice:
+    def test_ranges_validated(self):
+        mem = TaggedMemory(4096)
+        console = ConsoleDevice()
+        with pytest.raises(ValueError):
+            mem.attach_device(3, 64, console)      # unaligned
+        with pytest.raises(ValueError):
+            mem.attach_device(0, 0, console)       # empty
+        with pytest.raises(ValueError):
+            mem.attach_device(4096 - 8, 64, console)  # out of range
+
+    def test_overlap_rejected(self):
+        mem = TaggedMemory(4096)
+        mem.attach_device(0, 64, ConsoleDevice())
+        with pytest.raises(ValueError):
+            mem.attach_device(56, 64, ConsoleDevice())
+
+    def test_routed_accesses(self):
+        mem = TaggedMemory(4096)
+        console = ConsoleDevice()
+        mem.attach_device(0, 64, console)
+        mem.store_word(0, TaggedWord.integer(ord("A")))
+        assert console.text == "A"
+        assert mem.load_word(8).value == 1  # STATUS
+        # non-device memory unaffected
+        mem.store_word(128, TaggedWord.integer(5))
+        assert mem.load_word(128).value == 5
+
+
+class TestConsoleFromProgram:
+    def test_program_prints(self, kernel):
+        console = ConsoleDevice()
+        mmio = map_device(kernel, console)
+        text = "MAP"
+        stores = "\n".join(
+            f"movi r2, {ord(ch)}\nst r2, r1, 0" for ch in text)
+        entry = kernel.load_program(f"{stores}\nld r3, r1, 16\nhalt")
+        t = kernel.spawn(entry, regs={1: mmio.word}, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert console.text == "MAP"
+        assert t.regs.read(3).value == 3  # COUNT register
+
+    def test_block_device_round_trip(self, kernel):
+        disk = BlockDevice()
+        mmio = map_device(kernel, disk)
+        entry = kernel.load_program("""
+            movi r2, 5          ; sector 5
+            st r2, r1, 0
+            movi r3, 777
+            st r3, r1, 8        ; write data
+            movi r2, 9
+            st r2, r1, 0        ; seek elsewhere
+            movi r2, 5
+            st r2, r1, 0        ; seek back
+            ld r4, r1, 8
+            halt
+        """)
+        t = kernel.spawn(entry, regs={1: mmio.word}, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert t.regs.read(4).value == 777
+
+
+class TestUnprivilegedDriver:
+    """The paper's exact scenario: the console's RW pointer lives only
+    inside an *unprivileged* driver subsystem; clients can print through
+    the driver but can never reach the device."""
+
+    def build_driver(self, kernel, console):
+        mmio = map_device(kernel, console)
+        driver = ProtectedSubsystem.install(kernel, """
+        entry:
+            getip r10, device
+            ld r10, r10, 0       ; the device capability
+            andi r3, r3, 0xff    ; sanitise: one character only
+            st r3, r10, 0
+            movi r10, 0          ; never leak the device pointer
+            jmp r15
+        device:
+            .word 0
+        """, data={"device": mmio})
+        return driver, mmio
+
+    def test_client_prints_through_driver(self, kernel):
+        console = ConsoleDevice()
+        driver, _ = self.build_driver(kernel, console)
+        client = kernel.load_program(f"""
+            movi r3, {ord('!')}
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(client, regs={1: driver.enter.word}, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert console.text == "!"
+
+    def test_client_cannot_reach_device_directly(self, kernel):
+        console = ConsoleDevice()
+        driver, mmio = self.build_driver(kernel, console)
+        # the client holds only the enter pointer; fabricating the
+        # device address as an integer gets a TagFault
+        poker = kernel.load_program("""
+            movi r2, 65
+            st r2, r4, 0
+            halt
+        """)
+        t = kernel.spawn(poker, regs={1: driver.enter.word,
+                                      4: mmio.segment_base},  # integer!
+                         stack_bytes=0)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert console.text == ""
+
+    def test_driver_sanitises_input(self, kernel):
+        console = ConsoleDevice()
+        driver, _ = self.build_driver(kernel, console)
+        client = kernel.load_program(f"""
+            movi r3, {0x1FF41}
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        kernel.spawn(client, regs={1: driver.enter.word}, stack_bytes=0)
+        kernel.run()
+        assert console.text == "A"  # 0x41, masked by the driver

@@ -1,0 +1,121 @@
+"""Disassembler tests, including assemble/disassemble round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.assembler import assemble
+from repro.machine.disasm import disassemble_bundle, disassemble_op, disassemble_words
+from repro.machine.isa import IMM_MAX, IMM_MIN, OP_INFO, Bundle, Opcode, Operation
+
+
+class TestDisassembleOp:
+    def test_rrr(self):
+        assert disassemble_op(Operation(Opcode.ADD, rd=1, ra=2, rb=3)) == \
+            "add r1, r2, r3"
+
+    def test_immediate(self):
+        assert disassemble_op(Operation(Opcode.MOVI, rd=4, imm=-7)) == \
+            "movi r4, -7"
+
+    def test_fp_banks(self):
+        assert disassemble_op(Operation(Opcode.FADD, rd=1, ra=2, rb=3)) == \
+            "fadd f1, f2, f3"
+        assert disassemble_op(Operation(Opcode.FTOI, rd=1, ra=2)) == \
+            "ftoi r1, f2"
+        assert disassemble_op(Operation(Opcode.LDF, rd=5, ra=6, imm=8)) == \
+            "ldf f5, r6, 8"
+
+    def test_no_operands(self):
+        assert disassemble_op(Operation(Opcode.HALT)) == "halt"
+
+
+class TestDisassembleBundle:
+    def test_skips_fillers(self):
+        b = Bundle.of(Operation(Opcode.ADD, rd=1, ra=2, rb=3))
+        assert disassemble_bundle(b) == "add r1, r2, r3"
+
+    def test_all_nop_bundle(self):
+        b = Bundle.of(Operation(Opcode.NOP))
+        assert disassemble_bundle(b) == "nop"
+
+    def test_multi_slot(self):
+        b = Bundle.of(
+            Operation(Opcode.ADD, rd=1, ra=2, rb=3),
+            Operation(Opcode.LD, rd=4, ra=5, imm=8),
+        )
+        text = disassemble_bundle(b)
+        assert "add r1, r2, r3" in text and "ld r4, r5, 8" in text
+        assert "|" in text
+
+
+class TestRoundTrip:
+    SAMPLE = """
+        movi r1, 10
+        movi r2, 0
+    loop:
+        beq r1, done | ld r3, r14, 0
+        add r2, r2, r1 | st r2, r14, 8 | fadd f1, f2, f3
+        subi r1, r1, 1
+        br loop
+    done:
+        getip r15, done
+        halt
+    """
+
+    def test_sample_round_trips(self):
+        first = assemble(self.SAMPLE)
+        text = disassemble_words(first.encode())
+        second = assemble(text)
+        assert second.encode() == first.encode()
+
+    def test_data_items_round_trip(self):
+        source = """
+            getip r1, slot
+            halt
+        slot:
+            .word 0xdeadbeef
+            .word 0
+        """
+        first = assemble(source)
+        text = disassemble_words(first.encode())
+        assert ".word 0xdeadbeef" in text
+        assert ".word 0x0" in text
+        second = assemble(text)
+        assert second.encode() == first.encode()
+
+    def test_word_count_validated(self):
+        with pytest.raises(ValueError):
+            disassemble_words(assemble("halt").encode()[:2])
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(
+        st.builds(
+            Operation,
+            opcode=st.sampled_from([
+                op for op, (slot, fmt) in OP_INFO.items()
+            ]),
+            rd=st.integers(min_value=0, max_value=15),
+            ra=st.integers(min_value=0, max_value=15),
+            rb=st.integers(min_value=0, max_value=15),
+            imm=st.integers(min_value=IMM_MIN, max_value=IMM_MAX),
+        ),
+        min_size=1, max_size=8))
+    def test_random_ops_round_trip(self, ops):
+        bundles = [Bundle.of(op) for op in ops]
+        words = [w for b in bundles for w in b.encode()]
+        text = disassemble_words(words)
+        reassembled = assemble(text)
+        # compare decoded semantics: operands outside an opcode's format
+        # are don't-cares that disassembly normalises to zero
+        originals = [self._normalise(b) for b in bundles]
+        assert [self._normalise(b) for b in reassembled.bundles] == originals
+
+    @staticmethod
+    def _normalise(bundle: Bundle) -> tuple:
+        out = []
+        for op in bundle.operations:
+            fields = OP_INFO[op.opcode][1].value
+            out.append((op.opcode,
+                        tuple(getattr(op, f) for f in fields)))
+        return tuple(out)

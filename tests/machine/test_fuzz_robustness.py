@@ -1,0 +1,85 @@
+"""Robustness fuzzing: garbage as code must fault cleanly, never crash.
+
+A hostile or buggy loader can put *anything* in a code segment.  The
+machine's contract is that executing arbitrary bits either runs (if
+they happen to decode), halts, or faults the thread with a recorded
+cause — it must never raise out of ``chip.run`` or corrupt the
+simulator.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.mem.allocator import round_up_log2
+
+CODE_BASE = 0x10000
+
+
+def run_raw_words(words, max_cycles=2000):
+    """Place raw 64-bit values at CODE_BASE and execute them."""
+    chip = MAPChip(ChipConfig(memory_bytes=1024 * 1024))
+    nbytes = max(len(words) * 8, 8)
+    chip.page_table.ensure_mapped(CODE_BASE, nbytes)
+    for i, value in enumerate(words):
+        chip.memory.store_word(chip.page_table.walk(CODE_BASE + i * 8),
+                               TaggedWord.integer(value))
+    seglen = max(round_up_log2(nbytes), 3)
+    entry = GuardedPointer.make(Permission.EXECUTE_USER, seglen, CODE_BASE)
+    thread = chip.spawn(entry)
+    result = chip.run(max_cycles=max_cycles)
+    return thread, result
+
+
+class TestGarbageCode:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=3, max_size=30))
+    def test_never_crashes(self, words):
+        thread, result = run_raw_words(words)
+        assert result.reason in ("halted", "faulted", "max_cycles", "deadlock")
+        if result.reason == "faulted":
+            assert thread.fault is not None
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=3, max_size=30))
+    def test_garbage_never_forges_pointers(self, words):
+        # whatever garbage executes, no register may end up holding a
+        # pointer the thread was never given (it started with none)
+        thread, result = run_raw_words(words)
+        for index in range(16):
+            word = thread.regs.read(index)
+            assert not word.tag, f"garbage code forged a pointer in r{index}"
+
+    def test_all_zero_words_fault_on_decode(self):
+        # three zero words look like NOP/NOP/NOP, but the fp slot must
+        # hold an FP op: strict decode rejects it (data is not code)
+        thread, result = run_raw_words([0, 0, 0])
+        assert result.reason == "faulted"
+
+    def test_empty_code_segment_faults(self):
+        thread, result = run_raw_words([])
+        assert result.reason == "faulted"
+
+
+class TestGarbageJumps:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_random_word_as_jump_target(self, bits):
+        chip = MAPChip(ChipConfig(memory_bytes=1024 * 1024))
+        chip.page_table.ensure_mapped(CODE_BASE, 64)
+        from repro.machine.assembler import assemble
+        program = assemble("jmp r1\nhalt")
+        for i, word in enumerate(program.encode()):
+            chip.memory.store_word(chip.page_table.walk(CODE_BASE + i * 8), word)
+        entry = GuardedPointer.make(Permission.EXECUTE_USER, 6, CODE_BASE)
+        thread = chip.spawn(entry, regs={1: bits})
+        result = chip.run(max_cycles=1000)
+        # an integer jump target is always a TagFault
+        assert result.reason == "faulted"

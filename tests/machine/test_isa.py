@@ -1,0 +1,119 @@
+"""Tests for operation/bundle encoding and decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.word import TaggedWord
+from repro.machine.isa import (
+    BUNDLE_BYTES,
+    IMM_MAX,
+    IMM_MIN,
+    OP_INFO,
+    Bundle,
+    DecodeError,
+    Fmt,
+    Opcode,
+    Operation,
+    Slot,
+)
+
+
+class TestOperation:
+    def test_register_range_enforced(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.ADD, rd=16)
+
+    def test_immediate_range_enforced(self):
+        with pytest.raises(ValueError):
+            Operation(Opcode.MOVI, rd=0, imm=IMM_MAX + 1)
+        with pytest.raises(ValueError):
+            Operation(Opcode.MOVI, rd=0, imm=IMM_MIN - 1)
+
+    def test_slot_and_fmt_lookup(self):
+        assert Operation(Opcode.LD).slot is Slot.MEM
+        assert Operation(Opcode.FADD).slot is Slot.FP
+        assert Operation(Opcode.ADD).fmt is Fmt.RRR
+
+
+class TestEncoding:
+    @given(st.sampled_from(list(Opcode)),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=15),
+           st.integers(min_value=IMM_MIN, max_value=IMM_MAX))
+    def test_roundtrip(self, opcode, rd, ra, rb, imm):
+        op = Operation(opcode, rd=rd, ra=ra, rb=rb, imm=imm)
+        assert Operation.decode(op.encode()) == op
+
+    def test_negative_immediate_roundtrip(self):
+        op = Operation(Opcode.BR, imm=-48)
+        assert Operation.decode(op.encode()).imm == -48
+
+    def test_reserved_opcode_rejected(self):
+        word = TaggedWord.integer(63 << 58)
+        with pytest.raises(DecodeError):
+            Operation.decode(word)
+
+    def test_pointer_is_not_code(self):
+        word = TaggedWord(int(Opcode.ADD) << 58, tag=True)
+        with pytest.raises(DecodeError):
+            Operation.decode(word)
+
+
+class TestBundle:
+    def test_of_fills_nops(self):
+        b = Bundle.of(Operation(Opcode.ADD, rd=1, ra=2, rb=3))
+        assert b.int_op.opcode is Opcode.ADD
+        assert b.mem_op.opcode is Opcode.NOP
+        assert b.fp_op.opcode is Opcode.FNOP
+
+    def test_slot_collision_rejected(self):
+        with pytest.raises(ValueError):
+            Bundle.of(Operation(Opcode.ADD), Operation(Opcode.SUB))
+
+    def test_wrong_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Bundle(int_op=Operation(Opcode.LD),
+                   mem_op=Operation(Opcode.NOP),
+                   fp_op=Operation(Opcode.FNOP))
+
+    def test_three_slots_coexist(self):
+        b = Bundle.of(
+            Operation(Opcode.ADD, rd=1, ra=2, rb=3),
+            Operation(Opcode.LD, rd=4, ra=5, imm=8),
+            Operation(Opcode.FADD, rd=1, ra=2, rb=3),
+        )
+        assert [op.opcode for op in b.operations] == [Opcode.ADD, Opcode.LD, Opcode.FADD]
+
+    def test_bundle_is_three_words(self):
+        b = Bundle.of(Operation(Opcode.HALT))
+        words = b.encode()
+        assert len(words) == 3
+        assert len(words) * 8 == BUNDLE_BYTES
+
+    def test_bundle_roundtrip(self):
+        b = Bundle.of(
+            Operation(Opcode.MOVI, rd=7, imm=-3),
+            Operation(Opcode.LEA, rd=2, ra=3, imm=16),
+            Operation(Opcode.FMUL, rd=0, ra=1, rb=2),
+        )
+        assert Bundle.decode(b.encode()) == b
+
+    def test_decode_needs_three_words(self):
+        with pytest.raises(DecodeError):
+            Bundle.decode([TaggedWord.zero()])
+
+    def test_written_registers_tracks_banks(self):
+        b = Bundle.of(
+            Operation(Opcode.ADD, rd=1, ra=2, rb=3),
+            Operation(Opcode.LDF, rd=1, ra=2, imm=0),
+        )
+        assert b.written_registers() == {("r", 1), ("f", 1)}
+
+    def test_store_does_not_write_registers(self):
+        b = Bundle.of(Operation(Opcode.ST, rd=1, ra=2, imm=0))
+        assert b.written_registers() == set()
+
+    def test_every_opcode_has_info(self):
+        assert set(OP_INFO) == set(Opcode)

@@ -1,0 +1,80 @@
+"""Tests for the 3-D mesh network model."""
+
+import pytest
+
+from repro.machine.network import MeshNetwork, MeshShape
+
+
+class TestMeshShape:
+    def test_default_is_2x2x2(self):
+        shape = MeshShape()
+        assert shape.nodes == 8
+
+    def test_coordinates_roundtrip(self):
+        shape = MeshShape(3, 2, 2)
+        for node in range(shape.nodes):
+            assert shape.node_at(*shape.coordinates(node)) == node
+
+    def test_out_of_range(self):
+        shape = MeshShape(2, 2, 1)
+        with pytest.raises(ValueError):
+            shape.coordinates(4)
+        with pytest.raises(ValueError):
+            shape.node_at(2, 0, 0)
+
+    def test_hops_is_manhattan(self):
+        shape = MeshShape(4, 4, 4)
+        a = shape.node_at(0, 0, 0)
+        b = shape.node_at(3, 2, 1)
+        assert shape.hops(a, b) == 6
+        assert shape.hops(a, a) == 0
+        assert shape.hops(a, b) == shape.hops(b, a)
+
+    def test_route_is_dimension_ordered(self):
+        shape = MeshShape(3, 3, 1)
+        a = shape.node_at(0, 0, 0)
+        b = shape.node_at(2, 2, 0)
+        path = shape.route(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) == shape.hops(a, b) + 1
+        # x corrections come before y corrections
+        xs = [shape.coordinates(n)[0] for n in path]
+        assert xs == sorted(xs)
+
+    def test_route_adjacent_steps(self):
+        shape = MeshShape(2, 2, 2)
+        path = shape.route(0, 7)
+        for u, v in zip(path, path[1:]):
+            assert shape.hops(u, v) == 1
+
+
+class TestMeshNetwork:
+    def test_latency_scales_with_hops(self):
+        net = MeshNetwork(MeshShape(4, 1, 1), hop_cycles=2, interface_cycles=3)
+        near = net.deliver(0, 1, now=0)
+        far = net.deliver(0, 3, now=1000)
+        assert near == 3 + 2 + 3
+        assert far == 1000 + 3 + 6 + 3
+
+    def test_self_delivery_is_interface_only(self):
+        net = MeshNetwork(MeshShape(2, 1, 1), hop_cycles=2, interface_cycles=3)
+        assert net.deliver(0, 0, now=0) == 6
+
+    def test_port_serialises_injections(self):
+        net = MeshNetwork(MeshShape(2, 1, 1), hop_cycles=2, interface_cycles=3)
+        first = net.deliver(0, 1, now=0)
+        second = net.deliver(0, 1, now=0)
+        assert second > first
+        assert net.stats.port_wait_cycles > 0
+
+    def test_round_trip(self):
+        net = MeshNetwork(MeshShape(2, 1, 1), hop_cycles=2, interface_cycles=3)
+        reply = net.round_trip(0, 1, now=0)
+        assert reply == 2 * (3 + 2 + 3)
+
+    def test_stats(self):
+        net = MeshNetwork(MeshShape(4, 1, 1))
+        net.deliver(0, 3, now=0)
+        net.deliver(0, 1, now=100)
+        assert net.stats.messages == 2
+        assert net.stats.mean_hops == 2.0

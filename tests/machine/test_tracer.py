@@ -1,0 +1,93 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.tracer import Tracer
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+class TestTracer:
+    def test_records_issue_stream(self, kernel):
+        tracer = Tracer(kernel.chip)
+        entry = kernel.load_program("""
+            movi r1, 1
+            addi r1, r1, 2
+            halt
+        """)
+        kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        texts = [e.text for e in tracer.events]
+        assert texts == ["movi r1, 1", "addi r1, r1, 2", "halt"]
+
+    def test_cycles_monotonic(self, kernel):
+        tracer = Tracer(kernel.chip)
+        entry = kernel.load_program("movi r1, 1\nmovi r2, 2\nhalt")
+        kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        cycles = [e.cycle for e in tracer.events]
+        assert cycles == sorted(cycles)
+
+    def test_thread_attribution(self, kernel):
+        tracer = Tracer(kernel.chip)
+        e1 = kernel.load_program("movi r1, 1\nhalt")
+        e2 = kernel.load_program("movi r2, 2\nhalt")
+        t1 = kernel.spawn(e1, cluster=0, stack_bytes=0)
+        t2 = kernel.spawn(e2, cluster=0, stack_bytes=0)
+        kernel.run()
+        assert len(tracer.for_thread(t1.tid)) == 2
+        assert len(tracer.for_thread(t2.tid)) == 2
+
+    def test_privileged_mode_visible(self, kernel):
+        tracer = Tracer(kernel.chip)
+        gateway = ProtectedSubsystem.install(kernel, "entry:\n  jmp r15",
+                                             privileged=True)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        kernel.spawn(caller, regs={1: gateway.enter.word}, stack_bytes=0)
+        kernel.run()
+        priv = tracer.privileged_events()
+        assert len(priv) == 1
+        assert priv[0].text == "jmp r15"
+
+    def test_detach_stops_recording(self, kernel):
+        tracer = Tracer(kernel.chip)
+        entry = kernel.load_program("movi r1, 1\nhalt")
+        tracer.detach()
+        kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert tracer.events == []
+
+    def test_limit_caps_memory(self, kernel):
+        tracer = Tracer(kernel.chip, limit=5)
+        entry = kernel.load_program("""
+            movi r1, 20
+        loop:
+            beq r1, done
+            subi r1, r1, 1
+            br loop
+        done:
+            halt
+        """)
+        kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert len(tracer.events) == 5
+
+    def test_format_is_readable(self, kernel):
+        tracer = Tracer(kernel.chip)
+        entry = kernel.load_program("movi r1, 7\nhalt")
+        t = kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        text = tracer.format()
+        assert "movi r1, 7" in text
+        assert f"t{t.tid}" in text

@@ -1,0 +1,153 @@
+"""Tests for the security monitor: adversarial programs under audit."""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.machine.verifier import InvariantViolation, SecurityMonitor
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+
+
+@pytest.fixture
+def monitor(kernel):
+    return SecurityMonitor(kernel.chip)
+
+
+class TestJumpAudit:
+    def test_plain_call_audited(self, kernel, monitor):
+        target = kernel.load_program("jmp r15")
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        kernel.spawn(caller, regs={1: target.word}, stack_bytes=0)
+        monitor.run_checked()
+        assert monitor.stats.jumps_audited == 2
+        assert monitor.stats.escalations == 0
+
+    def test_gateway_escalation_recorded_as_legal(self, kernel, monitor):
+        gateway = ProtectedSubsystem.install(kernel, "entry:\n  jmp r15",
+                                             privileged=True)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: gateway.enter.word}, stack_bytes=0)
+        monitor.note_spawn(t)
+        monitor.run_checked()
+        assert monitor.stats.escalations == 1
+        escalation = next(r for r in monitor.log if r.was_escalation)
+        assert escalation.source_perm is Permission.ENTER_PRIV
+
+    def test_deescalation_on_return_tracked(self, kernel, monitor):
+        gateway = ProtectedSubsystem.install(kernel, "entry:\n  jmp r15",
+                                             privileged=True)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: gateway.enter.word}, stack_bytes=0)
+        monitor.note_spawn(t)
+        monitor.run_checked()
+        # the return jump (second audit) landed back in user mode
+        assert not monitor.log[-1].was_escalation
+        assert monitor._was_privileged[t.tid] is False
+
+    def test_forged_escalation_detected(self, kernel, monitor):
+        # simulate a simulator bug: hand a user thread an
+        # execute-privileged pointer and jump through it — check_jump
+        # permits it (execute pointers are jumpable), so only the
+        # monitor's provenance rule I1 can catch the escalation.
+        target = kernel.load_program("halt", perm=Permission.EXECUTE_PRIV)
+        caller = kernel.load_program("jmp r1")
+        t = kernel.spawn(caller, regs={1: target.word}, stack_bytes=0)
+        monitor.note_spawn(t)
+        with pytest.raises(InvariantViolation, match="I1"):
+            monitor.run_checked()
+
+    def test_kernel_spawned_privileged_thread_is_fine(self, kernel, monitor):
+        entry = kernel.load_program("halt", perm=Permission.EXECUTE_PRIV)
+        t = kernel.spawn(entry, stack_bytes=0)
+        monitor.note_spawn(t)
+        monitor.run_checked()
+        assert monitor.stats.escalations == 0
+
+
+class TestSweeps:
+    def test_clean_machine_passes(self, kernel, monitor):
+        data = kernel.allocate_segment(4096)
+        entry = kernel.load_program("""
+            st r1, r1, 0
+            ld r2, r1, 0
+            halt
+        """)
+        kernel.spawn(entry, regs={1: data.word}, stack_bytes=0)
+        monitor.run_checked()
+        assert monitor.stats.memory_sweeps == 1
+        assert monitor.stats.register_sweeps >= 1
+
+    def test_undecodable_register_tag_detected(self, kernel, monitor):
+        entry = kernel.load_program("loop:\n  br loop")
+        t = kernel.spawn(entry, stack_bytes=0)
+        # plant a tagged word with a reserved permission code (9)
+        t.regs.write(7, TaggedWord(9 << 60, tag=True))
+        with pytest.raises(InvariantViolation, match="I3"):
+            monitor.check_threads()
+
+    def test_undecodable_memory_tag_detected(self, kernel, monitor):
+        seg = kernel.allocate_segment(4096, eager=True)
+        paddr = kernel.chip.page_table.walk(seg.segment_base)
+        kernel.chip.memory.store_word(paddr, TaggedWord(15 << 60, tag=True))
+        with pytest.raises(InvariantViolation, match="I4"):
+            monitor.check_memory()
+
+    def test_halted_threads_skipped(self, kernel, monitor):
+        entry = kernel.load_program("halt")
+        t = kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert t.state is ThreadState.HALTED
+        t.regs.write(7, TaggedWord(9 << 60, tag=True))  # dead state
+        monitor.check_threads()  # no violation: thread is halted
+
+
+class TestMonitoredSubsystemFlow:
+    def test_full_fig3_flow_is_invariant_clean(self, kernel, monitor):
+        private = kernel.allocate_segment(256, eager=True)
+        paddr = kernel.chip.page_table.walk(private.segment_base)
+        kernel.chip.memory.store_word(paddr, TaggedWord.integer(5150))
+        sub = ProtectedSubsystem.install(kernel, """
+        entry:
+            getip r10, gp1
+            ld r10, r10, 0
+            ld r11, r10, 0
+            movi r10, 0
+            jmp r15
+        gp1:
+            .word 0
+        """, data={"gp1": private})
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: sub.enter.word}, stack_bytes=0)
+        monitor.note_spawn(t)
+        monitor.run_checked()
+        assert t.regs.read(11).value == 5150
+        assert monitor.stats.jumps_audited == 2
+        assert monitor.stats.escalations == 0  # user→user gateway

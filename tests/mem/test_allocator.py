@@ -1,0 +1,132 @@
+"""Tests for the buddy segment allocator (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.allocator import Block, BuddyAllocator, OutOfVirtualSpace, round_up_log2
+
+
+class TestRoundUp:
+    @pytest.mark.parametrize("n,k", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3),
+                                     (255, 8), (256, 8), (257, 9)])
+    def test_values(self, n, k):
+        assert round_up_log2(n) == k
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            round_up_log2(0)
+
+
+class TestAllocate:
+    def test_allocations_are_aligned_powers_of_two(self):
+        a = BuddyAllocator(base=0, order=16)
+        for size in (1, 3, 100, 4097):
+            b = a.allocate(size)
+            assert b.size >= size
+            assert b.size & (b.size - 1) == 0
+            assert b.base % b.size == 0
+
+    def test_arena_base_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(base=100, order=10)
+
+    def test_min_order_floor(self):
+        a = BuddyAllocator(base=0, order=10, min_order=4)
+        assert a.allocate(1).size == 16
+
+    def test_allocations_do_not_overlap(self):
+        a = BuddyAllocator(base=1 << 20, order=12)
+        blocks = [a.allocate(s) for s in (100, 64, 1000, 17, 512)]
+        blocks.sort(key=lambda b: b.base)
+        for x, y in zip(blocks, blocks[1:]):
+            assert x.limit <= y.base
+
+    def test_exhaustion(self):
+        a = BuddyAllocator(base=0, order=8)
+        a.allocate(256)
+        with pytest.raises(OutOfVirtualSpace):
+            a.allocate(1)
+
+    def test_oversized_request(self):
+        a = BuddyAllocator(base=0, order=8)
+        with pytest.raises(OutOfVirtualSpace):
+            a.allocate(512)
+
+    def test_accounting(self):
+        a = BuddyAllocator(base=0, order=16)
+        a.allocate(100)  # granted 128
+        assert a.requested_bytes == 100
+        assert a.granted_bytes == 128
+        assert a.internal_fragmentation() == pytest.approx(1 - 100 / 128)
+
+
+class TestFree:
+    def test_free_then_realloc_reuses_space(self):
+        a = BuddyAllocator(base=0, order=8)
+        b = a.allocate(256)
+        a.free(b)
+        assert a.free_bytes == 256
+        assert a.allocate(256).base == 0
+
+    def test_full_coalescing(self):
+        a = BuddyAllocator(base=0, order=10)
+        blocks = [a.allocate(64) for _ in range(16)]
+        for b in blocks:
+            a.free(b)
+        assert a.largest_free_order() == 10
+        assert a.external_fragmentation() == 0.0
+
+    def test_partial_coalescing(self):
+        a = BuddyAllocator(base=0, order=10)
+        blocks = [a.allocate(64) for _ in range(16)]
+        # free every other block: buddies never pair up
+        for b in blocks[::2]:
+            a.free(b)
+        assert a.largest_free_order() == 6
+        assert a.external_fragmentation() == pytest.approx(1 - 64 / 512)
+
+    def test_double_free_rejected(self):
+        a = BuddyAllocator(base=0, order=8)
+        b = a.allocate(16)
+        a.free(b)
+        with pytest.raises(ValueError):
+            a.free(b)
+
+    def test_free_unknown_block_rejected(self):
+        a = BuddyAllocator(base=0, order=8)
+        with pytest.raises(ValueError):
+            a.free(Block(base=0, order=4))
+
+
+class TestInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=2000)),
+                    min_size=1, max_size=200))
+    def test_conservation_and_no_overlap(self, ops):
+        a = BuddyAllocator(base=0, order=14)
+        live: list[Block] = []
+        for is_free, size in ops:
+            if is_free and live:
+                a.free(live.pop(size % len(live)))
+            else:
+                try:
+                    live.append(a.allocate(size))
+                except OutOfVirtualSpace:
+                    pass
+            # conservation: free + live == arena
+            assert a.free_bytes + sum(b.size for b in live) == a.total_bytes
+        # no overlap among live blocks
+        live.sort(key=lambda b: b.base)
+        for x, y in zip(live, live[1:]):
+            assert x.limit <= y.base
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=60))
+    def test_free_all_restores_arena(self, sizes):
+        a = BuddyAllocator(base=0, order=16)
+        blocks = [a.allocate(s) for s in sizes]
+        for b in blocks:
+            a.free(b)
+        assert a.free_bytes == a.total_bytes
+        assert a.largest_free_order() == 16

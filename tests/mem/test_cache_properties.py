@@ -1,0 +1,129 @@
+"""Property tests on the memory system: the cache is a pure timing
+overlay — functional contents always equal a flat reference memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.word import TaggedWord
+from repro.mem.cache import BankedCache
+from repro.mem.page_table import PageTable
+from repro.mem.physical import FrameAllocator
+from repro.mem.tagged_memory import TaggedMemory
+from repro.mem.tlb import TLB
+
+PAGE = 4096
+SPAN_WORDS = 512  # 4 KiB of addressable test space
+
+
+def build(cache_kwargs=None):
+    mem = TaggedMemory(64 * PAGE)
+    table = PageTable(PAGE, FrameAllocator(64 * PAGE, PAGE))
+    table.ensure_mapped(0, SPAN_WORDS * 8)
+    tlb = TLB(table, entries=8, walk_cycles=20)
+    cache = BankedCache(mem, tlb, total_bytes=2048, banks=4, line_bytes=64,
+                        ways=2, **(cache_kwargs or {}))
+    return mem, table, cache
+
+
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=SPAN_WORDS - 1),  # word index
+        st.one_of(st.none(),                                  # load
+                  st.integers(min_value=0, max_value=(1 << 64) - 1)),  # store
+    ),
+    max_size=200,
+)
+
+
+class TestFunctionalEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_matches_flat_memory(self, operations):
+        _, _, cache = build()
+        reference: dict[int, int] = {}
+        now = 0
+        for index, value in operations:
+            vaddr = index * 8
+            if value is None:
+                result = cache.access(vaddr, write=False, now=now)
+                assert result.word.value == reference.get(index, 0)
+            else:
+                cache.access(vaddr, write=True, now=now,
+                             value=TaggedWord.integer(value))
+                reference[index] = value
+            now = max(now + 1, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops, st.integers(min_value=1, max_value=50))
+    def test_flush_never_loses_data(self, operations, flush_every):
+        _, _, cache = build()
+        reference: dict[int, int] = {}
+        now = 0
+        for i, (index, value) in enumerate(operations):
+            vaddr = index * 8
+            if value is None:
+                result = cache.access(vaddr, write=False, now=now)
+                assert result.word.value == reference.get(index, 0)
+            else:
+                cache.access(vaddr, write=True, now=now,
+                             value=TaggedWord.integer(value))
+                reference[index] = value
+            if i % flush_every == 0:
+                cache.flush()
+            now += 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops)
+    def test_timing_invariants(self, operations):
+        _, _, cache = build()
+        now = 0
+        for index, value in operations:
+            vaddr = index * 8
+            if value is None:
+                result = cache.access(vaddr, write=False, now=now)
+            else:
+                result = cache.access(vaddr, write=True, now=now,
+                                      value=TaggedWord.integer(value))
+            # results are never ready before issue + hit latency
+            assert result.ready_cycle >= now + cache.hit_cycles
+            # hits are exactly hit latency past their (possibly delayed) start
+            if result.hit:
+                assert result.ready_cycle <= now + cache.hit_cycles + \
+                    max(b.busy_until for b in cache._banks)
+            assert 0 <= result.bank < cache.banks
+            now += 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops)
+    def test_stats_conserve(self, operations):
+        _, _, cache = build()
+        now = 0
+        for index, value in operations:
+            cache.access(index * 8, write=value is not None, now=now,
+                         value=None if value is None
+                         else TaggedWord.integer(value))
+            now += 1
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(operations)
+        assert stats.external_accesses == stats.misses + stats.writebacks
+
+
+class TestGeometryVariants:
+    @pytest.mark.parametrize("banks,ways", [(1, 1), (2, 2), (4, 2), (4, 4)])
+    def test_all_geometries_functionally_identical(self, banks, ways):
+        mem = TaggedMemory(64 * PAGE)
+        table = PageTable(PAGE, FrameAllocator(64 * PAGE, PAGE))
+        table.ensure_mapped(0, SPAN_WORDS * 8)
+        cache = BankedCache(mem, TLB(table), total_bytes=2048,
+                            banks=banks, line_bytes=64, ways=ways)
+        for i in range(100):
+            cache.access((i * 7 % SPAN_WORDS) * 8, write=True, now=i,
+                         value=TaggedWord.integer(i))
+        for i in range(100):
+            index = i * 7 % SPAN_WORDS
+            # the LAST write to each index wins; compute expected
+            writes = [j for j in range(100) if j * 7 % SPAN_WORDS == index]
+            expected = writes[-1]
+            result = cache.access(index * 8, write=False, now=1000 + i)
+            assert result.word.value == expected

@@ -1,0 +1,165 @@
+"""Tests for the frame allocator, global page table and TLB."""
+
+import pytest
+
+from repro.core.exceptions import PageFault
+from repro.mem.page_table import PageTable
+from repro.mem.physical import FrameAllocator, OutOfPhysicalMemory
+from repro.mem.tlb import TLB
+
+PAGE = 4096
+
+
+@pytest.fixture
+def frames():
+    return FrameAllocator(memory_bytes=16 * PAGE, page_bytes=PAGE)
+
+
+@pytest.fixture
+def table(frames):
+    return PageTable(page_bytes=PAGE, frames=frames)
+
+
+class TestFrameAllocator:
+    def test_counts(self, frames):
+        assert frames.total_frames == 16
+        assert frames.free_frames == 16
+        frames.allocate()
+        assert frames.free_frames == 15
+        assert frames.used_frames == 1
+
+    def test_frames_are_page_aligned_and_distinct(self, frames):
+        addrs = {frames.allocate() for _ in range(16)}
+        assert len(addrs) == 16
+        assert all(a % PAGE == 0 for a in addrs)
+
+    def test_exhaustion(self, frames):
+        for _ in range(16):
+            frames.allocate()
+        with pytest.raises(OutOfPhysicalMemory):
+            frames.allocate()
+
+    def test_release_recycles(self, frames):
+        a = frames.allocate()
+        frames.release(a)
+        assert frames.free_frames == 16
+
+    def test_double_release_rejected(self, frames):
+        a = frames.allocate()
+        frames.release(a)
+        with pytest.raises(ValueError):
+            frames.release(a)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(memory_bytes=8192, page_bytes=3000)
+
+
+class TestPageTable:
+    def test_walk_translates_offsets(self, table):
+        t = table.map(5)
+        assert table.walk(5 * PAGE + 123) == t.physical_address + 123
+
+    def test_unmapped_page_faults(self, table):
+        with pytest.raises(PageFault) as e:
+            table.walk(7 * PAGE)
+        assert e.value.vaddr == 7 * PAGE
+
+    def test_double_map_rejected(self, table):
+        table.map(1)
+        with pytest.raises(ValueError):
+            table.map(1)
+
+    def test_unmap_revokes(self, table):
+        table.map(2)
+        assert table.is_mapped(2)
+        table.unmap(2)
+        assert not table.is_mapped(2)
+        with pytest.raises(PageFault):
+            table.walk(2 * PAGE)
+
+    def test_unmap_bumps_generation(self, table):
+        table.map(3)
+        g = table.generation
+        table.unmap(3)
+        assert table.generation == g + 1
+
+    def test_unmap_releases_frame(self, table, frames):
+        table.map(4)
+        assert frames.used_frames == 1
+        table.unmap(4)
+        assert frames.used_frames == 0
+
+    def test_ensure_mapped_covers_range(self, table):
+        installed = table.ensure_mapped(PAGE - 8, 3 * PAGE)
+        assert [t.virtual_page for t in installed] == [0, 1, 2, 3]
+        # idempotent
+        assert table.ensure_mapped(PAGE - 8, 3 * PAGE) == []
+
+    def test_explicit_frame_mapping(self):
+        table = PageTable(page_bytes=PAGE)
+        table.map(9, physical_address=2 * PAGE)
+        assert table.walk(9 * PAGE + 5) == 2 * PAGE + 5
+
+    def test_no_allocator_and_no_frame_is_error(self):
+        table = PageTable(page_bytes=PAGE)
+        with pytest.raises(ValueError):
+            table.map(0)
+
+
+class TestTLB:
+    def test_miss_then_hit(self, table):
+        table.map(0)
+        tlb = TLB(table, entries=4, walk_cycles=20)
+        _, cycles = tlb.translate(16)
+        assert cycles == 20
+        _, cycles = tlb.translate(24)
+        assert cycles == 0
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+    def test_translation_matches_walk(self, table):
+        table.map(3)
+        tlb = TLB(table)
+        paddr, _ = tlb.translate(3 * PAGE + 40)
+        assert paddr == table.walk(3 * PAGE + 40)
+
+    def test_lru_eviction(self, table):
+        for p in range(5):
+            table.map(p)
+        tlb = TLB(table, entries=4)
+        for p in range(5):
+            tlb.translate(p * PAGE)  # page 0 evicted by page 4
+        _, cycles = tlb.translate(0)
+        assert cycles == tlb.walk_cycles  # miss again
+        _, cycles = tlb.translate(4 * PAGE)
+        assert cycles == 0  # still resident
+
+    def test_page_fault_propagates(self, table):
+        tlb = TLB(table)
+        with pytest.raises(PageFault):
+            tlb.translate(99 * PAGE)
+
+    def test_unmap_invalidates_cached_entry(self, table):
+        table.map(1)
+        tlb = TLB(table)
+        tlb.translate(PAGE)
+        table.unmap(1)
+        with pytest.raises(PageFault):
+            tlb.translate(PAGE)  # stale entry must not be used
+
+    def test_flush_counts_and_clears(self, table):
+        table.map(0)
+        tlb = TLB(table)
+        tlb.translate(0)
+        tlb.flush()
+        assert tlb.stats.flushes == 1
+        assert tlb.occupancy == 0
+        _, cycles = tlb.translate(0)
+        assert cycles == tlb.walk_cycles
+
+    def test_hit_rate(self, table):
+        table.map(0)
+        tlb = TLB(table)
+        for _ in range(10):
+            tlb.translate(0)
+        assert tlb.stats.hit_rate == pytest.approx(0.9)

@@ -1,0 +1,111 @@
+"""Tests for tagged physical memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.mem.tagged_memory import AlignmentFault, TaggedMemory
+
+
+@pytest.fixture
+def mem():
+    return TaggedMemory(4096)
+
+
+class TestConstruction:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            TaggedMemory(0)
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            TaggedMemory(100)
+
+    def test_size_words(self, mem):
+        assert mem.size_words == 512
+
+
+class TestAccess:
+    def test_uninitialised_reads_zero(self, mem):
+        assert mem.load_word(0) == TaggedWord.zero()
+        assert mem.load_word(4088) == TaggedWord.zero()
+
+    def test_store_load_roundtrip(self, mem):
+        w = TaggedWord.integer(0xCAFEBABE)
+        mem.store_word(64, w)
+        assert mem.load_word(64) == w
+
+    def test_tag_travels_with_word(self, mem):
+        p = GuardedPointer.make(Permission.READ_WRITE, 8, 0x1200)
+        mem.store_word(8, p.word)
+        loaded = mem.load_word(8)
+        assert loaded.tag
+        assert GuardedPointer.from_word(loaded) == p
+
+    def test_unaligned_access_faults(self, mem):
+        with pytest.raises(AlignmentFault):
+            mem.load_word(3)
+        with pytest.raises(AlignmentFault):
+            mem.store_word(9, TaggedWord.zero())
+
+    def test_out_of_range_faults(self, mem):
+        with pytest.raises(IndexError):
+            mem.load_word(4096)
+        with pytest.raises(IndexError):
+            mem.load_word(-8)
+
+    def test_storing_zero_frees_sparse_storage(self, mem):
+        mem.store_word(0, TaggedWord.integer(5))
+        assert mem.words_in_use() == 1
+        mem.store_word(0, TaggedWord.zero())
+        assert mem.words_in_use() == 0
+
+    def test_tagged_zero_is_retained(self, mem):
+        # a pointer whose bits are all zero is still a pointer
+        mem.store_word(0, TaggedWord(0, tag=True))
+        assert mem.words_in_use() == 1
+        assert mem.load_word(0).tag
+
+    @given(st.integers(min_value=0, max_value=511),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.booleans())
+    def test_roundtrip_any_word(self, index, value, tag):
+        mem = TaggedMemory(4096)
+        w = TaggedWord(value, tag=tag)
+        mem.store_word(index * 8, w)
+        assert mem.load_word(index * 8) == w
+
+
+class TestOverheadAccounting:
+    def test_tag_overhead_is_one_sixtyfourth(self, mem):
+        assert mem.tag_bits * 64 == mem.data_bits
+        assert mem.tag_overhead == pytest.approx(1 / 64)
+
+    def test_paper_quote_about_1_5_percent(self, mem):
+        assert 0.015 <= mem.tag_overhead <= 0.016
+
+
+class TestScanTagged:
+    def test_finds_only_tagged_words(self, mem):
+        p = GuardedPointer.make(Permission.KEY, 0, 0x42)
+        mem.store_word(16, TaggedWord.integer(1))
+        mem.store_word(24, p.word)
+        mem.store_word(32, TaggedWord.integer(2))
+        found = list(mem.scan_tagged())
+        assert found == [(24, p.word)]
+
+    def test_range_limits_scan(self, mem):
+        p = GuardedPointer.make(Permission.KEY, 0, 0x42)
+        mem.store_word(0, p.word)
+        mem.store_word(128, p.word)
+        assert [a for a, _ in mem.scan_tagged(0, 64)] == [0]
+        assert [a for a, _ in mem.scan_tagged(64)] == [128]
+
+    def test_scan_is_address_ordered(self, mem):
+        p = GuardedPointer.make(Permission.KEY, 0, 0x42)
+        for addr in (256, 8, 96):
+            mem.store_word(addr, p.word)
+        assert [a for a, _ in mem.scan_tagged()] == [8, 96, 256]

@@ -1,0 +1,167 @@
+"""Tests for the stack calling convention — recursion on the MAP."""
+
+import pytest
+
+from repro.core.exceptions import BoundsFault
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime import abi
+from repro.runtime.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+class TestPushPop:
+    def test_round_trip(self, kernel):
+        entry = kernel.load_program(f"""
+            movi r1, 111
+            movi r2, 222
+            {abi.push("r1")}
+            {abi.push("r2")}
+            {abi.pop("r3")}
+            {abi.pop("r4")}
+            halt
+        """)
+        t = kernel.spawn(entry)
+        assert kernel.run().reason == "halted"
+        assert t.regs.read(3).value == 222  # LIFO
+        assert t.regs.read(4).value == 111
+
+    def test_pointer_survives_stack(self, kernel):
+        data = kernel.allocate_segment(256)
+        entry = kernel.load_program(f"""
+            {abi.push("r1")}
+            movi r1, 0
+            {abi.pop("r2")}
+            isptr r3, r2
+            halt
+        """)
+        t = kernel.spawn(entry, regs={1: data.word})
+        kernel.run()
+        assert t.regs.read(3).value == 1
+
+
+class TestCallReturn:
+    def test_leaf_call(self, kernel):
+        entry = kernel.load_program(f"""
+            movi r1, 20
+            {abi.call("double")}
+            halt
+        double:
+            add r1, r1, r1
+            jmp r15
+        """)
+        t = kernel.spawn(entry)
+        result = kernel.run()
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(1).value == 40
+
+    def test_non_leaf_call_saves_return_ip(self, kernel):
+        entry = kernel.load_program(f"""
+            movi r1, 3
+            {abi.call("outer")}
+            halt
+        outer:
+            {abi.prologue()}
+            {abi.call("inner")}
+            addi r1, r1, 100
+            {abi.epilogue()}
+        inner:
+            addi r1, r1, 10
+            jmp r15
+        """)
+        t = kernel.spawn(entry)
+        result = kernel.run()
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(1).value == 113
+
+    def test_locals(self, kernel):
+        entry = kernel.load_program(f"""
+            movi r1, 7
+            {abi.call("fn")}
+            halt
+        fn:
+            {abi.prologue(locals_count=2)}
+            {abi.store_local("r1", 0)}
+            movi r1, 0
+            {abi.load_local("r2", 0)}
+            add r1, r2, r2
+            {abi.epilogue(locals_count=2)}
+        """)
+        t = kernel.spawn(entry)
+        result = kernel.run()
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(1).value == 14
+
+
+class TestRecursion:
+    FIB = f"""
+        ; r1 = n in, r1 = fib(n) out; r2 scratch
+        {abi.call("fib")}
+        halt
+    fib:
+        slti r2, r1, 2
+        beq r2, recurse
+        jmp r15              ; fib(0)=0, fib(1)=1
+    recurse:
+        {abi.prologue(locals_count=1)}
+        subi r1, r1, 1
+        {abi.store_local("r1", 0)}   ; save n-1
+        {abi.call("fib")}            ; r1 = fib(n-1)
+        {abi.load_local("r2", 0)}    ; r2 = n-1
+        {abi.store_local("r1", 0)}   ; save fib(n-1)
+        subi r1, r2, 1               ; n-2
+        {abi.call("fib")}            ; r1 = fib(n-2)
+        {abi.load_local("r2", 0)}
+        add r1, r1, r2
+        {abi.epilogue(locals_count=1)}
+    """
+
+    def test_fibonacci(self, kernel):
+        entry = kernel.load_program(f"movi r1, 10\n{self.FIB}")
+        t = kernel.spawn(entry, stack_bytes=8192)
+        result = kernel.run(max_cycles=500_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(1).value == 55
+
+    def test_factorial(self, kernel):
+        entry = kernel.load_program(f"""
+            movi r1, 6
+            {abi.call("fact")}
+            halt
+        fact:
+            slti r2, r1, 2
+            bne r2, base
+            {abi.prologue(locals_count=1)}
+            {abi.store_local("r1", 0)}
+            subi r1, r1, 1
+            {abi.call("fact")}
+            {abi.load_local("r2", 0)}
+            mul r1, r1, r2
+            {abi.epilogue(locals_count=1)}
+        base:
+            movi r1, 1
+            jmp r15
+        """)
+        t = kernel.spawn(entry, stack_bytes=8192)
+        result = kernel.run(max_cycles=500_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(1).value == 720
+
+
+class TestStackSafety:
+    def test_stack_overflow_faults_in_hardware(self, kernel):
+        # unbounded recursion runs the SP off the bottom of the stack
+        # segment: BoundsFault, not silent corruption
+        entry = kernel.load_program(f"""
+        forever:
+            {abi.push("r1")}
+            br forever
+        """)
+        t = kernel.spawn(entry, stack_bytes=256)
+        kernel.run(max_cycles=100_000)
+        assert t.state is ThreadState.FAULTED
+        assert isinstance(t.fault.cause, BoundsFault)

@@ -1,0 +1,115 @@
+"""Tests for ACL-mediated protected indirection (§4.3)."""
+
+import pytest
+
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.acl import DENIED, AccessControlledObject
+from repro.runtime.kernel import Kernel
+
+SECRET = 4242
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+
+
+@pytest.fixture
+def aco(kernel):
+    obj = kernel.allocate_segment(256, eager=True)
+    paddr = kernel.chip.page_table.walk(obj.segment_base)
+    kernel.chip.memory.store_word(paddr, TaggedWord.integer(SECRET))
+    return AccessControlledObject.install(kernel, obj)
+
+
+CALLER = """
+    getip r15, ret
+    jmp r1
+ret:
+    halt
+"""
+
+
+def call_with(kernel, aco, key_word):
+    entry = kernel.load_program(CALLER)
+    thread = kernel.spawn(entry, regs={1: aco.enter.word, 3: key_word},
+                          stack_bytes=0)
+    result = kernel.run(max_cycles=100_000)
+    assert result.reason == "halted", thread.fault
+    return thread.regs.read(11).value
+
+
+class TestGrantAndAccess:
+    def test_granted_key_reads(self, kernel, aco):
+        key = aco.mint_key()
+        aco.grant(key)
+        assert call_with(kernel, aco, key.word) == SECRET
+
+    def test_ungranted_key_denied(self, kernel, aco):
+        stranger = aco.mint_key()  # minted but never granted
+        assert call_with(kernel, aco, stranger.word) == DENIED
+
+    def test_keys_are_per_client(self, kernel, aco):
+        alice, bob = aco.mint_key(), aco.mint_key()
+        aco.grant(alice)
+        assert call_with(kernel, aco, alice.word) == SECRET
+        assert call_with(kernel, aco, bob.word) == DENIED
+
+    def test_grant_idempotent(self, kernel, aco):
+        key = aco.mint_key()
+        aco.grant(key)
+        aco.grant(key)
+        assert call_with(kernel, aco, key.word) == SECRET
+
+    def test_acl_capacity(self, kernel, aco):
+        keys = [aco.mint_key() for _ in range(aco.slots)]
+        for key in keys:
+            aco.grant(key)
+        with pytest.raises(RuntimeError, match="ACL full"):
+            aco.grant(aco.mint_key())
+
+
+class TestRevocation:
+    def test_single_client_revocation(self, kernel, aco):
+        """The §4.3 punchline: revoke ONE process without touching any
+        pointer anyone holds."""
+        alice, bob = aco.mint_key(), aco.mint_key()
+        aco.grant(alice)
+        aco.grant(bob)
+        assert call_with(kernel, aco, alice.word) == SECRET
+        assert aco.revoke(alice) is True
+        # alice's key word is unchanged in her hands — it just no
+        # longer opens the door; bob is untouched
+        assert call_with(kernel, aco, alice.word) == DENIED
+        assert call_with(kernel, aco, bob.word) == SECRET
+
+    def test_revoke_unknown_is_noop(self, kernel, aco):
+        assert aco.revoke(aco.mint_key()) is False
+
+    def test_regrant_after_revoke(self, kernel, aco):
+        key = aco.mint_key()
+        aco.grant(key)
+        aco.revoke(key)
+        aco.grant(key)
+        assert call_with(kernel, aco, key.word) == SECRET
+
+
+class TestForgeryResistance:
+    def test_key_bits_as_integer_denied(self, kernel, aco):
+        """Stripping the tag (leaked bits) must not open the door: the
+        mediator's ISPTR check rejects non-pointer presentations."""
+        key = aco.mint_key()
+        aco.grant(key)
+        leaked_bits = key.as_integer()
+        assert call_with(kernel, aco, leaked_bits) == DENIED
+
+    def test_zero_key_denied(self, kernel, aco):
+        assert call_with(kernel, aco, TaggedWord.zero()) == DENIED
+
+    def test_client_cannot_read_acl_or_object(self, kernel, aco):
+        snoop = kernel.load_program("ld r2, r1, 0\nhalt")
+        t = kernel.spawn(snoop, regs={1: aco.enter.word}, stack_bytes=0)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED

@@ -1,0 +1,124 @@
+"""Tests for address-space GC and sweep revocation (§4.3)."""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.runtime.gc import AddressSpaceGC, sweep_revoke
+from repro.runtime.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+def store_pointer(kernel, at: GuardedPointer, offset: int, value: GuardedPointer):
+    vaddr = at.segment_base + offset
+    kernel.chip.page_table.ensure_mapped(vaddr, 8)
+    kernel.chip.memory.store_word(kernel.chip.page_table.walk(vaddr), value.word)
+
+
+class TestCollect:
+    def test_unreachable_segment_freed(self, kernel):
+        live = kernel.allocate_segment(4096, eager=True)
+        dead = kernel.allocate_segment(4096, eager=True)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(extra_roots=[live])
+        assert stats.segments_freed == 1
+        assert stats.bytes_freed == 4096
+        assert kernel.segment_of(dead.segment_base) is None
+        assert kernel.segment_of(live.segment_base) is not None
+
+    def test_transitively_reachable_survives(self, kernel):
+        a = kernel.allocate_segment(4096, eager=True)
+        b = kernel.allocate_segment(4096, eager=True)
+        c = kernel.allocate_segment(4096, eager=True)
+        store_pointer(kernel, a, 0, b)   # a -> b
+        store_pointer(kernel, b, 8, c)   # b -> c
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(extra_roots=[a])
+        assert stats.segments_freed == 0
+        assert stats.segments_live == 3
+        assert stats.pointers_found >= 2
+
+    def test_cycles_terminate(self, kernel):
+        a = kernel.allocate_segment(4096, eager=True)
+        b = kernel.allocate_segment(4096, eager=True)
+        store_pointer(kernel, a, 0, b)
+        store_pointer(kernel, b, 0, a)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(extra_roots=[a])
+        assert stats.segments_live == 2
+        assert stats.segments_freed == 0
+
+    def test_thread_registers_are_roots(self, kernel):
+        held = kernel.allocate_segment(4096)
+        entry = kernel.load_program("loop:\n  br loop")
+        kernel.spawn(entry, regs={1: held.word}, stack_bytes=0)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect()
+        assert kernel.segment_of(held.segment_base) is not None
+        # the code segment is rooted through the thread's IP
+        assert kernel.segment_of(entry.segment_base) is not None
+        assert stats.segments_freed == 0
+
+    def test_lazy_pages_not_scanned(self, kernel):
+        big = kernel.allocate_segment(1 << 20)  # 1 MiB, nothing mapped
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(extra_roots=[big], free=False)
+        assert stats.words_scanned == 0
+
+    def test_free_false_reports_only(self, kernel):
+        dead = kernel.allocate_segment(4096, eager=True)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect(free=False)
+        assert stats.segments_freed == 0
+        assert kernel.segment_of(dead.segment_base) is not None
+
+    def test_integers_are_not_roots(self, kernel):
+        dead = kernel.allocate_segment(4096, eager=True)
+        # a word with pointer-shaped bits but no tag is not a root
+        entry = kernel.load_program("loop:\n  br loop")
+        kernel.spawn(entry, regs={1: dead.as_integer()}, stack_bytes=0)
+        gc = AddressSpaceGC(kernel)
+        stats = gc.collect()
+        assert kernel.segment_of(dead.segment_base) is None
+        assert stats.segments_freed == 1
+
+
+class TestSweepRevoke:
+    def test_overwrites_all_copies(self, kernel):
+        target = kernel.allocate_segment(4096, eager=True)
+        holder1 = kernel.allocate_segment(4096, eager=True)
+        holder2 = kernel.allocate_segment(4096, eager=True)
+        store_pointer(kernel, holder1, 0, target)
+        store_pointer(kernel, holder2, 16, target)
+        scanned, overwritten = sweep_revoke(kernel, target)
+        assert overwritten == 2
+        paddr = kernel.chip.page_table.walk(holder1.segment_base)
+        assert kernel.chip.memory.load_word(paddr) == TaggedWord.zero()
+
+    def test_spares_other_pointers(self, kernel):
+        target = kernel.allocate_segment(4096, eager=True)
+        other = kernel.allocate_segment(4096, eager=True)
+        holder = kernel.allocate_segment(4096, eager=True)
+        store_pointer(kernel, holder, 0, target)
+        store_pointer(kernel, holder, 8, other)
+        sweep_revoke(kernel, target)
+        paddr = kernel.chip.page_table.walk(holder.segment_base + 8)
+        assert GuardedPointer.from_word(kernel.chip.memory.load_word(paddr)) == other
+
+    def test_clears_registers_too(self, kernel):
+        target = kernel.allocate_segment(4096)
+        entry = kernel.load_program("loop:\n  br loop")
+        t = kernel.spawn(entry, regs={3: target.word}, stack_bytes=0)
+        sweep_revoke(kernel, target)
+        assert not t.regs.read(3).tag
+
+    def test_cost_scales_with_memory(self, kernel):
+        target = kernel.allocate_segment(4096)
+        scanned, _ = sweep_revoke(kernel, target)
+        assert scanned == kernel.chip.memory.size_words

@@ -1,0 +1,170 @@
+"""Tests for kernel services: segments, loading, demand paging, traps."""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+class TestSegments:
+    def test_allocate_returns_exact_power_of_two(self, kernel):
+        p = kernel.allocate_segment(100)
+        assert p.segment_size == 128
+        assert p.permission is Permission.READ_WRITE
+        assert p.offset == 0
+
+    def test_segments_disjoint(self, kernel):
+        ps = [kernel.allocate_segment(1000) for _ in range(10)]
+        ps.sort(key=lambda p: p.segment_base)
+        for a, b in zip(ps, ps[1:]):
+            assert a.segment_limit <= b.segment_base
+
+    def test_lazy_by_default(self, kernel):
+        before = kernel.chip.frames.used_frames
+        kernel.allocate_segment(1 << 20)
+        assert kernel.chip.frames.used_frames == before
+
+    def test_eager_maps_pages(self, kernel):
+        before = kernel.chip.frames.used_frames
+        kernel.allocate_segment(8192, eager=True)
+        assert kernel.chip.frames.used_frames == before + 2
+
+    def test_free_unmaps_and_recycles(self, kernel):
+        p = kernel.allocate_segment(8192, eager=True)
+        used = kernel.chip.frames.used_frames
+        kernel.free_segment(p)
+        assert kernel.chip.frames.used_frames == used - 2
+        assert kernel.segment_of(p.segment_base) is None
+
+    def test_free_unknown_segment_rejected(self, kernel):
+        p = GuardedPointer.make(Permission.READ_WRITE, 8, 0)
+        with pytest.raises(ValueError):
+            kernel.free_segment(p)
+
+    def test_segment_of_finds_by_interior_address(self, kernel):
+        p = kernel.allocate_segment(4096)
+        seg = kernel.segment_of(p.segment_base + 100)
+        assert seg is not None
+        assert seg.base == p.segment_base
+
+
+class TestLoading:
+    def test_load_and_run(self, kernel):
+        entry = kernel.load_program("movi r1, 7\nhalt")
+        t = kernel.spawn(entry)
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(1).value == 7
+
+    def test_entry_points_at_first_bundle(self, kernel):
+        entry = kernel.load_program("halt")
+        assert entry.offset == 0
+        assert entry.permission is Permission.EXECUTE_USER
+
+    def test_patch_pointer_slot(self, kernel):
+        data = kernel.allocate_segment(256)
+        entry = kernel.load_program("""
+            getip r1, slot
+            ld r2, r1, 0
+            halt
+        slot:
+            .word 0
+        """, patches={"slot": data})
+        t = kernel.spawn(entry)
+        kernel.run()
+        assert GuardedPointer.from_word(t.regs.read(2)) == data
+
+    def test_patch_unknown_label_rejected(self, kernel):
+        data = kernel.allocate_segment(256)
+        with pytest.raises(ValueError, match="no label"):
+            kernel.load_program("halt", patches={"nope": data})
+
+    def test_spawn_provides_stack(self, kernel):
+        entry = kernel.load_program("""
+            movi r2, 11
+            st r2, r14, 0
+            ld r3, r14, 0
+            halt
+        """)
+        t = kernel.spawn(entry)
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(3).value == 11
+
+
+class TestDemandPaging:
+    def test_first_touch_maps(self, kernel):
+        data = kernel.allocate_segment(64 * 1024)  # lazy
+        entry = kernel.load_program("""
+            movi r2, 5
+            st r2, r1, 0
+            ld r3, r1, 0
+            halt
+        """)
+        t = kernel.spawn(entry, regs={1: data.word})
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(3).value == 5
+        assert kernel.stats.demand_pages >= 1
+
+    def test_stray_pointer_kills_thread(self, kernel):
+        # a privileged forge outside any kernel segment: unserviceable
+        stray = GuardedPointer.make(Permission.READ_WRITE, 12, 0x100000000)
+        entry = kernel.load_program("ld r2, r1, 0\nhalt")
+        t = kernel.spawn(entry, regs={1: stray.word})
+        r = kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert kernel.stats.killed_threads == 1
+
+    def test_demand_paging_spans_many_pages(self, kernel):
+        data = kernel.allocate_segment(1 << 16)
+        page = kernel.chip.page_table.page_bytes
+        body = "\n".join(
+            f"st r2, r1, {i * page}" for i in range(8)
+        )
+        entry = kernel.load_program(f"movi r2, 1\n{body}\nhalt")
+        kernel.spawn(entry, regs={1: data.word})
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert kernel.stats.demand_pages == 8
+
+
+class TestTraps:
+    def test_registered_trap_services_and_returns(self, kernel):
+        seen = []
+
+        def handler(thread, record):
+            seen.append(record.cause.code)
+            thread.regs.write(1, TaggedWord.integer(99))
+
+        kernel.register_trap(3, handler)
+        entry = kernel.load_program("trap 3\nhalt")
+        t = kernel.spawn(entry)
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert seen == [3]
+        assert t.regs.read(1).value == 99
+        assert kernel.stats.traps == 1
+
+    def test_unregistered_trap_kills(self, kernel):
+        entry = kernel.load_program("trap 42\nhalt")
+        t = kernel.spawn(entry)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert kernel.stats.killed_threads == 1
+
+    def test_protection_fault_kills(self, kernel):
+        entry = kernel.load_program("ld r2, r1, 0\nhalt")  # r1 is an integer
+        t = kernel.spawn(entry)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert kernel.stats.killed_threads == 1

@@ -1,0 +1,103 @@
+"""Kernel robustness under resource exhaustion and heavy churn."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permissions import Permission
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.mem.allocator import OutOfVirtualSpace
+from repro.mem.physical import OutOfPhysicalMemory
+from repro.runtime.kernel import Kernel
+
+
+def small_kernel(memory_bytes=256 * 1024, arena_order=20):
+    chip = MAPChip(ChipConfig(memory_bytes=memory_bytes))
+    return Kernel(chip, arena_base=1 << arena_order, arena_order=arena_order)
+
+
+class TestPhysicalExhaustion:
+    def test_eager_allocation_raises_when_frames_run_out(self):
+        kernel = small_kernel(memory_bytes=64 * 1024)  # 16 frames
+        with pytest.raises(OutOfPhysicalMemory):
+            for _ in range(32):
+                kernel.allocate_segment(8192, eager=True)
+
+    def test_lazy_allocation_overcommits_gracefully(self):
+        # virtual space far exceeds physical: fine until touched
+        kernel = small_kernel(memory_bytes=64 * 1024)
+        segments = [kernel.allocate_segment(8192) for _ in range(32)]
+        assert len(segments) == 32
+        assert kernel.chip.frames.used_frames == 0
+
+    def test_demand_paging_kills_thread_when_frames_exhausted(self):
+        kernel = small_kernel(memory_bytes=64 * 1024)  # 16 frames
+        big = kernel.allocate_segment(256 * 1024)  # 64 pages, lazy
+        page = kernel.chip.page_table.page_bytes
+        touches = "\n".join(f"st r2, r1, {i * page}" for i in range(32))
+        entry = kernel.load_program(f"movi r2, 1\n{touches}\nhalt")
+        t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
+        kernel.run()
+        # the code segment itself consumed frames; well before 32
+        # touches the pool is dry and the thread dies cleanly
+        assert t.state is ThreadState.FAULTED
+        assert kernel.stats.killed_threads == 1
+
+
+class TestVirtualExhaustion:
+    def test_arena_exhaustion_raises(self):
+        kernel = small_kernel(arena_order=16)  # 64 KiB arena
+        kernel.allocate_segment(32 * 1024)
+        kernel.allocate_segment(16 * 1024)
+        kernel.allocate_segment(16 * 1024)
+        with pytest.raises(OutOfVirtualSpace):
+            kernel.allocate_segment(1)
+
+    def test_free_makes_space_reusable(self):
+        kernel = small_kernel(arena_order=16)
+        a = kernel.allocate_segment(32 * 1024)
+        kernel.free_segment(a)
+        b = kernel.allocate_segment(32 * 1024)
+        assert b.segment_base == a.segment_base
+
+
+class TestSegmentChurn:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=16384)),
+                    min_size=1, max_size=80))
+    def test_alloc_free_churn_conserves_arena(self, ops):
+        kernel = small_kernel(arena_order=22)
+        live = []
+        for do_free, size in ops:
+            if do_free and live:
+                kernel.free_segment(live.pop())
+            else:
+                try:
+                    live.append(kernel.allocate_segment(size))
+                except OutOfVirtualSpace:
+                    pass
+        total = kernel.allocator.total_bytes
+        held = sum(p.segment_size for p in live)
+        assert kernel.allocator.free_bytes + held == total
+        assert len(kernel.segments) == len(live)
+
+    def test_many_small_processes(self):
+        kernel = small_kernel(memory_bytes=2 * 1024 * 1024, arena_order=24)
+        threads = []
+        for i in range(16):
+            entry = kernel.load_program(f"movi r1, {i}\nhalt")
+            threads.append(kernel.spawn(entry, stack_bytes=0))
+        result = kernel.run()
+        assert result.reason == "halted"
+        for i, t in enumerate(threads):
+            assert t.regs.read(1).value == i
+
+
+class TestPermissionPlumbing:
+    def test_all_permissions_allocatable(self):
+        kernel = small_kernel()
+        for perm in Permission:
+            p = kernel.allocate_segment(4096, perm)
+            assert p.permission is perm

@@ -1,0 +1,105 @@
+"""Tests for the bounds-checked heap allocator."""
+
+import pytest
+
+from repro.core.exceptions import BoundsFault
+from repro.core.operations import lea
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.runtime.malloc import Heap, OutOfHeap
+
+
+def make_heap(seglen=16, min_chunk=16):
+    segment = GuardedPointer.make(Permission.READ_WRITE, seglen, 1 << 20)
+    return Heap(segment, min_chunk=min_chunk)
+
+
+class TestAllocate:
+    def test_pointer_is_bounded_to_chunk(self):
+        heap = make_heap()
+        p = heap.allocate(100)
+        assert p.segment_size == 128
+        assert p.permission is Permission.READ_WRITE
+        # walking past the end of the object faults in hardware
+        lea(p.word, 127)
+        with pytest.raises(BoundsFault):
+            lea(p.word, 128)
+
+    def test_min_chunk_floor(self):
+        heap = make_heap(min_chunk=32)
+        assert heap.allocate(1).segment_size == 32
+
+    def test_chunks_within_heap_segment(self):
+        heap = make_heap()
+        for _ in range(10):
+            p = heap.allocate(64)
+            assert (1 << 20) <= p.segment_base
+            assert p.segment_limit <= (1 << 20) + (1 << 16)
+
+    def test_chunks_disjoint(self):
+        heap = make_heap()
+        ptrs = [heap.allocate(48) for _ in range(20)]
+        spans = sorted((p.segment_base, p.segment_limit) for p in ptrs)
+        for (_, a_end), (b_start, _) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+    def test_whole_segment_allocation(self):
+        heap = make_heap(seglen=10)
+        p = heap.allocate(1024)
+        assert p.segment_size == 1024
+        assert p.seglen == 10
+
+    def test_exhaustion(self):
+        heap = make_heap(seglen=8)
+        heap.allocate(256)
+        with pytest.raises(OutOfHeap):
+            heap.allocate(16)
+
+    def test_interior_pointer_input_normalised(self):
+        interior = GuardedPointer.make(Permission.READ_WRITE, 16, (1 << 20) + 999)
+        heap = Heap(interior)
+        p = heap.allocate(64)
+        assert (1 << 20) <= p.segment_base < (1 << 20) + (1 << 16)
+
+
+class TestFree:
+    def test_free_recycles(self):
+        heap = make_heap(seglen=8)
+        p = heap.allocate(256)
+        heap.free(p)
+        q = heap.allocate(256)
+        assert q.segment_base == p.segment_base
+
+    def test_double_free_rejected(self):
+        heap = make_heap()
+        p = heap.allocate(64)
+        heap.free(p)
+        with pytest.raises(ValueError):
+            heap.free(p)
+
+    def test_foreign_pointer_rejected(self):
+        heap = make_heap()
+        foreign = GuardedPointer.make(Permission.READ_WRITE, 6, 1 << 22)
+        with pytest.raises(ValueError):
+            heap.free(foreign)
+
+    def test_live_count(self):
+        heap = make_heap()
+        ptrs = [heap.allocate(64) for _ in range(5)]
+        assert heap.live_allocations == 5
+        heap.free(ptrs[0])
+        assert heap.live_allocations == 4
+
+
+class TestFragmentationReporting:
+    def test_internal_fragmentation_tracks_rounding(self):
+        heap = make_heap()
+        heap.allocate(65)  # granted 128
+        assert heap.internal_fragmentation() == pytest.approx(1 - 65 / 128)
+
+    def test_external_fragmentation_after_churn(self):
+        heap = make_heap(seglen=12, min_chunk=64)
+        ptrs = [heap.allocate(64) for _ in range(64)]
+        for p in ptrs[::2]:
+            heap.free(p)
+        assert heap.external_fragmentation() > 0

@@ -1,0 +1,91 @@
+"""Tests for processes as protection domains and pointer-based sharing."""
+
+import pytest
+
+from repro.core.exceptions import RestrictFault
+from repro.core.permissions import Permission
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+from repro.runtime.process import ProcessManager
+
+
+@pytest.fixture
+def manager():
+    return ProcessManager(Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024))))
+
+
+class TestCreate:
+    def test_distinct_domains(self, manager):
+        a = manager.create("halt")
+        b = manager.create("halt")
+        assert a.domain != b.domain
+
+    def test_data_segment_on_request(self, manager):
+        p = manager.create("halt", data_bytes=4096)
+        assert len(p.segments) == 1
+        assert p.segments[0].segment_size == 4096
+
+    def test_start_runs_thread(self, manager):
+        p = manager.create("movi r1, 3\nhalt")
+        t = p.start()
+        r = manager.kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(1).value == 3
+        assert t.domain == p.domain
+
+
+class TestSharing:
+    def test_grant_hands_pointer(self, manager):
+        a = manager.create("halt", data_bytes=4096)
+        b = manager.create("halt")
+        shared = a.grant(a.segments[0], to=b)
+        assert shared in b.segments
+        assert shared.permission is Permission.READ_WRITE
+
+    def test_grant_read_only(self, manager):
+        a = manager.create("halt", data_bytes=4096)
+        b = manager.create("halt")
+        shared = a.grant(a.segments[0], to=b, perm=Permission.READ_ONLY)
+        assert shared.permission is Permission.READ_ONLY
+        assert shared.segment_base == a.segments[0].segment_base
+
+    def test_grant_cannot_amplify(self, manager):
+        a = manager.create("halt", data_bytes=4096)
+        b = manager.create("halt")
+        ro = a.grant(a.segments[0], to=b, perm=Permission.READ_ONLY)
+        with pytest.raises(RestrictFault):
+            b.grant(ro, to=a, perm=Permission.READ_WRITE)
+
+    def test_shared_segment_readable_writable_across_domains(self, manager):
+        writer = manager.create("""
+            movi r2, 41
+            st r2, r1, 0
+            halt
+        """, data_bytes=4096)
+        reader = manager.create("""
+        wait:
+            ld r3, r1, 0
+            beq r3, wait
+            addi r3, r3, 1
+            halt
+        """)
+        shared_rw = writer.segments[0]
+        shared_ro = writer.grant(shared_rw, to=reader, perm=Permission.READ_ONLY)
+        tw = writer.start(regs={1: shared_rw.word})
+        tr = reader.start(regs={1: shared_ro.word})
+        r = manager.kernel.run()
+        assert r.reason == "halted"
+        assert tr.regs.read(3).value == 42
+
+    def test_read_only_grantee_cannot_write(self, manager):
+        owner = manager.create("halt", data_bytes=4096)
+        intruder = manager.create("""
+            movi r2, 9
+            st r2, r1, 0
+            halt
+        """)
+        ro = owner.grant(owner.segments[0], to=intruder, perm=Permission.READ_ONLY)
+        t = intruder.start(regs={1: ro.word})
+        manager.kernel.run()
+        assert t.state is ThreadState.FAULTED

@@ -1,0 +1,129 @@
+"""Tests for segment relocation by unmap-and-patch (§4.3)."""
+
+import pytest
+
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+from repro.runtime.relocation import Relocator
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+
+
+def write_word(kernel, vaddr, value):
+    paddr = kernel.chip.page_table.walk(vaddr)
+    kernel.chip.memory.store_word(paddr, TaggedWord.integer(value))
+
+
+class TestRelocate:
+    def test_data_moves_without_copy(self, kernel):
+        relocator = Relocator(kernel)
+        old = kernel.allocate_segment(8192, eager=True)
+        write_word(kernel, old.segment_base + 16, 777)
+        new = relocator.relocate(old)
+        assert new.segment_base != old.segment_base
+        # the same frame now backs the new virtual page
+        paddr = kernel.chip.page_table.walk(new.segment_base + 16)
+        assert kernel.chip.memory.load_word(paddr).value == 777
+        assert relocator.stats.pages_moved == 2
+
+    def test_old_range_faults(self, kernel):
+        relocator = Relocator(kernel)
+        old = kernel.allocate_segment(8192, eager=True)
+        relocator.relocate(old)
+        from repro.core.exceptions import PageFault
+        with pytest.raises(PageFault):
+            kernel.chip.page_table.walk(old.segment_base)
+
+    def test_sub_page_segment_rejected(self, kernel):
+        relocator = Relocator(kernel)
+        small = kernel.allocate_segment(256, eager=True)
+        with pytest.raises(ValueError, match="page granularity"):
+            relocator.relocate(small)
+
+    def test_unknown_segment_rejected(self, kernel):
+        relocator = Relocator(kernel)
+        stray = GuardedPointer.make(
+            kernel.allocate_segment(4096).permission, 12, 0x77000)
+        with pytest.raises(ValueError, match="no segment"):
+            relocator.relocate(stray)
+
+    def test_old_space_not_recycled_until_retire(self, kernel):
+        relocator = Relocator(kernel)
+        old = kernel.allocate_segment(8192, eager=True)
+        old_base = old.segment_base
+        relocator.relocate(old)
+        # allocating more segments never lands on the forwarded range
+        for _ in range(20):
+            fresh = kernel.allocate_segment(8192)
+            assert fresh.segment_base != old_base
+        relocator.retire(relocator.forwardings[0])
+        assert not relocator.forwardings
+
+
+class TestLazyPatch:
+    def test_running_thread_survives_relocation(self, kernel):
+        relocator = Relocator(kernel)
+        data = kernel.allocate_segment(8192, eager=True)
+        write_word(kernel, data.segment_base, 41)
+        entry = kernel.load_program("""
+            ld r2, r1, 0
+            addi r2, r2, 1
+            st r2, r1, 0
+            ld r3, r1, 0
+            halt
+        """)
+        thread = kernel.spawn(entry, regs={1: data.word}, stack_bytes=0)
+        # move the segment before the thread ever runs
+        new = relocator.relocate(data)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert thread.regs.read(3).value == 42
+        # the thread's register pointer was patched to the new base
+        patched = GuardedPointer.from_word(thread.regs.read(1))
+        assert patched.segment_base == new.segment_base
+        assert relocator.stats.faults_serviced >= 1
+        assert relocator.stats.pointers_patched >= 1
+
+    def test_stale_pointer_in_memory_patched_on_use(self, kernel):
+        relocator = Relocator(kernel)
+        data = kernel.allocate_segment(8192, eager=True)
+        write_word(kernel, data.segment_base + 8, 99)
+        holder = kernel.allocate_segment(4096, eager=True)
+        paddr = kernel.chip.page_table.walk(holder.segment_base)
+        kernel.chip.memory.store_word(paddr, data.word)  # stale copy
+        relocator.relocate(data)
+        entry = kernel.load_program("""
+            ld r2, r1, 0       ; load the (stale) pointer from memory
+            ld r3, r2, 8       ; use it: faults once, then patched
+            halt
+        """)
+        thread = kernel.spawn(entry, regs={1: holder.word}, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert thread.regs.read(3).value == 99
+
+    def test_unrelated_faults_fall_through(self, kernel):
+        relocator = Relocator(kernel)
+        lazy = kernel.allocate_segment(64 * 1024)  # demand paged
+        entry = kernel.load_program("""
+            movi r2, 5
+            st r2, r1, 0
+            halt
+        """)
+        thread = kernel.spawn(entry, regs={1: lazy.word}, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert kernel.stats.demand_pages >= 1  # the kernel handler ran
+
+    def test_protection_faults_still_kill(self, kernel):
+        Relocator(kernel)
+        entry = kernel.load_program("ld r2, r1, 0\nhalt")  # integer address
+        thread = kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert thread.state is ThreadState.FAULTED

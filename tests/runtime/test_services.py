@@ -1,0 +1,183 @@
+"""Tests for the standard services: SETPTR gateways and kernel traps."""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime import services
+from repro.runtime.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+
+
+@pytest.fixture
+def svc(kernel):
+    return services.install(kernel)
+
+
+CALLER = """
+    getip r15, ret
+    jmp r1
+ret:
+    halt
+"""
+
+
+def call_gateway(kernel, gateway, r3, r4=0):
+    entry = kernel.load_program(CALLER)
+    thread = kernel.spawn(entry, regs={1: gateway.word, 3: r3, 4: r4},
+                          stack_bytes=0)
+    result = kernel.run()
+    assert result.reason == "halted", (result.reason, thread.fault)
+    return thread
+
+
+class TestRestrictGateway:
+    def test_legal_restriction(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.READ_ONLY))
+        result = GuardedPointer.from_word(t.regs.read(5))
+        assert result.permission is Permission.READ_ONLY
+        assert result.segment_base == data.segment_base
+        assert result.seglen == data.seglen
+
+    def test_amplification_refused(self, kernel, svc):
+        data = kernel.allocate_segment(4096, Permission.READ_ONLY)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.READ_WRITE))
+        assert t.regs.read(5).value == 0
+        assert not t.regs.read(5).tag
+
+    def test_same_permission_refused(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.READ_WRITE))
+        assert t.regs.read(5).value == 0
+
+    def test_restrict_to_key(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.KEY))
+        assert GuardedPointer.from_word(t.regs.read(5)).permission is Permission.KEY
+
+    def test_agrees_with_hardware_restrict(self, kernel, svc):
+        from repro.core.operations import restrict
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.READ_ONLY))
+        via_gateway = GuardedPointer.from_word(t.regs.read(5))
+        via_hardware = restrict(data.word, Permission.READ_ONLY)
+        assert via_gateway == via_hardware
+
+    def test_no_privileged_pointer_leaks(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.restrict_gateway, data.word,
+                         int(Permission.READ_ONLY))
+        # only r1 (gateway enter), r3 (input) and r5 (result) may be
+        # pointers afterwards; in particular no execute-priv pointer
+        for index in range(16):
+            word = t.regs.read(index)
+            if word.tag:
+                perm = GuardedPointer.from_word(word).permission
+                assert perm is not Permission.EXECUTE_PRIV
+                assert index in (1, 3, 5, 15)
+
+    def test_caller_stays_unprivileged(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        entry = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            setptr r6, r3      ; must fault: privilege ended at return
+            halt
+        """)
+        t = kernel.spawn(entry, regs={1: svc.restrict_gateway.word,
+                                      3: data.word,
+                                      4: int(Permission.READ_ONLY)},
+                         stack_bytes=0)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+
+
+class TestSubsegGateway:
+    def test_legal_shrink(self, kernel, svc):
+        data = kernel.allocate_segment(4096)  # seglen 12
+        t = call_gateway(kernel, svc.subseg_gateway, data.word, 6)
+        result = GuardedPointer.from_word(t.regs.read(5))
+        assert result.seglen == 6
+        assert data.contains(result.segment_base)
+        assert data.contains(result.segment_limit - 1)
+
+    def test_grow_refused(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.subseg_gateway, data.word, 20)
+        assert t.regs.read(5).value == 0
+
+    def test_equal_refused(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.subseg_gateway, data.word, data.seglen)
+        assert t.regs.read(5).value == 0
+
+    def test_agrees_with_hardware_subseg(self, kernel, svc):
+        from repro.core.operations import subseg
+        data = kernel.allocate_segment(4096)
+        t = call_gateway(kernel, svc.subseg_gateway, data.word, 4)
+        assert GuardedPointer.from_word(t.regs.read(5)) == subseg(data.word, 4)
+
+
+class TestTrapServices:
+    def test_alloc_via_trap(self, kernel, svc):
+        entry = kernel.load_program(f"""
+            movi r3, 512
+            movi r4, perm:read_write
+            trap {services.TRAP_ALLOC}
+            halt
+        """)
+        t = kernel.spawn(entry, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        pointer = GuardedPointer.from_word(t.regs.read(5))
+        assert pointer.segment_size == 512
+        assert kernel.segment_of(pointer.segment_base) is not None
+
+    def test_alloc_then_use(self, kernel, svc):
+        entry = kernel.load_program(f"""
+            movi r3, 4096
+            movi r4, perm:read_write
+            trap {services.TRAP_ALLOC}
+            movi r6, 31
+            st r6, r5, 0
+            ld r7, r5, 0
+            halt
+        """)
+        t = kernel.spawn(entry, stack_bytes=0)
+        result = kernel.run()
+        assert result.reason == "halted"
+        assert t.regs.read(7).value == 31
+
+    def test_free_via_trap(self, kernel, svc):
+        data = kernel.allocate_segment(4096)
+        entry = kernel.load_program(f"""
+            trap {services.TRAP_FREE}
+            halt
+        """)
+        t = kernel.spawn(entry, regs={3: data.word}, stack_bytes=0)
+        kernel.run()
+        assert t.regs.read(5).value == 1
+        assert kernel.segment_of(data.segment_base) is None
+
+    def test_free_garbage_refused(self, kernel, svc):
+        entry = kernel.load_program(f"""
+            movi r3, 1234
+            trap {services.TRAP_FREE}
+            halt
+        """)
+        t = kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert t.regs.read(5).value == 0

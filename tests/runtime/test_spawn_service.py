@@ -1,0 +1,108 @@
+"""Tests for the TRAP_SPAWN / TRAP_TID kernel services: programs that
+create their own worker threads."""
+
+import pytest
+
+from repro.core.permissions import Permission
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime import services
+from repro.runtime.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(MAPChip(ChipConfig(memory_bytes=4 * 1024 * 1024)))
+    services.install(k)
+    return k
+
+
+class TestSpawn:
+    def test_parent_spawns_worker(self, kernel):
+        worker = kernel.load_program("""
+            ; r1 = argument, r2 = shared data pointer
+            st r1, r2, 0
+            halt
+        """)
+        shared = kernel.allocate_segment(4096, eager=True)
+        parent = kernel.load_program(f"""
+            movi r4, 777      ; argument for the child
+            trap {services.TRAP_SPAWN}
+        wait:
+            ld r7, r6, 0
+            beq r7, wait
+            halt
+        """)
+        t = kernel.spawn(parent, regs={3: worker.word, 6: shared.word})
+        result = kernel.run(max_cycles=100_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(7).value == 777
+        assert t.regs.read(5).value >= 1  # child handle
+
+    def test_child_inherits_domain(self, kernel):
+        worker = kernel.load_program("halt")
+        parent = kernel.load_program(f"""
+            trap {services.TRAP_SPAWN}
+            halt
+        """)
+        t = kernel.spawn(parent, domain=9, regs={3: worker.word})
+        kernel.run(max_cycles=50_000)
+        children = [th for th in kernel.chip.all_threads() if th is not t]
+        assert any(c.domain == 9 for c in children)
+
+    def test_spawn_with_integer_code_refused(self, kernel):
+        parent = kernel.load_program(f"""
+            movi r3, 0x4000
+            trap {services.TRAP_SPAWN}
+            halt
+        """)
+        t = kernel.spawn(parent)
+        result = kernel.run(max_cycles=50_000)
+        assert result.reason == "halted"
+        assert t.regs.read(5).value == 0  # refused, no crash
+
+    def test_spawn_with_data_pointer_refused(self, kernel):
+        data = kernel.allocate_segment(4096)
+        parent = kernel.load_program(f"""
+            trap {services.TRAP_SPAWN}
+            halt
+        """)
+        t = kernel.spawn(parent, regs={3: data.word})
+        kernel.run(max_cycles=50_000)
+        assert t.regs.read(5).value == 0
+
+    def test_fan_out(self, kernel):
+        shared = kernel.allocate_segment(4096, eager=True)
+        worker = kernel.load_program("""
+            ; r1 = my slot index, r2 = shared segment
+            shli r3, r1, 3
+            lear r4, r2, r3
+            movi r5, 1
+            st r5, r4, 0
+            halt
+        """)
+        spawn3 = "\n".join(f"""
+            movi r4, {i}
+            trap {services.TRAP_SPAWN}
+        """ for i in range(3))
+        checks = "\n".join(f"""
+        wait{i}:
+            ld r7, r6, {i * 8}
+            beq r7, wait{i}
+        """ for i in range(3))
+        parent = kernel.load_program(f"{spawn3}\n{checks}\nhalt")
+        t = kernel.spawn(parent, regs={3: worker.word, 6: shared.word})
+        result = kernel.run(max_cycles=200_000)
+        assert result.reason == "halted", t.fault
+
+
+class TestTid:
+    def test_tids_distinct(self, kernel):
+        src = f"trap {services.TRAP_TID}\nhalt"
+        entry = kernel.load_program(src)
+        a = kernel.spawn(entry, stack_bytes=0)
+        b = kernel.spawn(entry, stack_bytes=0)
+        kernel.run()
+        assert a.regs.read(5).value == a.tid
+        assert b.regs.read(5).value == b.tid
+        assert a.tid != b.tid

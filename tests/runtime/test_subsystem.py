@@ -1,0 +1,261 @@
+"""End-to-end protected-subsystem tests (paper §2.3, Figures 3 and 4).
+
+These run real programs on the simulator: a caller enters a subsystem
+through an enter pointer, the subsystem works in its own protection
+domain, and control returns — with no kernel involvement anywhere on
+the path.
+"""
+
+import pytest
+
+from repro.core.exceptions import PermissionFault
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.core.word import TaggedWord
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+from repro.runtime.subsystem import ProtectedSubsystem, ReturnSegment
+
+SECRET = 0xFEED
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+def write_word(kernel, vaddr, value):
+    kernel.chip.page_table.ensure_mapped(vaddr, 8)
+    physical = kernel.chip.page_table.walk(vaddr)
+    word = value if isinstance(value, TaggedWord) else TaggedWord.integer(value)
+    kernel.chip.memory.store_word(physical, word)
+
+
+#: Figure 3 subsystem: loads its private data pointer from its own code
+#: segment, reads a value, returns through the caller-provided RETIP.
+FIG3_SUBSYSTEM = """
+entry:
+    getip r10, gp1
+    ld r10, r10, 0    ; GP1: private data pointer (Figure 3C)
+    ld r11, r10, 0    ; read the protected word
+    jmp r15           ; return (Figure 3D)
+gp1:
+    .word 0
+"""
+
+
+def install_fig3(kernel):
+    private = kernel.allocate_segment(256, eager=True)
+    write_word(kernel, private.segment_base, SECRET)
+    return ProtectedSubsystem.install(kernel, FIG3_SUBSYSTEM,
+                                      data={"gp1": private}), private
+
+
+class TestInstall:
+    def test_enter_and_execute_cover_same_segment(self, kernel):
+        sub, _ = install_fig3(kernel)
+        assert sub.enter.permission is Permission.ENTER_USER
+        assert sub.enter.segment_base == sub.execute.segment_base
+        assert sub.enter.seglen == sub.execute.seglen
+
+    def test_privileged_gateway(self, kernel):
+        sub = ProtectedSubsystem.install(kernel, "halt", privileged=True)
+        assert sub.enter.permission is Permission.ENTER_PRIV
+        assert sub.execute.permission is Permission.EXECUTE_PRIV
+
+
+class TestOneWayProtection:
+    def test_call_through_enter_pointer(self, kernel):
+        sub, _ = install_fig3(kernel)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            mov r5, r11
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: sub.enter.word})
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(5).value == SECRET
+
+    def test_caller_cannot_read_through_enter_pointer(self, kernel):
+        sub, _ = install_fig3(kernel)
+        caller = kernel.load_program("ld r2, r1, 0\nhalt")
+        t = kernel.spawn(caller, regs={1: sub.enter.word})
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert isinstance(t.fault.cause, PermissionFault)
+
+    def test_caller_cannot_modify_enter_pointer(self, kernel):
+        sub, _ = install_fig3(kernel)
+        # LEA on an enter pointer must fault: entry only at published points
+        caller = kernel.load_program("lea r2, r1, 24\nhalt")
+        t = kernel.spawn(caller, regs={1: sub.enter.word})
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+
+    def test_caller_never_holds_data_pointer_after_return(self, kernel):
+        sub, private = install_fig3(kernel)
+        # subsystem that wipes its private pointers before returning
+        wiped = ProtectedSubsystem.install(kernel, """
+        entry:
+            getip r10, gp1
+            ld r10, r10, 0
+            ld r11, r10, 0
+            movi r10, 0       ; overwrite private pointer (Figure 3D)
+            jmp r15
+        gp1:
+            .word 0
+        """, data={"gp1": private})
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            isptr r6, r10
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: wiped.enter.word})
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(11).value == SECRET  # result came back
+        assert t.regs.read(6).value == 0        # pointer did not
+
+    def test_enter_converts_to_execute_inside(self, kernel):
+        sub = ProtectedSubsystem.install(kernel, """
+        entry:
+            getip r4, entry   ; works only with an execute IP
+            isptr r5, r4
+            jmp r15
+        """)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: sub.enter.word})
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(5).value == 1
+
+
+class TestTwoWayProtection:
+    def make_caller(self, kernel, rs: ReturnSegment, subsystem_enter):
+        """Figure 4 caller: encapsulate the domain, call, verify."""
+        source = f"""
+            ; r1 = live private data pointer, r2 = subsystem enter,
+            ; r12 = RW pointer to return segment, r13 = its enter pointer
+            getip r10, after
+            st r10, r12, {rs.retip_offset}    ; save RETIP
+            st r1, r12, {rs.slot_offset(0)}   ; save live pointer
+            st r2, r12, {rs.slot_offset(1)}   ; save subsystem enter
+            movi r12, 0                        ; wipe the RW pointer
+            movi r1, 0                         ; wipe live pointers (Fig 4B)
+            movi r10, 0
+            jmp r2                             ; enter the subsystem
+        after:
+            halt
+        """
+        return kernel.load_program(source)
+
+    def test_round_trip_restores_registers(self, kernel):
+        rs = ReturnSegment.build(kernel, save_slots=2)
+        sub = ProtectedSubsystem.install(kernel, "entry:\n  jmp r13")
+        data = kernel.allocate_segment(512)
+        caller = self.make_caller(kernel, rs, sub.enter)
+        t = kernel.spawn(caller, regs={
+            1: data.word, 2: sub.enter.word,
+            12: rs.readwrite.word, 13: rs.enter.word,
+        })
+        r = kernel.run()
+        assert r.reason == "halted"
+        # the caller's live pointer came back intact
+        assert GuardedPointer.from_word(t.regs.read(1)) == data
+
+    def test_subsystem_cannot_read_return_segment(self, kernel):
+        rs = ReturnSegment.build(kernel, save_slots=2)
+        # malicious subsystem: tries to read the caller's saved pointers
+        sub = ProtectedSubsystem.install(kernel, "entry:\n  ld r4, r13, 0\n  jmp r13")
+        data = kernel.allocate_segment(512)
+        caller = self.make_caller(kernel, rs, sub.enter)
+        t = kernel.spawn(caller, regs={
+            1: data.word, 2: sub.enter.word,
+            12: rs.readwrite.word, 13: rs.enter.word,
+        })
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+        assert isinstance(t.fault.cause, PermissionFault)
+
+    def test_subsystem_sees_no_caller_pointers(self, kernel):
+        rs = ReturnSegment.build(kernel, save_slots=2)
+        # subsystem records how many pointers it can see in r1..r12;
+        # r2 is skipped: it legitimately holds the subsystem's own enter
+        # pointer (Figure 4B keeps ENTER2 live across the call)
+        checks = "\n".join(
+            f"  isptr r14, r{i}\n  add r15, r15, r14"
+            for i in range(1, 13) if i != 2
+        )
+        sub = ProtectedSubsystem.install(
+            kernel, f"entry:\n  movi r15, 0\n{checks}\n  halt"
+        )
+        data = kernel.allocate_segment(512)
+        caller = self.make_caller(kernel, rs, sub.enter)
+        t = kernel.spawn(caller, regs={
+            1: data.word, 2: sub.enter.word,
+            12: rs.readwrite.word, 13: rs.enter.word,
+        })
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(15).value == 0  # no data pointers leaked
+
+    def test_save_slot_bounds(self, kernel):
+        rs = ReturnSegment.build(kernel, save_slots=2)
+        with pytest.raises(IndexError):
+            rs.slot_offset(2)
+        with pytest.raises(ValueError):
+            ReturnSegment.build(kernel, save_slots=13)
+
+
+class TestPrivilegedGateway:
+    """The M-Machine's RESTRICT/SUBSEG emulation: an enter-privileged
+    routine uses SETPTR on behalf of user code (§2.2)."""
+
+    def test_user_reaches_setptr_through_gateway(self, kernel):
+        # gateway: forge a pointer from the integer in r3 and return it
+        gateway = ProtectedSubsystem.install(kernel, """
+        entry:
+            setptr r4, r3
+            jmp r15
+        """, privileged=True)
+        target = kernel.allocate_segment(256)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            isptr r5, r4
+            halt
+        """)
+        t = kernel.spawn(caller, regs={
+            1: gateway.enter.word,
+            3: target.as_integer(),  # pointer-shaped integer
+        })
+        r = kernel.run()
+        assert r.reason == "halted"
+        assert t.regs.read(5).value == 1
+        assert GuardedPointer.from_word(t.regs.read(4)) == target
+
+    def test_user_setptr_still_faults_after_return(self, kernel):
+        gateway = ProtectedSubsystem.install(kernel, "entry:\n  jmp r15",
+                                             privileged=True)
+        caller = kernel.load_program("""
+            getip r15, ret
+            jmp r1
+        ret:
+            setptr r4, r3    ; back in user mode: must fault
+            halt
+        """)
+        t = kernel.spawn(caller, regs={1: gateway.enter.word, 3: 0x1234})
+        kernel.run()
+        assert t.state is ThreadState.FAULTED

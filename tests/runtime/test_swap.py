@@ -1,0 +1,107 @@
+"""Tests for demand paging with eviction (SwapManager)."""
+
+import pytest
+
+from repro.core.pointer import GuardedPointer
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.thread import ThreadState
+from repro.runtime.kernel import Kernel
+from repro.runtime.swap import SwapManager
+
+
+def tiny_kernel(frames=16):
+    chip = MAPChip(ChipConfig(memory_bytes=frames * 4096))
+    return Kernel(chip, arena_base=1 << 22, arena_order=22)
+
+
+class TestEviction:
+    def test_overcommit_survives(self):
+        # 16 frames of physical memory; touch 32 pages of address space
+        kernel = tiny_kernel(frames=16)
+        swap = SwapManager(kernel)
+        big = kernel.allocate_segment(32 * 4096)
+        page = 4096
+        touches = "\n".join(f"st r2, r1, {i * page}" for i in range(32))
+        entry = kernel.load_program(f"movi r2, 1\n{touches}\nhalt")
+        t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=1_000_000)
+        assert result.reason == "halted", t.fault
+        assert swap.stats.evictions > 0
+        assert kernel.chip.frames.free_frames >= 1
+
+    def test_data_survives_swap_round_trip(self):
+        kernel = tiny_kernel(frames=8)
+        swap = SwapManager(kernel)
+        big = kernel.allocate_segment(16 * 4096)
+        page = 4096
+        # write distinct values to every page, then read them all back
+        writes = "\n".join(
+            f"movi r2, {100 + i}\nst r2, r1, {i * page}" for i in range(16)
+        )
+        reads = "\n".join(
+            f"ld r3, r1, {i * page}\nadd r4, r4, r3" for i in range(16)
+        )
+        entry = kernel.load_program(f"{writes}\n{reads}\nhalt")
+        t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=1_000_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(4).value == sum(100 + i for i in range(16))
+        assert swap.stats.swap_ins > 0
+
+    def test_pointers_survive_swap(self):
+        kernel = tiny_kernel(frames=8)
+        swap = SwapManager(kernel)
+        holder = kernel.allocate_segment(4096)
+        target = kernel.allocate_segment(4096)
+        filler = kernel.allocate_segment(16 * 4096)
+        page = 4096
+        churn = "\n".join(f"st r4, r3, {i * page}" for i in range(16))
+        entry = kernel.load_program(f"""
+            st r2, r1, 0        ; store a pointer into the holder page
+            movi r4, 1
+            {churn}             ; force the holder page out
+            ld r5, r1, 0        ; swap it back in
+            isptr r6, r5
+            halt
+        """)
+        t = kernel.spawn(entry, regs={1: holder.word, 2: target.word,
+                                      3: filler.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=1_000_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(6).value == 1
+        assert GuardedPointer.from_word(t.regs.read(5)) == target
+
+    def test_swap_latency_charged(self):
+        kernel = tiny_kernel(frames=8)
+        swap = SwapManager(kernel, swap_cycles=500)
+        big = kernel.allocate_segment(16 * 4096)
+        page = 4096
+        touches = "\n".join(f"st r2, r1, {i * page}" for i in range(16))
+        entry = kernel.load_program(f"movi r2, 1\n{touches}\nhalt")
+        t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=1_000_000)
+        assert result.reason == "halted"
+        assert result.cycles > 500  # paid at least one device trip
+
+    def test_stray_addresses_still_kill(self):
+        kernel = tiny_kernel()
+        SwapManager(kernel)
+        stray = GuardedPointer.make(
+            kernel.allocate_segment(64).permission, 12, 1 << 40)
+        entry = kernel.load_program("ld r2, r1, 0\nhalt")
+        t = kernel.spawn(entry, regs={1: stray.word}, stack_bytes=0)
+        kernel.run()
+        assert t.state is ThreadState.FAULTED
+
+    def test_free_segment_drops_resident_pages_safely(self):
+        kernel = tiny_kernel(frames=8)
+        swap = SwapManager(kernel)
+        a = kernel.allocate_segment(4 * 4096, eager=True)
+        kernel.free_segment(a)
+        # evictor must skip pages that were unmapped behind its back
+        big = kernel.allocate_segment(16 * 4096)
+        touches = "\n".join(f"st r2, r1, {i * 4096}" for i in range(16))
+        entry = kernel.load_program(f"movi r2, 1\n{touches}\nhalt")
+        t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
+        result = kernel.run(max_cycles=1_000_000)
+        assert result.reason == "halted", t.fault

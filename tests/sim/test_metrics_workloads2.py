@@ -1,0 +1,148 @@
+"""Tests for the metrics helpers and the second wave of workloads."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    Summary,
+    geometric_mean,
+    histogram,
+    page_footprint,
+    speedup_table,
+)
+from repro.sim.trace import MemRef
+from repro.sim.workloads import gups, matrix_traversal, process_base, zipf
+
+
+class TestSummary:
+    def test_basic(self):
+        s = Summary.of([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.mean == 3 and s.median == 3
+
+    def test_even_median(self):
+        assert Summary.of([1, 2, 3, 4]).median == 2.5
+
+    def test_stddev(self):
+        assert Summary.of([2, 2, 2]).stddev == 0
+        assert Summary.of([0, 4]).stddev == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_bounds(self, values):
+        s = Summary.of(values)
+        ulp = 1e-9 * max(abs(s.minimum), abs(s.maximum), 1.0)
+        assert s.minimum - ulp <= s.mean <= s.maximum + ulp
+        assert s.minimum <= s.median <= s.maximum
+
+
+class TestGeometricMean:
+    def test_symmetric_ratios_cancel(self):
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_matches_closed_form(self):
+        assert geometric_mean([1, 8]) == pytest.approx(math.sqrt(8))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    def test_between_min_and_max(self, ratios):
+        g = geometric_mean(ratios)
+        assert min(ratios) - 1e-9 <= g <= max(ratios) + 1e-9
+
+
+class TestSpeedupTable:
+    def test_baseline_is_one(self):
+        table = speedup_table({"a": 100, "b": 250}, baseline="a")
+        assert table["a"] == 1.0
+        assert table["b"] == 2.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_table({"a": 0, "b": 5}, baseline="a")
+
+
+class TestHistogram:
+    def test_renders_all_bins(self):
+        text = histogram(list(range(100)), bins=5)
+        assert text.count("\n") == 4
+        assert "(20)" in text
+
+    def test_degenerate_sample(self):
+        assert "#" in histogram([7, 7, 7])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestPageFootprint:
+    def test_counts_distinct_pages(self):
+        addrs = [0, 8, 4096, 4104, 8192]
+        assert page_footprint(addrs) == 3
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        t = zipf(0, 5000, pages=128, exponent=1.2, seed=3)
+        base = process_base(0)
+        head = sum(1 for e in t if (e.vaddr - base) // 4096 < 8)
+        assert head / len(t) > 0.4
+
+    def test_deterministic(self):
+        a = zipf(0, 500, seed=9)
+        b = zipf(0, 500, seed=9)
+        assert [e.vaddr for e in a] == [e.vaddr for e in b]
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            zipf(0, 10, exponent=0)
+
+
+class TestMatrixTraversal:
+    def test_row_major_is_unit_stride(self):
+        t = matrix_traversal(0, rows=4, cols=4)
+        addrs = [e.vaddr for e in t]
+        assert all(b - a == 8 for a, b in zip(addrs, addrs[1:]))
+
+    def test_column_major_strides_by_row(self):
+        t = matrix_traversal(0, rows=4, cols=4, by_row=False)
+        addrs = [e.vaddr for e in t]
+        assert addrs[1] - addrs[0] == 4 * 8
+
+    def test_same_footprint_either_way(self):
+        by_row = {e.vaddr for e in matrix_traversal(0, 8, 8)}
+        by_col = {e.vaddr for e in matrix_traversal(0, 8, 8, by_row=False)}
+        assert by_row == by_col
+
+    def test_column_major_touches_more_pages_per_window(self):
+        n = 64
+        rows = matrix_traversal(0, n, n)
+        cols = matrix_traversal(0, n, n, by_row=False)
+        window = n  # one row's worth of accesses
+        assert page_footprint(e.vaddr for e in list(cols)[:window]) > \
+            page_footprint(e.vaddr for e in list(rows)[:window])
+
+
+class TestGups:
+    def test_read_then_write_pairs(self):
+        t = gups(0, 100, seed=7)
+        events = list(t)
+        assert len(events) == 200
+        for read, write in zip(events[::2], events[1::2]):
+            assert not read.write and write.write
+            assert read.vaddr == write.vaddr
+
+    def test_low_locality(self):
+        t = gups(0, 2000, table_bytes=1 << 22, seed=7)
+        assert page_footprint(e.vaddr for e in t) > 500

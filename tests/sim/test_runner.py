@@ -1,0 +1,84 @@
+"""Tests for the cross-scheme runner and its reporting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GuardedPointerScheme, PagedSeparateScheme
+from repro.baselines.base import Lookaside
+from repro.sim.costs import CostModel
+from repro.sim.runner import format_table, relative_to, run_comparison
+from repro.sim.workloads import sequential
+
+
+class TestRunComparison:
+    def test_each_scheme_sees_full_trace(self):
+        trace = sequential(0, 500)
+        rows = run_comparison(
+            [GuardedPointerScheme(), PagedSeparateScheme()], trace)
+        assert all(r.metrics.accesses == 500 for r in rows)
+
+    def test_rows_carry_scheme_names(self):
+        trace = sequential(0, 10)
+        rows = run_comparison([GuardedPointerScheme()], trace)
+        assert rows[0].scheme == "guarded-pointers"
+
+
+class TestFormatTable:
+    def test_contains_all_schemes_and_columns(self):
+        trace = sequential(0, 100)
+        rows = run_comparison(
+            [GuardedPointerScheme(), PagedSeparateScheme()], trace)
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "guarded-pointers" in text
+        assert "paged-separate" in text
+        assert "cyc/access" in text
+
+    def test_numbers_render(self):
+        trace = sequential(0, 100)
+        rows = run_comparison([GuardedPointerScheme()], trace)
+        text = format_table(rows)
+        assert "100" in text  # the access count
+
+
+class TestRelativeTo:
+    def test_baseline_normalises_to_one(self):
+        trace = sequential(0, 200)
+        rows = run_comparison(
+            [GuardedPointerScheme(), PagedSeparateScheme()], trace)
+        rel = relative_to(rows)
+        assert rel["guarded-pointers"] == 1.0
+        assert rel["paged-separate"] >= 1.0
+
+    def test_missing_baseline_raises(self):
+        trace = sequential(0, 10)
+        rows = run_comparison([PagedSeparateScheme()], trace)
+        with pytest.raises(StopIteration):
+            relative_to(rows, baseline="guarded-pointers")
+
+
+class TestLookasideLRUProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.integers(min_value=0, max_value=20), max_size=200))
+    def test_matches_reference_lru(self, entries, keys):
+        """The Lookaside buffer behaves exactly like a textbook LRU."""
+        buffer = Lookaside(entries)
+        reference: list[int] = []  # most recent last
+        for key in keys:
+            expected_hit = key in reference
+            assert buffer.probe(key) == expected_hit
+            if expected_hit:
+                reference.remove(key)
+            reference.append(key)
+            if len(reference) > entries:
+                reference.pop(0)
+        assert buffer.occupancy == len(reference)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=100))
+    def test_hits_plus_misses_is_probes(self, keys):
+        buffer = Lookaside(4)
+        for key in keys:
+            buffer.probe(key)
+        assert buffer.hits + buffer.misses == len(keys)

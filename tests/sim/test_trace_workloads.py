@@ -1,0 +1,121 @@
+"""Tests for traces, workload generators and the interleaver."""
+
+import pytest
+
+from repro.sim.multiprogram import interleave, switch_intensity
+from repro.sim.trace import MemRef, Switch, Trace
+from repro.sim.workloads import (
+    PROCESS_SPAN,
+    multi_segment,
+    pointer_chase,
+    process_base,
+    random_uniform,
+    sequential,
+    shared_access,
+    working_set,
+)
+
+
+class TestTrace:
+    def test_counts(self):
+        t = Trace([Switch(0), MemRef(0, 8), MemRef(0, 16), Switch(1), MemRef(1, 8)])
+        assert t.references == 3
+        assert t.switches == 2
+        assert t.processes == {0, 1}
+
+    def test_concat(self):
+        a = Trace([MemRef(0, 8)])
+        b = Trace([MemRef(1, 8)])
+        c = Trace.concat([a, b])
+        assert len(c) == 2
+
+
+class TestGenerators:
+    def test_sequential_is_strided(self):
+        t = sequential(0, 10, stride=8)
+        addrs = [e.vaddr for e in t]
+        assert addrs == [process_base(0) + i * 8 for i in range(10)]
+        assert all(e.statically_safe for e in t)
+
+    def test_generators_deterministic(self):
+        a = random_uniform(0, 100, seed=7)
+        b = random_uniform(0, 100, seed=7)
+        assert [e.vaddr for e in a] == [e.vaddr for e in b]
+
+    def test_seeds_differ(self):
+        a = random_uniform(0, 100, seed=1)
+        b = random_uniform(0, 100, seed=2)
+        assert [e.vaddr for e in a] != [e.vaddr for e in b]
+
+    def test_working_set_concentrates(self):
+        t = working_set(0, 5000, hot_pages=4, cold_pages=1000,
+                        hot_fraction=0.9, seed=3)
+        hot_limit = process_base(0) + 4 * 4096
+        hot = sum(1 for e in t if e.vaddr < hot_limit)
+        assert 0.85 < hot / len(t) < 0.95
+
+    def test_processes_have_disjoint_spaces(self):
+        a = random_uniform(0, 1000, span_bytes=PROCESS_SPAN, seed=1)
+        b = random_uniform(1, 1000, span_bytes=PROCESS_SPAN, seed=1)
+        a_addrs = {e.vaddr for e in a}
+        b_addrs = {e.vaddr for e in b}
+        assert not (a_addrs & b_addrs)
+
+    def test_shared_access_overlaps(self):
+        t = shared_access([0, 1, 2], 100, seed=5)
+        by_pid = {}
+        for e in t:
+            by_pid.setdefault(e.pid, set()).add(e.vaddr)
+        common = by_pid[0] & by_pid[1] & by_pid[2]
+        assert common  # same region referenced by all
+
+    def test_pointer_chase_not_statically_safe(self):
+        t = pointer_chase(0, 50, seed=1)
+        assert not any(e.statically_safe for e in t)
+
+    def test_multi_segment_spreads(self):
+        t = multi_segment(0, 1000, segments=8, seed=2)
+        assert {e.segment for e in t} == set(range(8))
+
+
+class TestInterleave:
+    def test_round_robin_with_switches(self):
+        a = sequential(0, 10)
+        b = sequential(1, 10)
+        merged = interleave([a, b], quantum=5)
+        assert merged.references == 20
+        assert merged.switches == 4  # 0,1,0,1
+
+    def test_quantum_one_is_cycle_by_cycle(self):
+        a = sequential(0, 4)
+        b = sequential(1, 4)
+        merged = interleave([a, b], quantum=1)
+        assert merged.switches == 8
+        assert switch_intensity(merged) == 1.0
+
+    def test_unequal_lengths_drain(self):
+        a = sequential(0, 10)
+        b = sequential(1, 3)
+        merged = interleave([a, b], quantum=4)
+        assert merged.references == 13
+
+    def test_order_preserved_within_process(self):
+        a = sequential(0, 9)
+        b = sequential(1, 9)
+        merged = interleave([a, b], quantum=3)
+        a_addrs = [e.vaddr for e in merged
+                   if isinstance(e, MemRef) and e.pid == 0]
+        assert a_addrs == [e.vaddr for e in a]
+
+    def test_single_trace_one_switch(self):
+        merged = interleave([sequential(0, 10)], quantum=3)
+        assert merged.switches == 1  # the initial dispatch
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError):
+            interleave([sequential(0, 10)], quantum=0)
+
+    def test_multi_pid_trace_rejected(self):
+        t = Trace([MemRef(0, 8), MemRef(1, 8)])
+        with pytest.raises(ValueError):
+            interleave([t])
