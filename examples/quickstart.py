@@ -25,8 +25,7 @@ from repro.core import (
     restrict,
     subseg,
 )
-from repro.machine.chip import ChipConfig, MAPChip
-from repro.runtime.kernel import Kernel
+from repro.sim.api import Simulation
 
 
 def section(title):
@@ -76,9 +75,9 @@ def main():
         print(f"using the integer as an address: TagFault — {e}")
 
     section("5. A program on the M-Machine (Section 3)")
-    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
-    data = kernel.allocate_segment(4096)
-    entry = kernel.load_program("""
+    sim = Simulation(memory_bytes=2 * 1024 * 1024)
+    data = sim.allocate(4096)
+    thread = sim.spawn("""
         ; sum the first 8 words of the segment in r1
         movi r2, 8        ; counter
         movi r3, 0        ; sum
@@ -102,22 +101,23 @@ def main():
         br loop
     done:
         halt
-    """)
-    thread = kernel.spawn(entry, regs={1: data.word})
-    result = kernel.run()
+    """, regs={1: data.word})
+    result = sim.run()
     print(f"machine ran {result.cycles} cycles, "
           f"{result.issued_bundles} bundles, reason={result.reason}")
     print(f"sum computed by the program: {thread.regs.read(3).value}")
-    print(f"demand-paged frames: {kernel.stats.demand_pages}")
+    print(f"demand-paged frames: {sim.kernel.stats.demand_pages}")
+    snap = sim.snapshot()
+    print(f"fetch cache: {snap['fetch.hits']} hits / "
+          f"{snap['fetch.misses']} misses")
 
     section("6. And the hardware catches a stray store")
-    bad = kernel.load_program("""
+    t2 = sim.spawn("""
         movi r2, 99
         st r2, r1, 4096   ; one byte past the segment
         halt
-    """)
-    t2 = kernel.spawn(bad, regs={1: data.word})
-    kernel.run()
+    """, regs={1: data.word})
+    sim.run()
     print(f"thread state: {t2.state.name}")
     print(f"fault: {t2.fault}")
 

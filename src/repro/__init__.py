@@ -33,12 +33,14 @@ from repro.core import (
     setptr,
     subseg,
 )
-from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.chip import ChipConfig, MAPChip, RunReason, RunResult
+from repro.machine.counters import PerfCounters
 from repro.machine.multicomputer import Multicomputer
 from repro.runtime.kernel import Kernel
 from repro.runtime.subsystem import ProtectedSubsystem, ReturnSegment
+from repro.sim.api import Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GuardedPointer",
@@ -55,6 +57,10 @@ __all__ = [
     "subseg",
     "ChipConfig",
     "MAPChip",
+    "RunReason",
+    "RunResult",
+    "PerfCounters",
+    "Simulation",
     "Multicomputer",
     "Kernel",
     "ProtectedSubsystem",

@@ -4,14 +4,16 @@ Usage (``python -m repro <command> ...``):
 
 * ``asm FILE.s``           — assemble; print encoded words as hex.
 * ``disasm FILE.s``        — assemble then disassemble (round-trip view).
-* ``run FILE.s``           — run on a fresh kernel; print the result and
-  final register file.  ``--data N`` allocates an N-byte read/write
-  segment into r1; ``--trace`` prints the issue stream; ``--max-cycles``
-  bounds the run.
+* ``run FILE.s``           — run on a fresh simulation; print the result
+  and final register file.  ``--data N`` allocates an N-byte read/write
+  segment into r1; ``--trace`` prints the issue stream; ``--counters``
+  prints the chip-wide perf-counter file; ``--max-cycles`` bounds the
+  run.
 * ``isa``                  — print the opcode table.
 
 The CLI is intentionally thin: everything it does is one call into the
-library, so scripts can do the same without subprocesses.
+library — ``run`` drives the :class:`repro.sim.api.Simulation` facade —
+so scripts can do the same without subprocesses.
 """
 
 from __future__ import annotations
@@ -22,11 +24,11 @@ from pathlib import Path
 
 from repro.core.pointer import GuardedPointer
 from repro.machine.assembler import assemble
-from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.chip import RunReason
 from repro.machine.disasm import disassemble_words
 from repro.machine.isa import OP_INFO, Opcode
 from repro.machine.tracer import Tracer
-from repro.runtime.kernel import Kernel
+from repro.sim.api import Simulation
 
 
 def cmd_asm(args: argparse.Namespace) -> int:
@@ -45,20 +47,22 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    kernel = Kernel(MAPChip(ChipConfig(memory_bytes=args.memory)))
-    tracer = Tracer(kernel.chip) if args.trace else None
+    sim = Simulation(memory_bytes=args.memory)
+    tracer = Tracer(sim.chip) if args.trace else None
     regs: dict[int, object] = {}
     if args.data:
-        segment = kernel.allocate_segment(args.data)
+        segment = sim.allocate(args.data)
         regs[1] = segment.word
         print(f"; r1 = {args.data}-byte read/write segment at "
               f"{segment.segment_base:#x}")
-    entry = kernel.load_program(Path(args.file).read_text())
-    thread = kernel.spawn(entry, regs=regs)
-    result = kernel.run(max_cycles=args.max_cycles)
+    thread = sim.spawn(Path(args.file).read_text(), regs=regs)
+    result = sim.run(max_cycles=args.max_cycles)
 
     if tracer is not None:
         print(tracer.format())
+        print()
+    if args.counters:
+        print(sim.counter_table(title="; perf counters"))
         print()
     print(f"; {result.reason} after {result.cycles} cycles, "
           f"{result.issued_bundles} bundles")
@@ -77,7 +81,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         value = thread.regs.read_f(index)
         if value:
             print(f"f{index:<3}= {value}")
-    return 0 if result.reason == "halted" else 1
+    return 0 if result.reason == RunReason.HALTED else 1
 
 
 def cmd_isa(args: argparse.Namespace) -> int:
@@ -108,6 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allocate a data segment into r1")
     p_run.add_argument("--trace", action="store_true",
                        help="print the issue stream")
+    p_run.add_argument("--counters", action="store_true",
+                       help="print the perf-counter snapshot after the run")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
     p_run.add_argument("--memory", type=int, default=8 * 1024 * 1024,
                        help="physical memory bytes")

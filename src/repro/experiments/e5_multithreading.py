@@ -27,8 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.machine.chip import ChipConfig, MAPChip
-from repro.runtime.kernel import Kernel
+from repro.machine.chip import ChipConfig, RunReason
+from repro.sim.api import Simulation
 
 
 @dataclass(frozen=True)
@@ -61,22 +61,20 @@ def run_config(name: str, threads: int, penalty: int, flush: bool,
                iterations: int = 200) -> MTPoint:
     """Run ``threads`` workers, each in its own protection domain, on a
     single cluster."""
-    chip = MAPChip(ChipConfig(
+    sim = Simulation(ChipConfig(
         memory_bytes=4 * 1024 * 1024,
         threads_per_cluster=max(threads, 1),
         domain_switch_penalty=penalty,
         flush_on_domain_switch=flush,
     ))
-    kernel = Kernel(chip)
     source = WORKER.format(iterations=iterations)
     for t in range(threads):
-        entry = kernel.load_program(source)
-        data = kernel.allocate_segment(4096, eager=True)
-        kernel.spawn(entry, domain=t + 1, cluster=0,
-                     regs={1: data.word}, stack_bytes=0)
-    result = kernel.run(max_cycles=5_000_000)
-    assert result.reason == "halted", result.reason
-    cluster = chip.clusters[0]
+        data = sim.allocate(4096, eager=True)
+        sim.spawn(source, domain=t + 1, cluster=0,
+                  regs={1: data.word}, stack_bytes=0)
+    result = sim.run(max_cycles=5_000_000)
+    assert result.reason == RunReason.HALTED, result.reason
+    cluster = sim.chip.clusters[0]
     return MTPoint(
         config=name,
         threads=threads,

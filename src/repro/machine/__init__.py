@@ -3,8 +3,9 @@ checks in the execution units, an assembler, multithreaded clusters and
 the chip-level clock."""
 
 from repro.machine.assembler import AssemblyError, DataItem, Program, assemble
-from repro.machine.chip import ChipConfig, ChipStats, MAPChip, RunResult
+from repro.machine.chip import ChipConfig, ChipStats, MAPChip, RunReason, RunResult
 from repro.machine.cluster import Cluster
+from repro.machine.counters import PerfCounters, merge_snapshots
 from repro.machine.devices import BlockDevice, ConsoleDevice, map_device
 from repro.machine.disasm import disassemble_bundle, disassemble_op, disassemble_words
 from repro.machine.faults import FaultRecord, TrapFault
@@ -50,8 +51,11 @@ __all__ = [
     "ChipConfig",
     "ChipStats",
     "MAPChip",
+    "RunReason",
     "RunResult",
     "Cluster",
+    "PerfCounters",
+    "merge_snapshots",
     "FaultRecord",
     "TrapFault",
     "BUNDLE_BYTES",

@@ -14,6 +14,26 @@ concern data-side protection checks, and modelling an I-cache would add
 noise without changing any experiment's shape.  Fetches still translate
 through the page table, so unmapping a code page faults execution
 exactly as §4.3 requires.
+
+Fetch is the simulator's hottest path, so it mirrors the paper's thesis
+— resolve checks once, never re-walk tables downstream — with a
+**decoded-bundle cache**: the first fetch of a bundle walks the page
+table and decodes the three words; every later fetch of the same
+address is a dictionary hit.  The cache is invalidated exactly where
+the architecture invalidates translations and code:
+
+* any :meth:`~repro.mem.page_table.PageTable.unmap` (revocation,
+  relocation, swap-out, segment free) flushes it through the page
+  table's invalidation hook;
+* any store — local, or remote through the router — drops the cached
+  bundles overlapping the written word (self-modifying and
+  cross-node-modified code stay correct);
+* loading a program over a reused virtual range invalidates the range
+  (:meth:`MAPChip.invalidate_decoded_range`, called by the kernel
+  loader).
+
+``ChipConfig(decode_cache=False)`` restores walk-and-decode-every-fetch
+for measurement (see ``benchmarks/bench_cycle_loop.py``).
 """
 
 from __future__ import annotations
@@ -21,12 +41,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.constants import ADDRESS_MASK as _ADDRESS_MASK
 from repro.core.exceptions import PermissionFault
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord
 from repro.machine.cluster import Cluster
+from repro.machine.counters import PerfCounters
 from repro.machine.faults import FaultRecord
-from repro.machine.isa import OP_BYTES, SLOTS, Bundle
+from repro.machine.isa import BUNDLE_BYTES, OP_BYTES, SLOTS, Bundle
 from repro.machine.thread import Thread, ThreadState
 from repro.mem.cache import BankedCache
 from repro.mem.page_table import PageTable
@@ -59,6 +81,29 @@ class ChipConfig:
     tlb_walk_cycles: int = 20
     domain_switch_penalty: int = 0
     flush_on_domain_switch: bool = False
+    #: cache decoded bundles by fetch address (simulator speed knob;
+    #: no architectural effect — invalidation keeps it transparent)
+    decode_cache: bool = True
+    #: let run() jump the clock over stretches where every thread is
+    #: blocked on memory, instead of stepping them cycle by cycle
+    #: (cycle counts and per-cluster idle accounting are preserved)
+    idle_fast_forward: bool = True
+
+
+class RunReason:
+    """The complete set of :attr:`RunResult.reason` values.
+
+    ``reason`` stays a plain string for compatibility, but call sites
+    should compare against these constants instead of re-typing string
+    literals (the historical way "faulted" went undocumented).
+    """
+
+    HALTED = "halted"          #: every thread executed HALT
+    FAULTED = "faulted"        #: no runnable thread; at least one died faulted
+    DEADLOCK = "deadlock"      #: nothing can ever issue again
+    MAX_CYCLES = "max_cycles"  #: the cycle budget expired first
+
+    ALL = frozenset({HALTED, FAULTED, DEADLOCK, MAX_CYCLES})
 
 
 @dataclass
@@ -67,7 +112,9 @@ class RunResult:
 
     cycles: int
     issued_bundles: int
-    reason: str  #: "halted" | "max_cycles" | "deadlock"
+    #: one of the :class:`RunReason` constants: "halted" | "faulted" |
+    #: "deadlock" | "max_cycles"
+    reason: str
 
     @property
     def utilization(self) -> float:
@@ -79,6 +126,10 @@ class ChipStats:
     cycles: int = 0
     issued_bundles: int = 0
     faults: int = 0
+
+    def as_counters(self) -> dict[str, int]:
+        return {"cycles": self.cycles, "issued_bundles": self.issued_bundles,
+                "faults": self.faults}
 
 
 class MAPChip:
@@ -102,6 +153,11 @@ class MAPChip:
             hit_cycles=c.cache_hit_cycles,
             external_cycles=c.external_cycles,
         )
+        #: chip-wide ready/runnable thread totals, mirrored from the
+        #: clusters' per-state counts on every transition — the run loop
+        #: reads two ints per cycle instead of summing over clusters
+        self._ready_count = 0
+        self._runnable_count = 0
         self.clusters = [
             Cluster(i, self, slots=c.threads_per_cluster) for i in range(c.clusters)
         ]
@@ -119,6 +175,44 @@ class MAPChip:
         self.router = None
         self._next_tid = 0
         self.now = 0
+        # -- the decoded-bundle cache (see module docstring) ----------
+        #: fetch address -> (decoded Bundle, pointer word that passed
+        #: the fetch checks); flushed on any unmap
+        self._decode_cache: dict[int, tuple[Bundle, int]] = {}
+        self._decode_enabled = c.decode_cache
+        #: (pointer word, offset) -> derived pointer, shared by every
+        #: cluster's LEA paths (IP advance, branches, address
+        #: arithmetic).  LEA is a pure function of pointer bits, so
+        #: entries never go stale and no invalidation exists.
+        self._lea_cache: dict[tuple[int, int], GuardedPointer] | None = (
+            {} if c.decode_cache else None
+        )
+        self.fetch_hits = 0
+        self.fetch_misses = 0
+        self.decode_invalidations = 0
+        self.page_table.add_invalidation_hook(self._on_unmap)
+        # -- the performance-counter file -----------------------------
+        self.counters = PerfCounters()
+        self.counters.add_source("chip", self.stats.as_counters)
+        self.counters.add_source("fetch", self._fetch_counters)
+        self.counters.add_source("cache", self.cache.stats.as_counters)
+        self.counters.add_source("tlb", self.tlb.stats.as_counters)
+        for cluster in self.clusters:
+            self.counters.add_source(f"cluster{cluster.cluster_id}",
+                                     cluster.as_counters)
+        self.counters.add_source("thread", self._thread_counters)
+
+    # -- counter sources --------------------------------------------------
+
+    def _fetch_counters(self) -> dict[str, int]:
+        return {"hits": self.fetch_hits, "misses": self.fetch_misses,
+                "invalidations": self.decode_invalidations,
+                "cached_bundles": len(self._decode_cache)}
+
+    def _thread_counters(self) -> dict[str, int]:
+        """Per-resident-thread issue counts (``thread.<tid>.bundles``)."""
+        return {f"{t.tid}.bundles": t.stats.bundles
+                for cl in self.clusters for t in cl.slots if t is not None}
 
     # -- thread management ------------------------------------------------
 
@@ -142,10 +236,8 @@ class MAPChip:
                 word = value if isinstance(value, TaggedWord) else TaggedWord.integer(value)
                 thread.regs.write(index, word)
         if cluster is None:
-            def occupancy(i: int) -> int:
-                return sum(1 for t in self.clusters[i].live_threads()
-                           if t.state is not ThreadState.HALTED)
-            cluster = min(range(len(self.clusters)), key=occupancy)
+            cluster = min(range(len(self.clusters)),
+                          key=lambda i: self.clusters[i].active_count)
         self.clusters[cluster].add_thread(thread)
         return thread
 
@@ -154,82 +246,221 @@ class MAPChip:
 
     # -- the memory port used by the clusters ----------------------------
 
-    def access_memory(self, vaddr: int, write: bool, now: int, value=None):
+    def access_memory(self, vaddr: int, *, write: bool, now: int, value=None):
         """One data access: the local banked cache for home addresses,
-        the mesh for remote ones (multicomputer operation, §3)."""
+        the mesh for remote ones (multicomputer operation, §3).
+
+        ``write``/``now``/``value`` are keyword-only — the one memory-port
+        signature shared with :meth:`BankedCache.access` and
+        :meth:`Multicomputer.remote_access`.
+        """
+        if write:
+            # keep the decoded-bundle cache coherent with stores
+            # (self-modifying code; on a mesh, any node may have the
+            # written address decoded, so invalidation is machine-wide)
+            if self.router is not None:
+                self.router.invalidate_decoded(vaddr)
+            else:
+                self.invalidate_decoded_word(vaddr)
         if self.router is not None and not self.router.is_local(self, vaddr):
-            return self.router.remote_access(self, vaddr, write, now, value)
-        return self.cache.access(vaddr, write, now, value=value)
+            return self.router.remote_access(self, vaddr, write=write,
+                                             now=now, value=value)
+        return self.cache.access(vaddr, write=write, now=now, value=value)
 
     # -- instruction fetch ---------------------------------------------------
 
     def fetch(self, ip: GuardedPointer) -> Bundle:
-        """Fetch and decode the bundle at ``ip`` (functional path)."""
+        """Fetch and decode the bundle at ``ip`` (functional path).
+
+        Steady state is one dictionary probe: decoded bundles are
+        cached by fetch address, and each entry remembers the exact
+        pointer word that last passed the fetch checks.  Permission and
+        bounds are pure functions of the pointer's bits, so a fetch
+        through the *same* word can skip them; a different pointer to
+        the same address (other bounds, other permission) re-runs the
+        checks before reusing the decoded words.  Translation is
+        re-walked whenever the cache cannot answer — so an unmapped
+        code page faults exactly as before.
+        """
+        word = ip.word.value
+        address = word & _ADDRESS_MASK
+        entry = self._decode_cache.get(address)
+        if entry is not None and entry[1] == word:
+            self.fetch_hits += 1
+            return entry[0]
         if not ip.permission.is_execute:
             raise PermissionFault("instruction pointer is not an execute pointer")
+        if not (ip.contains(address)
+                and ip.contains(address + BUNDLE_BYTES - OP_BYTES)):
+            raise PermissionFault("bundle extends past the code segment")
+        if entry is not None:
+            # a different pointer to an already-decoded address: checks
+            # passed, adopt this word and reuse the bundle (no re-walk)
+            self.fetch_hits += 1
+            self._decode_cache[address] = (entry[0], word)
+            return entry[0]
+        self.fetch_misses += 1
         words = []
         for slot in range(SLOTS):
-            vaddr = ip.address + slot * OP_BYTES
-            if not ip.contains(vaddr):
-                raise PermissionFault("bundle extends past the code segment")
+            vaddr = address + slot * OP_BYTES
             if self.router is not None and not self.router.is_local(self, vaddr):
                 home, physical = self.router.remote_walk(vaddr)
                 words.append(home.memory.load_word(physical))
             else:
                 physical = self.page_table.walk(vaddr)
                 words.append(self.memory.load_word(physical))
-        return Bundle.decode(words)
+        bundle = Bundle.decode(words)
+        if self._decode_enabled:
+            self._decode_cache[address] = (bundle, word)
+        return bundle
+
+    # -- decoded-bundle invalidation ----------------------------------------
+
+    def _on_unmap(self, virtual_page: int) -> None:
+        """Page-table hook: any unmap conservatively flushes the decode
+        cache (mirrors the TLB's full-flush-on-unmap policy — unmaps
+        are rare, staleness is never acceptable)."""
+        if self._decode_cache:
+            self.decode_invalidations += len(self._decode_cache)
+            self._decode_cache.clear()
+
+    def invalidate_decoded_word(self, vaddr: int) -> None:
+        """Drop any cached bundle overlapping the word at ``vaddr``.
+
+        Bundle fetch addresses are word-aligned but not bundle-size
+        aligned (segments align to powers of two, bundles are 24
+        bytes), so the bundles that can contain this word start at the
+        word itself or one or two words earlier.
+        """
+        cache = self._decode_cache
+        if not cache:
+            return
+        word = vaddr - (vaddr % OP_BYTES)
+        for start in (word, word - OP_BYTES, word - 2 * OP_BYTES):
+            if cache.pop(start, None) is not None:
+                self.decode_invalidations += 1
+
+    def invalidate_decoded_range(self, base: int, nbytes: int) -> None:
+        """Drop every cached bundle overlapping ``[base, base+nbytes)``
+        (program loaders rewriting a reused virtual range call this)."""
+        cache = self._decode_cache
+        if not cache:
+            return
+        lo = base - (BUNDLE_BYTES - OP_BYTES)
+        hi = base + nbytes
+        stale = [a for a in cache if lo <= a < hi]
+        for address in stale:
+            del cache[address]
+        self.decode_invalidations += len(stale)
 
     # -- fault plumbing ------------------------------------------------------
 
     def report_fault(self, record: FaultRecord, thread: Thread) -> None:
         self.fault_log.append(record)
         self.stats.faults += 1
+        self.counters.incr(f"fault.{type(record.cause).__name__}")
         if self.fault_handler is not None:
             self.fault_handler(record, thread)
 
     # -- the clock -------------------------------------------------------------
 
+    #: consecutive cycles with nothing ready before run() declares a
+    #: deadlock (matches the historical idle-streak bound)
+    IDLE_LIMIT = 10_000
+
     def step(self) -> int:
         """Advance one cycle; returns bundles issued this cycle."""
         issued = 0
+        now = self.now
         for cluster in self.clusters:
-            if cluster.step(self.now):
-                issued += 1
-        self.now += 1
+            if cluster._n_ready or cluster._n_blocked:
+                if cluster.step(now):
+                    issued += 1
+            else:
+                cluster.idle_cycles += 1
+        self.now = now + 1
         self.stats.cycles += 1
         self.stats.issued_bundles += issued
         return issued
 
+    # -- scheduler-count aggregation (kept incrementally by clusters) -----
+
+    def ready_threads(self) -> int:
+        return self._ready_count
+
+    def runnable_threads(self) -> int:
+        return self._runnable_count
+
+    def next_wake(self) -> int | None:
+        """Earliest wake cycle over every blocked thread, or None."""
+        wake = None
+        for cluster in self.clusters:
+            w = cluster.next_wake()
+            if w is not None and (wake is None or w < wake):
+                wake = w
+        return wake
+
+    def _stop_reason(self) -> str:
+        """Why a machine with no runnable threads stopped."""
+        if any(cl.faulted_count for cl in self.clusters):
+            return RunReason.FAULTED
+        return RunReason.HALTED
+
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until every thread is halted (or faulted with no handler
-        to resume it), the machine deadlocks, or ``max_cycles`` pass."""
+        to resume it), the machine deadlocks, or ``max_cycles`` pass.
+
+        The loop never rebuilds thread lists: liveness comes from the
+        clusters' incremental state counts, and stretches where every
+        thread is blocked on memory are fast-forwarded to the earliest
+        wake-up instead of being stepped one empty cycle at a time
+        (cycle totals, utilization and per-cluster idle accounting are
+        identical to stepping).
+        """
         start_cycle = self.now
         start_bundles = self.stats.issued_bundles
         idle_streak = 0
+        fast_forward = self.config.idle_fast_forward
         while self.now - start_cycle < max_cycles:
-            live = [t for t in self.all_threads()
-                    if t.state not in (ThreadState.HALTED, ThreadState.FAULTED)]
-            if not live:
-                states = {t.state for t in self.all_threads()}
-                if states <= {ThreadState.HALTED}:
-                    reason = "halted"
-                elif ThreadState.FAULTED in states:
-                    reason = "faulted"
-                else:
-                    reason = "deadlock"
+            if self._runnable_count == 0:
                 return RunResult(self.now - start_cycle,
-                                 self.stats.issued_bundles - start_bundles, reason)
-            issued = self.step()
-            if issued == 0 and all(t.state is not ThreadState.READY
-                                   for t in self.all_threads()):
-                idle_streak += 1
-                # every runnable thread is blocked; fast-forward sanity
-                if idle_streak > 10_000:
+                                 self.stats.issued_bundles - start_bundles,
+                                 self._stop_reason())
+            if fast_forward and self._ready_count == 0:
+                # Everyone is blocked on the memory system: jump the
+                # clock to the first wake-up (bounded by the cycle
+                # budget and the deadlock limit).
+                wake = self.next_wake()
+                horizon = start_cycle + max_cycles
+                target = min(wake, horizon)
+                if idle_streak + (target - self.now) > self.IDLE_LIMIT:
+                    skip = self.IDLE_LIMIT - idle_streak + 1
+                    self._skip_idle(min(skip, horizon - self.now))
                     return RunResult(self.now - start_cycle,
                                      self.stats.issued_bundles - start_bundles,
-                                     "deadlock")
+                                     RunReason.DEADLOCK)
+                if target > self.now:
+                    idle_streak += target - self.now
+                    self._skip_idle(target - self.now)
+                    continue
+            issued = self.step()
+            if issued == 0 and self._ready_count == 0:
+                idle_streak += 1
+                # every runnable thread is blocked; fast-forward sanity
+                if idle_streak > self.IDLE_LIMIT:
+                    return RunResult(self.now - start_cycle,
+                                     self.stats.issued_bundles - start_bundles,
+                                     RunReason.DEADLOCK)
             else:
                 idle_streak = 0
         return RunResult(max_cycles, self.stats.issued_bundles - start_bundles,
-                         "max_cycles")
+                         RunReason.MAX_CYCLES)
+
+    def _skip_idle(self, cycles: int) -> None:
+        """Advance the clock over ``cycles`` guaranteed-idle cycles,
+        charging each cluster the idle time stepping would have."""
+        self.now += cycles
+        self.stats.cycles += cycles
+        self.counters.incr("chip.idle_skipped_cycles", cycles)
+        for cluster in self.clusters:
+            cluster.idle_cycles += cycles

@@ -99,25 +99,44 @@ class Cluster:
         self.issued_cycles = 0
         self.idle_cycles = 0
         self.switch_stall_cycles = 0
+        #: incremental per-state occupancy of this cluster's slots; kept
+        #: exact by add/remove_thread and by Thread.state's setter, so
+        #: the chip's run loop never rescans threads to learn liveness
+        #: (plain ints, not an enum-keyed dict — these are read every
+        #: cycle and the chip mirrors ready/runnable totals chip-wide)
+        self._n_ready = 0
+        self._n_blocked = 0
+        self._n_faulted = 0
+        self._n_halted = 0
 
     # -- thread management ------------------------------------------------
 
     def add_thread(self, thread: Thread) -> int:
         for i, slot in enumerate(self.slots):
             if slot is None:
-                self.slots[i] = thread
-                return i
+                return self._install(i, thread)
         # a halted thread's slot can be reused: its architectural state
         # is dead and system software would have reaped it
         for i, slot in enumerate(self.slots):
             if slot is not None and slot.state is ThreadState.HALTED:
-                self.slots[i] = thread
-                return i
+                self._evict(slot)
+                return self._install(i, thread)
         raise RuntimeError(f"cluster {self.cluster_id} has no free thread slot")
+
+    def _install(self, index: int, thread: Thread) -> int:
+        self.slots[index] = thread
+        self._count(thread._state, +1)
+        thread.scheduler = self
+        return index
+
+    def _evict(self, thread: Thread) -> None:
+        self._count(thread._state, -1)
+        thread.scheduler = None
 
     def remove_thread(self, thread: Thread) -> None:
         for i, slot in enumerate(self.slots):
             if slot is thread:
+                self._evict(slot)
                 self.slots[i] = None
                 return
         raise ValueError("thread is not resident on this cluster")
@@ -125,18 +144,81 @@ class Cluster:
     def live_threads(self) -> list[Thread]:
         return [t for t in self.slots if t is not None]
 
+    # -- scheduler bookkeeping ---------------------------------------------
+
+    def _count(self, state: ThreadState, delta: int) -> None:
+        """Adjust this cluster's (and the chip's) occupancy counts."""
+        if state is ThreadState.READY:
+            self._n_ready += delta
+            chip = self.chip
+            chip._ready_count += delta
+            chip._runnable_count += delta
+        elif state is ThreadState.BLOCKED:
+            self._n_blocked += delta
+            self.chip._runnable_count += delta
+        elif state is ThreadState.FAULTED:
+            self._n_faulted += delta
+        else:
+            self._n_halted += delta
+
+    def on_state_change(self, thread: Thread, old: ThreadState,
+                        new: ThreadState) -> None:
+        """Thread.state's setter reports every transition here."""
+        self._count(old, -1)
+        self._count(new, +1)
+
+    @property
+    def ready_count(self) -> int:
+        return self._n_ready
+
+    @property
+    def runnable_count(self) -> int:
+        """Threads that can still make progress (ready or blocked)."""
+        return self._n_ready + self._n_blocked
+
+    @property
+    def faulted_count(self) -> int:
+        return self._n_faulted
+
+    @property
+    def active_count(self) -> int:
+        """Occupied slots whose thread has not halted (spawn placement)."""
+        return self._n_ready + self._n_blocked + self._n_faulted
+
+    def next_wake(self) -> int | None:
+        """Earliest wake cycle among blocked threads, or None."""
+        wake = None
+        for thread in self.slots:
+            if thread is not None and thread._state is ThreadState.BLOCKED:
+                if wake is None or thread.wake_at < wake:
+                    wake = thread.wake_at
+        return wake
+
+    def as_counters(self) -> dict[str, int]:
+        """This cluster's view for :class:`~repro.machine.counters.PerfCounters`."""
+        return {
+            "issued": self.issued_cycles,
+            "idle": self.idle_cycles,
+            "switch_stalls": self.switch_stall_cycles,
+            "occupied_slots": sum(1 for t in self.slots if t is not None),
+        }
+
     # -- per-cycle issue ----------------------------------------------------
 
     def step(self, now: int) -> bool:
         """Run one cycle; returns True when a bundle issued."""
-        for thread in self.live_threads():
-            thread.maybe_wake(now)
+        if self._n_blocked:
+            for thread in self.slots:
+                if (thread is not None
+                        and thread._state is ThreadState.BLOCKED
+                        and now >= thread.wake_at):
+                    thread.maybe_wake(now)
 
         if now < self._stall_until:
             self.switch_stall_cycles += 1
             return False
 
-        if self._pending is not None and self._pending.state is ThreadState.READY:
+        if self._pending is not None and self._pending._state is ThreadState.READY:
             thread = self._pending
             self._pending = None
         else:
@@ -170,12 +252,34 @@ class Cluster:
         for i in range(n):
             index = (self._next_slot + i) % n
             thread = self.slots[index]
-            if thread is not None and thread.state is ThreadState.READY:
+            if thread is not None and thread._state is ThreadState.READY:
                 self._next_slot = (index + 1) % n
                 return thread
         return None
 
     # -- bundle execution ----------------------------------------------------
+
+    def _lea(self, word: TaggedWord, offset: int):
+        """LEA through the chip's derivation memo.
+
+        ``ops.lea`` is a pure function of the pointer's bits and the
+        offset — the same (word, offset) pair always yields the same
+        (immutable) pointer, independent of any page-table or memory
+        state — so successful derivations are memoized chip-wide.  IP
+        advance, branch targets and load/store address arithmetic all
+        come through here.  Faulting derivations are never cached, and
+        untagged words bypass the memo (a pointer and an integer can
+        share a bit pattern).
+        """
+        cache = self.chip._lea_cache
+        if cache is None or not word.tag:
+            return ops.lea(word, offset)
+        key = (word.value, offset)
+        ptr = cache.get(key)
+        if ptr is None:
+            ptr = ops.lea(word, offset)
+            cache[key] = ptr
+        return ptr
 
     def _execute_bundle(self, thread: Thread, now: int) -> None:
         try:
@@ -210,10 +314,7 @@ class Cluster:
                 thread.regs.write_f(index, value)
 
         thread.stats.bundles += 1
-        thread.stats.operations += sum(
-            1 for op in bundle.operations
-            if op.opcode not in (Opcode.NOP, Opcode.FNOP)
-        )
+        thread.stats.operations += bundle.live_ops
 
         if halted:
             thread.state = ThreadState.HALTED
@@ -223,7 +324,7 @@ class Cluster:
             if branch_target is not None:
                 thread.ip = branch_target
             else:
-                thread.ip = ops.lea(thread.ip.word, BUNDLE_BYTES)
+                thread.ip = self._lea(thread.ip.word, BUNDLE_BYTES)
         except GuardedPointerFault as cause:
             # running off the end of the code segment
             self._fault(thread, cause, "ip-advance", now)
@@ -275,14 +376,14 @@ class Cluster:
             commits.append(("r", op.rd, ops.ispointer(regs.read(op.ra))))
             return None
         if code is Opcode.GETIP:
-            commits.append(("r", op.rd, ops.lea(thread.ip.word, op.imm).word))
+            commits.append(("r", op.rd, self._lea(thread.ip.word, op.imm).word))
             return None
         if code is Opcode.BR:
-            return ops.lea(thread.ip.word, op.imm)
+            return self._lea(thread.ip.word, op.imm)
         if code in (Opcode.BEQ, Opcode.BNE):
             value = regs.read(op.rd).untagged().value
             taken = (value == 0) if code is Opcode.BEQ else (value != 0)
-            return ops.lea(thread.ip.word, op.imm) if taken else None
+            return self._lea(thread.ip.word, op.imm) if taken else None
         if code is Opcode.JMP:
             target_word = regs.read(op.ra)
             new_ip = ops.check_jump(target_word, thread.privileged)
@@ -326,7 +427,7 @@ class Cluster:
             return no_block
 
         if code is Opcode.LD or code is Opcode.LDF:
-            ptr = ops.lea(regs.read(op.ra), op.imm)
+            ptr = self._lea(regs.read(op.ra), op.imm)
             ops.check_load(ptr.word)
             result = self.chip.access_memory(ptr.address, write=False, now=now)
             if code is Opcode.LD:
@@ -336,7 +437,7 @@ class Cluster:
             return result.ready_cycle, [write]
 
         if code is Opcode.ST or code is Opcode.STF:
-            ptr = ops.lea(regs.read(op.ra), op.imm)
+            ptr = self._lea(regs.read(op.ra), op.imm)
             ops.check_store(ptr.word)
             if code is Opcode.ST:
                 value = regs.read(op.rd)
@@ -346,11 +447,11 @@ class Cluster:
             return no_block  # stores are buffered; the thread proceeds
 
         if code is Opcode.LEA:
-            commits.append(("r", op.rd, ops.lea(regs.read(op.ra), op.imm).word))
+            commits.append(("r", op.rd, self._lea(regs.read(op.ra), op.imm).word))
             return no_block
         if code is Opcode.LEAR:
             offset = to_s64(regs.read(op.rb).untagged().value)
-            commits.append(("r", op.rd, ops.lea(regs.read(op.ra), offset).word))
+            commits.append(("r", op.rd, self._lea(regs.read(op.ra), offset).word))
             return no_block
         if code is Opcode.LEAB:
             commits.append(("r", op.rd, ops.leab(regs.read(op.ra), op.imm).word))

@@ -1,0 +1,101 @@
+"""Chip-wide performance counters.
+
+Hardware exposes its behaviour through a counter file; the simulator
+does the same.  :class:`PerfCounters` is one flat namespace of named
+monotonically increasing counters with two feeding mechanisms:
+
+* **events** — hot paths call :meth:`PerfCounters.incr` for occurrences
+  that no component records on its own (faults by type, decode-cache
+  invalidations, remote-port traffic);
+* **sources** — components that already keep their own statistics
+  (cache, TLB, clusters, the chip's issue counters) are registered as
+  *pull sources*: a callable returning a ``{name: value}`` mapping that
+  is read only when a snapshot is taken, so steady-state simulation
+  pays nothing for them.
+
+Counter names are dotted, ``"<unit>.<event>"`` — e.g. ``cache.hits``,
+``tlb.walk_cycles``, ``fetch.misses``, ``fault.PageFault``,
+``cluster0.issued`` — so a snapshot sorts into per-unit groups and
+:func:`repro.sim.runner.format_table` can print it directly.
+
+The wiring lives in :class:`repro.machine.chip.MAPChip` (every chip
+owns a ``counters`` attribute) and, for multi-node machines, in
+:class:`repro.machine.multicomputer.Multicomputer`, which adds router
+traffic counters per node.  ``docs/PERF.md`` documents every counter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+#: Type of a pull source: returns {counter_name: value} when sampled.
+CounterSource = Callable[[], Mapping[str, int | float]]
+
+
+class PerfCounters:
+    """A named counter file: cheap increments plus lazily-pulled sources."""
+
+    def __init__(self) -> None:
+        self._events: dict[str, int] = {}
+        self._sources: list[tuple[str, CounterSource]] = []
+
+    # -- the hot-path half ------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to event counter ``name`` (created at 0)."""
+        self._events[name] = self._events.get(name, 0) + amount
+
+    # -- the pull half ----------------------------------------------------
+
+    def add_source(self, prefix: str, source: CounterSource) -> None:
+        """Register a pull source; its keys appear as ``prefix.key``
+        (or bare keys when ``prefix`` is empty) in every snapshot."""
+        self._sources.append((prefix, source))
+
+    # -- reading ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int | float]:
+        """One coherent reading of every counter, sorted by name.
+
+        Event counters and pull sources are merged; a source key that
+        collides with an event name wins (sources are authoritative for
+        the units that own them).
+        """
+        merged: dict[str, int | float] = dict(self._events)
+        for prefix, source in self._sources:
+            for key, value in source().items():
+                merged[f"{prefix}.{key}" if prefix else key] = value
+        return dict(sorted(merged.items()))
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        """Read one counter by its snapshot name."""
+        return self.snapshot().get(name, default)
+
+    def reset_events(self) -> None:
+        """Zero the event half.  Pull sources belong to their components
+        (``CacheStats``, ``TLBStats``, ...) and are reset by resetting
+        those components, not here."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self.snapshot())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfCounters({len(self._events)} events, {len(self._sources)} sources)"
+
+
+def merge_snapshots(per_node: Mapping[int, Mapping[str, int | float]]
+                    ) -> dict[str, int | float]:
+    """Combine per-node snapshots into one machine-wide view.
+
+    Node-qualified names (``node<N>.<counter>``) are kept, and every
+    counter is also summed across nodes under its bare name, so
+    ``cache.hits`` in the merged view is machine-wide while
+    ``node2.cache.hits`` remains inspectable.
+    """
+    merged: dict[str, int | float] = {}
+    for node, snap in per_node.items():
+        for name, value in snap.items():
+            merged[f"node{node}.{name}"] = value
+            merged[name] = merged.get(name, 0) + value
+    return dict(sorted(merged.items()))

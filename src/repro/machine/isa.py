@@ -21,7 +21,7 @@ the integer slot, mirroring where the checking hardware sits (§2.2,
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.word import TaggedWord
 
@@ -270,6 +270,9 @@ class Bundle:
     int_op: Operation
     mem_op: Operation
     fp_op: Operation
+    #: non-filler operations in the bundle; precomputed at decode time
+    #: because issue charges it to the thread's stats every cycle
+    live_ops: int = field(init=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.int_op.slot is not Slot.INT:
@@ -280,6 +283,10 @@ class Bundle:
         # check here lets the disassembler tell code from .word data
         if self.fp_op.slot is not Slot.FP:
             raise ValueError(f"{self.fp_op.opcode.name} is not an fp-slot op")
+        object.__setattr__(self, "live_ops", sum(
+            1 for op in (self.int_op, self.mem_op, self.fp_op)
+            if op.opcode is not Opcode.NOP and op.opcode is not Opcode.FNOP
+        ))
 
     @staticmethod
     def of(*ops: Operation) -> "Bundle":

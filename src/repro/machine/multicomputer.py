@@ -24,9 +24,10 @@ from repro.core.constants import ADDRESS_BITS
 from repro.core.exceptions import PageFault
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord
-from repro.machine.chip import ChipConfig, MAPChip, RunResult
+from repro.machine.chip import ChipConfig, MAPChip, RunReason, RunResult
+from repro.machine.counters import merge_snapshots
 from repro.machine.network import MeshNetwork, MeshShape
-from repro.machine.thread import Thread, ThreadState
+from repro.machine.thread import Thread
 from repro.mem.cache import AccessResult
 from repro.runtime.kernel import Kernel
 
@@ -91,15 +92,32 @@ class Multicomputer:
             chip.fault_handler = self._make_fault_handler(kernel)
             self.chips.append(chip)
             self.kernels.append(kernel)
+        # Any unmap anywhere must reach every node's decoded-bundle
+        # cache: a thread may be executing code homed on another node,
+        # and revocation-by-unmap (§4.3) is machine-wide.
+        for chip in self.chips:
+            chip.page_table.add_invalidation_hook(self._flush_all_decoded)
+
+    def _flush_all_decoded(self, _virtual_page: int) -> None:
+        for chip in self.chips:
+            chip._on_unmap(_virtual_page)
+
+    def invalidate_decoded(self, vaddr: int) -> None:
+        """Router half of store-coherence for decoded bundles: a write
+        anywhere drops the bundles overlapping that word on every node."""
+        for chip in self.chips:
+            chip.invalidate_decoded_word(vaddr)
 
     # -- the router contract used by MAPChip.access_memory ---------------
 
     def is_local(self, chip: MAPChip, vaddr: int) -> bool:
         return self.partition.home_of(vaddr) == chip.node_id
 
-    def remote_access(self, chip: MAPChip, vaddr: int, write: bool,
+    def remote_access(self, chip: MAPChip, vaddr: int, *, write: bool,
                       now: int, value: TaggedWord | None = None) -> AccessResult:
-        """Service an access whose home is another node."""
+        """Service an access whose home is another node (keyword-only
+        port signature, shared with ``MAPChip.access_memory`` and
+        ``BankedCache.access``)."""
         home = self.chips[self.partition.home_of(vaddr)]
         physical = home.page_table.walk(vaddr)  # PageFault → local thread
         arrive = self.network.deliver(chip.node_id, home.node_id, now)
@@ -108,10 +126,13 @@ class Multicomputer:
         if write:
             if value is None:
                 raise ValueError("store requires a value")
+            chip.counters.incr("router.remote_writes")
             home.memory.store_word(physical, value)
             word = TaggedWord.zero()
         else:
+            chip.counters.incr("router.remote_reads")
             word = home.memory.load_word(physical)
+        chip.counters.incr("router.remote_cycles", reply - now)
         return AccessResult(word=word, ready_cycle=reply, hit=False, bank=-1)
 
     def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:
@@ -145,28 +166,51 @@ class Multicomputer:
     def spawn_on(self, node: int, entry: GuardedPointer, **kwargs) -> Thread:
         return self.kernels[node].spawn(entry, **kwargs)
 
+    # -- machine-wide performance counters ---------------------------------
+
+    def counters_snapshot(self) -> dict[str, int | float]:
+        """Every node's counter file merged into one view: bare names
+        are machine-wide sums, ``node<N>.*`` names stay per-node."""
+        return merge_snapshots(
+            {chip.node_id: chip.counters.snapshot() for chip in self.chips})
+
     # -- the machine-wide clock ----------------------------------------------------
 
     def all_threads(self) -> list[Thread]:
         return [t for chip in self.chips for t in chip.all_threads()]
 
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
-        """Step every node in lockstep until all threads stop."""
+        """Step every node in lockstep until all threads stop.
+
+        Like :meth:`MAPChip.run`, liveness comes from the clusters'
+        incremental counts, and all-blocked stretches (threads waiting
+        on the mesh) fast-forward every node's clock to the earliest
+        wake-up in the machine.
+        """
         cycles = 0
         issued = 0
+        chips = self.chips
+        fast_forward = all(c.config.idle_fast_forward for c in chips)
         while cycles < max_cycles:
-            live = [t for t in self.all_threads()
-                    if t.state in (ThreadState.READY, ThreadState.BLOCKED)]
-            if not live:
-                states = {t.state for t in self.all_threads()}
-                if states <= {ThreadState.HALTED}:
-                    reason = "halted"
-                elif ThreadState.FAULTED in states:
-                    reason = "faulted"
+            runnable = sum(c.runnable_threads() for c in chips)
+            if runnable == 0:
+                if any(cl.faulted_count for c in chips for cl in c.clusters):
+                    reason = RunReason.FAULTED
                 else:
-                    reason = "deadlock"
+                    reason = RunReason.HALTED
                 return RunResult(cycles, issued, reason)
-            for chip in self.chips:
+            if fast_forward and sum(c.ready_threads() for c in chips) == 0:
+                wakes = [w for w in (c.next_wake() for c in chips)
+                         if w is not None]
+                # nodes run in lockstep: now is identical on every chip
+                target = min(min(wakes), chips[0].now + (max_cycles - cycles))
+                skip = target - chips[0].now
+                if skip > 0:
+                    for chip in chips:
+                        chip._skip_idle(skip)
+                    cycles += skip
+                    continue
+            for chip in chips:
                 issued += chip.step()
             cycles += 1
-        return RunResult(cycles, issued, "max_cycles")
+        return RunResult(cycles, issued, RunReason.MAX_CYCLES)

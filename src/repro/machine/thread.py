@@ -39,23 +39,44 @@ class ThreadStats:
 
 @dataclass
 class Thread:
-    """One hardware thread slot's architectural state."""
+    """One hardware thread slot's architectural state.
+
+    ``state`` is a property over the ``_state`` field: every transition
+    is reported to the cluster the thread is resident on (its
+    ``scheduler``), which keeps per-state occupancy counts incrementally
+    — the run loop reads those counts instead of rescanning every
+    thread every cycle.
+    """
 
     tid: int
     ip: GuardedPointer
     domain: int = 0
     regs: RegisterFile = field(default_factory=RegisterFile)
-    state: ThreadState = ThreadState.READY
+    _state: ThreadState = field(default=ThreadState.READY, repr=False)
     wake_at: int = 0
     #: register writes deferred until a blocking load completes:
     #: list of ("r"|"f", index, value)
     pending_writes: list = field(default_factory=list)
     fault: FaultRecord | None = None
     stats: ThreadStats = field(default_factory=ThreadStats)
+    #: the cluster whose slot holds this thread (None while unplaced);
+    #: set by Cluster.add_thread, notified on every state transition
+    scheduler: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.ip.permission.is_execute:
             raise ValueError("a thread's IP must be an execute pointer")
+
+    @property
+    def state(self) -> ThreadState:
+        return self._state
+
+    @state.setter
+    def state(self, new: ThreadState) -> None:
+        old = self._state
+        self._state = new
+        if old is not new and self.scheduler is not None:
+            self.scheduler.on_state_change(self, old, new)
 
     @property
     def privileged(self) -> bool:

@@ -157,9 +157,7 @@ class SecurityMonitor:
         state every ``sweep_every`` cycles and memory at the end."""
         start = self.chip.now
         while self.chip.now - start < max_cycles:
-            live = [t for t in self.chip.all_threads()
-                    if t.state in (ThreadState.READY, ThreadState.BLOCKED)]
-            if not live:
+            if self.chip.runnable_threads() == 0:
                 break
             self.chip.step()
             if (self.chip.now - start) % sweep_every == 0:

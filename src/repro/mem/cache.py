@@ -45,6 +45,18 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_counters(self) -> dict[str, int | float]:
+        """This bank-file's view for :class:`~repro.machine.counters.PerfCounters`."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bank_conflicts": self.bank_conflicts,
+            "writebacks": self.writebacks,
+            "external_accesses": self.external_accesses,
+            "flushes": self.flushes,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class AccessResult:
@@ -151,9 +163,16 @@ class BankedCache:
 
     # -- the access path ------------------------------------------------
 
-    def access(self, vaddr: int, write: bool, now: int,
+    def access(self, vaddr: int, *, write: bool, now: int,
                value: TaggedWord | None = None) -> AccessResult:
         """Perform one word access at cycle ``now``.
+
+        ``write``, ``now`` and ``value`` are keyword-only: every memory
+        port in the simulator (:meth:`repro.machine.chip.MAPChip.access_memory`,
+        this method, and
+        :meth:`repro.machine.multicomputer.Multicomputer.remote_access`)
+        shares the same keyword signature, so call sites read the same
+        everywhere and the ports stay swappable.
 
         Loads return the word; stores require ``value``.  Functional
         data always reaches physical memory through the page table, so

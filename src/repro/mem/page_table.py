@@ -13,6 +13,7 @@ software repairs or rejects the access.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.exceptions import PageFault
 from repro.mem.physical import FrameAllocator
@@ -45,6 +46,12 @@ class PageTable:
         #: generation counter bumped on every unmap, letting TLBs detect
         #: staleness cheaply (see :class:`repro.mem.tlb.TLB`).
         self.generation = 0
+        #: push-style invalidation: each hook is called with the virtual
+        #: page number on every unmap.  Structures that cache anything
+        #: derived from a translation — the chip's decoded-bundle cache
+        #: above all — register here so revocation-by-unmap (§4.3)
+        #: reaches them synchronously, not at the next generation check.
+        self._invalidation_hooks: list[Callable[[int], None]] = []
 
     # -- geometry ------------------------------------------------------
 
@@ -77,8 +84,14 @@ class PageTable:
         except KeyError:
             raise ValueError(f"virtual page {virtual_page:#x} is not mapped") from None
         self.generation += 1
+        for hook in self._invalidation_hooks:
+            hook(virtual_page)
         if release_frame and self._frames is not None:
             self._frames.release(frame)
+
+    def add_invalidation_hook(self, hook: Callable[[int], None]) -> None:
+        """Call ``hook(virtual_page)`` on every subsequent unmap."""
+        self._invalidation_hooks.append(hook)
 
     def is_mapped(self, virtual_page: int) -> bool:
         return virtual_page in self._map

@@ -33,6 +33,18 @@ class TLBStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_counters(self) -> dict[str, int | float]:
+        """This TLB's view for :class:`~repro.machine.counters.PerfCounters`.
+        ``walks`` equals ``misses``: every miss walks the page table."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "walks": self.misses,
+            "walk_cycles": self.walk_cycles,
+            "flushes": self.flushes,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
 
 @dataclass
 class TLB:

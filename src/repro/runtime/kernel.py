@@ -160,6 +160,10 @@ class Kernel:
         pointer = self.allocate_segment(program.size_bytes, perm=perm, eager=True)
         base = pointer.segment_base
         table = self.chip.page_table
+        # the virtual range may be recycled from a freed sub-page code
+        # segment (too small for unmap to have flushed anything): drop
+        # any decoded bundles that overlap it before rewriting the words
+        self.chip.invalidate_decoded_range(base, program.size_bytes)
         for i, word in enumerate(program.encode()):
             self.chip.memory.store_word(table.walk(base + i * WORD_BYTES), word)
         for label, value in (patches or {}).items():

@@ -1,6 +1,7 @@
-"""Workload generation, the shared cost model, and the cross-scheme
-experiment driver."""
+"""Workload generation, the shared cost model, the cross-scheme
+experiment driver, and the stable :class:`Simulation` facade."""
 
+from repro.sim.api import Simulation
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.metrics import (
     Summary,
@@ -28,6 +29,7 @@ from repro.sim.workloads import (
 )
 
 __all__ = [
+    "Simulation",
     "DEFAULT_COSTS",
     "CostModel",
     "interleave",

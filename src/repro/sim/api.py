@@ -1,0 +1,118 @@
+"""The stable simulation API: one object from chip to counters.
+
+Before this module, every benchmark, example and CLI command rebuilt
+the same scaffolding by hand — construct a :class:`ChipConfig`, wrap a
+:class:`MAPChip` in a :class:`Kernel`, load programs, spawn threads,
+run, then reach into ``chip.stats``/``chip.cache.stats``/... for
+numbers.  :class:`Simulation` packages that whole lifecycle behind one
+facade so callers stop depending on chip internals:
+
+    from repro import Simulation
+
+    sim = Simulation(memory_bytes=4 * 1024 * 1024)
+    data = sim.allocate(4096)
+    thread = sim.spawn(PROGRAM, regs={1: data.word})
+    result = sim.run()
+    assert result.reason == RunReason.HALTED
+    print(sim.counter_table())        # the chip-wide perf counters
+
+Everything underneath remains reachable (``sim.chip``, ``sim.kernel``)
+for code that genuinely needs the lower layers; the facade is the
+supported surface, and its methods are the ones ``docs/PERF.md``
+documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.pointer import GuardedPointer
+from repro.machine.assembler import Program
+from repro.machine.chip import ChipConfig, MAPChip, RunResult
+from repro.machine.counters import PerfCounters
+from repro.machine.thread import Thread
+from repro.runtime.kernel import Kernel
+
+
+class Simulation:
+    """A single-node MAP machine, ready to load and run programs.
+
+    ``config`` provides the architectural parameters; keyword overrides
+    patch individual fields without spelling out a full config::
+
+        Simulation()                                    # paper defaults
+        Simulation(memory_bytes=1 << 20)                # one override
+        Simulation(ChipConfig(clusters=2), tlb_entries=8)
+    """
+
+    def __init__(self, config: ChipConfig | None = None, **overrides):
+        base = config or ChipConfig()
+        self.config = replace(base, **overrides) if overrides else base
+        self.chip = MAPChip(self.config)
+        self.kernel = Kernel(self.chip)
+
+    # -- workload loading --------------------------------------------------
+
+    def load(self, program: Program | str, **kwargs) -> GuardedPointer:
+        """Assemble-and-install a program; returns its entry pointer.
+        Keyword arguments pass through to ``Kernel.load_program``
+        (``perm``, ``patches``)."""
+        return self.kernel.load_program(program, **kwargs)
+
+    def allocate(self, nbytes: int, **kwargs) -> GuardedPointer:
+        """A fresh data segment (``perm``/``eager`` pass through)."""
+        return self.kernel.allocate_segment(nbytes, **kwargs)
+
+    def spawn(self, entry: GuardedPointer | Program | str, **kwargs) -> Thread:
+        """Start a thread.  ``entry`` may be an entry pointer from
+        :meth:`load`, or program source/a ``Program`` to load first.
+        Keyword arguments pass through to ``Kernel.spawn`` (``domain``,
+        ``regs``, ``cluster``, ``stack_bytes``)."""
+        if not isinstance(entry, GuardedPointer):
+            entry = self.load(entry)
+        return self.kernel.spawn(entry, **kwargs)
+
+    # -- the clock ---------------------------------------------------------
+
+    def run(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run to completion (see :meth:`MAPChip.run`)."""
+        return self.chip.run(max_cycles)
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance the clock ``cycles`` cycles; returns bundles issued."""
+        issued = 0
+        for _ in range(cycles):
+            issued += self.chip.step()
+        return issued
+
+    @property
+    def now(self) -> int:
+        return self.chip.now
+
+    # -- results and counters ---------------------------------------------
+
+    @property
+    def counters(self) -> PerfCounters:
+        """The chip-wide performance-counter file."""
+        return self.chip.counters
+
+    def snapshot(self) -> dict[str, int | float]:
+        """One coherent reading of every perf counter (sorted names)."""
+        return self.chip.counters.snapshot()
+
+    def counter_table(self, title: str = "perf counters") -> str:
+        """The counter snapshot rendered by the standard table
+        formatter (:func:`repro.sim.runner.format_table`)."""
+        from repro.sim.runner import format_table
+
+        return format_table(self.snapshot(), title=title)
+
+    @property
+    def threads(self) -> list[Thread]:
+        return self.chip.all_threads()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (f"Simulation(clusters={c.clusters}, "
+                f"threads_per_cluster={c.threads_per_cluster}, "
+                f"now={self.chip.now})")

@@ -1,9 +1,17 @@
-"""Experiment driver: run schemes over traces and tabulate results."""
+"""Experiment driver: run schemes over traces and tabulate results.
+
+:func:`format_table` is the one table renderer in the repo: it accepts
+either the cross-scheme comparison rows produced by
+:func:`run_comparison` or a performance-counter snapshot
+(``chip.counters.snapshot()`` /
+:meth:`repro.sim.api.Simulation.snapshot`), so benchmarks print both
+kinds of result through the same call.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.sim.trace import Trace
 
@@ -32,8 +40,16 @@ def run_comparison(schemes: list["ProtectionScheme"], trace: Trace) -> list[Row]
     return [Row(scheme=s.name, metrics=s.run(trace)) for s in schemes]
 
 
-def format_table(rows: list[Row], title: str = "") -> str:
-    """Plain-text results table (benchmarks print these)."""
+def format_table(rows: "list[Row] | Mapping[str, int | float]",
+                 title: str = "") -> str:
+    """Plain-text results table (benchmarks print these).
+
+    ``rows`` is either the scheme-comparison rows from
+    :func:`run_comparison` or a counter snapshot mapping (dotted
+    ``unit.event`` names to values), which renders grouped by unit.
+    """
+    if isinstance(rows, Mapping):
+        return _format_counter_table(rows, title)
     lines = []
     if title:
         lines.append(title)
@@ -47,6 +63,29 @@ def format_table(rows: list[Row], title: str = "") -> str:
             f"{row.scheme:<20} {m.accesses:>9} {m.cycles_per_access:>10.2f} "
             f"{m.switches:>9} {m.cycles_per_switch:>10.1f} {m.total_cycles:>12}"
         )
+    return "\n".join(lines)
+
+
+def _format_counter_table(snapshot: "Mapping[str, int | float]",
+                          title: str = "") -> str:
+    """Render a perf-counter snapshot, one block per counter unit."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(name) for name in snapshot), default=20)
+    header = f"{'counter':<{width}} {'value':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    previous_unit = None
+    for name, value in snapshot.items():
+        unit = name.split(".", 1)[0]
+        if previous_unit is not None and unit != previous_unit:
+            lines.append("")
+        previous_unit = unit
+        if isinstance(value, float):
+            lines.append(f"{name:<{width}} {value:>14.4f}")
+        else:
+            lines.append(f"{name:<{width}} {value:>14}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,125 @@
+"""The perf-counter subsystem: the counter file itself, and its
+consistency with the chip's raw statistics on real workloads."""
+
+from repro.experiments.e5_multithreading import WORKER
+from repro.machine.chip import ChipConfig, RunReason
+from repro.machine.counters import PerfCounters, merge_snapshots
+from repro.runtime.subsystem import ProtectedSubsystem
+from repro.sim.api import Simulation
+
+
+class TestPerfCounters:
+    def test_incr_accumulates(self):
+        c = PerfCounters()
+        c.incr("unit.event")
+        c.incr("unit.event", 4)
+        assert c.get("unit.event") == 5
+
+    def test_sources_are_pulled_lazily(self):
+        state = {"n": 0}
+        c = PerfCounters()
+        c.add_source("src", lambda: {"n": state["n"]})
+        state["n"] = 7
+        assert c.snapshot()["src.n"] == 7
+
+    def test_snapshot_is_sorted_and_merged(self):
+        c = PerfCounters()
+        c.incr("b.two")
+        c.add_source("a", lambda: {"one": 1})
+        snap = c.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap == {"a.one": 1, "b.two": 1}
+
+    def test_reset_events_keeps_sources(self):
+        c = PerfCounters()
+        c.incr("ev.x", 3)
+        c.add_source("s", lambda: {"y": 2})
+        c.reset_events()
+        snap = c.snapshot()
+        assert "ev.x" not in snap and snap["s.y"] == 2
+
+    def test_merge_snapshots(self):
+        merged = merge_snapshots({0: {"a": 1, "b": 2}, 1: {"a": 10}})
+        assert merged["node0.a"] == 1
+        assert merged["node1.a"] == 10
+        assert merged["a"] == 11
+        assert merged["b"] == 2
+
+
+def _count_fetches(chip):
+    """Wrap ``chip.fetch`` the way the tracer does, counting calls."""
+    counts = {"n": 0}
+    inner = chip.fetch
+
+    def counting_fetch(ip):
+        counts["n"] += 1
+        return inner(ip)
+
+    chip.fetch = counting_fetch
+    return counts
+
+
+def _check_consistency(sim, fetches):
+    """The PR's cross-check contract: counters vs raw chip statistics."""
+    chip = sim.chip
+    snap = sim.snapshot()
+    per_cluster = sum(cl.issued_cycles for cl in chip.clusters)
+    assert chip.stats.issued_bundles == per_cluster
+    assert snap["chip.issued_bundles"] == sum(
+        snap[f"cluster{i}.issued"] for i in range(len(chip.clusters)))
+    assert chip.fetch_hits + chip.fetch_misses == fetches["n"]
+    assert snap["fetch.hits"] + snap["fetch.misses"] == fetches["n"]
+    assert snap["chip.cycles"] == chip.stats.cycles
+
+
+class TestCounterConsistency:
+    def test_e5_workload(self):
+        sim = Simulation(ChipConfig(memory_bytes=4 * 1024 * 1024,
+                                    threads_per_cluster=4))
+        fetches = _count_fetches(sim.chip)
+        source = WORKER.format(iterations=100)
+        for t in range(4):
+            data = sim.allocate(4096, eager=True)
+            sim.spawn(source, domain=t + 1, cluster=0,
+                      regs={1: data.word}, stack_bytes=0)
+        result = sim.run(5_000_000)
+        assert result.reason == RunReason.HALTED
+        assert result.issued_bundles > 0
+        _check_consistency(sim, fetches)
+
+    def test_e3_workload(self):
+        # the Figure 3 enter-pointer subsystem call, spread over clusters
+        sim = Simulation(ChipConfig(memory_bytes=4 * 1024 * 1024))
+        fetches = _count_fetches(sim.chip)
+        subsystem = ProtectedSubsystem.install(sim.kernel, """
+        entry:
+            movi r11, 99
+            jmp r15
+        """)
+        caller = sim.load("""
+            getip r15, ret
+            jmp r1
+        ret:
+            mov r5, r11
+            halt
+        """)
+        threads = [sim.spawn(caller, regs={1: subsystem.enter.word},
+                             stack_bytes=0) for _ in range(3)]
+        result = sim.run(5_000_000)
+        assert result.reason == RunReason.HALTED
+        assert all(t.regs.read(5).value == 99 for t in threads)
+        _check_consistency(sim, fetches)
+
+    def test_e5_consistency_survives_cache_off(self):
+        sim = Simulation(ChipConfig(memory_bytes=4 * 1024 * 1024,
+                                    threads_per_cluster=2,
+                                    decode_cache=False))
+        fetches = _count_fetches(sim.chip)
+        source = WORKER.format(iterations=50)
+        for t in range(2):
+            data = sim.allocate(4096, eager=True)
+            sim.spawn(source, domain=t + 1, cluster=0,
+                      regs={1: data.word}, stack_bytes=0)
+        assert sim.run(5_000_000).reason == RunReason.HALTED
+        assert sim.chip.fetch_hits == 0
+        _check_consistency(sim, fetches)

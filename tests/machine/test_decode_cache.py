@@ -1,0 +1,173 @@
+"""The decoded-bundle cache: steady-state hits, and every invalidation
+path — unmap, local stores, loader range reuse, and remote writes."""
+
+import pytest
+
+from repro.core.exceptions import PermissionFault
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.assembler import assemble
+from repro.machine.chip import ChipConfig, MAPChip, RunReason
+from repro.machine.isa import Opcode
+from repro.machine.multicomputer import Multicomputer
+from repro.machine.network import MeshShape
+from repro.runtime.kernel import Kernel
+
+from tests.machine.conftest import load
+
+COUNTER_LOOP = """
+    movi r2, 10
+loop:
+    beq r2, done
+    subi r2, r2, 1
+    br loop
+done:
+    halt
+"""
+
+
+class TestSteadyState:
+    def test_refetch_is_a_cache_hit(self, chip):
+        entry = load(chip, "movi r1, 1\nhalt")
+        first = chip.fetch(entry)
+        assert chip.fetch_misses == 1
+        assert chip.fetch(entry) is first
+        assert chip.fetch_hits == 1
+
+    def test_loop_mostly_hits(self, chip):
+        entry = load(chip, COUNTER_LOOP)
+        chip.spawn(entry)
+        assert chip.run().reason == RunReason.HALTED
+        # 5 distinct bundles; every other fetch of the 10-iteration
+        # loop is answered by the cache
+        assert chip.fetch_misses == 5
+        assert chip.fetch_hits > 4 * chip.fetch_misses
+
+    def test_disabled_cache_never_hits(self):
+        chip = MAPChip(ChipConfig(memory_bytes=1024 * 1024,
+                                  decode_cache=False))
+        entry = load(chip, COUNTER_LOOP)
+        chip.spawn(entry)
+        assert chip.run().reason == RunReason.HALTED
+        assert chip.fetch_hits == 0
+        assert chip.fetch_misses > 5
+
+
+class TestPointerRevalidation:
+    """The cache is keyed by address but validated per pointer word."""
+
+    def test_different_word_same_address_still_checked(self, chip):
+        entry = load(chip, "movi r1, 1\nhalt")
+        bundle = chip.fetch(entry)
+        # a pointer with different bits (privileged) to the same
+        # address reuses the decode but re-runs the checks
+        priv = GuardedPointer.make(Permission.EXECUTE_PRIV,
+                                   entry.seglen, entry.address)
+        assert chip.fetch(priv) is bundle
+
+    def test_cached_address_is_no_execute_loophole(self, chip):
+        entry = load(chip, "movi r1, 1\nhalt")
+        chip.fetch(entry)
+        chip.fetch(entry)  # hot in the cache
+        rw = GuardedPointer.make(Permission.READ_WRITE,
+                                 entry.seglen, entry.address)
+        with pytest.raises(PermissionFault):
+            chip.fetch(rw)
+
+
+class TestInvalidation:
+    def test_unmap_flushes_everything(self, chip):
+        entry = load(chip, COUNTER_LOOP)
+        chip.fetch(entry)
+        assert chip._decode_cache
+        chip.page_table.unmap(chip.page_table.page_of(entry.address))
+        assert not chip._decode_cache
+        assert chip.decode_invalidations == 1
+
+    def test_store_drops_overlapping_bundle(self, chip):
+        entry = load(chip, "movi r1, 1\nhalt")
+        before = chip.fetch(entry)
+        assert before.int_op.opcode is Opcode.MOVI
+        # overwrite the bundle's integer-slot word in place
+        patch = assemble("addi r1, r1, 5").encode()[0]
+        chip.access_memory(entry.address, write=True, now=0, value=patch)
+        after = chip.fetch(entry)
+        assert after is not before
+        assert after.int_op.opcode is Opcode.ADDI
+
+    def test_store_probes_unaligned_bundle_starts(self, chip):
+        # bundles start every 24 bytes but segments align to powers of
+        # two, so a store must invalidate bundles starting up to two
+        # words before the written address
+        entry = load(chip, COUNTER_LOOP)
+        second = chip.fetch(GuardedPointer.make(
+            entry.permission, entry.seglen, entry.address + 24))
+        assert second is not None and len(chip._decode_cache) == 1
+        # hit the *last* word of that second bundle
+        patch = assemble("fnop").encode()[0]
+        chip.access_memory(entry.address + 24 + 16, write=True, now=0,
+                           value=patch)
+        assert not chip._decode_cache
+
+    def test_loader_invalidates_reused_range(self):
+        kernel = Kernel(MAPChip(ChipConfig(memory_bytes=1024 * 1024)))
+        chip = kernel.chip
+        first = kernel.load_program("movi r5, 1\nhalt")
+        assert chip.fetch(first).int_op.imm == 1
+        kernel.free_segment(first)
+        second = kernel.load_program("movi r5, 2\nhalt")
+        # whether or not the allocator reused the address, the fetch
+        # must see the newly loaded words
+        assert chip.fetch(second).int_op.imm == 2
+        chip.invalidate_decoded_range(second.segment_base, 48)
+        assert second.address not in chip._decode_cache
+
+    def test_remote_write_invalidates_every_node(self):
+        mc = Multicomputer(shape=MeshShape(2, 1, 1),
+                           chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024),
+                           arena_order=24)
+        entry = mc.load_on(0, "movi r1, 1\nhalt")
+        chip0 = mc.chips[0]
+        assert chip0.fetch(entry).int_op.opcode is Opcode.MOVI
+        assert entry.address in chip0._decode_cache
+        # node 1 writes the code word through the mesh; node 0's
+        # decoded copy must go
+        patch = assemble("addi r1, r1, 5").encode()[0]
+        mc.chips[1].access_memory(entry.address, write=True, now=0,
+                                  value=patch)
+        assert entry.address not in chip0._decode_cache
+        assert chip0.fetch(entry).int_op.opcode is Opcode.ADDI
+
+    def test_unmap_on_any_node_flushes_all_nodes(self):
+        mc = Multicomputer(shape=MeshShape(2, 1, 1),
+                           chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024),
+                           arena_order=24)
+        entry = mc.load_on(0, "movi r1, 1\nhalt")
+        mc.chips[0].fetch(entry)
+        assert mc.chips[0]._decode_cache
+        page = mc.chips[1].page_table.map(0x7000 // mc.chips[1].page_table.page_bytes)
+        mc.chips[1].page_table.unmap(page.virtual_page)
+        assert not mc.chips[0]._decode_cache
+
+
+class TestSelfModifyingProgram:
+    def test_store_to_own_code_takes_effect(self, chip):
+        # the program overwrites the integer op of its *next* bundle
+        # (movi r5, 1 -> stored word makes it movi-with-new-imm), then
+        # executes it; the fetch must see the stored word
+        entry = load(chip, """
+            st r2, r1, 24
+            movi r5, 1
+            halt
+        """)
+        # r1: a writable alias of the code segment; r2: the new word
+        rw = GuardedPointer.make(Permission.READ_WRITE,
+                                 entry.seglen, entry.address)
+        new_word = assemble("movi r5, 42").encode()[0]
+        thread = chip.spawn(entry, regs={1: rw.word, 2: new_word})
+        # warm the cache for the victim bundle so the test exercises
+        # invalidation rather than a cold miss
+        chip.fetch(GuardedPointer.make(entry.permission, entry.seglen,
+                                       entry.address + 24))
+        assert chip.run().reason == RunReason.HALTED
+        assert thread.regs.read(5).value == 42

@@ -1,0 +1,92 @@
+"""The Simulation facade — the supported surface for building, running
+and measuring a single-node machine."""
+
+import pytest
+
+from repro.machine.assembler import assemble
+from repro.machine.chip import ChipConfig, RunReason, RunResult
+from repro.sim.api import Simulation
+
+HALT5 = "movi r5, 5\nhalt"
+
+
+class TestConstruction:
+    def test_defaults(self):
+        sim = Simulation()
+        assert sim.config == ChipConfig()
+        assert sim.now == 0
+
+    def test_keyword_overrides(self):
+        sim = Simulation(memory_bytes=1 << 20, tlb_entries=8)
+        assert sim.config.memory_bytes == 1 << 20
+        assert sim.config.tlb_entries == 8
+
+    def test_config_plus_overrides(self):
+        sim = Simulation(ChipConfig(clusters=2), tlb_entries=8)
+        assert sim.config.clusters == 2
+        assert sim.config.tlb_entries == 8
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(TypeError):
+            Simulation(not_a_field=1)
+
+
+class TestLifecycle:
+    def test_spawn_from_source_and_run(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        thread = sim.spawn(HALT5, stack_bytes=0)
+        result = sim.run()
+        assert isinstance(result, RunResult)
+        assert result.reason == RunReason.HALTED
+        assert result.reason in RunReason.ALL
+        assert thread.regs.read(5).value == 5
+
+    def test_spawn_from_program_object(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        thread = sim.spawn(assemble(HALT5), stack_bytes=0)
+        assert sim.run().reason == RunReason.HALTED
+        assert thread.regs.read(5).value == 5
+
+    def test_load_then_spawn_many(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        entry = sim.load(HALT5)
+        threads = [sim.spawn(entry, stack_bytes=0) for _ in range(3)]
+        assert sim.run().reason == RunReason.HALTED
+        assert all(t.regs.read(5).value == 5 for t in threads)
+        assert len(sim.threads) == 3
+
+    def test_allocate_is_usable_by_programs(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        data = sim.allocate(256, eager=True)
+        thread = sim.spawn("movi r2, 7\nst r2, r1, 0\nld r5, r1, 0\nhalt",
+                           regs={1: data.word}, stack_bytes=0)
+        assert sim.run().reason == RunReason.HALTED
+        assert thread.regs.read(5).value == 7
+
+    def test_step_advances_the_clock(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        sim.spawn(HALT5, stack_bytes=0)
+        issued = sim.step(3)
+        assert sim.now == 3
+        assert issued >= 1
+
+
+class TestCounters:
+    def test_snapshot_names_the_standard_units(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        sim.spawn(HALT5, stack_bytes=0)
+        sim.run()
+        snap = sim.snapshot()
+        for name in ("chip.cycles", "chip.issued_bundles", "fetch.hits",
+                     "fetch.misses", "cache.hits", "tlb.hits",
+                     "cluster0.issued"):
+            assert name in snap, name
+        assert snap["chip.issued_bundles"] == 2
+
+    def test_counter_table_renders(self):
+        sim = Simulation(memory_bytes=1 << 20)
+        sim.spawn(HALT5, stack_bytes=0)
+        sim.run()
+        table = sim.counter_table(title="after run")
+        assert "after run" in table
+        assert "fetch.misses" in table

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Run the PR's benchmark suite and record a machine-readable baseline.
+
+Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
+experiment kernels plus the cycle-loop microbenchmark
+(``benchmarks/bench_cycle_loop.py``), takes a perf-counter snapshot of
+a representative E5 run, cross-checks the counter file against
+``ChipStats``, and writes everything to ``BENCH_pr1.json`` at the repo
+root.
+
+Usage::
+
+    python tools/run_benchmarks.py [--out BENCH_pr1.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for p in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from repro import __version__  # noqa: E402
+from repro.experiments import e2_lea_checks as e2  # noqa: E402
+from repro.experiments import e5_multithreading as e5  # noqa: E402
+from repro.experiments import e9_context_switch as e9  # noqa: E402
+from repro.machine.chip import ChipConfig, RunReason  # noqa: E402
+from repro.sim.api import Simulation  # noqa: E402
+
+from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
+
+
+def timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def bench_e2() -> dict:
+    results, wall = timed(e2.sweep_all_lengths, 512)
+    return {"wall_s": wall, "segment_lengths": len(results),
+            "all_exact": all(r.exact for r in results)}
+
+
+def bench_e5() -> dict:
+    points, wall = timed(e5.sweep, (1, 2, 4), 150)
+    total_cycles = sum(p.cycles for p in points)
+    return {"wall_s": wall, "points": len(points),
+            "total_cycles": total_cycles,
+            "cycles_per_s": total_cycles / wall}
+
+
+def bench_e9() -> dict:
+    table, wall = timed(e9.switch_cost_table)
+    return {"wall_s": wall, "schemes": table}
+
+
+def counter_snapshot_e5() -> dict:
+    """One representative E5 run through the facade: the counter
+    snapshot, cross-checked against the chip's raw statistics."""
+    sim = Simulation(ChipConfig(memory_bytes=4 * 1024 * 1024,
+                                threads_per_cluster=4))
+    source = e5.WORKER.format(iterations=500)
+    for t in range(4):
+        data = sim.allocate(4096, eager=True)
+        sim.spawn(source, domain=t + 1, cluster=0,
+                  regs={1: data.word}, stack_bytes=0)
+    result, wall = timed(sim.run, 5_000_000)
+    assert result.reason == RunReason.HALTED, result.reason
+    snap = sim.snapshot()
+
+    chip = sim.chip
+    per_cluster_issued = sum(
+        snap[f"cluster{i}.issued"] for i in range(len(chip.clusters)))
+    checks = {
+        "issued_bundles_match_clusters":
+            snap["chip.issued_bundles"] == per_cluster_issued,
+        "stats_match_snapshot":
+            snap["chip.issued_bundles"] == chip.stats.issued_bundles
+            and snap["chip.cycles"] == chip.stats.cycles,
+        "fetches_match_issues":
+            snap["fetch.hits"] + snap["fetch.misses"]
+            == chip.stats.issued_bundles,
+    }
+    assert all(checks.values()), checks
+    return {"wall_s": wall, "cycles": result.cycles,
+            "cycles_per_s": result.cycles / wall,
+            "cross_checks": checks, "counters": snap}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr1.json"))
+    args = parser.parse_args(argv)
+
+    print("running e2 (LEA checks) ...")
+    r_e2 = bench_e2()
+    print(f"  {r_e2['wall_s']:.3f}s")
+    print("running e5 (multithreading sweep) ...")
+    r_e5 = bench_e5()
+    print(f"  {r_e5['wall_s']:.3f}s, {r_e5['cycles_per_s']:,.0f} cycles/s")
+    print("running e9 (context switch) ...")
+    r_e9 = bench_e9()
+    print(f"  {r_e9['wall_s']:.3f}s")
+    print("running cycle-loop microbenchmark ...")
+    r_loop = cycle_loop_measure()
+    print(f"  {r_loop['speedup']:.2f}x over the pre-rework loop "
+          f"({r_loop['new_cycles_per_s']:,.0f} vs "
+          f"{r_loop['legacy_cycles_per_s']:,.0f} cycles/s)")
+    print("taking the E5 counter snapshot ...")
+    r_snap = counter_snapshot_e5()
+    print("  counter cross-checks passed")
+
+    payload = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {
+            "e2_lea_checks": r_e2,
+            "e5_multithreading": r_e5,
+            "e9_context_switch": r_e9,
+            "cycle_loop": r_loop,
+            "e5_counter_snapshot": r_snap,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
