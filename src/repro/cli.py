@@ -91,6 +91,24 @@ def cmd_isa(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import SCENARIOS, run_campaign
+
+    if args.scenario is not None and args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"choose from: {', '.join(SCENARIOS)}")
+        return 2
+    report = run_campaign(seed=args.seed, cases=args.cases,
+                          scenario=args.scenario,
+                          shrink=not args.no_shrink, log=print)
+    print(report.summary())
+    for failure in report.failures:
+        if failure.regression_test:
+            print("\n# paste into tests/machine/test_fuzz_regressions.py:")
+            print(failure.regression_test)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_isa = sub.add_parser("isa", help="print the opcode table")
     p_isa.set_defaults(func=cmd_isa)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing against the reference "
+                     "interpreter and the decode-cache-off chip")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (case seeds derive from it)")
+    p_fuzz.add_argument("--cases", type=int, default=200)
+    p_fuzz.add_argument("--scenario", default=None,
+                        help="pin every case to one scenario")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without minimizing them")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

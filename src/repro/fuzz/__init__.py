@@ -1,0 +1,36 @@
+"""Differential fuzzing of the MAP simulator.
+
+Two independent oracles keep the chip honest:
+
+* the :class:`~repro.machine.reference.ReferenceInterpreter`, a
+  flat-memory sequential model run in lockstep with the chip;
+* the chip itself with ``decode_cache=False`` — any observable
+  difference from the cached configuration is a coherence bug.
+
+See ``docs/FUZZING.md`` for the scenario space and the invalidation
+contract this subsystem polices.
+"""
+
+from repro.fuzz.differ import Divergence, diff_against_reference
+from repro.fuzz.generator import (REFERENCE_SCENARIOS, SCENARIOS, FuzzCase,
+                                  generate_case)
+from repro.fuzz.runner import Failure, FuzzReport, run_campaign, run_case
+from repro.fuzz.scenarios import diff_cache_axes, run_scenario
+from repro.fuzz.shrink import emit_regression_test, shrink_case
+
+__all__ = [
+    "Divergence",
+    "Failure",
+    "FuzzCase",
+    "FuzzReport",
+    "REFERENCE_SCENARIOS",
+    "SCENARIOS",
+    "diff_against_reference",
+    "diff_cache_axes",
+    "emit_regression_test",
+    "generate_case",
+    "run_campaign",
+    "run_case",
+    "run_scenario",
+    "shrink_case",
+]

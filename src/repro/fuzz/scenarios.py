@@ -1,0 +1,271 @@
+"""Scenario runners and the cache-on-vs-off diff axis.
+
+Every scenario runs the same case twice — ``decode_cache=True`` and
+``False`` — and the two runs must produce *identical* digests: thread
+state, register files, fault sequence, memory image and cycle count
+(the decoded-bundle cache is documented as timing-transparent, so even
+``now`` must match).  The scenarios are chosen to stress exactly the
+paths that can leave a stale decoded bundle behind:
+
+==============  ======================================================
+plain           straight ISA soup (control: no mutation at all)
+self_modify     the program stores over its own next iteration
+enter_call      ENTER-pointer call/return (decoded gate bundles)
+unmap_remap     kernel unmaps the code page mid-run, remaps + rewrites
+swap            code and data pages take a backing-store round-trip
+gc_sweep        a GC collection plus ``sweep_revoke`` over live memory
+loader_reuse    a freed code segment's range is reloaded with new code
+remote_store    another node patches this node's code through the mesh
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+from repro.core.permissions import Permission
+from repro.core.word import TaggedWord
+from repro.machine.assembler import assemble
+from repro.machine.chip import ChipConfig, MAPChip
+from repro.machine.multicomputer import Multicomputer
+from repro.machine.network import MeshShape
+from repro.machine.thread import Thread
+from repro.machine.verifier import InvariantViolation, SecurityMonitor
+from repro.runtime.gc import AddressSpaceGC, sweep_revoke
+from repro.runtime.swap import SwapManager
+from repro.sim.api import Simulation
+
+from repro.fuzz.differ import Divergence, setup_chip
+from repro.fuzz.generator import DATA_BYTES, FuzzCase
+
+#: generated programs finish within a few thousand cycles; this bound
+#: only matters for broken shrink candidates (deleted loop decrements),
+#: so it is kept tight enough that burning it stays cheap
+MAX_CYCLES = 20_000
+
+
+# -- digest helpers -------------------------------------------------------
+
+def _digest_thread(thread: Thread) -> dict:
+    return {
+        "state": thread.state.name,
+        "bundles": thread.stats.bundles,
+        "fault": (type(thread.fault.cause).__name__
+                  if thread.fault is not None else None),
+        "regs": [(w.value, w.tag)
+                 for w in (thread.regs.read(i) for i in range(16))],
+        # repr, not the float: NaN must compare equal to itself here
+        "fregs": [repr(thread.regs.read_f(i)) for i in range(16)],
+    }
+
+
+def _segment_words(chip: MAPChip, base: int, nbytes: int) -> list:
+    """The segment's words as compare-friendly tuples; pages the kernel
+    unmapped (swap, GC) digest as the string ``"unmapped"``."""
+    table = chip.page_table
+    out: list = []
+    for off in range(0, nbytes, 8):
+        vaddr = base + off
+        if not table.is_mapped(table.page_of(vaddr)):
+            out.append("unmapped")
+        else:
+            word = chip.memory.load_word(table.walk(vaddr))
+            out.append((word.value, word.tag))
+    return out
+
+
+def _digest_chip(chip: MAPChip, threads: list[Thread],
+                 segments: list[tuple[int, int]],
+                 monitors: list[SecurityMonitor]) -> dict:
+    digest = {
+        "cycles": chip.now,
+        "threads": [_digest_thread(t) for t in threads],
+        "faults": [type(r.cause).__name__ for r in chip.fault_log],
+        "memory": [_segment_words(chip, base, nbytes)
+                   for base, nbytes in segments],
+        "invariant": None,
+    }
+    for monitor in monitors:
+        try:
+            monitor.check_all()
+        except InvariantViolation as e:
+            digest["invariant"] = str(e)
+            break
+    return digest
+
+
+# -- the runners ----------------------------------------------------------
+
+def _run_program_scenario(case: FuzzCase, decode_cache: bool) -> dict:
+    """plain / self_modify / enter_call: a bare chip, run to the end."""
+    chip, thread, entry, data = setup_chip(case.source,
+                                           decode_cache=decode_cache,
+                                           fregs=case.fregs)
+    monitor = SecurityMonitor(chip)
+    monitor.note_spawn(thread)
+    chip.run(MAX_CYCLES)
+    return _digest_chip(chip, [thread],
+                        [(data.segment_base, DATA_BYTES)], [monitor])
+
+
+def _make_sim(case: FuzzCase, decode_cache: bool
+              ) -> tuple[Simulation, Thread, SecurityMonitor, int, int]:
+    """A kernel-backed single-node machine with the case loaded: data
+    segment in r8, stack in r14 (kernel convention)."""
+    sim = Simulation(memory_bytes=2 * 1024 * 1024,
+                     decode_cache=decode_cache)
+    data = sim.allocate(DATA_BYTES, eager=True)
+    entry = sim.load(case.source)
+    monitor = SecurityMonitor(sim.chip)
+    thread = sim.spawn(entry, regs={8: data.word})
+    monitor.note_spawn(thread)
+    for index, value in case.fregs.items():
+        thread.regs.write_f(index, value)
+    return sim, thread, monitor, entry.segment_base, data.segment_base
+
+
+def _run_unmap_remap(case: FuzzCase, decode_cache: bool) -> dict:
+    """Mid-run, the code page is unmapped, remapped, and rewritten with
+    a carpet of HALT bundles — the decoded old program must not run on."""
+    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    sim.step(case.meta["mutate_after"])
+    table = sim.chip.page_table
+    program_bytes = assemble(case.source).size_bytes
+    table.unmap(table.page_of(code_base))
+    table.ensure_mapped(code_base, program_bytes)
+    halt_words = assemble("halt").encode()  # one full bundle: halt|nop|nop
+    for i in range(program_bytes // 8):
+        sim.chip.store_runtime_word(table.walk(code_base + i * 8),
+                                    halt_words[i % 3])
+    sim.run(MAX_CYCLES)
+    return _digest_chip(sim.chip, [thread],
+                        [(data_base, DATA_BYTES)], [monitor])
+
+
+def _run_swap(case: FuzzCase, decode_cache: bool) -> dict:
+    """Mid-run, the code and data pages are forced out to the backing
+    store; the demand-pager brings them back on the next touch."""
+    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    swap = SwapManager(sim.kernel, swap_cycles=50)
+    sim.step(case.meta["mutate_after"])
+    table = sim.chip.page_table
+    swap.swap_out(table.page_of(code_base))
+    swap.swap_out(table.page_of(data_base))
+    sim.run(MAX_CYCLES)
+    return _digest_chip(sim.chip, [thread],
+                        [(data_base, DATA_BYTES)], [monitor])
+
+
+def _run_gc_sweep(case: FuzzCase, decode_cache: bool) -> dict:
+    """Mid-run, a full collection frees an unreachable decoy and a
+    ``sweep_revoke`` zeroes every copy of a victim pointer — both write
+    below translation, which is exactly where staleness hides."""
+    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    victim = sim.allocate(256, eager=True)
+    sim.allocate(512, eager=True)  # the decoy: unreachable, GC frees it
+    # park the victim pointer in live data so the sweep has work to do
+    table = sim.chip.page_table
+    sim.chip.memory.store_word(table.walk(data_base + DATA_BYTES - 8),
+                               victim.word)
+    sim.step(case.meta["mutate_after"])
+    AddressSpaceGC(sim.kernel).collect(extra_roots=[victim])
+    sweep_revoke(sim.kernel, victim)
+    sim.run(MAX_CYCLES)
+    return _digest_chip(sim.chip, [thread],
+                        [(data_base, DATA_BYTES)], [monitor])
+
+
+def _run_loader_reuse(case: FuzzCase, decode_cache: bool) -> dict:
+    """Run program A, free its code segment, load program B over the
+    recycled range, run that too — B must never execute A's bundles."""
+    sim = Simulation(memory_bytes=2 * 1024 * 1024,
+                     decode_cache=decode_cache)
+    data = sim.allocate(DATA_BYTES, eager=True)
+    monitor = SecurityMonitor(sim.chip)
+    threads = []
+    entry_a = sim.load(case.source)
+    thread_a = sim.spawn(entry_a, regs={8: data.word})
+    monitor.note_spawn(thread_a)
+    threads.append(thread_a)
+    sim.run(MAX_CYCLES)
+    sim.kernel.free_segment(entry_a)
+    entry_b = sim.load(case.meta["source_b"])
+    thread_b = sim.spawn(entry_b, regs={8: data.word})
+    monitor.note_spawn(thread_b)
+    threads.append(thread_b)
+    sim.run(MAX_CYCLES)
+    return _digest_chip(sim.chip, threads,
+                        [(data.segment_base, DATA_BYTES)], [monitor])
+
+
+def _run_remote_store(case: FuzzCase, decode_cache: bool) -> dict:
+    """Two mesh nodes; node 1 patches node 0's code through the network
+    mid-run, flipping a ``movi`` immediate the loop keeps executing."""
+    mc = Multicomputer(MeshShape(2, 1, 1),
+                       chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024,
+                                              decode_cache=decode_cache),
+                       arena_order=24)
+    data = mc.allocate_on(0, DATA_BYTES, eager=True)
+    entry = mc.load_on(0, case.source)
+    monitors = [SecurityMonitor(chip) for chip in mc.chips]
+    thread = mc.spawn_on(0, entry, regs={8: data.word})
+    monitors[0].note_spawn(thread)
+    for index, value in case.fregs.items():
+        thread.regs.write_f(index, value)
+    mc.run(max_cycles=case.meta["mutate_after"])
+    patch_addr = entry.segment_base + case.meta["patch_offset"]
+    mc.chips[1].access_memory(
+        patch_addr, write=True, now=mc.chips[1].now,
+        value=TaggedWord.integer(case.meta["patch_word"]))
+    mc.run(max_cycles=MAX_CYCLES)
+    digest = _digest_chip(mc.chips[0], [thread],
+                          [(data.segment_base, DATA_BYTES)], monitors)
+    digest["cycles"] = max(chip.now for chip in mc.chips)
+    digest["faults"] = [[type(r.cause).__name__ for r in chip.fault_log]
+                        for chip in mc.chips]
+    return digest
+
+
+_RUNNERS = {
+    "plain": _run_program_scenario,
+    "self_modify": _run_program_scenario,
+    "enter_call": _run_program_scenario,
+    "unmap_remap": _run_unmap_remap,
+    "swap": _run_swap,
+    "gc_sweep": _run_gc_sweep,
+    "loader_reuse": _run_loader_reuse,
+    "remote_store": _run_remote_store,
+}
+
+
+def run_scenario(case: FuzzCase, decode_cache: bool) -> dict:
+    """One digest of ``case`` under the given decode-cache setting."""
+    return _RUNNERS[case.scenario](case, decode_cache)
+
+
+def _first_difference(on: dict, off: dict) -> str:
+    for key in on:
+        if on[key] != off[key]:
+            return f"{key}: cache-on={on[key]!r} cache-off={off[key]!r}"
+    return "digests differ"
+
+
+def diff_cache_axes(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` with the decode cache on and off; None means the
+    two runs were architecturally *and* temporally identical."""
+    axis = "cache-on-vs-off"
+    try:
+        on = run_scenario(case, True)
+    except Exception as e:
+        return Divergence(axis, case, "crash",
+                          f"cache-on run crashed: {type(e).__name__}: {e}")
+    try:
+        off = run_scenario(case, False)
+    except Exception as e:
+        return Divergence(axis, case, "crash",
+                          f"cache-off run crashed: {type(e).__name__}: {e}")
+    if on["invariant"] is not None:
+        return Divergence(axis, case, "invariant", on["invariant"])
+    if off["invariant"] is not None:
+        return Divergence(axis, case, "invariant", off["invariant"])
+    if on != off:
+        return Divergence(axis, case, "state", _first_difference(on, off))
+    return None

@@ -1,0 +1,153 @@
+"""Minimizing failures to a few-bundle, paste-ready repro.
+
+A raw divergence names a seed and a few hundred generated source
+lines; the shrinker whittles that down while the failure keeps
+reproducing — greedy line deletion, loop-count reduction, then
+float-register pruning — and renders what is left as a regression test
+that replays the :class:`~repro.fuzz.generator.FuzzCase` directly (no
+generator involved, so the repro survives generator changes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Callable
+
+from repro.machine.assembler import assemble
+
+from repro.fuzz.generator import FuzzCase
+
+#: predicate: does this candidate still reproduce the original failure?
+Reproduces = Callable[[FuzzCase], bool]
+
+_ST_PATCH = re.compile(r"^st r1, r15, \d+$")
+_GETIP = re.compile(r"^getip r14, -?\d+$")
+_LOOP_COUNT = re.compile(r"^movi r12, (\d+)$")
+
+
+def _rebuild(case: FuzzCase, lines: list[str]) -> FuzzCase | None:
+    """A candidate case from edited source lines, with the couplings
+    the generator baked in (label offsets in ``meta`` and in the text
+    itself) recomputed.  None when the edit broke the program."""
+    source = "\n".join(lines)
+    try:
+        labels = assemble(source).labels
+    except Exception:
+        return None
+    meta = dict(case.meta)
+    if "patch_offset" in meta:
+        if "target" not in labels:
+            return None
+        offset = labels["target"]
+        meta["patch_offset"] = offset
+        lines = [f"st r1, r15, {offset}" if _ST_PATCH.match(line) else line
+                 for line in lines]
+    if "gate_offset" in meta:
+        if "gate" not in labels:
+            return None
+        meta["gate_offset"] = labels["gate"]
+        if "back" in labels and "retsetup" in labels:
+            disp = labels["back"] - labels["retsetup"]
+            lines = [f"getip r14, {disp}" if _GETIP.match(line) else line
+                     for line in lines]
+    source = "\n".join(lines)
+    try:
+        assemble(source)
+    except Exception:
+        return None
+    return replace(case, source=source, meta=meta)
+
+
+def _try(candidate: FuzzCase | None, reproduces: Reproduces) -> bool:
+    if candidate is None:
+        return False
+    try:
+        return reproduces(candidate)
+    except Exception:
+        # a candidate that crashes the harness is not a cleaner repro
+        return False
+
+
+def shrink_case(case: FuzzCase, reproduces: Reproduces,
+                max_rounds: int = 8) -> FuzzCase:
+    """The smallest case (greedy, not optimal) that still reproduces."""
+    current = case
+
+    for _ in range(max_rounds):
+        progressed = False
+
+        # pass 1: drop whole lines, longest-suffix-first order is not
+        # needed — one line at a time keeps label couplings simple
+        lines = current.source.split("\n")
+        index = 0
+        while index < len(lines):
+            candidate = _rebuild(current, lines[:index] + lines[index + 1:])
+            if _try(candidate, reproduces):
+                current = candidate
+                lines = current.source.split("\n")
+                progressed = True
+            else:
+                index += 1
+
+        # pass 2: shrink the loop bound
+        match = next((m for line in lines if (m := _LOOP_COUNT.match(line))),
+                     None)
+        if match and int(match.group(1)) > 1:
+            for smaller in (1, 2, int(match.group(1)) // 2):
+                if smaller >= int(match.group(1)):
+                    continue
+                candidate = _rebuild(current, [
+                    f"movi r12, {smaller}" if _LOOP_COUNT.match(line) else line
+                    for line in lines])
+                if _try(candidate, reproduces):
+                    current = candidate
+                    lines = current.source.split("\n")
+                    progressed = True
+                    break
+
+        # pass 3: drop initial float registers
+        for index in sorted(current.fregs):
+            fregs = {k: v for k, v in current.fregs.items() if k != index}
+            candidate = replace(current, fregs=fregs)
+            if _try(candidate, reproduces):
+                current = candidate
+                progressed = True
+
+        if not progressed:
+            break
+    return current
+
+
+def _py_float(value: float) -> str:
+    """A float literal that survives ``eval`` — ``repr(inf)`` does not."""
+    if value != value:
+        return 'float("nan")'
+    if value == float("inf"):
+        return 'float("inf")'
+    if value == float("-inf"):
+        return 'float("-inf")'
+    return repr(value)
+
+
+def emit_regression_test(case: FuzzCase, description: str) -> str:
+    """Paste-ready pytest source replaying ``case`` and asserting that
+    both diff axes are clean."""
+    description = " ".join(description.split())
+    if len(description) > 160:
+        description = description[:157] + "..."
+    fregs = ("{" + ", ".join(f"{k}: {_py_float(v)}"
+                             for k, v in sorted(case.fregs.items())) + "}")
+    return f'''\
+def test_fuzz_seed_{case.seed}_{case.scenario}():
+    """Shrunk fuzz repro: {description}"""
+    case = FuzzCase(
+        seed={case.seed},
+        scenario={case.scenario!r},
+        source="""\\
+{case.source}""",
+        fregs={fregs},
+        meta={case.meta!r},
+    )
+    assert run_case(case) == []
+'''

@@ -320,9 +320,36 @@ class MAPChip:
         """Page-table hook: any unmap conservatively flushes the decode
         cache (mirrors the TLB's full-flush-on-unmap policy — unmaps
         are rare, staleness is never acceptable)."""
+        self._flush_decoded_local()
+
+    def _flush_decoded_local(self) -> None:
+        """Drop every decoded bundle on *this* node."""
         if self._decode_cache:
             self.decode_invalidations += len(self._decode_cache)
             self._decode_cache.clear()
+
+    def flush_decoded(self) -> None:
+        """Drop every decoded bundle — on every node, when meshed."""
+        if self.router is not None:
+            self.router.flush_decoded()
+        else:
+            self._flush_decoded_local()
+
+    def store_runtime_word(self, physical: int, word: TaggedWord) -> None:
+        """System-software write to **physical** memory (GC sweeps, swap
+        page moves, loaders working below translation): performs the
+        store and conservatively flushes the decoded-bundle cache —
+        machine-wide on a multicomputer.
+
+        Physical frames have no unique reverse translation, so a
+        targeted invalidation is impossible here; the hook mirrors the
+        unmap policy instead (runtime writes are rare, staleness is
+        never acceptable).  Runtime code that knows the *virtual* range
+        it rewrote should additionally prefer
+        :meth:`invalidate_decoded_range`.
+        """
+        self.memory.store_word(physical, word)
+        self.flush_decoded()
 
     def invalidate_decoded_word(self, vaddr: int) -> None:
         """Drop any cached bundle overlapping the word at ``vaddr``.
@@ -342,7 +369,15 @@ class MAPChip:
 
     def invalidate_decoded_range(self, base: int, nbytes: int) -> None:
         """Drop every cached bundle overlapping ``[base, base+nbytes)``
-        (program loaders rewriting a reused virtual range call this)."""
+        (program loaders and the swap manager rewriting a virtual range
+        call this).  On a mesh the range is dropped on *every* node —
+        any node may have the rewritten code decoded."""
+        if self.router is not None:
+            self.router.invalidate_decoded_range(base, nbytes)
+        else:
+            self._invalidate_decoded_range_local(base, nbytes)
+
+    def _invalidate_decoded_range_local(self, base: int, nbytes: int) -> None:
         cache = self._decode_cache
         if not cache:
             return

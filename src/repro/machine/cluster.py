@@ -30,7 +30,7 @@ from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord, to_s64
 from repro.machine.faults import FaultRecord, TrapFault
 from repro.machine.isa import BUNDLE_BYTES, Bundle, Opcode, Operation
-from repro.machine.registers import float_to_word, word_to_float
+from repro.machine.registers import float_to_word, saturating_ftoi, word_to_float
 from repro.machine.thread import Thread, ThreadState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -317,6 +317,14 @@ class Cluster:
         thread.stats.operations += bundle.live_ops
 
         if halted:
+            # a halting bundle still commits everything it did — a
+            # blocking load sharing the bundle with HALT must land its
+            # register write before the thread's state goes final
+            for bank, index, value in pending:
+                if bank == "r":
+                    thread.regs.write(index, value)
+                else:
+                    thread.regs.write_f(index, value)
             thread.state = ThreadState.HALTED
             return
 
@@ -412,7 +420,8 @@ class Cluster:
             commits.append(("f", op.rd, float(regs.read(op.ra).as_signed())))
             return
         if code is Opcode.FTOI:
-            commits.append(("r", op.rd, TaggedWord.integer(int(regs.read_f(op.ra)))))
+            commits.append(("r", op.rd,
+                            TaggedWord.integer(saturating_ftoi(regs.read_f(op.ra)))))
             return
         raise AssertionError(f"unhandled fp op {code.name}")
 

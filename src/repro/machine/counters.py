@@ -92,10 +92,23 @@ def merge_snapshots(per_node: Mapping[int, Mapping[str, int | float]]
     counter is also summed across nodes under its bare name, so
     ``cache.hits`` in the merged view is machine-wide while
     ``node2.cache.hits`` remains inspectable.
+
+    Derived ratios are not additive: a ``<unit>.hit_rate`` summed over
+    nodes would read as a "rate" above 1.  The machine-wide rate is
+    recomputed from the summed ``<unit>.hits`` / ``<unit>.misses``
+    instead (an access-weighted mean of the per-node rates).
     """
     merged: dict[str, int | float] = {}
+    summed: dict[str, int | float] = {}
     for node, snap in per_node.items():
         for name, value in snap.items():
             merged[f"node{node}.{name}"] = value
-            merged[name] = merged.get(name, 0) + value
+            summed[name] = summed.get(name, 0) + value
+    for name in summed:
+        if name.endswith(".hit_rate"):
+            unit = name[: -len("hit_rate")]
+            hits = summed.get(f"{unit}hits", 0)
+            accesses = hits + summed.get(f"{unit}misses", 0)
+            summed[name] = round(hits / accesses, 6) if accesses else 0.0
+    merged.update(summed)
     return dict(sorted(merged.items()))

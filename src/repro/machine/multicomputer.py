@@ -100,13 +100,24 @@ class Multicomputer:
 
     def _flush_all_decoded(self, _virtual_page: int) -> None:
         for chip in self.chips:
-            chip._on_unmap(_virtual_page)
+            chip._flush_decoded_local()
 
     def invalidate_decoded(self, vaddr: int) -> None:
         """Router half of store-coherence for decoded bundles: a write
         anywhere drops the bundles overlapping that word on every node."""
         for chip in self.chips:
             chip.invalidate_decoded_word(vaddr)
+
+    def invalidate_decoded_range(self, base: int, nbytes: int) -> None:
+        """Machine-wide half of :meth:`MAPChip.invalidate_decoded_range`."""
+        for chip in self.chips:
+            chip._invalidate_decoded_range_local(base, nbytes)
+
+    def flush_decoded(self) -> None:
+        """Machine-wide half of :meth:`MAPChip.flush_decoded` (runtime
+        physical stores cannot be reverse-translated on any node)."""
+        for chip in self.chips:
+            chip._flush_decoded_local()
 
     # -- the router contract used by MAPChip.access_memory ---------------
 

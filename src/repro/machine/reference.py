@@ -18,14 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import operations as ops
-from repro.core.exceptions import GuardedPointerFault, RestrictFault
+from repro.core.exceptions import GuardedPointerFault, PermissionFault, RestrictFault
 from repro.core.permissions import Permission
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord, to_s64
 from repro.machine.cluster import _FP_ALU, _INT_ALU, _INT_ALU_IMM
 from repro.machine.faults import TrapFault
 from repro.machine.isa import BUNDLE_BYTES, OP_BYTES, SLOTS, Bundle, Opcode, Operation
-from repro.machine.registers import RegisterFile, float_to_word, word_to_float
+from repro.machine.registers import (RegisterFile, float_to_word,
+                                     saturating_ftoi, word_to_float)
+from repro.mem.tagged_memory import AlignmentFault
 
 
 @dataclass
@@ -64,12 +66,12 @@ class ReferenceInterpreter:
 
     def load_word(self, vaddr: int) -> TaggedWord:
         if vaddr % 8:
-            raise GuardedPointerFault(f"unaligned access at {vaddr:#x}")
+            raise AlignmentFault(f"unaligned word access at {vaddr:#x}")
         return self.memory.get(vaddr, self.code.get(vaddr, TaggedWord.zero()))
 
     def store_word(self, vaddr: int, word: TaggedWord) -> None:
         if vaddr % 8:
-            raise GuardedPointerFault(f"unaligned access at {vaddr:#x}")
+            raise AlignmentFault(f"unaligned word access at {vaddr:#x}")
         self.memory[vaddr] = word
 
     # -- execution ------------------------------------------------------------
@@ -91,12 +93,21 @@ class ReferenceInterpreter:
         for slot in range(SLOTS):
             vaddr = self.ip.address + slot * OP_BYTES
             if not self.ip.contains(vaddr):
-                raise GuardedPointerFault("bundle extends past the code segment")
+                # same fault type the chip raises for this check
+                raise PermissionFault("bundle extends past the code segment")
             words.append(self.load_word(vaddr))
         return Bundle.decode(words)
 
     def _step(self) -> str:
-        bundle = self._fetch()
+        try:
+            bundle = self._fetch()
+        except GuardedPointerFault:
+            raise
+        except Exception as cause:
+            # undecodable words (a program stored garbage over its own
+            # code) fault like they do on the chip, whose cluster wraps
+            # any non-architectural fetch error the same way
+            raise PermissionFault(f"{type(cause).__name__}: {cause}") from cause
         privileged = self.ip.permission is Permission.EXECUTE_PRIV
         commits: list[tuple[str, int, object]] = []
         branch_target: GuardedPointer | None = None
@@ -183,7 +194,7 @@ class ReferenceInterpreter:
             return
         if code is Opcode.FTOI:
             commits.append(("r", op.rd,
-                            TaggedWord.integer(int(regs.read_f(op.ra)))))
+                            TaggedWord.integer(saturating_ftoi(regs.read_f(op.ra)))))
             return
         raise AssertionError(f"unhandled fp op {code.name}")
 

@@ -27,6 +27,27 @@ def word_to_float(word: TaggedWord) -> float:
     return struct.unpack("<d", struct.pack("<Q", word.value))[0]
 
 
+_S64_MIN = -(1 << 63)
+_S64_MAX = (1 << 63) - 1
+
+
+def saturating_ftoi(value: float) -> int:
+    """FTOI semantics shared by the cluster and the reference
+    interpreter: truncate toward zero, saturate at the signed 64-bit
+    limits, and convert NaN to 0 (the invalid-operation default).
+
+    Bare ``int()`` raises on non-finite input, which is a host artifact
+    — hardware delivers a defined result for every bit pattern.
+    """
+    if value != value:  # NaN
+        return 0
+    if value >= _S64_MAX:
+        return _S64_MAX
+    if value <= _S64_MIN:
+        return _S64_MIN
+    return int(value)
+
+
 class RegisterFile:
     """Sixteen tagged integer registers and sixteen FP registers."""
 

@@ -152,6 +152,14 @@ class SecurityMonitor:
 
     # -- convenience -----------------------------------------------------------------
 
+    def check_all(self) -> None:
+        """Every passive sweep at once (I2–I4).  The jump audits (I1,
+        I5) run inline while the chip executes; callers that drive the
+        chip themselves — the fuzz differ does — call this at the end
+        for the state-shaped half of the invariants."""
+        self.check_threads()
+        self.check_memory()
+
     def run_checked(self, max_cycles: int = 1_000_000, sweep_every: int = 64):
         """Drive the chip like :meth:`MAPChip.run`, sweeping thread
         state every ``sweep_every`` cycles and memory at the end."""

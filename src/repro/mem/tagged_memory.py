@@ -13,11 +13,18 @@ adds exactly 1 bit per 64, a 1.5625 % capacity overhead.
 from __future__ import annotations
 
 from repro.core.constants import WORD_BYTES
+from repro.core.exceptions import GuardedPointerFault
 from repro.core.word import TaggedWord
 
 
-class AlignmentFault(Exception):
-    """A word access used a non-word-aligned byte address."""
+class AlignmentFault(GuardedPointerFault):
+    """A word access used a non-word-aligned byte address.
+
+    Part of the architectural fault hierarchy: an unaligned address is
+    something a *program* produced (LEA arithmetic lands anywhere), so
+    the machine must deliver it as a catchable fault like any other
+    guarded-pointer check — not crash the simulator.
+    """
 
 
 class TaggedMemory:

@@ -123,12 +123,16 @@ def sweep_revoke(kernel: Kernel, target: GuardedPointer) -> tuple[int, int]:
     paper says makes unmap-based revocation preferable.
     """
     base, limit = target.segment_base, target.segment_limit
-    memory = kernel.chip.memory
+    chip = kernel.chip
+    memory = chip.memory
     overwritten = 0
     for address, word in list(memory.scan_tagged()):
         pointer = GuardedPointer.from_word(word)
         if base <= pointer.address < limit:
-            memory.store_word(address, TaggedWord.zero())
+            # the sweep works on physical addresses, below translation —
+            # the chip-level runtime-store hook keeps the decoded-bundle
+            # cache coherent (a swept word may sit in a code segment)
+            chip.store_runtime_word(address, TaggedWord.zero())
             overwritten += 1
     for thread in kernel.chip.all_threads():
         for index in range(16):

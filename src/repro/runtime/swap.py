@@ -71,25 +71,43 @@ class SwapManager:
         return [memory.load_word(physical_base + i * 8)
                 for i in range(page_bytes // 8)]
 
-    def _write_page(self, physical_base: int, words: list[TaggedWord]) -> None:
+    def _write_page(self, physical_base: int, words: list[TaggedWord],
+                    *, virtual_base: int) -> None:
+        """Rewrite a page's words and drop any decoded bundles in its
+        virtual range — a swapped page may be code, and the decode
+        cache must never outlive the words it decoded."""
         memory = self.kernel.chip.memory
         for i, word in enumerate(words):
             memory.store_word(physical_base + i * 8, word)
+        self.kernel.chip.invalidate_decoded_range(virtual_base,
+                                                  len(words) * 8)
+
+    def swap_out(self, page: int) -> bool:
+        """Push one resident page to the backing store now.  Returns
+        False when the page is not mapped.  The LRU evictor uses this;
+        tests and the fuzz harness call it to schedule evictions
+        deterministically."""
+        table = self.kernel.chip.page_table
+        if not table.is_mapped(page):
+            return False
+        virtual_base = page * table.page_bytes
+        physical = table.walk(virtual_base)
+        self._store[page] = self._page_words(physical)
+        self._write_page(physical,
+                         [TaggedWord.zero()] * (table.page_bytes // 8),
+                         virtual_base=virtual_base)
+        table.unmap(page)
+        self._resident.pop(page, None)
+        self.stats.evictions += 1
+        return True
 
     def _evict_one(self) -> None:
         """Push the least-recently-faulted resident page to the store."""
-        table = self.kernel.chip.page_table
         while self._resident:
             victim, _ = self._resident.popitem(last=False)
-            if not table.is_mapped(victim):
-                continue  # unmapped behind our back (free/revoke)
-            physical = table.walk(victim * table.page_bytes)
-            self._store[victim] = self._page_words(physical)
-            self._write_page(physical, [TaggedWord.zero()] *
-                             (table.page_bytes // 8))
-            table.unmap(victim)
-            self.stats.evictions += 1
-            return
+            if self.swap_out(victim):
+                return
+            # else: unmapped behind our back (free/revoke); keep looking
         raise OutOfPhysicalMemory("nothing left to evict")
 
     def _ensure_frame_available(self) -> None:
@@ -112,7 +130,11 @@ class SwapManager:
         self.stats.demand_pages += 1
         stored = self._store.pop(page, None)
         if stored is not None:
-            self._write_page(translation.physical_address, stored)
+            # restore through the invalidating writer: swapping a code
+            # page back in rewrites its words, so stale decoded bundles
+            # for this range must go
+            self._write_page(translation.physical_address, stored,
+                             virtual_base=page * table.page_bytes)
             self.stats.swap_ins += 1
         self._resident[page] = True
         return True

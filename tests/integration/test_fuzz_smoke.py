@@ -1,0 +1,51 @@
+"""The fixed-seed fuzz smoke run, wired into tier-1.
+
+This is the pytest face of ``tools/run_fuzz.py --seed 0 --cases 50``:
+the same campaign, run in-process so the suite stays fast and the
+failure output (shrunk repros included) lands in the test report.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.fuzz import REFERENCE_SCENARIOS, generate_case, run_campaign
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+SMOKE_SEED = 0
+SMOKE_CASES = 50
+
+
+class TestFuzzSmoke:
+    def test_fixed_seed_campaign_is_clean(self):
+        report = run_campaign(seed=SMOKE_SEED, cases=SMOKE_CASES,
+                              shrink=False)
+        assert report.cases == SMOKE_CASES
+        assert report.ok, "\n" + report.summary() + "\n" + "\n".join(
+            failure.divergence.case.source
+            for failure in report.failures)
+
+    def test_smoke_covers_both_axes(self):
+        # the fixed seed must keep exercising reference-checkable and
+        # mutation scenarios alike, or the smoke run stops meaning much
+        scenarios = {generate_case(SMOKE_SEED * 1_000_000 + i).scenario
+                     for i in range(SMOKE_CASES)}
+        assert scenarios & REFERENCE_SCENARIOS
+        assert scenarios - REFERENCE_SCENARIOS
+
+    def test_campaign_is_deterministic(self):
+        first = run_campaign(seed=3, cases=8, shrink=False)
+        second = run_campaign(seed=3, cases=8, shrink=False)
+        assert first.scenarios == second.scenarios
+        assert first.ok == second.ok
+
+
+class TestRunFuzzTool:
+    def test_cli_smoke_invocation(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "run_fuzz.py"),
+             "--seed", "0", "--cases", "5", "--quiet"],
+            capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 divergences" in result.stdout

@@ -45,6 +45,30 @@ class TestPerfCounters:
         assert merged["a"] == 11
         assert merged["b"] == 2
 
+    def test_merge_recomputes_hit_rates(self):
+        # two very unequal nodes: summing the per-node rates would give
+        # 1.0 (or a nonsense 0.9 + 0.1 when unequal); the machine-wide
+        # rate must be the access-weighted mean from the summed counts
+        merged = merge_snapshots({
+            0: {"cache.hits": 90, "cache.misses": 10,
+                "cache.hit_rate": 0.9},
+            1: {"cache.hits": 10, "cache.misses": 90,
+                "cache.hit_rate": 0.1},
+        })
+        assert merged["cache.hits"] == 100
+        assert merged["cache.misses"] == 100
+        assert merged["cache.hit_rate"] == 0.5
+        # per-node views stay untouched
+        assert merged["node0.cache.hit_rate"] == 0.9
+        assert merged["node1.cache.hit_rate"] == 0.1
+
+    def test_merge_hit_rate_with_zero_accesses(self):
+        merged = merge_snapshots({
+            0: {"tlb.hits": 0, "tlb.misses": 0, "tlb.hit_rate": 0.0},
+            1: {"tlb.hits": 0, "tlb.misses": 0, "tlb.hit_rate": 0.0},
+        })
+        assert merged["tlb.hit_rate"] == 0.0
+
 
 def _count_fetches(chip):
     """Wrap ``chip.fetch`` the way the tracer does, counting calls."""

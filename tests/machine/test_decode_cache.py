@@ -171,3 +171,73 @@ class TestSelfModifyingProgram:
                                        entry.address + 24))
         assert chip.run().reason == RunReason.HALTED
         assert thread.regs.read(5).value == 42
+
+
+class TestCacheAxisParity:
+    """decode_cache=True and =False must be architecturally identical:
+    same registers, same fault sequence, same final memory — on exactly
+    the workloads where a stale decoded bundle could differ."""
+
+    @staticmethod
+    def _movi_r5_hi():
+        return assemble("movi r5, 0").encode()[0].value >> 54
+
+    def _assert_parity(self, case):
+        from repro.fuzz import diff_cache_axes
+        divergence = diff_cache_axes(case)
+        assert divergence is None, str(divergence)
+
+    def test_self_modifying_loop_parity(self):
+        from repro.fuzz import FuzzCase
+        from repro.fuzz.scenarios import run_scenario
+        source = (f"movi r1, {self._movi_r5_hi()}\n"
+                  "shli r1, r1, 54\n"
+                  "ori r1, r1, 77\n"
+                  "movi r12, 3\n"
+                  "top:\n"
+                  "beq r12, out\n"
+                  "target:\n"
+                  "movi r5, 1\n"           # byte offset 120
+                  "st r1, r15, 120\n"      # patches the line above
+                  "subi r12, r12, 1\n"
+                  "br top\n"
+                  "out:\n"
+                  "halt")
+        assert assemble(source).labels["target"] == 120
+        case = FuzzCase(seed=0, scenario="self_modify", source=source,
+                        meta={"patch_offset": 120, "old": 1, "new": 77})
+        self._assert_parity(case)
+        # and the patch really lands: iterations 2+ run the new movi
+        digest = run_scenario(case, decode_cache=True)
+        assert digest["threads"][0]["regs"][5] == (77, False)
+
+    def test_unmap_remap_parity(self):
+        from repro.fuzz import FuzzCase
+        source = ("movi r12, 12\n"
+                  "top:\nbeq r12, out\n"
+                  "addi r3, r3, 1\n"
+                  "st r3, r8, 64\n"
+                  "subi r12, r12, 1\n"
+                  "br top\nout:\nhalt")
+        case = FuzzCase(seed=0, scenario="unmap_remap", source=source,
+                        meta={"mutate_after": 20})
+        self._assert_parity(case)
+
+    def test_loader_reuse_parity(self):
+        from repro.fuzz import FuzzCase
+        case = FuzzCase(
+            seed=0, scenario="loader_reuse",
+            source="movi r2, 11\nst r2, r8, 0\nhalt",
+            meta={"source_b": "movi r2, 22\nst r2, r8, 8\nhalt"})
+        self._assert_parity(case)
+
+    def test_swap_round_trip_parity(self):
+        from repro.fuzz import FuzzCase
+        source = ("movi r12, 10\n"
+                  "top:\nbeq r12, out\n"
+                  "ld r4, r8, 0\naddi r4, r4, 1\nst r4, r8, 0\n"
+                  "subi r12, r12, 1\n"
+                  "br top\nout:\nhalt")
+        case = FuzzCase(seed=0, scenario="swap", source=source,
+                        meta={"mutate_after": 25})
+        self._assert_parity(case)

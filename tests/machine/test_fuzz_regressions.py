@@ -1,0 +1,134 @@
+"""Shrunk repros for every divergence the differential fuzzer found.
+
+Each test replays a minimized :class:`~repro.fuzz.FuzzCase` through
+``run_case`` (both diff axes) and asserts clean; where the original bug
+had a crisp architectural symptom, a direct assertion pins it too, so
+the test stays meaningful even if the fuzz harness changes shape.
+
+The bugs, as found (chip vs the reference interpreter):
+
+* **halt-with-pending-load** — a blocking ``ld`` sharing its bundle
+  with ``halt`` dropped its register writeback on the chip: the commit
+  path applied pending writes only on the wake path, never on halt.
+* **FTOI on non-finite floats** — ``ftoi`` of ``inf``/``nan`` crashed
+  both engines with ``OverflowError``/``ValueError`` instead of
+  producing a value; now saturates (NaN -> 0, +/-inf -> int64 limits)
+  identically on both.
+* **unaligned access fault class** — an unaligned ``ld`` escaped the
+  cluster's fault net entirely (``AlignmentFault`` was not a
+  ``GuardedPointerFault``) and crashed the simulator; the reference
+  faulted with a different type.
+* **undecodable fetched words** — a program that stored garbage over
+  its own code faulted cleanly on the chip but crashed the reference
+  with a raw ``DecodeError``.
+"""
+
+from repro.machine.assembler import assemble
+from repro.machine.chip import RunReason
+from repro.machine.thread import ThreadState
+
+from repro.fuzz import FuzzCase, run_case
+from repro.fuzz.differ import setup_chip
+
+
+class TestHaltWithPendingLoad:
+    CASE = FuzzCase(
+        seed=0, scenario="plain",
+        source="movi r2, 7\nst r2, r8, 0\nhalt | ld r3, r8, 0")
+
+    def test_no_divergence(self):
+        assert run_case(self.CASE) == []
+
+    def test_load_lands_before_halt(self):
+        chip, thread, _, _ = setup_chip(self.CASE.source)
+        assert chip.run().reason == RunReason.HALTED
+        assert thread.regs.read(3).value == 7
+
+
+class TestFtoiSaturates:
+    CASES = [
+        FuzzCase(seed=0, scenario="plain",
+                 source="ftoi r1, f0\nhalt", fregs={0: float("inf")}),
+        FuzzCase(seed=0, scenario="plain",
+                 source="ftoi r1, f0\nhalt", fregs={0: float("-inf")}),
+        FuzzCase(seed=0, scenario="plain",
+                 source="fdiv f2, f0, f1\nftoi r1, f2\nhalt",
+                 fregs={0: 0.0, 1: 0.0}),  # 0/0 -> NaN
+    ]
+
+    def test_no_divergence(self):
+        for case in self.CASES:
+            assert run_case(case) == [], case.fregs
+
+    def test_saturation_values(self):
+        chip, thread, _, _ = setup_chip("ftoi r1, f0\nhalt",
+                                        fregs={0: float("inf")})
+        assert chip.run().reason == RunReason.HALTED
+        assert thread.regs.read(1).value == (1 << 63) - 1
+
+        chip, thread, _, _ = setup_chip(
+            "fdiv f2, f0, f1\nftoi r1, f2\nhalt", fregs={0: 0.0, 1: 0.0})
+        assert chip.run().reason == RunReason.HALTED
+        assert thread.regs.read(1).value == 0  # NaN converts to zero
+
+
+class TestUnalignedAccessFaults:
+    CASE = FuzzCase(
+        seed=0, scenario="plain",
+        source="lea r9, r8, 1\nld r3, r9, 0\nhalt")
+
+    def test_no_divergence(self):
+        assert run_case(self.CASE) == []
+
+    def test_fault_type_is_architectural(self):
+        chip, thread, _, _ = setup_chip(self.CASE.source)
+        chip.run()
+        assert thread.state is ThreadState.FAULTED
+        assert type(thread.fault.cause).__name__ == "AlignmentFault"
+
+
+class TestGarbageOverOwnCode:
+    # stores 63 << 58 (a reserved opcode pattern) over its own final
+    # bundle through the RW code alias, then falls into it
+    CASE = FuzzCase(
+        seed=0, scenario="self_modify",
+        source=("movi r1, 63\nshli r1, r1, 58\n"
+                "st r1, r15, 96\ntarget:\nnop\nhalt"),
+        meta={"patch_offset": 96, "old": 0, "new": 0})
+
+    def test_no_divergence(self):
+        assert run_case(self.CASE) == []
+
+    def test_both_fault_with_permission_fault(self):
+        assert assemble(self.CASE.source).labels["target"] == 72
+        chip, thread, _, _ = setup_chip(self.CASE.source)
+        chip.run()
+        assert thread.state is ThreadState.FAULTED
+        assert type(thread.fault.cause).__name__ == "PermissionFault"
+
+
+class TestShrunkStaleDecodeRepro:
+    """The shape the shrinker reduces a missed store-invalidation to:
+    an unbounded self-patching loop whose ``r5`` goes stale if the
+    cached ``target`` bundle survives the store.  Kept as the canonical
+    decode-coherence regression for the store path."""
+
+    def test_no_divergence(self):
+        hi = assemble("movi r5, 0").encode()[0].value >> 54
+        case = FuzzCase(
+            seed=0, scenario="self_modify",
+            source=(f"movi r1, {hi}\n"
+                    "shli r1, r1, 54\n"
+                    "ori r1, r1, 122\n"
+                    "movi r12, 4\n"
+                    "top:\n"
+                    "beq r12, out\n"
+                    "target:\n"
+                    "movi r5, 3\n"
+                    "st r1, r15, 120\n"
+                    "subi r12, r12, 1\n"
+                    "br top\n"
+                    "out:\nhalt"),
+            meta={"patch_offset": 120, "old": 3, "new": 122})
+        assert assemble(case.source).labels["target"] == 120
+        assert run_case(case) == []

@@ -122,3 +122,40 @@ class TestSweepRevoke:
         target = kernel.allocate_segment(4096)
         scanned, _ = sweep_revoke(kernel, target)
         assert scanned == kernel.chip.memory.size_words
+
+
+class TestSweepDecodeCoherence:
+    """The sweep writes physical memory below translation; the decoded-
+    bundle cache must not survive it (a swept word may be code)."""
+
+    def test_sweep_revoke_flushes_decoded_bundles(self, kernel):
+        target = kernel.allocate_segment(4096, eager=True)
+        holder = kernel.allocate_segment(4096, eager=True)
+        store_pointer(kernel, holder, 0, target)
+        entry = kernel.load_program("movi r1, 1\nhalt")
+        chip = kernel.chip
+        chip.fetch(entry)
+        assert chip._decode_cache
+        sweep_revoke(kernel, target)
+        assert not chip._decode_cache
+
+    def test_swept_code_word_not_executed_stale(self, kernel):
+        # a pointer parked in a *code* segment (a Figure-3 style .word
+        # slot): the sweep zeroes it in place, and a loop that was
+        # already decoded must reload, not run from the stale bundle
+        target = kernel.allocate_segment(4096, eager=True)
+        entry = kernel.load_program(
+            "top:\nld r2, r15, 120\nisptr r3, r2\nbeq r3, out\nbr top\n"
+            "out:\nhalt\nslot:\n.word 0",
+            patches={"slot": target})
+        code_alias = GuardedPointer.make(
+            Permission.READ_WRITE, entry.seglen, entry.segment_base)
+        t = kernel.spawn(entry, regs={15: code_alias.word}, stack_bytes=0)
+        # run a few iterations so the loop (and the slot's page) is hot
+        for _ in range(30):
+            kernel.chip.step()
+        assert t.state.name in ("RUNNING", "READY", "BLOCKED")
+        sweep_revoke(kernel, target)
+        result = kernel.run(max_cycles=10_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(2).value == 0  # saw the swept (zeroed) word

@@ -105,3 +105,51 @@ class TestEviction:
         t = kernel.spawn(entry, regs={1: big.word}, stack_bytes=0)
         result = kernel.run(max_cycles=1_000_000)
         assert result.reason == "halted", t.fault
+
+
+class TestDecodeCacheCoherence:
+    """Swap moves whole pages of words under the decoded-bundle cache;
+    both directions must drop decoded bundles in the page's range."""
+
+    def test_swap_out_unmapped_page_is_refused(self):
+        kernel = tiny_kernel()
+        swap = SwapManager(kernel)
+        assert swap.swap_out(12345) is False
+        assert swap.stats.evictions == 0
+
+    def test_swap_out_drops_decoded_code(self):
+        kernel = tiny_kernel()
+        swap = SwapManager(kernel)
+        entry = kernel.load_program("movi r1, 1\nhalt")
+        chip = kernel.chip
+        chip.fetch(entry)
+        assert chip._decode_cache
+        assert swap.swap_out(chip.page_table.page_of(entry.segment_base))
+        assert entry.address not in chip._decode_cache
+
+    def test_swap_in_drops_decoded_bundles_in_range(self):
+        kernel = tiny_kernel()
+        swap = SwapManager(kernel)
+        entry = kernel.load_program("movi r1, 1\nhalt")
+        chip = kernel.chip
+        page = chip.page_table.page_of(entry.segment_base)
+        assert swap.swap_out(page)
+        # a stale entry that somehow survived the page's absence (the
+        # exact state a missing swap-in invalidation would leave behind)
+        chip._decode_cache[entry.address] = ("stale-bundle", entry.word.value)
+        assert swap._fault_in(entry.segment_base)
+        assert entry.address not in chip._decode_cache
+        assert swap.stats.swap_ins == 1
+
+    def test_code_executes_correctly_after_round_trip(self):
+        kernel = tiny_kernel()
+        swap = SwapManager(kernel)
+        entry = kernel.load_program("movi r4, 42\nhalt")
+        chip = kernel.chip
+        chip.fetch(entry)  # decoded before the page leaves
+        assert swap.swap_out(chip.page_table.page_of(entry.segment_base))
+        t = kernel.spawn(entry, stack_bytes=0)
+        result = kernel.run(max_cycles=100_000)
+        assert result.reason == "halted", t.fault
+        assert t.regs.read(4).value == 42
+        assert swap.stats.swap_ins == 1

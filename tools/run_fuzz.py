@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Drive a differential-fuzzing campaign from the command line.
+
+Runs seeded random programs through both diff axes — chip versus the
+reference interpreter, and decode-cache-on versus decode-cache-off —
+and exits non-zero on any divergence.  The default invocation is the
+fixed-seed smoke run the test suite wires in as a tier-1 check::
+
+    python tools/run_fuzz.py --seed 0 --cases 50
+
+The acceptance bar for the fuzzing PR is the longer run::
+
+    python tools/run_fuzz.py --seed 0 --cases 200
+
+See ``docs/FUZZING.md`` for the scenario space and what a divergence
+report means.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for p in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(p) not in sys.path:
+        sys.path.insert(0, str(p))
+
+from repro.fuzz import SCENARIOS, run_campaign  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0, the smoke seed)")
+    parser.add_argument("--cases", type=int, default=50)
+    parser.add_argument("--scenario", default=None, choices=SCENARIOS,
+                        help="pin every case to one scenario")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report divergences without minimizing them")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print the final summary")
+    args = parser.parse_args(argv)
+
+    report = run_campaign(seed=args.seed, cases=args.cases,
+                          scenario=args.scenario,
+                          shrink=not args.no_shrink,
+                          log=None if args.quiet else print)
+    print(report.summary())
+    for failure in report.failures:
+        if failure.regression_test:
+            print("\n# paste into tests/machine/test_fuzz_regressions.py:")
+            print(failure.regression_test)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
