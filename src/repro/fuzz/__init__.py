@@ -4,8 +4,9 @@ Two independent oracles keep the chip honest:
 
 * the :class:`~repro.machine.reference.ReferenceInterpreter`, a
   flat-memory sequential model run in lockstep with the chip;
-* the chip itself with ``decode_cache=False`` — any observable
-  difference from the cached configuration is a coherence bug.
+* the chip itself with ``decode_cache=False`` or
+  ``data_fast_path=False`` — any observable difference from the
+  fast-path configuration is a coherence bug.
 
 See ``docs/FUZZING.md`` for the scenario space and the invalidation
 contract this subsystem polices.
@@ -15,7 +16,8 @@ from repro.fuzz.differ import Divergence, diff_against_reference
 from repro.fuzz.generator import (REFERENCE_SCENARIOS, SCENARIOS, FuzzCase,
                                   generate_case)
 from repro.fuzz.runner import Failure, FuzzReport, run_campaign, run_case
-from repro.fuzz.scenarios import diff_cache_axes, run_scenario
+from repro.fuzz.scenarios import (diff_cache_axes,
+                                  diff_fast_path_axes, run_scenario)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 __all__ = [
@@ -27,6 +29,7 @@ __all__ = [
     "SCENARIOS",
     "diff_against_reference",
     "diff_cache_axes",
+    "diff_fast_path_axes",
     "emit_regression_test",
     "generate_case",
     "run_campaign",

@@ -37,7 +37,8 @@ DATA_SEGLEN = round_up_log2(DATA_BYTES)  # 12: a 4096-byte segment
 class Divergence:
     """One observed disagreement, attributable to a replayable case."""
 
-    axis: str            #: "chip-vs-reference" | "cache-on-vs-off"
+    axis: str            #: "chip-vs-reference" | "cache-on-vs-off" |
+                         #: "fastpath-on-vs-off"
     case: FuzzCase
     kind: str            #: "state" | "fault-type" | "fault-order" |
                          #: "halt-order" | "memory" | "crash" |
@@ -53,6 +54,7 @@ class Divergence:
 
 
 def setup_chip(source: str, *, decode_cache: bool = True,
+               data_fast_path: bool = True,
                fregs: dict[int, float] | None = None
                ) -> tuple[MAPChip, Thread, GuardedPointer, GuardedPointer]:
     """A bare chip (no kernel) with the program at ``CODE_BASE``, a
@@ -61,7 +63,8 @@ def setup_chip(source: str, *, decode_cache: bool = True,
     in r13.  Mirrors the reference setup exactly."""
     program = assemble(source)
     chip = MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024,
-                              decode_cache=decode_cache))
+                              decode_cache=decode_cache,
+                              data_fast_path=data_fast_path))
     chip.page_table.ensure_mapped(CODE_BASE, max(program.size_bytes, 8))
     for i, word in enumerate(program.encode()):
         chip.memory.store_word(chip.page_table.walk(CODE_BASE + i * 8), word)

@@ -15,17 +15,21 @@ from typing import Callable
 from repro.fuzz.differ import Divergence, diff_against_reference
 from repro.fuzz.generator import (REFERENCE_SCENARIOS, FuzzCase,
                                   generate_case)
-from repro.fuzz.scenarios import diff_cache_axes
+from repro.fuzz.scenarios import diff_cache_axes, diff_fast_path_axes
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 
 def run_case(case: FuzzCase) -> list[Divergence]:
-    """Every divergence ``case`` produces: the decode-cache axis always
-    runs; the chip-vs-reference axis runs for the scenarios the
-    flat-memory reference can execute (no paging, no kernel, no mesh).
-    An empty list is the pass verdict the regression tests assert."""
+    """Every divergence ``case`` produces: the decode-cache and
+    data-fast-path axes always run; the chip-vs-reference axis runs for
+    the scenarios the flat-memory reference can execute (no paging, no
+    kernel, no mesh).  An empty list is the pass verdict the regression
+    tests assert."""
     divergences = []
     d = diff_cache_axes(case)
+    if d is not None:
+        divergences.append(d)
+    d = diff_fast_path_axes(case)
     if d is not None:
         divergences.append(d)
     if case.scenario in REFERENCE_SCENARIOS:

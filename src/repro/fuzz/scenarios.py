@@ -1,11 +1,13 @@
-"""Scenario runners and the cache-on-vs-off diff axis.
+"""Scenario runners and the fast-path diff axes.
 
-Every scenario runs the same case twice — ``decode_cache=True`` and
-``False`` — and the two runs must produce *identical* digests: thread
-state, register files, fault sequence, memory image and cycle count
-(the decoded-bundle cache is documented as timing-transparent, so even
-``now`` must match).  The scenarios are chosen to stress exactly the
-paths that can leave a stale decoded bundle behind:
+Every scenario runs the same case under pairs of fast-path settings —
+``decode_cache`` on/off, and ``data_fast_path`` (the access-check and
+translation-line memos) on/off — and each pair must produce
+*identical* digests: thread state, register files, fault sequence,
+memory image and cycle count (both knobs are documented as
+timing-transparent, so even ``now`` must match).  The scenarios are
+chosen to stress exactly the paths that can leave a stale decoded
+bundle or a stale memoised translation behind:
 
 ==============  ======================================================
 plain           straight ISA soup (control: no mutation at all)
@@ -94,10 +96,12 @@ def _digest_chip(chip: MAPChip, threads: list[Thread],
 
 # -- the runners ----------------------------------------------------------
 
-def _run_program_scenario(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_program_scenario(case: FuzzCase, decode_cache: bool,
+                          data_fast_path: bool = True) -> dict:
     """plain / self_modify / enter_call: a bare chip, run to the end."""
     chip, thread, entry, data = setup_chip(case.source,
                                            decode_cache=decode_cache,
+                                           data_fast_path=data_fast_path,
                                            fregs=case.fregs)
     monitor = SecurityMonitor(chip)
     monitor.note_spawn(thread)
@@ -106,12 +110,13 @@ def _run_program_scenario(case: FuzzCase, decode_cache: bool) -> dict:
                         [(data.segment_base, DATA_BYTES)], [monitor])
 
 
-def _make_sim(case: FuzzCase, decode_cache: bool
+def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool
               ) -> tuple[Simulation, Thread, SecurityMonitor, int, int]:
     """A kernel-backed single-node machine with the case loaded: data
     segment in r8, stack in r14 (kernel convention)."""
     sim = Simulation(memory_bytes=2 * 1024 * 1024,
-                     decode_cache=decode_cache)
+                     decode_cache=decode_cache,
+                     data_fast_path=data_fast_path)
     data = sim.allocate(DATA_BYTES, eager=True)
     entry = sim.load(case.source)
     monitor = SecurityMonitor(sim.chip)
@@ -122,10 +127,12 @@ def _make_sim(case: FuzzCase, decode_cache: bool
     return sim, thread, monitor, entry.segment_base, data.segment_base
 
 
-def _run_unmap_remap(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_unmap_remap(case: FuzzCase, decode_cache: bool,
+                     data_fast_path: bool = True) -> dict:
     """Mid-run, the code page is unmapped, remapped, and rewritten with
     a carpet of HALT bundles — the decoded old program must not run on."""
-    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    sim, thread, monitor, code_base, data_base = _make_sim(
+        case, decode_cache, data_fast_path)
     sim.step(case.meta["mutate_after"])
     table = sim.chip.page_table
     program_bytes = assemble(case.source).size_bytes
@@ -140,10 +147,12 @@ def _run_unmap_remap(case: FuzzCase, decode_cache: bool) -> dict:
                         [(data_base, DATA_BYTES)], [monitor])
 
 
-def _run_swap(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_swap(case: FuzzCase, decode_cache: bool,
+              data_fast_path: bool = True) -> dict:
     """Mid-run, the code and data pages are forced out to the backing
     store; the demand-pager brings them back on the next touch."""
-    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    sim, thread, monitor, code_base, data_base = _make_sim(
+        case, decode_cache, data_fast_path)
     swap = SwapManager(sim.kernel, swap_cycles=50)
     sim.step(case.meta["mutate_after"])
     table = sim.chip.page_table
@@ -154,11 +163,13 @@ def _run_swap(case: FuzzCase, decode_cache: bool) -> dict:
                         [(data_base, DATA_BYTES)], [monitor])
 
 
-def _run_gc_sweep(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_gc_sweep(case: FuzzCase, decode_cache: bool,
+                  data_fast_path: bool = True) -> dict:
     """Mid-run, a full collection frees an unreachable decoy and a
     ``sweep_revoke`` zeroes every copy of a victim pointer — both write
     below translation, which is exactly where staleness hides."""
-    sim, thread, monitor, code_base, data_base = _make_sim(case, decode_cache)
+    sim, thread, monitor, code_base, data_base = _make_sim(
+        case, decode_cache, data_fast_path)
     victim = sim.allocate(256, eager=True)
     sim.allocate(512, eager=True)  # the decoy: unreachable, GC frees it
     # park the victim pointer in live data so the sweep has work to do
@@ -173,11 +184,13 @@ def _run_gc_sweep(case: FuzzCase, decode_cache: bool) -> dict:
                         [(data_base, DATA_BYTES)], [monitor])
 
 
-def _run_loader_reuse(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_loader_reuse(case: FuzzCase, decode_cache: bool,
+                      data_fast_path: bool = True) -> dict:
     """Run program A, free its code segment, load program B over the
     recycled range, run that too — B must never execute A's bundles."""
     sim = Simulation(memory_bytes=2 * 1024 * 1024,
-                     decode_cache=decode_cache)
+                     decode_cache=decode_cache,
+                     data_fast_path=data_fast_path)
     data = sim.allocate(DATA_BYTES, eager=True)
     monitor = SecurityMonitor(sim.chip)
     threads = []
@@ -196,12 +209,14 @@ def _run_loader_reuse(case: FuzzCase, decode_cache: bool) -> dict:
                         [(data.segment_base, DATA_BYTES)], [monitor])
 
 
-def _run_remote_store(case: FuzzCase, decode_cache: bool) -> dict:
+def _run_remote_store(case: FuzzCase, decode_cache: bool,
+                      data_fast_path: bool = True) -> dict:
     """Two mesh nodes; node 1 patches node 0's code through the network
     mid-run, flipping a ``movi`` immediate the loop keeps executing."""
     mc = Multicomputer(MeshShape(2, 1, 1),
                        chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024,
-                                              decode_cache=decode_cache),
+                                              decode_cache=decode_cache,
+                                              data_fast_path=data_fast_path),
                        arena_order=24)
     data = mc.allocate_on(0, DATA_BYTES, eager=True)
     entry = mc.load_on(0, case.source)
@@ -236,36 +251,56 @@ _RUNNERS = {
 }
 
 
-def run_scenario(case: FuzzCase, decode_cache: bool) -> dict:
-    """One digest of ``case`` under the given decode-cache setting."""
-    return _RUNNERS[case.scenario](case, decode_cache)
+def run_scenario(case: FuzzCase, decode_cache: bool,
+                 data_fast_path: bool = True) -> dict:
+    """One digest of ``case`` under the given fast-path settings."""
+    return _RUNNERS[case.scenario](case, decode_cache, data_fast_path)
 
 
-def _first_difference(on: dict, off: dict) -> str:
+def _first_difference(on: dict, off: dict, knob: str) -> str:
     for key in on:
         if on[key] != off[key]:
-            return f"{key}: cache-on={on[key]!r} cache-off={off[key]!r}"
+            return f"{key}: {knob}-on={on[key]!r} {knob}-off={off[key]!r}"
     return "digests differ"
 
 
-def diff_cache_axes(case: FuzzCase) -> Divergence | None:
-    """Run ``case`` with the decode cache on and off; None means the
-    two runs were architecturally *and* temporally identical."""
-    axis = "cache-on-vs-off"
+def _diff_knob(case: FuzzCase, axis: str, knob: str,
+               run) -> Divergence | None:
+    """Shared on-vs-off comparison: ``run(enabled)`` digests the case
+    with the knob in the given position; None means the two runs were
+    architecturally *and* temporally identical."""
     try:
-        on = run_scenario(case, True)
+        on = run(True)
     except Exception as e:
         return Divergence(axis, case, "crash",
-                          f"cache-on run crashed: {type(e).__name__}: {e}")
+                          f"{knob}-on run crashed: {type(e).__name__}: {e}")
     try:
-        off = run_scenario(case, False)
+        off = run(False)
     except Exception as e:
         return Divergence(axis, case, "crash",
-                          f"cache-off run crashed: {type(e).__name__}: {e}")
+                          f"{knob}-off run crashed: {type(e).__name__}: {e}")
     if on["invariant"] is not None:
         return Divergence(axis, case, "invariant", on["invariant"])
     if off["invariant"] is not None:
         return Divergence(axis, case, "invariant", off["invariant"])
     if on != off:
-        return Divergence(axis, case, "state", _first_difference(on, off))
+        return Divergence(axis, case, "state",
+                          _first_difference(on, off, knob))
     return None
+
+
+def diff_cache_axes(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` with the decode cache on and off (data fast path on
+    in both); None means identical digests."""
+    return _diff_knob(case, "cache-on-vs-off", "cache",
+                      lambda enabled: run_scenario(case, enabled))
+
+
+def diff_fast_path_axes(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` with the data fast path (access-check and
+    translation-line memos) on and off (decode cache on in both); None
+    means identical digests — the memos changed neither a single
+    architectural word nor a single cycle."""
+    return _diff_knob(
+        case, "fastpath-on-vs-off", "fastpath",
+        lambda enabled: run_scenario(case, True, data_fast_path=enabled))

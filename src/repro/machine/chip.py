@@ -84,6 +84,12 @@ class ChipConfig:
     #: cache decoded bundles by fetch address (simulator speed knob;
     #: no architectural effect — invalidation keeps it transparent)
     decode_cache: bool = True
+    #: mirror of ``decode_cache`` for the data side: memoize load/store
+    #: permission+bounds checks per pointer word in the execution units,
+    #: and virtual→physical line translations in the banked cache.
+    #: Timing-model-transparent — cycle counts are identical on or off;
+    #: the fuzzer's fastpath-on-vs-off axis polices that continuously.
+    data_fast_path: bool = True
     #: let run() jump the clock over stretches where every thread is
     #: blocked on memory, instead of stepping them cycle by cycle
     #: (cycle counts and per-cluster idle accounting are preserved)
@@ -152,6 +158,7 @@ class MAPChip:
             ways=c.cache_ways,
             hit_cycles=c.cache_hit_cycles,
             external_cycles=c.external_cycles,
+            xlate_memo=c.data_fast_path,
         )
         #: chip-wide ready/runnable thread totals, mirrored from the
         #: clusters' per-state counts on every transition — the run loop
@@ -183,18 +190,38 @@ class MAPChip:
         #: (pointer word, offset) -> derived pointer, shared by every
         #: cluster's LEA paths (IP advance, branches, address
         #: arithmetic).  LEA is a pure function of pointer bits, so
-        #: entries never go stale and no invalidation exists.
+        #: entries never go stale and no invalidation exists.  Gated on
+        #: ``data_fast_path``: it memoizes pointer *derivation*, the
+        #: data-side twin of the decoded-bundle cache, and the
+        #: fastpath-on-vs-off fuzz axis is what polices it.
         self._lea_cache: dict[tuple[int, int], GuardedPointer] | None = (
-            {} if c.decode_cache else None
+            {} if c.data_fast_path else None
         )
         self.fetch_hits = 0
         self.fetch_misses = 0
         self.decode_invalidations = 0
+        # -- the data-side access-check memos (see _exec_mem) ----------
+        #: (pointer word value, offset) -> checked virtual address, one
+        #: memo per access kind (loads need READ, stores need WRITE).
+        #: Like the LEA memo, entries are pure functions of the
+        #: pointer's bits — permission, bounds and the derived address
+        #: never depend on page-table or memory state — so nothing here
+        #: can go stale and no invalidation path exists.  Faulting
+        #: derivations are never cached; untagged words bypass the memo.
+        self._load_check_memo: dict[tuple[int, int], int] | None = (
+            {} if c.data_fast_path else None
+        )
+        self._store_check_memo: dict[tuple[int, int], int] | None = (
+            {} if c.data_fast_path else None
+        )
+        self.check_memo_hits = 0
+        self.check_memo_misses = 0
         self.page_table.add_invalidation_hook(self._on_unmap)
         # -- the performance-counter file -----------------------------
         self.counters = PerfCounters()
         self.counters.add_source("chip", self.stats.as_counters)
         self.counters.add_source("fetch", self._fetch_counters)
+        self.counters.add_source("mem", self._mem_counters)
         self.counters.add_source("cache", self.cache.stats.as_counters)
         self.counters.add_source("tlb", self.tlb.stats.as_counters)
         for cluster in self.clusters:
@@ -208,6 +235,16 @@ class MAPChip:
         return {"hits": self.fetch_hits, "misses": self.fetch_misses,
                 "invalidations": self.decode_invalidations,
                 "cached_bundles": len(self._decode_cache)}
+
+    def _mem_counters(self) -> dict[str, int]:
+        """The data-side access-check memo (``mem.check_memo_*``)."""
+        entries = 0
+        for memo in (self._load_check_memo, self._store_check_memo):
+            if memo is not None:
+                entries += len(memo)
+        return {"check_memo_hits": self.check_memo_hits,
+                "check_memo_misses": self.check_memo_misses,
+                "check_memo_entries": entries}
 
     def _thread_counters(self) -> dict[str, int]:
         """Per-resident-thread issue counts (``thread.<tid>.bundles``)."""

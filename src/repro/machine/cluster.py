@@ -427,6 +427,38 @@ class Cluster:
 
     # -- the memory unit ------------------------------------------------------
 
+    def _mem_address(self, word: TaggedWord, offset: int, *, write: bool) -> int:
+        """The checked virtual address of a load/store, through the
+        chip's access-check memo.
+
+        The whole derivation — LEA bounds, tag check, READ/WRITE
+        permission — is a pure function of (pointer bits, offset): none
+        of it consults the page table or memory.  So once a (word,
+        offset) pair has passed, a later access through the *same*
+        pointer word is a single dictionary probe; that is the paper's
+        thesis applied to the data path (checks resolve once, nothing
+        downstream re-walks).  A different pointer word — even to the
+        same address — takes the full check path.  Faulting derivations
+        are never cached, and untagged words bypass the memo (a pointer
+        and an integer can share a bit pattern).
+        """
+        chip = self.chip
+        memo = chip._store_check_memo if write else chip._load_check_memo
+        if memo is None or not word.tag:
+            ptr = self._lea(word, offset)
+            (ops.check_store if write else ops.check_load)(ptr.word)
+            return ptr.address
+        key = (word.value, offset)
+        vaddr = memo.get(key)
+        if vaddr is not None:
+            chip.check_memo_hits += 1
+            return vaddr
+        ptr = self._lea(word, offset)
+        (ops.check_store if write else ops.check_load)(ptr.word)
+        chip.check_memo_misses += 1
+        memo[key] = ptr.address
+        return ptr.address
+
     def _exec_mem(self, thread: Thread, op: Operation, commits: list, now: int):
         """Returns (block_until, pending_writes)."""
         code = op.opcode
@@ -436,9 +468,8 @@ class Cluster:
             return no_block
 
         if code is Opcode.LD or code is Opcode.LDF:
-            ptr = self._lea(regs.read(op.ra), op.imm)
-            ops.check_load(ptr.word)
-            result = self.chip.access_memory(ptr.address, write=False, now=now)
+            vaddr = self._mem_address(regs.read(op.ra), op.imm, write=False)
+            result = self.chip.access_memory(vaddr, write=False, now=now)
             if code is Opcode.LD:
                 write = ("r", op.rd, result.word)
             else:
@@ -446,13 +477,12 @@ class Cluster:
             return result.ready_cycle, [write]
 
         if code is Opcode.ST or code is Opcode.STF:
-            ptr = self._lea(regs.read(op.ra), op.imm)
-            ops.check_store(ptr.word)
+            vaddr = self._mem_address(regs.read(op.ra), op.imm, write=True)
             if code is Opcode.ST:
                 value = regs.read(op.rd)
             else:
                 value = float_to_word(regs.read_f(op.rd))
-            self.chip.access_memory(ptr.address, write=True, now=now, value=value)
+            self.chip.access_memory(vaddr, write=True, now=now, value=value)
             return no_block  # stores are buffered; the thread proceeds
 
         if code is Opcode.LEA:

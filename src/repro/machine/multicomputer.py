@@ -130,7 +130,10 @@ class Multicomputer:
         port signature, shared with ``MAPChip.access_memory`` and
         ``BankedCache.access``)."""
         home = self.chips[self.partition.home_of(vaddr)]
-        physical = home.page_table.walk(vaddr)  # PageFault → local thread
+        # PageFault → local thread; the home node's translation line
+        # memo answers repeat traffic (cleared by the home unmap hook,
+        # so remote revocation stays airtight)
+        physical = home.cache.translate_functional(vaddr)
         arrive = self.network.deliver(chip.node_id, home.node_id, now)
         serviced = arrive + home.cache.external_cycles
         reply = self.network.deliver(home.node_id, chip.node_id, serviced)
@@ -147,9 +150,10 @@ class Multicomputer:
         return AccessResult(word=word, ready_cycle=reply, hit=False, bank=-1)
 
     def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:
-        """Functional translation at the home node (used by fetch)."""
+        """Functional translation at the home node (used by fetch),
+        through the home node's translation line memo."""
         home = self.chips[self.partition.home_of(vaddr)]
-        return home, home.page_table.walk(vaddr)
+        return home, home.cache.translate_functional(vaddr)
 
     # -- machine-wide fault handling ------------------------------------------
 

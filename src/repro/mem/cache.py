@@ -27,6 +27,9 @@ from repro.core.word import TaggedWord
 from repro.mem.tagged_memory import TaggedMemory
 from repro.mem.tlb import TLB
 
+#: the (immutable) word every store returns — shared, not re-allocated
+_ZERO_WORD = TaggedWord.zero()
+
 
 @dataclass
 class CacheStats:
@@ -36,6 +39,11 @@ class CacheStats:
     writebacks: int = 0
     external_accesses: int = 0
     flushes: int = 0
+    #: translation-line-memo traffic (the data-path fast path; zero
+    #: when the memo is disabled)
+    xlate_memo_hits: int = 0
+    xlate_memo_misses: int = 0
+    xlate_memo_invalidations: int = 0
 
     @property
     def accesses(self) -> int:
@@ -55,6 +63,9 @@ class CacheStats:
             "external_accesses": self.external_accesses,
             "flushes": self.flushes,
             "hit_rate": round(self.hit_rate, 6),
+            "xlate_memo_hits": self.xlate_memo_hits,
+            "xlate_memo_misses": self.xlate_memo_misses,
+            "xlate_memo_invalidations": self.xlate_memo_invalidations,
         }
 
 
@@ -132,6 +143,7 @@ class BankedCache:
         ways: int = 2,
         hit_cycles: int = 1,
         external_cycles: int = 10,
+        xlate_memo: bool = True,
     ):
         if banks <= 0 or banks & (banks - 1):
             raise ValueError("bank count must be a power of two")
@@ -151,6 +163,24 @@ class BankedCache:
         #: cycle until which the single external interface is busy
         self._external_busy_until = 0
         self.stats = CacheStats()
+        self._line_mask = line_bytes - 1
+        # shift/mask forms of the geometry for the per-access hot path
+        self._line_shift = line_bytes.bit_length() - 1
+        self._bank_mask = banks - 1
+        self._bank_shift = banks.bit_length() - 1
+        # -- the translation line memo (the data-path fast path) ------
+        # virtual line base → physical line base, valid because a line
+        # never spans a page (lines divide pages) and any translation
+        # change must pass through PageTable.unmap, which clears the
+        # memo via the same push-invalidation hook the decoded-bundle
+        # cache uses.  Purely functional: timing still comes from the
+        # TLB model, so cycle counts are identical with it on or off.
+        page_bytes = tlb.page_table.page_bytes
+        if xlate_memo and page_bytes % line_bytes == 0:
+            self._xlate: dict[int, int] | None = {}
+        else:
+            self._xlate = None
+        tlb.page_table.add_invalidation_hook(self._on_unmap)
 
     # -- geometry ------------------------------------------------------
 
@@ -160,6 +190,42 @@ class BankedCache:
     def bank_of(self, vaddr: int) -> int:
         """Addresses are interleaved across banks on low-order line bits."""
         return self.line_of(vaddr) % self.banks
+
+    # -- functional translation (the translation line memo) ------------
+
+    def translate_functional(self, vaddr: int) -> int:
+        """Translate ``vaddr`` for the functional data path.
+
+        With the memo enabled, a line already translated is one
+        dictionary probe; a miss walks the page table (so an unmapped
+        page faults exactly as before) and primes the line.  The memo
+        is cleared on every :meth:`~repro.mem.page_table.PageTable.unmap`
+        — revocation, relocation, swap and loader reuse all pass through
+        unmap before any remap, so a stale physical line can never be
+        served.
+        """
+        memo = self._xlate
+        if memo is None:
+            return self.tlb.page_table.walk(vaddr)
+        offset = vaddr & self._line_mask
+        line_base = vaddr - offset
+        physical_base = memo.get(line_base)
+        if physical_base is not None:
+            self.stats.xlate_memo_hits += 1
+            return physical_base + offset
+        self.stats.xlate_memo_misses += 1
+        physical = self.tlb.page_table.walk(vaddr)
+        memo[line_base] = physical - offset
+        return physical
+
+    def _on_unmap(self, _virtual_page: int) -> None:
+        """Page-table hook: any unmap conservatively clears the memo
+        (mirrors the TLB's and decode cache's flush-on-unmap policy —
+        unmaps are rare, a stale translation is never acceptable)."""
+        memo = self._xlate
+        if memo:
+            self.stats.xlate_memo_invalidations += len(memo)
+            memo.clear()
 
     # -- the access path ------------------------------------------------
 
@@ -181,12 +247,12 @@ class BankedCache:
         cache hits for stores-through, keeping revocation-by-unmap
         (§4.3) airtight in the model.
         """
-        bank_index = self.bank_of(vaddr)
+        line = vaddr >> self._line_shift
+        bank_index = line & self._bank_mask
         bank = self._banks[bank_index]
-        line = self.line_of(vaddr)
         # standard interleaved indexing: the bank bits do not feed the
         # set index, so consecutive same-bank lines use consecutive sets
-        set_index = (line // self.banks) % bank.sets
+        set_index = (line >> self._bank_shift) % bank.sets
 
         # Bank port arbitration: a busy bank delays the request.
         start = max(now, bank.busy_until)
@@ -220,12 +286,15 @@ class BankedCache:
             bank.busy_until = ready
 
         # Functional path: move the data now (timing handled above).
-        physical = self.tlb.page_table.walk(vaddr)
+        # Translation is attempted even on cache hits for stores-through
+        # — via the line memo when enabled — keeping revocation-by-unmap
+        # (§4.3) airtight in the model.
+        physical = self.translate_functional(vaddr)
         if write:
             if value is None:
                 raise ValueError("store requires a value")
             self.memory.store_word(physical, value)
-            word = TaggedWord.zero()
+            word = _ZERO_WORD
         else:
             word = self.memory.load_word(physical)
         return AccessResult(word=word, ready_cycle=ready, hit=was_hit, bank=bank_index)

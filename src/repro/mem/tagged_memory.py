@@ -6,15 +6,34 @@ integer can never masquerade as one.  Storage is word-granular: the
 architecture is byte-addressed but loads and stores move whole words,
 and word addresses must be 8-byte aligned (the MAP's memory units).
 
+Storage is *flat*, like the DRAM it models: one word array plus a tag
+bitmap, both sized at construction.  A load is a single array index and
+a store a single array write — the simulator's data path never probes a
+sparse structure.  Unwritten words read as untagged zero (zero-filled
+DRAM), and :meth:`words_in_use` still reports only words holding a
+nonzero value or a tag, so footprint accounting matches the historical
+sparse semantics exactly.
+
 The class also keeps the bit-accounting used by experiment E6: the tag
 adds exactly 1 bit per 64, a 1.5625 % capacity overhead.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.core.constants import WORD_BYTES
 from repro.core.exceptions import GuardedPointerFault
 from repro.core.word import TaggedWord
+
+#: the shared zero-fill word every unwritten cell aliases
+_ZERO = TaggedWord(0, tag=False)
+
+#: bit positions set in each possible tag-bitmap byte, precomputed so
+#: :meth:`TaggedMemory.scan_tagged` touches one table entry per byte
+_BYTE_BITS = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1) for value in range(256)
+)
 
 
 class AlignmentFault(GuardedPointerFault):
@@ -30,7 +49,7 @@ class AlignmentFault(GuardedPointerFault):
 class TaggedMemory:
     """Word-addressable physical memory with a tag bit per word.
 
-    Words are stored sparsely; unwritten words read as untagged zero,
+    Words live in a flat array; unwritten words read as untagged zero,
     like zero-filled DRAM.  Addresses given to :meth:`load_word` /
     :meth:`store_word` are *byte* addresses and must be word-aligned.
 
@@ -44,9 +63,17 @@ class TaggedMemory:
         if size_bytes <= 0 or size_bytes % WORD_BYTES:
             raise ValueError(f"memory size must be a positive multiple of {WORD_BYTES}")
         self.size_bytes = size_bytes
-        self._words: dict[int, TaggedWord] = {}
-        #: (start, end, device) MMIO ranges
+        words = size_bytes // WORD_BYTES
+        #: the word array — every cell starts as the shared zero word
+        self._data: list[TaggedWord] = [_ZERO] * words
+        #: one bit per word, set when the word's tag bit is set
+        self._tag_bits = bytearray((words + 7) // 8)
+        #: words holding a nonzero value or a tag (words_in_use)
+        self._in_use = 0
+        #: (start, end, device) MMIO ranges, kept sorted by start
         self._devices: list[tuple[int, int, object]] = []
+        #: the sorted range starts, for bisect in :meth:`_device_at`
+        self._device_starts: list[int] = []
 
     # -- memory-mapped I/O ----------------------------------------------
 
@@ -62,12 +89,25 @@ class TaggedMemory:
         for s, e, _ in self._devices:
             if start < e and s < end:
                 raise ValueError("device ranges overlap")
-        self._devices.append((start, end, device))
+        index = bisect_right(self._device_starts, start)
+        self._devices.insert(index, (start, end, device))
+        self._device_starts.insert(index, start)
 
     def _device_at(self, byte_address: int):
-        for start, end, device in self._devices:
-            if start <= byte_address < end:
-                return start, device
+        """The (start, device) owning ``byte_address``, or None.
+
+        The common machine has no devices at all, so the empty case is a
+        single truth test; with devices attached, the sorted range list
+        is probed by bisection instead of a linear scan.
+        """
+        if not self._devices:
+            return None
+        index = bisect_right(self._device_starts, byte_address) - 1
+        if index < 0:
+            return None
+        start, end, device = self._devices[index]
+        if byte_address < end:
+            return start, device
         return None
 
     # -- capacity accounting (E6) -------------------------------------
@@ -103,11 +143,12 @@ class TaggedMemory:
     def load_word(self, byte_address: int) -> TaggedWord:
         """Read the tagged word at a word-aligned byte address."""
         index = self._word_index(byte_address)
-        hit = self._device_at(byte_address)
-        if hit is not None:
-            start, device = hit
-            return device.load(byte_address - start)
-        return self._words.get(index, TaggedWord.zero())
+        if self._devices:
+            hit = self._device_at(byte_address)
+            if hit is not None:
+                start, device = hit
+                return device.load(byte_address - start)
+        return self._data[index]
 
     def store_word(self, byte_address: int, word: TaggedWord) -> None:
         """Write a tagged word at a word-aligned byte address.
@@ -117,29 +158,47 @@ class TaggedMemory:
         the checked pointer operations, so no check is needed here.
         """
         index = self._word_index(byte_address)
-        hit = self._device_at(byte_address)
-        if hit is not None:
-            start, device = hit
-            device.store(byte_address - start, word)
-            return
-        if word.value == 0 and not word.tag:
-            self._words.pop(index, None)
-        else:
-            self._words[index] = word
+        if self._devices:
+            hit = self._device_at(byte_address)
+            if hit is not None:
+                start, device = hit
+                device.store(byte_address - start, word)
+                return
+        old = self._data[index]
+        self._data[index] = word
+        if word.tag != old.tag:
+            if word.tag:
+                self._tag_bits[index >> 3] |= 1 << (index & 7)
+            else:
+                self._tag_bits[index >> 3] &= ~(1 << (index & 7))
+        self._in_use += ((word.value != 0 or word.tag)
+                         - (old.value != 0 or old.tag))
 
     def words_in_use(self) -> int:
         """Number of words holding a nonzero value or a tag (for tests
         and memory-footprint reporting)."""
-        return len(self._words)
+        return self._in_use
 
     def scan_tagged(self, start: int = 0, length: int | None = None):
         """Yield ``(byte_address, word)`` for every tagged word in the
-        given byte range.  This is the hardware assist the paper notes
-        for garbage collection: pointers are self-identifying (§2.2,
-        §4.3)."""
+        given byte range, in ascending address order.  This is the
+        hardware assist the paper notes for garbage collection: pointers
+        are self-identifying (§2.2, §4.3).  A linear sweep of the tag
+        bitmap — eight words per inspected byte, no sorting.
+        """
         end_byte = self.size_bytes if length is None else min(start + length, self.size_bytes)
         first = (start + WORD_BYTES - 1) // WORD_BYTES
         last = end_byte // WORD_BYTES
-        for index, word in sorted(self._words.items()):
-            if first <= index < last and word.tag:
-                yield index * WORD_BYTES, word
+        if first >= last:
+            return
+        data = self._data
+        bits = self._tag_bits
+        for byte_index in range(first >> 3, ((last - 1) >> 3) + 1):
+            value = bits[byte_index]
+            if not value:
+                continue
+            base = byte_index << 3
+            for bit in _BYTE_BITS[value]:
+                index = base + bit
+                if first <= index < last:
+                    yield index * WORD_BYTES, data[index]

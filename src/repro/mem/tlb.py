@@ -60,9 +60,19 @@ class TLB:
             raise ValueError("TLB must have at least one entry")
         self._cache: OrderedDict[int, int] = OrderedDict()
         self._generation = self.page_table.generation
+        # Push invalidation: clear synchronously on every unmap, like
+        # the decoded-bundle cache and the data cache's translation
+        # line memo, so a revoked translation is gone the moment the
+        # unmap returns — not at the next generation poll.
+        self.page_table.add_invalidation_hook(self._on_unmap)
+
+    def _on_unmap(self, _virtual_page: int) -> None:
+        self._cache.clear()
+        self._generation = self.page_table.generation
 
     def _check_generation(self) -> None:
-        # Unmap invalidates: flush lazily when the page table changed.
+        # Backstop for page tables mutated before this TLB registered
+        # its hook (the push hook normally keeps generations in sync).
         # (Real hardware would shoot down individual entries; a full
         # flush is conservative and simpler, and unmaps are rare.)
         if self._generation != self.page_table.generation:

@@ -144,6 +144,52 @@ class TestFlush:
         assert cache.access(0x80, write=False, now=100).word == w
 
 
+class TestTranslationLineMemo:
+    def test_same_line_hits_new_line_misses(self):
+        _, _, _, cache = make_system()
+        cache.access(0x100, write=False, now=0)     # line cold
+        cache.access(0x108, write=False, now=50)    # same 64-byte line
+        cache.access(0x140, write=False, now=100)   # next line
+        assert cache.stats.xlate_memo_misses == 2
+        assert cache.stats.xlate_memo_hits == 1
+
+    def test_memo_agrees_with_the_page_table(self):
+        _, table, _, cache = make_system()
+        cold = cache.translate_functional(0x1238)
+        warm = cache.translate_functional(0x1230)  # same line, memoised
+        assert cold == table.walk(0x1238)
+        assert warm == table.walk(0x1230)
+
+    def test_unmap_empties_the_memo(self):
+        _, table, _, cache = make_system()
+        cache.access(0x100, write=False, now=0)
+        cache.access(0x2100, write=False, now=50)
+        entries = len(cache._xlate)
+        assert entries == 2
+        table.unmap(table.page_of(0x2100))
+        assert cache._xlate == {}
+        assert cache.stats.xlate_memo_invalidations == entries
+
+    def test_unmapped_line_faults_and_caches_nothing(self):
+        _, table, _, cache = make_system()
+        vaddr = 33 * PAGE  # beyond the mapped 32 pages
+        with pytest.raises(PageFault):
+            cache.translate_functional(vaddr)
+        assert cache._xlate == {}
+        # a later mapping is picked up — nothing negative was cached
+        table.ensure_mapped(vaddr, PAGE)
+        assert cache.translate_functional(vaddr) == table.walk(vaddr)
+
+    def test_disabled_memo_still_translates(self):
+        _, table, _, cache = make_system(xlate_memo=False)
+        w = TaggedWord.integer(9)
+        cache.access(0x300, write=True, now=0, value=w)
+        assert cache.access(0x300, write=False, now=50).word == w
+        assert cache.stats.xlate_memo_hits == 0
+        assert cache.stats.xlate_memo_misses == 0
+        assert cache.translate_functional(0x300) == table.walk(0x300)
+
+
 class TestGeometryValidation:
     def test_bad_bank_count(self):
         mem, _, tlb, _ = make_system()

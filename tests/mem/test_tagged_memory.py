@@ -109,3 +109,104 @@ class TestScanTagged:
         for addr in (256, 8, 96):
             mem.store_word(addr, p.word)
         assert [a for a, _ in mem.scan_tagged()] == [8, 96, 256]
+
+    def test_scan_is_ordered_across_bitmap_byte_boundaries(self, mem):
+        # addresses chosen so several tagged words share one bitmap
+        # byte and others straddle byte boundaries (words 7, 8, 9, 63)
+        p = GuardedPointer.make(Permission.KEY, 0, 0x42)
+        addrs = [63 * 8, 9 * 8, 7 * 8, 8 * 8]
+        for addr in addrs:
+            mem.store_word(addr, p.word)
+        assert [a for a, _ in mem.scan_tagged()] == sorted(addrs)
+
+
+_WORDS = st.builds(TaggedWord,
+                   st.integers(min_value=0, max_value=(1 << 64) - 1),
+                   tag=st.booleans())
+
+
+class _DictModel:
+    """The historical sparse semantics, verbatim: a dict holding only
+    words with a nonzero value or a set tag; everything else is zero."""
+
+    def __init__(self):
+        self.words: dict[int, TaggedWord] = {}
+
+    def store(self, address: int, word: TaggedWord) -> None:
+        if word.value == 0 and not word.tag:
+            self.words.pop(address, None)
+        else:
+            self.words[address] = word
+
+    def load(self, address: int) -> TaggedWord:
+        return self.words.get(address, TaggedWord.zero())
+
+
+class TestDictModelEquivalence:
+    """The flat array + tag bitmap must be observationally identical to
+    the old ``dict[int, TaggedWord]`` storage under any program."""
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=63),
+                              _WORDS),
+                    max_size=60))
+    def test_any_store_sequence(self, stores):
+        mem = TaggedMemory(512)
+        model = _DictModel()
+        for index, word in stores:
+            mem.store_word(index * 8, word)
+            model.store(index * 8, word)
+        for index in range(64):
+            assert mem.load_word(index * 8) == model.load(index * 8)
+        assert mem.words_in_use() == len(model.words)
+        assert list(mem.scan_tagged()) == sorted(
+            (a, w) for a, w in model.words.items() if w.tag)
+
+
+class _RecordingDevice:
+    def __init__(self):
+        self.cells: dict[int, TaggedWord] = {}
+        self.loads: list[int] = []
+
+    def load(self, offset: int) -> TaggedWord:
+        self.loads.append(offset)
+        return self.cells.get(offset, TaggedWord.integer(0xDEAD))
+
+    def store(self, offset: int, word: TaggedWord) -> None:
+        self.cells[offset] = word
+
+
+class TestMemoryMappedDevices:
+    def test_accesses_route_to_the_device(self):
+        mem = TaggedMemory(4096)
+        dev = _RecordingDevice()
+        mem.attach_device(256, 64, dev)
+        w = TaggedWord.integer(7)
+        mem.store_word(256 + 16, w)
+        assert dev.cells == {16: w}
+        assert mem.load_word(256 + 16) == w
+        assert dev.loads == [16]
+
+    def test_device_traffic_leaves_dram_untouched(self):
+        mem = TaggedMemory(4096)
+        mem.attach_device(256, 64, _RecordingDevice())
+        mem.store_word(256, TaggedWord.integer(1))
+        assert mem.words_in_use() == 0        # DRAM accounting only
+        assert list(mem.scan_tagged()) == []  # and the tag bitmap too
+
+    def test_lookup_is_exact_at_range_boundaries(self):
+        mem = TaggedMemory(4096)
+        low, high = _RecordingDevice(), _RecordingDevice()
+        mem.attach_device(512, 64, high)
+        mem.attach_device(128, 64, low)  # out-of-order attach
+        assert mem.load_word(128).value == 0xDEAD    # first word of low
+        assert mem.load_word(184).value == 0xDEAD    # last word of low
+        assert mem.load_word(192).value == 0         # just past low: DRAM
+        assert mem.load_word(504).value == 0         # just before high
+        assert mem.load_word(512).value == 0xDEAD
+        assert mem.load_word(568).value == 0xDEAD
+
+    def test_overlapping_ranges_rejected(self):
+        mem = TaggedMemory(4096)
+        mem.attach_device(256, 64, _RecordingDevice())
+        with pytest.raises(ValueError):
+            mem.attach_device(312, 64, _RecordingDevice())

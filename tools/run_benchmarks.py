@@ -2,15 +2,18 @@
 """Run the PR's benchmark suite and record a machine-readable baseline.
 
 Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
-experiment kernels plus the cycle-loop microbenchmark
-(``benchmarks/bench_cycle_loop.py``), takes a perf-counter snapshot of
-a representative E5 run, cross-checks the counter file against
-``ChipStats``, and writes everything to ``BENCH_pr1.json`` at the repo
-root.
+experiment kernels plus the cycle-loop and data-stream microbenchmarks
+(``benchmarks/bench_cycle_loop.py``, ``benchmarks/bench_data_stream.py``),
+takes a perf-counter snapshot of a representative E5 run, cross-checks
+the counter file against ``ChipStats``, and writes everything to
+``BENCH_pr3.json`` at the repo root.
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr1.json]
+    python tools/run_benchmarks.py [--out BENCH_pr3.json] [--quick]
+
+``--quick`` shrinks every workload for CI smoke runs; the cross-checks
+and the cycles-equal assertions still apply, only the sizes change.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.machine.chip import ChipConfig, RunReason  # noqa: E402
 from repro.sim.api import Simulation  # noqa: E402
 
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
+from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
 
 
 def timed(fn, *args, **kwargs):
@@ -43,14 +47,14 @@ def timed(fn, *args, **kwargs):
     return result, time.perf_counter() - t0
 
 
-def bench_e2() -> dict:
-    results, wall = timed(e2.sweep_all_lengths, 512)
+def bench_e2(samples: int = 512) -> dict:
+    results, wall = timed(e2.sweep_all_lengths, samples)
     return {"wall_s": wall, "segment_lengths": len(results),
             "all_exact": all(r.exact for r in results)}
 
 
-def bench_e5() -> dict:
-    points, wall = timed(e5.sweep, (1, 2, 4), 150)
+def bench_e5(iterations: int = 150) -> dict:
+    points, wall = timed(e5.sweep, (1, 2, 4), iterations)
     total_cycles = sum(p.cycles for p in points)
     return {"wall_s": wall, "points": len(points),
             "total_cycles": total_cycles,
@@ -62,12 +66,12 @@ def bench_e9() -> dict:
     return {"wall_s": wall, "schemes": table}
 
 
-def counter_snapshot_e5() -> dict:
+def counter_snapshot_e5(iterations: int = 500) -> dict:
     """One representative E5 run through the facade: the counter
     snapshot, cross-checked against the chip's raw statistics."""
     sim = Simulation(ChipConfig(memory_bytes=4 * 1024 * 1024,
                                 threads_per_cluster=4))
-    source = e5.WORKER.format(iterations=500)
+    source = e5.WORKER.format(iterations=iterations)
     for t in range(4):
         data = sim.allocate(4096, eager=True)
         sim.spawn(source, domain=t + 1, cluster=0,
@@ -97,29 +101,41 @@ def counter_snapshot_e5() -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr1.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr3.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink every workload for CI smoke runs")
     args = parser.parse_args(argv)
+    q = args.quick
 
     print("running e2 (LEA checks) ...")
-    r_e2 = bench_e2()
+    r_e2 = bench_e2(64 if q else 512)
     print(f"  {r_e2['wall_s']:.3f}s")
     print("running e5 (multithreading sweep) ...")
-    r_e5 = bench_e5()
+    r_e5 = bench_e5(30 if q else 150)
     print(f"  {r_e5['wall_s']:.3f}s, {r_e5['cycles_per_s']:,.0f} cycles/s")
     print("running e9 (context switch) ...")
     r_e9 = bench_e9()
     print(f"  {r_e9['wall_s']:.3f}s")
     print("running cycle-loop microbenchmark ...")
-    r_loop = cycle_loop_measure()
+    r_loop = cycle_loop_measure(iterations=300 if q else 2000)
     print(f"  {r_loop['speedup']:.2f}x over the pre-rework loop "
           f"({r_loop['new_cycles_per_s']:,.0f} vs "
           f"{r_loop['legacy_cycles_per_s']:,.0f} cycles/s)")
+    assert r_loop["cycles_equal"], "cycle-loop timing models diverged"
+    print("running data-stream microbenchmark ...")
+    r_stream = data_stream_measure(1000 if q else 6000)
+    print(f"  {r_stream['speedup']:.2f}x with the data fast path on "
+          f"({r_stream['fast_cycles_per_s']:,.0f} vs "
+          f"{r_stream['slow_cycles_per_s']:,.0f} cycles/s)")
+    assert r_stream["cycles_equal"], "data fast path changed the timing model"
+    assert r_stream["cross_checks_pass"], r_stream["cross_checks"]
     print("taking the E5 counter snapshot ...")
-    r_snap = counter_snapshot_e5()
+    r_snap = counter_snapshot_e5(100 if q else 500)
     print("  counter cross-checks passed")
 
     payload = {
         "version": __version__,
+        "quick": q,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": {
@@ -127,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
             "e5_multithreading": r_e5,
             "e9_context_switch": r_e9,
             "cycle_loop": r_loop,
+            "data_stream": r_stream,
             "e5_counter_snapshot": r_snap,
         },
     }
