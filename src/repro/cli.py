@@ -10,6 +10,14 @@ Usage (``python -m repro <command> ...``):
   prints the chip-wide perf-counter file; ``--max-cycles`` bounds the
   run.
 * ``isa``                  — print the opcode table.
+* ``snapshot FILE.s OUT``  — run a program partway (``--run-cycles``)
+  and save the whole machine to a snapshot file.
+* ``restore SNAP``         — rebuild the machine from a snapshot and
+  resume it to completion (``--info`` prints the header and stops;
+  ``--no-decode-cache``/``--no-data-fast-path`` flip the speed knobs,
+  which a snapshot explicitly permits).
+* ``replay DUMP.json``     — re-run a fuzz crash dump through every
+  diff axis; exits 0 when the bug no longer reproduces.
 
 The CLI is intentionally thin: everything it does is one call into the
 library — ``run`` drives the :class:`repro.sim.api.Simulation` facade —
@@ -92,7 +100,7 @@ def cmd_isa(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzz import SCENARIOS, run_campaign
+    from repro.fuzz import SCENARIOS, run_campaign, write_failure_artifacts
 
     if args.scenario is not None and args.scenario not in SCENARIOS:
         print(f"unknown scenario {args.scenario!r}; "
@@ -106,7 +114,78 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if failure.regression_test:
             print("\n# paste into tests/machine/test_fuzz_regressions.py:")
             print(failure.regression_test)
+    if report.failures and args.crashes:
+        for crash_dir in write_failure_artifacts(report, args.crashes):
+            print(f"; crash artifacts: {crash_dir}")
     return 0 if report.ok else 1
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Run a program for a bounded number of cycles, then freeze the
+    whole machine to a snapshot file."""
+    sim = Simulation(memory_bytes=args.memory)
+    regs: dict[int, object] = {}
+    if args.data:
+        segment = sim.allocate(args.data)
+        regs[1] = segment.word
+        print(f"; r1 = {args.data}-byte read/write segment at "
+              f"{segment.segment_base:#x}")
+    sim.spawn(Path(args.file).read_text(), regs=regs)
+    if args.run_cycles:
+        sim.step(args.run_cycles)
+    path = sim.save(args.out)
+    print(f"; saved machine at cycle {sim.now} to {path}")
+    return 0
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    """Rebuild a machine from a snapshot and run it to completion."""
+    from repro.persist import load_machine, read_header
+    from repro.machine.multicomputer import Multicomputer
+
+    header = read_header(args.snapshot)
+    if args.info:
+        for key in sorted(header):
+            print(f"{key}: {header[key]}")
+        return 0
+    overrides = {}
+    if args.no_decode_cache:
+        overrides["decode_cache"] = False
+    if args.no_data_fast_path:
+        overrides["data_fast_path"] = False
+    machine = load_machine(args.snapshot, **overrides)
+    print(f"; restored {header['kind']} snapshot at cycle "
+          f"{machine.chips[0].now if isinstance(machine, Multicomputer) else machine.now}")
+    result = machine.run(max_cycles=args.max_cycles)
+    print(f"; {result.reason} after {result.cycles} further cycles, "
+          f"{result.issued_bundles} bundles")
+    threads = (machine.all_threads() if isinstance(machine, Multicomputer)
+               else machine.threads)
+    for thread in threads:
+        print(f"; thread {thread.tid}: {thread.state.name}")
+        if thread.fault is not None:
+            print(f";   fault: {thread.fault}")
+    if args.counters:
+        snapshot = (machine.counters_snapshot()
+                    if isinstance(machine, Multicomputer)
+                    else machine.snapshot())
+        from repro.sim.runner import format_table
+
+        print(format_table(snapshot, title="; perf counters"))
+    return 0 if result.reason == RunReason.HALTED else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a fuzz crash dump through every diff axis."""
+    from repro.persist.replay import replay_crash
+
+    divergences = replay_crash(args.dump, log=print)
+    if not divergences:
+        print("; no divergence: the recorded bug does not reproduce")
+        return 0
+    for divergence in divergences:
+        print(f"DIVERGENCE {divergence}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,7 +229,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pin every case to one scenario")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="report divergences without minimizing them")
+    p_fuzz.add_argument("--crashes", default=None, metavar="DIR",
+                        help="write per-failure artifact directories "
+                             "(dump.json, program.s, repro.py, snapshot)")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="run a .s file partway and save the machine")
+    p_snap.add_argument("file")
+    p_snap.add_argument("out", help="snapshot file to write")
+    p_snap.add_argument("--run-cycles", type=int, default=0,
+                        help="cycles to run before saving (0: save at spawn)")
+    p_snap.add_argument("--data", type=int, default=0, metavar="BYTES",
+                        help="allocate a data segment into r1")
+    p_snap.add_argument("--memory", type=int, default=8 * 1024 * 1024,
+                        help="physical memory bytes")
+    p_snap.set_defaults(func=cmd_snapshot)
+
+    p_rest = sub.add_parser(
+        "restore", help="rebuild a machine from a snapshot and resume it")
+    p_rest.add_argument("snapshot")
+    p_rest.add_argument("--info", action="store_true",
+                        help="print the snapshot header and exit")
+    p_rest.add_argument("--counters", action="store_true",
+                        help="print the perf counters after the run")
+    p_rest.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_rest.add_argument("--no-decode-cache", action="store_true",
+                        help="resume with the decoded-bundle cache off")
+    p_rest.add_argument("--no-data-fast-path", action="store_true",
+                        help="resume with the data-path memos off")
+    p_rest.set_defaults(func=cmd_restore)
+
+    p_replay = sub.add_parser(
+        "replay", help="re-run a fuzz crash dump through every diff axis")
+    p_replay.add_argument("dump", help="dump.json from a fuzz failure")
+    p_replay.set_defaults(func=cmd_replay)
     return parser
 
 

@@ -6,7 +6,11 @@ Two independent oracles keep the chip honest:
   flat-memory sequential model run in lockstep with the chip;
 * the chip itself with ``decode_cache=False`` or
   ``data_fast_path=False`` — any observable difference from the
-  fast-path configuration is a coherence bug.
+  fast-path configuration is a coherence bug;
+* the chip *restored from a snapshot* mid-run
+  (:func:`~repro.fuzz.scenarios.diff_replay_axis`) — a round-trip
+  through the ``repro.persist`` container must change nothing, which is
+  the deterministic-replay guarantee policed case by case.
 
 See ``docs/FUZZING.md`` for the scenario space and the invalidation
 contract this subsystem polices.
@@ -15,9 +19,10 @@ contract this subsystem polices.
 from repro.fuzz.differ import Divergence, diff_against_reference
 from repro.fuzz.generator import (REFERENCE_SCENARIOS, SCENARIOS, FuzzCase,
                                   generate_case)
-from repro.fuzz.runner import Failure, FuzzReport, run_campaign, run_case
-from repro.fuzz.scenarios import (diff_cache_axes,
-                                  diff_fast_path_axes, run_scenario)
+from repro.fuzz.runner import (Failure, FuzzReport, run_campaign, run_case,
+                               write_failure_artifacts)
+from repro.fuzz.scenarios import (diff_cache_axes, diff_fast_path_axes,
+                                  diff_replay_axis, run_scenario)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 __all__ = [
@@ -30,10 +35,12 @@ __all__ = [
     "diff_against_reference",
     "diff_cache_axes",
     "diff_fast_path_axes",
+    "diff_replay_axis",
     "emit_regression_test",
     "generate_case",
     "run_campaign",
     "run_case",
     "run_scenario",
     "shrink_case",
+    "write_failure_artifacts",
 ]

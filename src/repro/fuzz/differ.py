@@ -38,7 +38,7 @@ class Divergence:
     """One observed disagreement, attributable to a replayable case."""
 
     axis: str            #: "chip-vs-reference" | "cache-on-vs-off" |
-                         #: "fastpath-on-vs-off"
+                         #: "fastpath-on-vs-off" | "replay-roundtrip"
     case: FuzzCase
     kind: str            #: "state" | "fault-type" | "fault-order" |
                          #: "halt-order" | "memory" | "crash" |
@@ -46,6 +46,10 @@ class Divergence:
     detail: str
     #: committed-bundle index at first disagreement, when known
     bundle_index: int | None = None
+    #: the machine image that misbehaved (container bytes), when the
+    #: failing axis captured one — the replay axis always does; it
+    #: rides along in the crash dump for post-mortem restoration
+    snapshot: bytes | None = None
 
     def __str__(self) -> str:
         where = f" @bundle {self.bundle_index}" if self.bundle_index is not None else ""

@@ -15,21 +15,25 @@ from typing import Callable
 from repro.fuzz.differ import Divergence, diff_against_reference
 from repro.fuzz.generator import (REFERENCE_SCENARIOS, FuzzCase,
                                   generate_case)
-from repro.fuzz.scenarios import diff_cache_axes, diff_fast_path_axes
+from repro.fuzz.scenarios import (diff_cache_axes, diff_fast_path_axes,
+                                  diff_replay_axis)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 
 def run_case(case: FuzzCase) -> list[Divergence]:
-    """Every divergence ``case`` produces: the decode-cache and
-    data-fast-path axes always run; the chip-vs-reference axis runs for
-    the scenarios the flat-memory reference can execute (no paging, no
-    kernel, no mesh).  An empty list is the pass verdict the regression
-    tests assert."""
+    """Every divergence ``case`` produces: the decode-cache,
+    data-fast-path and snapshot-replay axes always run; the
+    chip-vs-reference axis runs for the scenarios the flat-memory
+    reference can execute (no paging, no kernel, no mesh).  An empty
+    list is the pass verdict the regression tests assert."""
     divergences = []
     d = diff_cache_axes(case)
     if d is not None:
         divergences.append(d)
     d = diff_fast_path_axes(case)
+    if d is not None:
+        divergences.append(d)
+    d = diff_replay_axis(case)
     if d is not None:
         divergences.append(d)
     if case.scenario in REFERENCE_SCENARIOS:
@@ -111,3 +115,43 @@ def run_campaign(seed: int = 0, cases: int = 200,
             log(f"... {index + 1}/{cases} cases, "
                 f"{len(report.failures)} divergences")
     return report
+
+
+def write_failure_artifacts(report: FuzzReport, directory) -> list:
+    """One directory per failure with everything needed to debug it
+    offline — what CI uploads as an artifact when a campaign goes red:
+
+    * ``dump.json`` — the replayable crash dump
+      (:func:`repro.persist.replay.write_crash_dump`: case, divergence,
+      embedded snapshot); ``repro replay`` takes it directly;
+    * ``program.s`` — the generated program, as assembly;
+    * ``repro.py`` — a ready-to-commit regression test (from the shrunk
+      case when shrinking ran, else the original);
+    * ``snapshot.snap`` — the failing machine image as a standalone
+      snapshot file, when the divergence captured one (restorable with
+      ``repro restore`` for post-mortem inspection).
+
+    Returns the per-failure directories created.
+    """
+    from pathlib import Path
+
+    from repro.persist.replay import write_crash_dump
+
+    directory = Path(directory)
+    created = []
+    for number, failure in enumerate(report.failures):
+        divergence = failure.divergence
+        case = failure.shrunk or divergence.case
+        slug = f"{number:03d}-{divergence.axis}-{case.scenario}"
+        crash_dir = directory / slug
+        crash_dir.mkdir(parents=True, exist_ok=True)
+        write_crash_dump(divergence, crash_dir / "dump.json")
+        (crash_dir / "program.s").write_text(case.source + "\n",
+                                             encoding="utf-8")
+        (crash_dir / "repro.py").write_text(
+            emit_regression_test(case, str(divergence)) + "\n",
+            encoding="utf-8")
+        if divergence.snapshot is not None:
+            (crash_dir / "snapshot.snap").write_bytes(divergence.snapshot)
+        created.append(crash_dir)
+    return created

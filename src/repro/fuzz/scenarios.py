@@ -19,6 +19,15 @@ gc_sweep        a GC collection plus ``sweep_revoke`` over live memory
 loader_reuse    a freed code segment's range is reloaded with new code
 remote_store    another node patches this node's code through the mesh
 ==============  ======================================================
+
+The third axis — **replay** (:func:`diff_replay_axis`) — runs every
+scenario a second time with a snapshot/restore round-trip spliced in at
+the scenario's mutation point: the machine is captured through the real
+container codec (:mod:`repro.persist.snapshot` — canonical JSON, zlib,
+CRC and all), a *fresh* machine is rebuilt from the bytes, and the run
+finishes there.  The digests must still be identical, under both
+fast-path settings — that is the deterministic-replay guarantee
+``Simulation.save``/``restore`` advertises, policed case by case.
 """
 
 from __future__ import annotations
@@ -42,6 +51,59 @@ from repro.fuzz.generator import DATA_BYTES, FuzzCase
 #: only matters for broken shrink candidates (deleted loop decrements),
 #: so it is kept tight enough that burning it stays cheap
 MAX_CYCLES = 20_000
+
+#: where the replay axis splices its snapshot into scenarios that have
+#: no mutation point of their own (plain / self_modify / enter_call)
+ROUNDTRIP_AFTER = 40
+
+
+# -- the replay-axis splice ------------------------------------------------
+#
+# Each helper captures a machine through the real container codec and
+# rebuilds a fresh one from the bytes — the same path a snapshot file
+# takes through disk, minus the filesystem.  Returning the blob lets a
+# divergence carry the exact restorable image that misbehaved.
+
+def _roundtrip_bare_chip(chip: MAPChip) -> tuple[MAPChip, bytes]:
+    from repro.persist.snapshot import decode_snapshot, encode_snapshot
+    from repro.persist.state import capture_chip, restore_chip_state
+
+    blob = encode_snapshot({"kind": "chip", "chip": capture_chip(chip)})
+    payload = decode_snapshot(blob)
+    fresh = MAPChip(ChipConfig(**payload["chip"]["config"]))
+    restore_chip_state(fresh, payload["chip"])
+    return fresh, blob
+
+
+def _roundtrip_sim(sim: Simulation) -> tuple[Simulation, bytes]:
+    from repro.persist.image import capture_simulation, restore_simulation
+    from repro.persist.snapshot import decode_snapshot, encode_snapshot
+
+    blob = encode_snapshot(capture_simulation(sim))
+    return restore_simulation(decode_snapshot(blob)), blob
+
+
+def _roundtrip_mc(mc: Multicomputer) -> tuple[Multicomputer, bytes]:
+    from repro.persist.image import (capture_multicomputer,
+                                     restore_multicomputer)
+    from repro.persist.snapshot import decode_snapshot, encode_snapshot
+
+    blob = encode_snapshot(capture_multicomputer(mc))
+    return restore_multicomputer(decode_snapshot(blob)), blob
+
+
+def _rebind(chip: MAPChip, thread: Thread) -> tuple[Thread, SecurityMonitor]:
+    """After a round-trip, object identity is gone: re-resolve the
+    thread by tid on the restored chip and attach a fresh monitor
+    (monitors are code, not state — ``note_spawn`` re-baselines I1 at
+    the thread's *current* privilege, which is what birth privilege
+    means on a restored machine)."""
+    from repro.persist.state import threads_by_tid
+
+    thread = threads_by_tid(chip)[thread.tid]
+    monitor = SecurityMonitor(chip)
+    monitor.note_spawn(thread)
+    return thread, monitor
 
 
 # -- digest helpers -------------------------------------------------------
@@ -97,7 +159,8 @@ def _digest_chip(chip: MAPChip, threads: list[Thread],
 # -- the runners ----------------------------------------------------------
 
 def _run_program_scenario(case: FuzzCase, decode_cache: bool,
-                          data_fast_path: bool = True) -> dict:
+                          data_fast_path: bool = True,
+                          roundtrip: bool = False) -> dict:
     """plain / self_modify / enter_call: a bare chip, run to the end."""
     chip, thread, entry, data = setup_chip(case.source,
                                            decode_cache=decode_cache,
@@ -105,9 +168,18 @@ def _run_program_scenario(case: FuzzCase, decode_cache: bool,
                                            fregs=case.fregs)
     monitor = SecurityMonitor(chip)
     monitor.note_spawn(thread)
-    chip.run(MAX_CYCLES)
-    return _digest_chip(chip, [thread],
-                        [(data.segment_base, DATA_BYTES)], [monitor])
+    snapshot = None
+    budget = MAX_CYCLES
+    if roundtrip:
+        budget -= chip.run(ROUNDTRIP_AFTER).cycles
+        chip, snapshot = _roundtrip_bare_chip(chip)
+        thread, monitor = _rebind(chip, thread)
+    chip.run(budget)
+    digest = _digest_chip(chip, [thread],
+                          [(data.segment_base, DATA_BYTES)], [monitor])
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
+    return digest
 
 
 def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool
@@ -128,7 +200,8 @@ def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool
 
 
 def _run_unmap_remap(case: FuzzCase, decode_cache: bool,
-                     data_fast_path: bool = True) -> dict:
+                     data_fast_path: bool = True,
+                     roundtrip: bool = False) -> dict:
     """Mid-run, the code page is unmapped, remapped, and rewritten with
     a carpet of HALT bundles — the decoded old program must not run on."""
     sim, thread, monitor, code_base, data_base = _make_sim(
@@ -142,13 +215,21 @@ def _run_unmap_remap(case: FuzzCase, decode_cache: bool,
     for i in range(program_bytes // 8):
         sim.chip.store_runtime_word(table.walk(code_base + i * 8),
                                     halt_words[i % 3])
+    snapshot = None
+    if roundtrip:
+        sim, snapshot = _roundtrip_sim(sim)
+        thread, monitor = _rebind(sim.chip, thread)
     sim.run(MAX_CYCLES)
-    return _digest_chip(sim.chip, [thread],
-                        [(data_base, DATA_BYTES)], [monitor])
+    digest = _digest_chip(sim.chip, [thread],
+                          [(data_base, DATA_BYTES)], [monitor])
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
+    return digest
 
 
 def _run_swap(case: FuzzCase, decode_cache: bool,
-              data_fast_path: bool = True) -> dict:
+              data_fast_path: bool = True,
+              roundtrip: bool = False) -> dict:
     """Mid-run, the code and data pages are forced out to the backing
     store; the demand-pager brings them back on the next touch."""
     sim, thread, monitor, code_base, data_base = _make_sim(
@@ -158,13 +239,23 @@ def _run_swap(case: FuzzCase, decode_cache: bool,
     table = sim.chip.page_table
     swap.swap_out(table.page_of(code_base))
     swap.swap_out(table.page_of(data_base))
+    snapshot = None
+    if roundtrip:
+        # the snapshot lands while both pages sit in the backing store:
+        # the restored machine must fault them back in identically
+        sim, snapshot = _roundtrip_sim(sim)
+        thread, monitor = _rebind(sim.chip, thread)
     sim.run(MAX_CYCLES)
-    return _digest_chip(sim.chip, [thread],
-                        [(data_base, DATA_BYTES)], [monitor])
+    digest = _digest_chip(sim.chip, [thread],
+                          [(data_base, DATA_BYTES)], [monitor])
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
+    return digest
 
 
 def _run_gc_sweep(case: FuzzCase, decode_cache: bool,
-                  data_fast_path: bool = True) -> dict:
+                  data_fast_path: bool = True,
+                  roundtrip: bool = False) -> dict:
     """Mid-run, a full collection frees an unreachable decoy and a
     ``sweep_revoke`` zeroes every copy of a victim pointer — both write
     below translation, which is exactly where staleness hides."""
@@ -179,38 +270,55 @@ def _run_gc_sweep(case: FuzzCase, decode_cache: bool,
     sim.step(case.meta["mutate_after"])
     AddressSpaceGC(sim.kernel).collect(extra_roots=[victim])
     sweep_revoke(sim.kernel, victim)
+    snapshot = None
+    if roundtrip:
+        sim, snapshot = _roundtrip_sim(sim)
+        thread, monitor = _rebind(sim.chip, thread)
     sim.run(MAX_CYCLES)
-    return _digest_chip(sim.chip, [thread],
-                        [(data_base, DATA_BYTES)], [monitor])
+    digest = _digest_chip(sim.chip, [thread],
+                          [(data_base, DATA_BYTES)], [monitor])
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
+    return digest
 
 
 def _run_loader_reuse(case: FuzzCase, decode_cache: bool,
-                      data_fast_path: bool = True) -> dict:
+                      data_fast_path: bool = True,
+                      roundtrip: bool = False) -> dict:
     """Run program A, free its code segment, load program B over the
     recycled range, run that too — B must never execute A's bundles."""
     sim = Simulation(memory_bytes=2 * 1024 * 1024,
                      decode_cache=decode_cache,
                      data_fast_path=data_fast_path)
     data = sim.allocate(DATA_BYTES, eager=True)
+    data_base = data.segment_base
     monitor = SecurityMonitor(sim.chip)
-    threads = []
     entry_a = sim.load(case.source)
     thread_a = sim.spawn(entry_a, regs={8: data.word})
     monitor.note_spawn(thread_a)
-    threads.append(thread_a)
     sim.run(MAX_CYCLES)
     sim.kernel.free_segment(entry_a)
+    snapshot = None
+    if roundtrip:
+        # snapshot straddles the loader boundary: program A is done,
+        # its range is free, program B is loaded on the *restored* sim
+        sim, snapshot = _roundtrip_sim(sim)
+        thread_a, monitor = _rebind(sim.chip, thread_a)
+        data = sim.kernel.segments[data_base].pointer
     entry_b = sim.load(case.meta["source_b"])
     thread_b = sim.spawn(entry_b, regs={8: data.word})
     monitor.note_spawn(thread_b)
-    threads.append(thread_b)
     sim.run(MAX_CYCLES)
-    return _digest_chip(sim.chip, threads,
-                        [(data.segment_base, DATA_BYTES)], [monitor])
+    digest = _digest_chip(sim.chip, [thread_a, thread_b],
+                          [(data_base, DATA_BYTES)], [monitor])
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
+    return digest
 
 
 def _run_remote_store(case: FuzzCase, decode_cache: bool,
-                      data_fast_path: bool = True) -> dict:
+                      data_fast_path: bool = True,
+                      roundtrip: bool = False) -> dict:
     """Two mesh nodes; node 1 patches node 0's code through the network
     mid-run, flipping a ``movi`` immediate the loop keeps executing."""
     mc = Multicomputer(MeshShape(2, 1, 1),
@@ -230,12 +338,22 @@ def _run_remote_store(case: FuzzCase, decode_cache: bool,
     mc.chips[1].access_memory(
         patch_addr, write=True, now=mc.chips[1].now,
         value=TaggedWord.integer(case.meta["patch_word"]))
+    snapshot = None
+    if roundtrip:
+        # whole-machine round-trip: both nodes plus the mesh's port
+        # timing come back from the bytes
+        mc, snapshot = _roundtrip_mc(mc)
+        thread, monitor0 = _rebind(mc.chips[0], thread)
+        monitors = [monitor0] + [SecurityMonitor(chip)
+                                 for chip in mc.chips[1:]]
     mc.run(max_cycles=MAX_CYCLES)
     digest = _digest_chip(mc.chips[0], [thread],
                           [(data.segment_base, DATA_BYTES)], monitors)
     digest["cycles"] = max(chip.now for chip in mc.chips)
     digest["faults"] = [[type(r.cause).__name__ for r in chip.fault_log]
                         for chip in mc.chips]
+    if snapshot is not None:
+        digest["_snapshot"] = snapshot
     return digest
 
 
@@ -252,9 +370,15 @@ _RUNNERS = {
 
 
 def run_scenario(case: FuzzCase, decode_cache: bool,
-                 data_fast_path: bool = True) -> dict:
-    """One digest of ``case`` under the given fast-path settings."""
-    return _RUNNERS[case.scenario](case, decode_cache, data_fast_path)
+                 data_fast_path: bool = True,
+                 roundtrip: bool = False) -> dict:
+    """One digest of ``case`` under the given fast-path settings.  With
+    ``roundtrip`` the machine takes a snapshot/restore round-trip at
+    the scenario's mutation point, and the digest carries the container
+    bytes under the ``"_snapshot"`` side-channel key (popped before any
+    comparison)."""
+    return _RUNNERS[case.scenario](case, decode_cache, data_fast_path,
+                                   roundtrip=roundtrip)
 
 
 def _first_difference(on: dict, off: dict, knob: str) -> str:
@@ -304,3 +428,45 @@ def diff_fast_path_axes(case: FuzzCase) -> Divergence | None:
     return _diff_knob(
         case, "fastpath-on-vs-off", "fastpath",
         lambda enabled: run_scenario(case, True, data_fast_path=enabled))
+
+
+def diff_replay_axis(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` uninterrupted and with a snapshot/restore
+    round-trip spliced in at the mutation point — under *both*
+    fast-path settings — and require bit-identical digests (registers,
+    memory, fault sequence, cycle count).  On a mismatch the returned
+    divergence carries the snapshot bytes, so the failing image ships
+    inside the crash dump, restorable for post-mortem."""
+    axis = "replay-roundtrip"
+    for fast_path in (True, False):
+        label = "fastpath-on" if fast_path else "fastpath-off"
+        try:
+            base = run_scenario(case, True, data_fast_path=fast_path)
+        except Exception as e:
+            return Divergence(axis, case, "crash",
+                              f"uninterrupted {label} run crashed: "
+                              f"{type(e).__name__}: {e}")
+        try:
+            replayed = run_scenario(case, True, data_fast_path=fast_path,
+                                    roundtrip=True)
+        except Exception as e:
+            return Divergence(axis, case, "crash",
+                              f"replayed {label} run crashed: "
+                              f"{type(e).__name__}: {e}")
+        snapshot = replayed.pop("_snapshot", None)
+        if base["invariant"] is not None:
+            return Divergence(axis, case, "invariant", base["invariant"])
+        if replayed["invariant"] is not None:
+            return Divergence(axis, case, "invariant", replayed["invariant"],
+                              snapshot=snapshot)
+        if base != replayed:
+            for key in base:
+                if base[key] != replayed[key]:
+                    detail = (f"{key} ({label}): uninterrupted="
+                              f"{base[key]!r} replayed={replayed[key]!r}")
+                    break
+            else:
+                detail = "digests differ"
+            return Divergence(axis, case, "state", detail,
+                              snapshot=snapshot)
+    return None

@@ -26,10 +26,22 @@ traffic counters per node.  ``docs/PERF.md`` documents every counter.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Mapping
 
 #: Type of a pull source: returns {counter_name: value} when sampled.
 CounterSource = Callable[[], Mapping[str, int | float]]
+
+
+def _json_safe(value: int | float) -> int | float:
+    """Clamp a counter reading to something ``json.dumps(...,
+    allow_nan=False)`` accepts.  A source that divides by zero (or
+    overflows a derived ratio) must not poison the whole snapshot —
+    non-finite readings are reported as 0.0, which is also what the
+    ratio helpers report for an empty denominator."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return 0.0
+    return value
 
 
 class PerfCounters:
@@ -60,11 +72,17 @@ class PerfCounters:
         Event counters and pull sources are merged; a source key that
         collides with an event name wins (sources are authoritative for
         the units that own them).
+
+        The result is guaranteed to round-trip through JSON verbatim:
+        keys are sorted (stable order run to run), and every value is a
+        finite int or float — non-finite source readings are clamped to
+        0.0 — so snapshots, ``BENCH_*.json`` and machine snapshot files
+        can embed it with ``json.dumps(snap, allow_nan=False)``.
         """
         merged: dict[str, int | float] = dict(self._events)
         for prefix, source in self._sources:
             for key, value in source().items():
-                merged[f"{prefix}.{key}" if prefix else key] = value
+                merged[f"{prefix}.{key}" if prefix else key] = _json_safe(value)
         return dict(sorted(merged.items()))
 
     def get(self, name: str, default: int | float = 0) -> int | float:
@@ -76,6 +94,16 @@ class PerfCounters:
         (``CacheStats``, ``TLBStats``, ...) and are reset by resetting
         those components, not here."""
         self._events.clear()
+
+    # -- persistence (repro.persist) --------------------------------------
+
+    def capture_events(self) -> dict[str, int]:
+        """The event half alone (pull sources are captured by capturing
+        their owning components)."""
+        return dict(self._events)
+
+    def restore_events(self, events: Mapping[str, int]) -> None:
+        self._events = dict(events)
 
     def __len__(self) -> int:
         return len(self.snapshot())

@@ -97,6 +97,35 @@ class Multicomputer:
         # and revocation-by-unmap (§4.3) is machine-wide.
         for chip in self.chips:
             chip.page_table.add_invalidation_hook(self._flush_all_decoded)
+        self.arena_order = arena_order
+        #: migration forwarding map: virtual page → current home node,
+        #: for pages moved off their partition-defined home node by
+        #: repro.persist.migrate.  Pointers are never rewritten when a
+        #: process migrates — the bits in every register and memory
+        #: word stay put — so this page-granular map (a translation
+        #: artifact, like the page table) is the *only* state that
+        #: changes when pages change nodes.
+        self._page_homes: dict[int, int] = {}
+        self._page_bytes = config.page_bytes
+
+    def home_of(self, vaddr: int) -> int:
+        """The node currently holding ``vaddr``: the partition's static
+        assignment unless migration moved the page."""
+        if self._page_homes:
+            home = self._page_homes.get(vaddr // self._page_bytes)
+            if home is not None:
+                return home
+        return self.partition.home_of(vaddr)
+
+    def rehome_page(self, page: int, node: int) -> None:
+        """Point a virtual page's home at ``node`` (migration's half of
+        the translation update; the page's words move separately)."""
+        if not 0 <= node < len(self.chips):
+            raise ValueError(f"node id out of range: {node}")
+        if self.partition.home_of(page * self._page_bytes) == node:
+            self._page_homes.pop(page, None)  # back on its static home
+        else:
+            self._page_homes[page] = node
 
     def _flush_all_decoded(self, _virtual_page: int) -> None:
         for chip in self.chips:
@@ -122,14 +151,14 @@ class Multicomputer:
     # -- the router contract used by MAPChip.access_memory ---------------
 
     def is_local(self, chip: MAPChip, vaddr: int) -> bool:
-        return self.partition.home_of(vaddr) == chip.node_id
+        return self.home_of(vaddr) == chip.node_id
 
     def remote_access(self, chip: MAPChip, vaddr: int, *, write: bool,
                       now: int, value: TaggedWord | None = None) -> AccessResult:
         """Service an access whose home is another node (keyword-only
         port signature, shared with ``MAPChip.access_memory`` and
         ``BankedCache.access``)."""
-        home = self.chips[self.partition.home_of(vaddr)]
+        home = self.chips[self.home_of(vaddr)]
         # PageFault → local thread; the home node's translation line
         # memo answers repeat traffic (cleared by the home unmap hook,
         # so remote revocation stays airtight)
@@ -152,7 +181,7 @@ class Multicomputer:
     def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:
         """Functional translation at the home node (used by fetch),
         through the home node's translation line memo."""
-        home = self.chips[self.partition.home_of(vaddr)]
+        home = self.chips[self.home_of(vaddr)]
         return home, home.cache.translate_functional(vaddr)
 
     # -- machine-wide fault handling ------------------------------------------
@@ -161,7 +190,7 @@ class Multicomputer:
         def handler(record, thread: Thread) -> None:
             cause = record.cause
             if isinstance(cause, PageFault):
-                home = self.kernels[self.partition.home_of(cause.vaddr)]
+                home = self.kernels[self.home_of(cause.vaddr)]
                 if home is not local_kernel and home._demand_page(cause.vaddr):
                     thread.resume()
                     return
@@ -229,3 +258,18 @@ class Multicomputer:
                 issued += chip.step()
             cycles += 1
         return RunResult(cycles, issued, RunReason.MAX_CYCLES)
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """The whole machine — every node, the mesh timing state and
+        the migration forwarding map — as one JSON-safe payload (see
+        :func:`repro.persist.image.capture_multicomputer`)."""
+        from repro.persist.image import capture_multicomputer
+
+        return capture_multicomputer(self)
+
+    def restore_state(self, state: dict) -> None:
+        from repro.persist.image import restore_multicomputer_state
+
+        restore_multicomputer_state(self, state)

@@ -103,3 +103,19 @@ class MeshNetwork:
         the reply reaches the source."""
         arrive = self.deliver(source, destination, now)
         return self.deliver(destination, source, arrive)
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Per-node interface busy cycles plus statistics — injection
+        serialisation is timing state, so restored runs must see the
+        same port occupancy the captured machine had."""
+        return {"port_busy_until": list(self._port_busy_until),
+                "stats": vars(self.stats).copy()}
+
+    def restore_state(self, state: dict) -> None:
+        if len(state["port_busy_until"]) != self.shape.nodes:
+            raise ValueError("snapshot node count differs from mesh shape")
+        self._port_busy_until = [int(c) for c in state["port_busy_until"]]
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)

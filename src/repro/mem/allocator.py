@@ -154,3 +154,30 @@ class BuddyAllocator:
     def allocated_blocks(self) -> list[Block]:
         """All live blocks, ordered by base address."""
         return [Block(b, o) for b, o in sorted(self._allocated.items())]
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Free lists, live blocks and the E7 accounting.  Free bases
+        are sorted: ``allocate`` picks ``min()`` of a free list, so sets
+        restore order-independently."""
+        return {
+            "base": self.base,
+            "order": self.order,
+            "min_order": self.min_order,
+            "free": {str(k): sorted(s) for k, s in self._free.items() if s},
+            "allocated": sorted(self._allocated.items()),
+            "requested_bytes": self.requested_bytes,
+            "granted_bytes": self.granted_bytes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if (state["base"], state["order"], state["min_order"]) != (
+                self.base, self.order, self.min_order):
+            raise ValueError("snapshot arena geometry differs from allocator's")
+        self._free = {k: set() for k in range(self.min_order, self.order + 1)}
+        for order, bases in state["free"].items():
+            self._free[int(order)] = set(bases)
+        self._allocated = {int(b): int(o) for b, o in state["allocated"]}
+        self.requested_bytes = int(state["requested_bytes"])
+        self.granted_bytes = int(state["granted_bytes"])

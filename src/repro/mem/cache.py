@@ -306,3 +306,35 @@ class BankedCache:
         baselines flush on every protection-domain switch."""
         self.stats.flushes += 1
         return sum(bank.invalidate_all() for bank in self._banks)
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Exact timing state: every bank's per-set LRU line lists (with
+        dirty bits, oldest first), the port busy cycles, and statistics.
+        The translation line memo is *not* captured — it is a pure
+        function of the page table and re-warms after restore without
+        changing a single cycle."""
+        return {
+            "banks": [{"busy_until": bank.busy_until,
+                       "sets": [[[line, dirty] for line, dirty in entry]
+                                for entry in bank._lines]}
+                      for bank in self._banks],
+            "external_busy_until": self._external_busy_until,
+            "stats": vars(self.stats).copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if len(state["banks"]) != len(self._banks):
+            raise ValueError("snapshot bank count differs from cache geometry")
+        for bank, bank_state in zip(self._banks, state["banks"]):
+            if len(bank_state["sets"]) != bank.sets:
+                raise ValueError("snapshot set count differs from cache geometry")
+            bank.busy_until = int(bank_state["busy_until"])
+            bank._lines = [[(int(line), bool(dirty)) for line, dirty in entry]
+                           for entry in bank_state["sets"]]
+        self._external_busy_until = int(state["external_busy_until"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        if self._xlate is not None:
+            self._xlate.clear()

@@ -112,6 +112,22 @@ class PageTable:
             raise PageFault(vaddr) from None
         return frame + self.page_offset(vaddr)
 
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Every translation plus the staleness generation."""
+        return {"map": sorted(self._map.items()),
+                "generation": self.generation}
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all translations **without** firing invalidation
+        hooks: restore happens into a machine whose derived caches
+        (TLB, decode cache, translation memos) are reset by their own
+        restore paths, so pushing invalidations here would double-count
+        and clobber freshly restored TLB contents."""
+        self._map = {int(page): int(frame) for page, frame in state["map"]}
+        self.generation = int(state["generation"])
+
     def ensure_mapped(self, vaddr: int, length: int) -> list[Translation]:
         """Demand-map every page overlapping ``[vaddr, vaddr+length)``;
         returns the translations that were newly installed."""

@@ -53,3 +53,16 @@ class FrameAllocator:
             raise ValueError(f"frame {frame} is not allocated")
         self._allocated.remove(frame)
         self._free.append(frame)
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Exact allocator state.  The free list is a *stack* (allocate
+        pops from the end), so its order decides which frame backs the
+        next demand-mapped page — it must round-trip exactly for
+        deterministic replay."""
+        return {"free": list(self._free), "allocated": sorted(self._allocated)}
+
+    def restore_state(self, state: dict) -> None:
+        self._free = list(state["free"])
+        self._allocated = set(state["allocated"])

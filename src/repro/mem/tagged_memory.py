@@ -74,6 +74,12 @@ class TaggedMemory:
         self._devices: list[tuple[int, int, object]] = []
         #: the sorted range starts, for bisect in :meth:`_device_at`
         self._device_starts: list[int] = []
+        # -- dirty-page tracking (repro.persist delta snapshots) -------
+        #: word-index shift mapping a word index to its physical page,
+        #: or None when tracking is off (the default)
+        self._dirty_shift: int | None = None
+        #: physical pages written since the last drain
+        self._dirty_pages: set[int] | None = None
 
     # -- memory-mapped I/O ----------------------------------------------
 
@@ -166,6 +172,8 @@ class TaggedMemory:
                 return
         old = self._data[index]
         self._data[index] = word
+        if self._dirty_pages is not None:
+            self._dirty_pages.add(index >> self._dirty_shift)
         if word.tag != old.tag:
             if word.tag:
                 self._tag_bits[index >> 3] |= 1 << (index & 7)
@@ -202,3 +210,64 @@ class TaggedMemory:
                 index = base + bit
                 if first <= index < last:
                     yield index * WORD_BYTES, data[index]
+
+    # -- persistence (repro.persist) -----------------------------------
+
+    def dump_words(self) -> list[tuple[int, int, bool]]:
+        """Sparse image of every word in use: ``(word_index, value,
+        tag)`` triples in ascending index order.  Unlisted words are the
+        untagged zero fill, so the dump plus :attr:`size_bytes` is a
+        complete description of DRAM contents."""
+        return [(i, w.value, w.tag) for i, w in enumerate(self._data)
+                if w.value or w.tag]
+
+    def load_words(self, words: list) -> None:
+        """Replace the entire contents with a :meth:`dump_words` image
+        (everything not listed becomes untagged zero)."""
+        size = len(self._data)
+        self._data = [_ZERO] * size
+        self._tag_bits = bytearray((size + 7) // 8)
+        self._in_use = 0
+        data = self._data
+        bits = self._tag_bits
+        in_use = 0
+        for index, value, tag in words:
+            if not 0 <= index < size:
+                raise IndexError(f"word index out of range: {index}")
+            data[index] = TaggedWord(value, tag=bool(tag))
+            if tag:
+                bits[index >> 3] |= 1 << (index & 7)
+            if value or tag:
+                in_use += 1
+        self._in_use = in_use
+        if self._dirty_pages is not None:
+            # a wholesale reload dirties every loaded page
+            for index, _value, _tag in words:
+                self._dirty_pages.add(index >> self._dirty_shift)
+
+    def enable_dirty_tracking(self, page_bytes: int) -> None:
+        """Record which physical pages :meth:`store_word` touches, for
+        O(dirty pages) delta snapshots (:mod:`repro.persist.delta`).
+        Idempotent; ``page_bytes`` must be a power of two."""
+        page_words = page_bytes // WORD_BYTES
+        if page_words <= 0 or page_words & (page_words - 1):
+            raise ValueError("page size must be a power-of-two word count")
+        self._dirty_shift = page_words.bit_length() - 1
+        if self._dirty_pages is None:
+            self._dirty_pages = set()
+
+    def drain_dirty_pages(self) -> set[int]:
+        """Return and clear the set of pages written since the last
+        drain (physical page indices).  Requires tracking enabled."""
+        if self._dirty_pages is None:
+            raise ValueError("dirty tracking is not enabled")
+        dirty, self._dirty_pages = self._dirty_pages, set()
+        return dirty
+
+    def page_words(self, page_index: int, page_bytes: int
+                   ) -> list[tuple[int, bool]]:
+        """All ``(value, tag)`` pairs of one physical page, in order —
+        the payload of one delta-snapshot page record."""
+        first = page_index * (page_bytes // WORD_BYTES)
+        return [(w.value, w.tag)
+                for w in self._data[first:first + page_bytes // WORD_BYTES]]

@@ -109,6 +109,23 @@ class TLB:
         self._cache.clear()
         self.stats.flushes += 1
 
+    # -- persistence (repro.persist) -----------------------------------
+
+    def capture_state(self) -> dict:
+        """Entries in LRU order (oldest first) plus statistics.  A TLB
+        hit costs 0 cycles and a miss ``walk_cycles``, so the resident
+        set — and its eviction order — must round-trip exactly for
+        restored runs to stay cycle-identical."""
+        return {"entries": list(self._cache.items()),
+                "stats": vars(self.stats).copy()}
+
+    def restore_state(self, state: dict) -> None:
+        self._cache = OrderedDict((int(p), int(f))
+                                  for p, f in state["entries"])
+        self._generation = self.page_table.generation
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+
     @property
     def occupancy(self) -> int:
         return len(self._cache)

@@ -1,0 +1,247 @@
+"""Live process migration between multicomputer nodes.
+
+The experiment this module exists for is the paper's central claim
+pushed to its logical extreme: a process's entire protection state is
+the guarded pointers it holds (§1, §2), so moving the process to
+another node means moving *bits* — page contents and register files —
+and **nothing else**.  There is no capability table to rewrite, no
+per-process page-table to rebuild, no descriptor registers to reload:
+after migration every pointer the process held — data pointers, its
+stack pointer, **enter** pointers into protected subsystems it never
+could read — still works, bit-for-bit unchanged, because a guarded
+pointer's meaning is carried entirely in its own 64 bits + tag and in
+the single global address space those bits name.
+
+What actually moves:
+
+* **pages** — each mapped page of the process's segments is read out of
+  the source node's frames, unmapped there (revocation semantics: any
+  straggler access faults and is forwarded to the new home), installed
+  in a fresh frame on the destination, and *rehomed* in the
+  multicomputer's forwarding map
+  (:meth:`~repro.machine.multicomputer.Multicomputer.rehome_page`) —
+  the one page-granular translation artifact migration touches;
+* **swapped pages** — backing-store entries move store-to-store (the
+  page stays swapped out; tags travel with the words);
+* **untouched pages** — nothing to copy; they are rehomed so the
+  destination kernel demand-maps them on first touch;
+* **threads** — frozen (removed from their source clusters), carried
+  with registers, pending deferred writes and fault state intact, and
+  re-installed in destination cluster slots, blocked until the mesh
+  delivers the last page.
+
+Which segments move: by default the service *discovers* the process's
+working set by scanning its threads' register files for tagged words —
+guarded pointers are self-identifying, so no OS bookkeeping is needed
+to enumerate what a process can reach — plus the entry segment and the
+process's published segment list.  Segments named in ``pin`` stay on
+the source node (a protected subsystem can stay home while its caller
+migrates: the caller's enter pointer keeps working remotely).
+
+Address-space bookkeeping: virtual addresses do not change (that is
+the point), so the *allocator* ownership of a migrated segment's range
+stays with its static home partition — only the
+:class:`~repro.runtime.kernel.Segment` records move, because the
+destination kernel's demand pager consults them.  Freeing a migrated
+segment goes through its origin kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.pointer import GuardedPointer
+from repro.machine.thread import ThreadState
+from repro.persist.state import threads_by_tid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.multicomputer import Multicomputer
+    from repro.runtime.process import Process
+
+
+class MigrationError(Exception):
+    """The process cannot be moved as requested."""
+
+
+@dataclass
+class MigrationReport:
+    """What one migration moved, and when the process resumed."""
+
+    domain: int
+    source: int
+    destination: int
+    departed_cycle: int
+    arrival_cycle: int
+    segments_moved: list[int] = field(default_factory=list)  # segment bases
+    pages_shipped: int = 0      # resident pages copied over the mesh
+    swapped_shipped: int = 0    # backing-store pages moved store-to-store
+    pages_rehomed: int = 0      # forwarding-map entries written
+    threads_moved: int = 0
+
+
+class MigrationService:
+    """Moves live processes between the nodes of one multicomputer."""
+
+    def __init__(self, machine: "Multicomputer"):
+        self.machine = machine
+
+    # -- working-set discovery -----------------------------------------
+
+    def reachable_segments(self, process: "Process") -> list[int]:
+        """Bases of the source-kernel segments the process can name:
+        its entry segment, its published segment list, and every
+        segment a tagged word in any of its threads' register files
+        points into.  The tag bit makes pointers self-identifying —
+        this sweep needs no per-process OS tables."""
+        kernel = process.kernel
+        bases: dict[int, None] = {}  # insertion-ordered set
+
+        def note(pointer: GuardedPointer) -> None:
+            segment = kernel.segment_of(pointer.address)
+            if segment is not None:
+                bases.setdefault(segment.base)
+
+        note(process.entry)
+        for pointer in process.segments:
+            note(pointer)
+        for thread in process.threads:
+            regs, _ = thread.regs.snapshot()
+            for word in regs:
+                if word.tag:
+                    note(GuardedPointer.from_word(word))
+        return list(bases)
+
+    # -- the move -------------------------------------------------------
+
+    def migrate(self, process: "Process", destination: int,
+                pin: Iterable[GuardedPointer] = ()) -> MigrationReport:
+        """Freeze ``process``, ship its segments and threads to node
+        ``destination``, and resume it there.  Segments whose base
+        matches a ``pin`` pointer stay home (their pointers keep
+        working remotely)."""
+        machine = self.machine
+        if not 0 <= destination < len(machine.chips):
+            raise MigrationError(f"no node {destination} in this machine")
+        source_kernel = process.kernel
+        dest_kernel = machine.kernels[destination]
+        source = source_kernel.chip.node_id
+        if source == destination:
+            raise MigrationError("process is already on that node")
+        for thread in process.threads:
+            if thread.scheduler is None:
+                raise MigrationError(
+                    f"thread {thread.tid} is not resident on a cluster")
+            if thread.scheduler.chip is not source_kernel.chip:
+                raise MigrationError(
+                    f"thread {thread.tid} does not run on the process's node")
+
+        pinned = {p.segment_base for p in pin}
+        bases = [b for b in self.reachable_segments(process)
+                 if b not in pinned]
+        page_bytes = source_kernel.chip.page_table.page_bytes
+        for base in bases:
+            if source_kernel.segments[base].size < page_bytes:
+                raise MigrationError(
+                    f"segment at {base:#x} is smaller than a page; it "
+                    f"shares its page with neighbours and cannot migrate "
+                    f"alone (the granularity mismatch of §4.3)")
+
+        chips = machine.chips
+        departed = chips[source].now
+        report = MigrationReport(domain=process.domain, source=source,
+                                 destination=destination,
+                                 departed_cycle=departed,
+                                 arrival_cycle=departed,
+                                 segments_moved=list(bases))
+
+        # 1. freeze: pull every thread out of its source cluster.  The
+        # register files go quiet; nothing can touch the segments while
+        # the pages are in flight (the simulator moves them atomically
+        # between cycles anyway — the freeze models the protocol).
+        dest_tids = threads_by_tid(dest_kernel.chip)
+        for thread in process.threads:
+            if thread.tid in dest_tids:
+                raise MigrationError(
+                    f"destination node already runs a thread with tid "
+                    f"{thread.tid}")
+            thread.scheduler.remove_thread(thread)
+
+        # 2. ship pages
+        arrival = departed
+        src_table = source_kernel.chip.page_table
+        src_memory = source_kernel.chip.memory
+        dst_table = dest_kernel.chip.page_table
+        dst_memory = dest_kernel.chip.memory
+        src_swap = source_kernel.swap
+        dst_swap = dest_kernel.swap
+        words_per_page = page_bytes // 8
+        for base in bases:
+            segment = source_kernel.segments[base]
+            for page in range(base // page_bytes,
+                              (base + segment.size) // page_bytes):
+                if src_table.is_mapped(page):
+                    physical = src_table.walk(page * page_bytes)
+                    words = [src_memory.load_word(physical + i * 8)
+                             for i in range(words_per_page)]
+                    # unmap fires the machine-wide invalidation hooks,
+                    # so stale decoded bundles die on every node
+                    src_table.unmap(page)
+                    if src_swap is not None:
+                        src_swap._resident.pop(page, None)
+                    translation = dst_table.map(page)
+                    for i, word in enumerate(words):
+                        dst_memory.store_word(
+                            translation.physical_address + i * 8, word)
+                    if dst_swap is not None:
+                        dst_swap._resident[page] = True
+                    arrival = machine.network.deliver(source, destination,
+                                                      departed)
+                    report.pages_shipped += 1
+                elif src_swap is not None and page in src_swap._store:
+                    words = src_swap._store.pop(page)
+                    if dst_swap is not None:
+                        # stays swapped out; faults in on the new node
+                        dst_swap._store[page] = words
+                    else:
+                        # destination has no backing store: materialise
+                        translation = dst_table.map(page)
+                        for i, word in enumerate(words):
+                            dst_memory.store_word(
+                                translation.physical_address + i * 8, word)
+                    arrival = machine.network.deliver(source, destination,
+                                                      departed)
+                    report.swapped_shipped += 1
+                machine.rehome_page(page, destination)
+                report.pages_rehomed += 1
+            # belt and braces for code segments: the unmap hooks above
+            # already flushed, but a fully swapped-out segment unmaps
+            # nothing, and its decoded bundles must not survive the move
+            machine.invalidate_decoded_range(base, segment.size)
+            dest_kernel.segments[base] = source_kernel.segments.pop(base)
+
+        # 3. ship the thread state (one message, after the pages)
+        arrival = max(arrival,
+                      machine.network.deliver(source, destination, departed))
+
+        # 4. resume on the destination: install each thread in the
+        # emptiest cluster, blocked until the mesh delivered everything
+        dest_chip = dest_kernel.chip
+        for thread in process.threads:
+            cluster = min(dest_chip.clusters, key=lambda c: c.active_count)
+            cluster.add_thread(thread)
+            if thread._state is ThreadState.READY:
+                thread.block_until(arrival)
+            elif thread._state is ThreadState.BLOCKED:
+                thread.wake_at = max(thread.wake_at, arrival)
+            report.threads_moved += 1
+            dest_chip._next_tid = max(dest_chip._next_tid, thread.tid + 1)
+
+        process.kernel = dest_kernel
+        report.arrival_cycle = arrival
+        counters = source_kernel.chip.counters
+        counters.incr("migrate.processes")
+        counters.incr("migrate.pages", report.pages_shipped)
+        counters.incr("migrate.threads", report.threads_moved)
+        counters.incr("migrate.cycles", arrival - departed)
+        return report

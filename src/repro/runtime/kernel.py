@@ -83,6 +83,10 @@ class Kernel:
         self.segments: dict[int, Segment] = {}  # base -> Segment
         self.stats = KernelStats()
         self.trap_handlers: dict[int, Callable[[Thread, FaultRecord], None]] = {}
+        #: the SwapManager layered over this kernel, if any (set by
+        #: SwapManager.__init__; repro.persist captures it with the rest
+        #: of the machine)
+        self.swap = None
         self.chip.fault_handler = self._handle_fault
 
     # -- segments ---------------------------------------------------------

@@ -52,6 +52,7 @@ class SwapManager:
         self._resident: OrderedDict[int, bool] = OrderedDict()
         self._inner = kernel.chip.fault_handler
         kernel.chip.fault_handler = self._handle_fault
+        kernel.swap = self  # so repro.persist snapshots find the store
 
     # -- bookkeeping ------------------------------------------------------
 

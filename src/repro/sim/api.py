@@ -111,6 +111,28 @@ class Simulation:
     def threads(self) -> list[Thread]:
         return self.chip.all_threads()
 
+    # -- persistence (repro.persist) ---------------------------------------
+
+    def save(self, path) -> "Path":
+        """Write this machine's complete state — memory with tags,
+        registers, page table, cache/TLB/network timing, counters — to
+        a snapshot file.  ``Simulation.restore(path)`` (same process or
+        a different one, days later) resumes cycle-exactly."""
+        from repro.persist.image import save_simulation
+
+        return save_simulation(self, path)
+
+    @classmethod
+    def restore(cls, path, **overrides) -> "Simulation":
+        """Rebuild a simulation from a :meth:`save` file.  Keyword
+        overrides may flip the simulator speed knobs (``decode_cache``,
+        ``data_fast_path``, ``idle_fast_forward``); architectural
+        overrides are rejected.  (Named ``restore`` because ``load`` is
+        the facade's program loader.)"""
+        from repro.persist.image import load_simulation
+
+        return load_simulation(path, **overrides)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         c = self.config
         return (f"Simulation(clusters={c.clusters}, "

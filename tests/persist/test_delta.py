@@ -1,0 +1,175 @@
+"""Delta snapshots: O(dirty pages) checkpoints over one base image.
+
+The contract under test: a chain restore is indistinguishable from a
+full-snapshot restore (digest equality at every link), deltas really
+are proportional to the dirty page count, and the hash chain refuses
+tampered, reordered, missing or foreign links.
+"""
+
+import pytest
+
+from repro.machine.chip import RunReason
+from repro.persist import (DeltaChainError, DeltaCheckpointer,
+                           capture_simulation, chain_paths, load_chain,
+                           state_digest)
+from repro.persist.snapshot import read_snapshot, write_snapshot
+from repro.core.word import TaggedWord
+from repro.sim.api import Simulation
+
+PROGRAM = """
+entry:
+    movi r2, 0
+    movi r3, 60
+loop:
+    addi r2, r2, 5
+    st r2, r1, 0
+    subi r3, r3, 1
+    bne r3, loop
+    halt
+"""
+
+
+def checkpointed_sim(directory):
+    sim = Simulation()
+    data = sim.allocate(4096, eager=True)
+    sim.spawn(PROGRAM, regs={1: data.word})
+    return sim, DeltaCheckpointer(sim, directory)
+
+
+class TestChainRestore:
+    def test_tip_matches_live_machine(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        sim.step(40)
+        ckpt.checkpoint()
+        sim.step(40)
+        ckpt.checkpoint()
+        restored = load_chain(tmp_path)
+        assert state_digest(capture_simulation(restored)) == \
+            state_digest(capture_simulation(sim))
+
+    def test_upto_rewinds_to_any_link(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        sim.step(40)
+        ckpt.checkpoint()
+        at_one = state_digest(capture_simulation(sim))
+        sim.step(40)
+        ckpt.checkpoint()
+        at_two = state_digest(capture_simulation(sim))
+
+        assert state_digest(
+            capture_simulation(load_chain(tmp_path, upto=1))) == at_one
+        assert state_digest(
+            capture_simulation(load_chain(tmp_path, upto=2))) == at_two
+        assert at_one != at_two
+
+    def test_upto_zero_is_the_base(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        at_base = ckpt.base_digest
+        sim.step(40)
+        ckpt.checkpoint()
+        restored = load_chain(tmp_path, upto=0)
+        assert state_digest(capture_simulation(restored)) == at_base
+
+    def test_upto_past_the_tip_is_an_error(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        sim.step(10)
+        ckpt.checkpoint()
+        with pytest.raises(DeltaChainError):
+            load_chain(tmp_path, upto=5)
+
+    def test_restored_machine_runs_to_completion(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        sim.step(40)
+        ckpt.checkpoint()
+        restored = load_chain(tmp_path)
+        result = restored.run()
+        assert result.reason is RunReason.HALTED
+        (thread,) = restored.threads
+        assert thread.regs.read(2).value == 60 * 5
+
+    def test_chain_survives_a_segment_free(self, tmp_path):
+        """Revocation between checkpoints: the unmap hook conservatively
+        re-marks the freed frame, so the chain still restores exactly."""
+        sim = Simulation()
+        doomed = sim.allocate(4096, eager=True)
+        table = sim.chip.page_table
+        sim.chip.memory.store_word(table.walk(doomed.segment_base),
+                                   TaggedWord.integer(7))
+        ckpt = DeltaCheckpointer(sim, tmp_path)
+        sim.kernel.free_segment(doomed)
+        ckpt.checkpoint()
+        restored = load_chain(tmp_path)
+        assert state_digest(capture_simulation(restored)) == \
+            state_digest(capture_simulation(sim))
+
+
+class TestDeltaSize:
+    def test_delta_is_proportional_to_dirty_pages(self, tmp_path):
+        sim = Simulation()
+        big = sim.allocate(64 * 4096, eager=True)
+        table = sim.chip.page_table
+        for page in range(64):  # a large, non-zero resident image
+            address = big.segment_base + page * 4096
+            sim.chip.memory.store_word(table.walk(address),
+                                       TaggedWord.integer(page + 1))
+        ckpt = DeltaCheckpointer(sim, tmp_path)
+        # dirty exactly one data page
+        sim.chip.memory.store_word(table.walk(big.segment_base),
+                                   TaggedWord.integer(999))
+        path = ckpt.checkpoint()
+        delta = read_snapshot(path)
+        assert len(delta["pages"]) == 1
+        base, deltas = chain_paths(tmp_path)
+        assert path.stat().st_size < base.stat().st_size
+
+    def test_untouched_checkpoint_carries_no_pages(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        path = ckpt.checkpoint()  # no cycles ran, nothing dirtied
+        assert read_snapshot(path)["pages"] == []
+
+
+class TestChainIntegrity:
+    def _chain_of_two(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        sim.step(30)
+        ckpt.checkpoint()
+        sim.step(30)
+        ckpt.checkpoint()
+        return sim
+
+    def test_tampered_link_breaks_the_chain(self, tmp_path):
+        self._chain_of_two(tmp_path)
+        _, (first, _second) = chain_paths(tmp_path)
+        delta = read_snapshot(first)
+        delta["pages"][0][1][0] = [12345, False]  # flip one word
+        write_snapshot(delta, first)
+        with pytest.raises(DeltaChainError, match="hash chain"):
+            load_chain(tmp_path)
+
+    def test_missing_link_is_detected(self, tmp_path):
+        self._chain_of_two(tmp_path)
+        _, (first, _second) = chain_paths(tmp_path)
+        first.unlink()
+        with pytest.raises(DeltaChainError, match="missing or reordered"):
+            load_chain(tmp_path)
+
+    def test_foreign_base_is_detected(self, tmp_path):
+        self._chain_of_two(tmp_path)
+        base, _ = chain_paths(tmp_path)
+        payload = read_snapshot(base)
+        payload["node"]["chip"]["now"] += 1  # a different machine now
+        write_snapshot(payload, base)
+        with pytest.raises(DeltaChainError, match="different base"):
+            load_chain(tmp_path)
+
+    def test_non_delta_file_is_rejected(self, tmp_path):
+        sim, ckpt = checkpointed_sim(tmp_path)
+        ckpt.checkpoint()
+        _, (first,) = chain_paths(tmp_path)
+        write_snapshot(capture_simulation(sim), first)
+        with pytest.raises(DeltaChainError, match="not a delta"):
+            load_chain(tmp_path)
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(DeltaChainError, match="base.snap"):
+            load_chain(tmp_path)

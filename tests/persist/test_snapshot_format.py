@@ -1,0 +1,158 @@
+"""The snapshot container: magic, header, checksum, atomic writes.
+
+These tests treat the container as a pure byte format — no machine is
+involved.  The contract: identical payloads produce identical bytes,
+and every corruption (bad magic, version skew, bit flips, truncation,
+lying headers) is rejected with a specific error, never restored
+quietly.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.persist.snapshot import (FORMAT, KINDS, MAGIC, VERSION,
+                                    SnapshotChecksumError, SnapshotError,
+                                    SnapshotFormatError,
+                                    SnapshotVersionError, canonical_json,
+                                    decode_snapshot, encode_snapshot,
+                                    read_header, read_snapshot,
+                                    write_snapshot)
+
+PAYLOAD = {"kind": "simulation", "node": {"words": [3, 1, 2], "b": True}}
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        a = canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+        b = canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+        assert a == b
+
+    def test_no_whitespace(self):
+        assert b" " not in canonical_json({"a b": [1, 2]})[1:-1].replace(
+            b'"a b"', b"")
+
+    def test_non_finite_floats_are_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestRoundTrip:
+    def test_encode_decode_is_identity(self):
+        assert decode_snapshot(encode_snapshot(PAYLOAD)) == PAYLOAD
+
+    def test_identical_payloads_identical_bytes(self):
+        reordered = json.loads(json.dumps(PAYLOAD))
+        assert encode_snapshot(PAYLOAD) == encode_snapshot(reordered)
+
+    def test_every_kind_is_encodable(self):
+        for kind in KINDS:
+            blob = encode_snapshot({"kind": kind})
+            assert decode_snapshot(blob) == {"kind": kind}
+
+    def test_unknown_kind_is_rejected_at_encode(self):
+        with pytest.raises(SnapshotFormatError):
+            encode_snapshot({"kind": "tape-archive"})
+        with pytest.raises(SnapshotFormatError):
+            encode_snapshot({"no": "kind"})
+
+
+class TestHeader:
+    def test_read_header_fields(self):
+        header = read_header(encode_snapshot(PAYLOAD))
+        body = canonical_json(PAYLOAD)
+        assert header["format"] == FORMAT
+        assert header["version"] == VERSION
+        assert header["kind"] == "simulation"
+        assert header["length"] == len(body)
+        assert header["crc32"] == zlib.crc32(body) & 0xFFFFFFFF
+
+    def test_read_header_from_path(self, tmp_path):
+        path = write_snapshot(PAYLOAD, tmp_path / "x.snap")
+        assert read_header(path)["kind"] == "simulation"
+
+    def test_header_kind_must_match_payload_kind(self):
+        blob = encode_snapshot(PAYLOAD)
+        header = read_header(blob)
+        body = canonical_json({"kind": "chip"})
+        header["length"] = len(body)
+        header["crc32"] = zlib.crc32(body) & 0xFFFFFFFF
+        forged = MAGIC + canonical_json(header) + b"\n" + zlib.compress(body)
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(forged)
+
+
+def _with_header(header: dict, body: bytes) -> bytes:
+    return MAGIC + canonical_json(header) + b"\n" + zlib.compress(body)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(b"NOTASNAP" + encode_snapshot(PAYLOAD)[8:])
+
+    def test_truncated_header(self):
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(MAGIC + b'{"format":"map-snapshot"')
+
+    def test_wrong_format_name(self):
+        body = canonical_json(PAYLOAD)
+        blob = _with_header({"format": "other", "version": VERSION}, body)
+        with pytest.raises(SnapshotFormatError):
+            decode_snapshot(blob)
+
+    def test_version_skew_names_both_versions(self):
+        body = canonical_json(PAYLOAD)
+        blob = _with_header({"format": FORMAT, "version": VERSION + 7,
+                             "kind": "simulation", "length": len(body),
+                             "crc32": zlib.crc32(body) & 0xFFFFFFFF}, body)
+        with pytest.raises(SnapshotVersionError) as e:
+            decode_snapshot(blob)
+        assert str(VERSION + 7) in str(e.value)
+        assert str(VERSION) in str(e.value)
+
+    def test_bit_flip_in_body(self):
+        blob = bytearray(encode_snapshot(PAYLOAD))
+        blob[-3] ^= 0x40  # inside the compressed body
+        with pytest.raises(SnapshotChecksumError):
+            decode_snapshot(bytes(blob))
+
+    def test_lying_length(self):
+        body = canonical_json(PAYLOAD)
+        blob = _with_header({"format": FORMAT, "version": VERSION,
+                             "kind": "simulation", "length": len(body) + 1,
+                             "crc32": zlib.crc32(body) & 0xFFFFFFFF}, body)
+        with pytest.raises(SnapshotChecksumError):
+            decode_snapshot(blob)
+
+    def test_lying_checksum(self):
+        body = canonical_json(PAYLOAD)
+        blob = _with_header({"format": FORMAT, "version": VERSION,
+                             "kind": "simulation", "length": len(body),
+                             "crc32": 0xDEADBEEF}, body)
+        with pytest.raises(SnapshotChecksumError):
+            decode_snapshot(blob)
+
+    def test_every_error_is_a_snapshot_error(self):
+        for exc in (SnapshotFormatError, SnapshotVersionError,
+                    SnapshotChecksumError):
+            assert issubclass(exc, SnapshotError)
+
+
+class TestFiles:
+    def test_write_then_read(self, tmp_path):
+        path = write_snapshot(PAYLOAD, tmp_path / "machine.snap")
+        assert read_snapshot(path) == PAYLOAD
+
+    def test_write_is_atomic(self, tmp_path):
+        path = write_snapshot(PAYLOAD, tmp_path / "machine.snap")
+        # no temp file survives a successful write
+        assert [p.name for p in tmp_path.iterdir()] == ["machine.snap"]
+        assert path == tmp_path / "machine.snap"
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = tmp_path / "machine.snap"
+        write_snapshot(PAYLOAD, path)
+        write_snapshot({"kind": "chip", "n": 2}, path)
+        assert read_snapshot(path) == {"kind": "chip", "n": 2}

@@ -1,16 +1,24 @@
 #!/usr/bin/env python
 """Drive a differential-fuzzing campaign from the command line.
 
-Runs seeded random programs through both diff axes — chip versus the
-reference interpreter, and decode-cache-on versus decode-cache-off —
-and exits non-zero on any divergence.  The default invocation is the
-fixed-seed smoke run the test suite wires in as a tier-1 check::
+Runs seeded random programs through every diff axis — chip versus the
+reference interpreter, decode-cache on/off, data-fast-path on/off, and
+uninterrupted versus snapshot/restore-replayed — and exits non-zero on
+any divergence.  The default invocation is the fixed-seed smoke run the
+test suite wires in as a tier-1 check::
 
     python tools/run_fuzz.py --seed 0 --cases 50
 
 The acceptance bar for the fuzzing PR is the longer run::
 
     python tools/run_fuzz.py --seed 0 --cases 200
+
+On a red run, every failure is written out as a self-contained artifact
+directory under ``--crashes`` (default ``crashes/``): a replayable
+``dump.json`` (``python -m repro replay`` takes it directly), the
+program source, a paste-ready regression test, and — when the failing
+axis captured one — the machine snapshot itself.  CI uploads the
+directory so a divergence on a runner is debuggable locally.
 
 See ``docs/FUZZING.md`` for the scenario space and what a divergence
 report means.
@@ -27,7 +35,8 @@ for p in (REPO_ROOT, REPO_ROOT / "src"):
     if str(p) not in sys.path:
         sys.path.insert(0, str(p))
 
-from repro.fuzz import SCENARIOS, run_campaign  # noqa: E402
+from repro.fuzz import (SCENARIOS, run_campaign,  # noqa: E402
+                        write_failure_artifacts)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,6 +50,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="report divergences without minimizing them")
     parser.add_argument("--quiet", action="store_true",
                         help="only print the final summary")
+    parser.add_argument("--crashes", default="crashes", metavar="DIR",
+                        help="directory for per-failure artifacts "
+                             "(default: crashes/; only written on failure)")
     args = parser.parse_args(argv)
 
     report = run_campaign(seed=args.seed, cases=args.cases,
@@ -52,6 +64,9 @@ def main(argv: list[str] | None = None) -> int:
         if failure.regression_test:
             print("\n# paste into tests/machine/test_fuzz_regressions.py:")
             print(failure.regression_test)
+    if report.failures and args.crashes:
+        for crash_dir in write_failure_artifacts(report, args.crashes):
+            print(f"crash artifacts: {crash_dir}")
     return 0 if report.ok else 1
 
 
