@@ -1,0 +1,110 @@
+"""The tracing-overhead benchmark: the observability layer must be
+(near-)free when nobody is listening.
+
+Runs a multithreaded load/store workload under three configurations:
+
+* ``disabled`` — ``chip.obs.enabled = False``: every emission site is a
+  dead branch (the floor);
+* ``default`` — the shipping configuration: flight recorder and latency
+  histograms on, no sink attached (``hot`` is false, so per-bundle
+  sites cost one attribute load and branch);
+* ``traced`` — a :class:`~repro.obs.hub.TraceSession` attached: every
+  hot event materializes (the ceiling; only paid while tracing).
+
+All three must agree on the simulated cycle count exactly — emission
+never touches machine state.  The acceptance check is that ``default``
+is within noise of ``disabled``; ``tools/run_benchmarks.py`` records
+the numbers into ``BENCH_pr5.json`` and CI runs the quick variant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.machine.chip import RunReason
+from repro.sim.api import Simulation
+
+from benchmarks.conftest import emit
+
+ITERATIONS = 3000
+THREADS = 4
+MAX_CYCLES = 5_000_000
+
+WORKER = """
+    movi r2, {iterations}
+loop:
+    ld r3, r1, 0    | subi r2, r2, 1
+    st r3, r1, 8
+    ld r4, r1, 16
+    st r4, r1, 24   | beq r2, done
+    br loop
+done:
+    halt
+"""
+
+#: the three configurations measured, in cost order
+CONFIGS = ("disabled", "default", "traced")
+
+
+def _run(config: str, iterations: int) -> tuple[int, float, int]:
+    sim = Simulation()
+    source = WORKER.format(iterations=iterations)
+    entry = sim.load(source)
+    for index in range(THREADS):
+        data = sim.allocate(4096)
+        sim.spawn(entry, cluster=index % 4, regs={1: data.word},
+                  stack_bytes=0)
+    if config == "disabled":
+        sim.chip.obs.enabled = False
+    session = sim.trace() if config == "traced" else None
+    t0 = time.perf_counter()
+    result = sim.run(MAX_CYCLES)
+    wall = time.perf_counter() - t0
+    if session is not None:
+        session.stop()
+    assert result.reason == RunReason.HALTED, result.reason
+    events = len(session.events) if session is not None else 0
+    return result.cycles, wall, events
+
+
+def measure(iterations: int = ITERATIONS) -> dict:
+    """Time the workload under all three configurations; cycle counts
+    must be bit-identical across them."""
+    out: dict = {"workload": f"{THREADS} threads x {iterations} "
+                             f"load/store iterations"}
+    cycles_seen = set()
+    for config in CONFIGS:
+        cycles, wall, events = _run(config, iterations)
+        cycles_seen.add(cycles)
+        out[f"{config}_cycles"] = cycles
+        out[f"{config}_wall_s"] = wall
+        out[f"{config}_cycles_per_s"] = cycles / wall
+        if config == "traced":
+            out["traced_events"] = events
+    out["cycles_equal"] = len(cycles_seen) == 1
+    # wall-clock cost of the always-on layer relative to the dead floor
+    out["default_overhead"] = (out["default_wall_s"]
+                               / out["disabled_wall_s"]) - 1.0
+    out["traced_overhead"] = (out["traced_wall_s"]
+                              / out["disabled_wall_s"]) - 1.0
+    return out
+
+
+def test_trace_overhead(benchmark):
+    r = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("tracing overhead — disabled vs default vs traced", "\n".join([
+        f"{'config':<10} {'cycles':>9} {'wall (s)':>9} {'cycles/s':>12}",
+        "-" * 43,
+        *(f"{c:<10} {r[f'{c}_cycles']:>9} {r[f'{c}_wall_s']:>9.3f} "
+          f"{r[f'{c}_cycles_per_s']:>12,.0f}" for c in CONFIGS),
+        "",
+        f"default overhead {r['default_overhead']:+.1%}, traced "
+        f"{r['traced_overhead']:+.1%} ({r['traced_events']} events); "
+        f"cycle counts "
+        f"{'identical' if r['cycles_equal'] else 'DIFFER'}",
+    ]))
+    assert r["cycles_equal"], "tracing changed the timing model"
+    # the always-on layer must stay within noise of fully-disabled;
+    # 25% headroom keeps slow shared CI machines from flaking
+    assert r["default_overhead"] < 0.25, \
+        f"always-on tracing costs {r['default_overhead']:+.1%}"

@@ -10,6 +10,13 @@ Usage (``python -m repro <command> ...``):
   prints the chip-wide perf-counter file; ``--max-cycles`` bounds the
   run.
 * ``isa``                  — print the opcode table.
+* ``trace FILE.s``         — run a program with structured tracing
+  attached and write a Perfetto/Chrome-trace JSON file (``--out``);
+  ``--text`` prints the greppable timeline instead.  Tracing never
+  changes cycle counts (docs/OBSERVABILITY.md).
+* ``counters``             — work with perf-counter snapshot files:
+  ``--diff A.json B.json`` prints the per-counter delta between two
+  snapshots (``repro run --counters-json`` writes them).
 * ``snapshot FILE.s OUT``  — run a program partway (``--run-cycles``)
   and save the whole machine to a snapshot file.
 * ``restore SNAP``         — rebuild the machine from a snapshot and
@@ -72,6 +79,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.counters:
         print(sim.counter_table(title="; perf counters"))
         print()
+    if args.counters_json:
+        import json
+
+        Path(args.counters_json).write_text(
+            json.dumps(sim.snapshot(), indent=2, sort_keys=True) + "\n")
+        print(f"; counter snapshot written to {args.counters_json}")
     print(f"; {result.reason} after {result.cycles} cycles, "
           f"{result.issued_bundles} bundles")
     if thread.fault is not None:
@@ -90,6 +103,59 @@ def cmd_run(args: argparse.Namespace) -> int:
         if value:
             print(f"f{index:<3}= {value}")
     return 0 if result.reason == RunReason.HALTED else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a program with a trace session attached and export it."""
+    sim = Simulation(memory_bytes=args.memory)
+    regs: dict[int, object] = {}
+    if args.data:
+        segment = sim.allocate(args.data)
+        regs[1] = segment.word
+        print(f"; r1 = {args.data}-byte read/write segment at "
+              f"{segment.segment_base:#x}")
+    sim.spawn(Path(args.file).read_text(), regs=regs)
+    with sim.trace() as session:
+        result = sim.run(max_cycles=args.max_cycles)
+    print(f"; {result.reason} after {result.cycles} cycles, "
+          f"{result.issued_bundles} bundles, "
+          f"{len(session.events)} trace events")
+    if args.text:
+        print(session.text())
+    if args.out:
+        path = session.save_chrome(args.out)
+        print(f"; trace written to {path} "
+              f"(open at https://ui.perfetto.dev)")
+    return 0 if result.reason == RunReason.HALTED else 1
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    """Diff two perf-counter snapshot files."""
+    import json
+
+    path_a, path_b = args.diff
+    a = json.loads(Path(path_a).read_text())
+    b = json.loads(Path(path_b).read_text())
+    names = sorted(set(a) | set(b))
+    width = max((len(n) for n in names), default=4)
+    printed = 0
+    for name in names:
+        va, vb = a.get(name, 0), b.get(name, 0)
+        delta = vb - va
+        if not delta and not args.all:
+            continue
+        if isinstance(delta, float):
+            delta_text = f"{delta:+.6f}"
+            va_text, vb_text = f"{va:.6f}", f"{vb:.6f}"
+        else:
+            delta_text = f"{delta:+d}"
+            va_text, vb_text = str(va), str(vb)
+        print(f"{name:<{width}}  {va_text:>16} -> {vb_text:>16}  "
+              f"{delta_text}")
+        printed += 1
+    if not printed:
+        print("; no counter differences")
+    return 0
 
 
 def cmd_isa(args: argparse.Namespace) -> int:
@@ -211,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the issue stream")
     p_run.add_argument("--counters", action="store_true",
                        help="print the perf-counter snapshot after the run")
+    p_run.add_argument("--counters-json", default=None, metavar="PATH",
+                       help="write the counter snapshot as JSON "
+                            "(diff two with 'repro counters --diff')")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
     p_run.add_argument("--memory", type=int, default=8 * 1024 * 1024,
                        help="physical memory bytes")
@@ -218,6 +287,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_isa = sub.add_parser("isa", help="print the opcode table")
     p_isa.set_defaults(func=cmd_isa)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a .s file with structured tracing and export "
+                      "a Perfetto/Chrome-trace JSON file")
+    p_trace.add_argument("file")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="trace JSON to write (default: trace.json; "
+                              "'' to skip)")
+    p_trace.add_argument("--text", action="store_true",
+                         help="print the text timeline")
+    p_trace.add_argument("--data", type=int, default=0, metavar="BYTES",
+                         help="allocate a data segment into r1")
+    p_trace.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_trace.add_argument("--memory", type=int, default=8 * 1024 * 1024,
+                         help="physical memory bytes")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_ctr = sub.add_parser(
+        "counters", help="diff perf-counter snapshot files")
+    p_ctr.add_argument("--diff", nargs=2, required=True,
+                       metavar=("A.json", "B.json"),
+                       help="print the per-counter delta B - A")
+    p_ctr.add_argument("--all", action="store_true",
+                       help="include counters whose delta is zero")
+    p_ctr.set_defaults(func=cmd_counters)
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing against the reference "

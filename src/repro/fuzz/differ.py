@@ -50,6 +50,10 @@ class Divergence:
     #: failing axis captured one — the replay axis always does; it
     #: rides along in the crash dump for post-mortem restoration
     snapshot: bytes | None = None
+    #: the misbehaving chip's flight-recorder dump
+    #: (:meth:`repro.obs.hub.FlightRecorder.dump`) — the last few
+    #: hundred trace events before the divergence, for crash artifacts
+    flight: dict | None = None
 
     def __str__(self) -> str:
         where = f" @bundle {self.bundle_index}" if self.bundle_index is not None else ""
@@ -134,6 +138,14 @@ def diff_against_reference(case: FuzzCase,
     monitor.note_spawn(thread)
     ref = _setup_reference(case.source, thread, case.fregs)
 
+    def div(kind: str, detail: str,
+            bundle_index: int | None = None) -> Divergence:
+        # every divergence carries the chip's flight recorder: the last
+        # few hundred events leading up to the disagreement
+        return Divergence(axis, case, kind, detail,
+                          bundle_index=bundle_index,
+                          flight=chip.obs.flight.dump())
+
     ref_done = None  # the reference's terminal ReferenceResult, if any
     start = chip.now
     while chip.now - start < max_cycles:
@@ -143,67 +155,65 @@ def diff_against_reference(case: FuzzCase,
         try:
             chip.step()
         except InvariantViolation as e:  # the jump auditor fired
-            return Divergence(axis, case, "invariant", str(e),
-                              bundle_index=before)
+            return div("invariant", str(e), bundle_index=before)
         except Exception as e:  # a crash IS the divergence
-            return Divergence(axis, case, "crash",
-                              f"chip crashed: {type(e).__name__}: {e}",
-                              bundle_index=before)
+            return div("crash",
+                       f"chip crashed: {type(e).__name__}: {e}",
+                       bundle_index=before)
         if thread.stats.bundles == before:
             continue
         if ref_done is not None:
-            return Divergence(axis, case, "halt-order",
-                              f"chip committed bundle {before} after the "
-                              f"reference already {ref_done.reason}",
-                              bundle_index=before)
+            return div("halt-order",
+                       f"chip committed bundle {before} after the "
+                       f"reference already {ref_done.reason}",
+                       bundle_index=before)
         try:
             r = ref.run(max_bundles=1)
         except Exception as e:
-            return Divergence(axis, case, "crash",
-                              f"reference crashed: {type(e).__name__}: {e}",
-                              bundle_index=before)
+            return div("crash",
+                       f"reference crashed: {type(e).__name__}: {e}",
+                       bundle_index=before)
         if r.reason == "faulted":
-            return Divergence(axis, case, "fault-order",
-                              f"chip committed bundle {before} but the "
-                              f"reference faulted there with "
-                              f"{type(r.fault).__name__}",
-                              bundle_index=before)
+            return div("fault-order",
+                       f"chip committed bundle {before} but the "
+                       f"reference faulted there with "
+                       f"{type(r.fault).__name__}",
+                       bundle_index=before)
         mismatch = _compare_regs(thread, ref)
         if mismatch is not None:
-            return Divergence(axis, case, "state", mismatch,
-                              bundle_index=before)
+            return div("state", mismatch, bundle_index=before)
         if r.reason == "halted":
             ref_done = r
     else:
-        return Divergence(axis, case, "no-termination",
-                          f"chip still running after {max_cycles} cycles")
+        return div("no-termination",
+                   f"chip still running after {max_cycles} cycles")
 
     if thread.state is ThreadState.HALTED:
         if ref_done is None:
-            return Divergence(axis, case, "halt-order",
-                              "chip halted but the reference is still running",
-                              bundle_index=thread.stats.bundles)
+            return div("halt-order",
+                       "chip halted but the reference is still running",
+                       bundle_index=thread.stats.bundles)
     elif thread.state is ThreadState.FAULTED:
         try:
             r = ref.run(max_bundles=1)
         except Exception as e:
-            return Divergence(axis, case, "crash",
-                              f"reference crashed: {type(e).__name__}: {e}",
-                              bundle_index=thread.stats.bundles)
+            return div("crash",
+                       f"reference crashed: {type(e).__name__}: {e}",
+                       bundle_index=thread.stats.bundles)
         if r.reason != "faulted":
-            return Divergence(axis, case, "fault-order",
-                              f"chip faulted with "
-                              f"{type(thread.fault.cause).__name__} but the "
-                              f"reference {r.reason}",
-                              bundle_index=thread.stats.bundles)
+            return div("fault-order",
+                       f"chip faulted with "
+                       f"{type(thread.fault.cause).__name__} but the "
+                       f"reference {r.reason}",
+                       bundle_index=thread.stats.bundles)
         if type(thread.fault.cause).__name__ != type(r.fault).__name__:
-            return Divergence(axis, case, "fault-type",
-                              f"chip {type(thread.fault.cause).__name__} vs "
-                              f"reference {type(r.fault).__name__}",
-                              bundle_index=thread.stats.bundles)
+            return div("fault-type",
+                       f"chip {type(thread.fault.cause).__name__} vs "
+                       f"reference {type(r.fault).__name__}",
+                       bundle_index=thread.stats.bundles)
     else:
-        return Divergence(axis, case, "no-termination",
-                          f"chip stopped with thread {thread.state.name}")
+        return div("no-termination",
+                   f"chip stopped with thread {thread.state.name}")
 
     # every word the reference wrote, plus the whole data segment
     table, memory = chip.page_table, chip.memory
@@ -212,12 +222,12 @@ def diff_against_reference(case: FuzzCase,
     for vaddr in sorted(addresses):
         chip_word = memory.load_word(table.walk(vaddr))
         if chip_word != ref.load_word(vaddr):
-            return Divergence(axis, case, "memory",
-                              f"mem[{vaddr:#x}]: chip={chip_word!r} "
-                              f"ref={ref.load_word(vaddr)!r}")
+            return div("memory",
+                       f"mem[{vaddr:#x}]: chip={chip_word!r} "
+                       f"ref={ref.load_word(vaddr)!r}")
 
     try:
         monitor.check_all()
     except Exception as e:
-        return Divergence(axis, case, "invariant", str(e))
+        return div("invariant", str(e))
     return None

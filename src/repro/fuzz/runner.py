@@ -129,10 +129,14 @@ def write_failure_artifacts(report: FuzzReport, directory) -> list:
       case when shrinking ran, else the original);
     * ``snapshot.snap`` — the failing machine image as a standalone
       snapshot file, when the divergence captured one (restorable with
-      ``repro restore`` for post-mortem inspection).
+      ``repro restore`` for post-mortem inspection);
+    * ``flight.json`` — the misbehaving chip's flight-recorder dump
+      (the last few hundred trace events before the divergence;
+      ``repro.obs.load_flight`` decodes it), when captured.
 
     Returns the per-failure directories created.
     """
+    import json
     from pathlib import Path
 
     from repro.persist.replay import write_crash_dump
@@ -153,5 +157,9 @@ def write_failure_artifacts(report: FuzzReport, directory) -> list:
             encoding="utf-8")
         if divergence.snapshot is not None:
             (crash_dir / "snapshot.snap").write_bytes(divergence.snapshot)
+        if divergence.flight is not None:
+            (crash_dir / "flight.json").write_text(
+                json.dumps(divergence.flight, indent=2) + "\n",
+                encoding="utf-8")
         created.append(crash_dir)
     return created

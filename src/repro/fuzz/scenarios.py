@@ -146,6 +146,9 @@ def _digest_chip(chip: MAPChip, threads: list[Thread],
         "memory": [_segment_words(chip, base, nbytes)
                    for base, nbytes in segments],
         "invariant": None,
+        # side channel, like "_snapshot": the flight recorder rides
+        # along for crash artifacts but is popped before any comparison
+        "_flight": chip.obs.flight.dump(),
     }
     for monitor in monitors:
         try:
@@ -403,13 +406,18 @@ def _diff_knob(case: FuzzCase, axis: str, knob: str,
     except Exception as e:
         return Divergence(axis, case, "crash",
                           f"{knob}-off run crashed: {type(e).__name__}: {e}")
+    on_flight = on.pop("_flight", None)
+    off_flight = off.pop("_flight", None)
     if on["invariant"] is not None:
-        return Divergence(axis, case, "invariant", on["invariant"])
+        return Divergence(axis, case, "invariant", on["invariant"],
+                          flight=on_flight)
     if off["invariant"] is not None:
-        return Divergence(axis, case, "invariant", off["invariant"])
+        return Divergence(axis, case, "invariant", off["invariant"],
+                          flight=off_flight)
     if on != off:
         return Divergence(axis, case, "state",
-                          _first_difference(on, off, knob))
+                          _first_difference(on, off, knob),
+                          flight=on_flight)
     return None
 
 
@@ -454,11 +462,13 @@ def diff_replay_axis(case: FuzzCase) -> Divergence | None:
                               f"replayed {label} run crashed: "
                               f"{type(e).__name__}: {e}")
         snapshot = replayed.pop("_snapshot", None)
+        base.pop("_flight", None)
+        flight = replayed.pop("_flight", None)
         if base["invariant"] is not None:
             return Divergence(axis, case, "invariant", base["invariant"])
         if replayed["invariant"] is not None:
             return Divergence(axis, case, "invariant", replayed["invariant"],
-                              snapshot=snapshot)
+                              snapshot=snapshot, flight=flight)
         if base != replayed:
             for key in base:
                 if base[key] != replayed[key]:
@@ -468,5 +478,5 @@ def diff_replay_axis(case: FuzzCase) -> Divergence | None:
             else:
                 detail = "digests differ"
             return Divergence(axis, case, "state", detail,
-                              snapshot=snapshot)
+                              snapshot=snapshot, flight=flight)
     return None

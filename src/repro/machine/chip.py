@@ -55,6 +55,7 @@ from repro.mem.page_table import PageTable
 from repro.mem.physical import FrameAllocator
 from repro.mem.tagged_memory import TaggedMemory
 from repro.mem.tlb import TLB
+from repro.obs.hub import TraceHub
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,6 +145,11 @@ class MAPChip:
     def __init__(self, config: ChipConfig | None = None):
         self.config = config or ChipConfig()
         c = self.config
+        # -- the trace hub (repro.obs): event spine + flight recorder.
+        # Observability only — nothing below ever reads it to make a
+        # decision, so cycle counts are identical with it on or off.
+        self.obs = TraceHub()
+        self.obs.clock = lambda: self.now
         self.memory = TaggedMemory(c.memory_bytes)
         self.frames = FrameAllocator(c.memory_bytes, c.page_bytes)
         self.page_table = PageTable(c.page_bytes, self.frames)
@@ -160,6 +166,8 @@ class MAPChip:
             external_cycles=c.external_cycles,
             xlate_memo=c.data_fast_path,
         )
+        self.cache.obs = self.obs
+        self.tlb.obs = self.obs
         #: chip-wide ready/runnable thread totals, mirrored from the
         #: clusters' per-state counts on every transition — the run loop
         #: reads two ints per cycle instead of summing over clusters
@@ -228,6 +236,8 @@ class MAPChip:
             self.counters.add_source(f"cluster{cluster.cluster_id}",
                                      cluster.as_counters)
         self.counters.add_source("thread", self._thread_counters)
+        for prefix, source in self.obs.counter_sources():
+            self.counters.add_source(prefix, source)
 
     # -- counter sources --------------------------------------------------
 
@@ -276,6 +286,9 @@ class MAPChip:
             cluster = min(range(len(self.clusters)),
                           key=lambda i: self.clusters[i].active_count)
         self.clusters[cluster].add_thread(thread)
+        if self.obs.enabled:
+            self.obs.emit("thread.spawn", self.now, cluster=cluster,
+                          tid=thread.tid, domain=domain)
         return thread
 
     def all_threads(self) -> list[Thread]:
@@ -431,8 +444,32 @@ class MAPChip:
         self.fault_log.append(record)
         self.stats.faults += 1
         self.counters.incr(f"fault.{type(record.cause).__name__}")
+        obs = self.obs
+        cluster = (thread.scheduler.cluster_id
+                   if obs.enabled and thread.scheduler is not None else None)
+        if obs.enabled:
+            obs.emit("fault.raise", record.cycle, cluster=cluster,
+                     tid=thread.tid, cause=type(record.cause).__name__,
+                     site=record.opcode_name, ip=record.ip_address)
         if self.fault_handler is not None:
             self.fault_handler(record, thread)
+        if obs.enabled:
+            # dispatch outcome + handler residency: how long the fault
+            # keeps the thread out of the run (0 for an instant resume)
+            state = thread._state
+            if state is ThreadState.BLOCKED:
+                outcome = "blocked"
+                residency = max(thread.wake_at - record.cycle, 0)
+            elif state is ThreadState.READY:
+                outcome = "resumed"
+                residency = 0
+            else:
+                outcome = "killed" if state is ThreadState.FAULTED else "halted"
+                residency = 0
+            obs.emit("fault.dispatch", record.cycle, cluster=cluster,
+                     tid=thread.tid, dur=residency, outcome=outcome)
+            if outcome in ("blocked", "resumed"):
+                obs.fault_residency.add(residency)
 
     # -- the clock -------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.core.exceptions import GuardedPointerFault, PermissionFault, Restrict
 from repro.core.permissions import Permission
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord, to_s64
+from repro.machine.disasm import disassemble_bundle
 from repro.machine.faults import FaultRecord, TrapFault
 from repro.machine.isa import BUNDLE_BYTES, Bundle, Opcode, Operation
 from repro.machine.registers import float_to_word, saturating_ftoi, word_to_float
@@ -108,6 +109,9 @@ class Cluster:
         self._n_blocked = 0
         self._n_faulted = 0
         self._n_halted = 0
+        #: tid of the last thread this cluster issued from (trace-only:
+        #: feeds the ``thread.switch`` event, never read by the model)
+        self._last_tid: int | None = None
 
     # -- thread management ------------------------------------------------
 
@@ -243,6 +247,12 @@ class Cluster:
             return False
         self.last_domain = thread.domain
 
+        obs = self.chip.obs
+        if obs.hot and thread.tid != self._last_tid:
+            obs.emit("thread.switch", now, cluster=self.cluster_id,
+                     tid=thread.tid, from_tid=self._last_tid)
+        self._last_tid = thread.tid
+
         self._execute_bundle(thread, now)
         self.issued_cycles += 1
         return True
@@ -288,6 +298,12 @@ class Cluster:
             self._fault(thread, cause, "fetch", now)
             return
 
+        obs = self.chip.obs
+        if obs.hot:
+            obs.emit("bundle", now, cluster=self.cluster_id, tid=thread.tid,
+                     address=thread.ip.address, priv=thread.privileged,
+                     text=disassemble_bundle(bundle))
+
         commits: list[tuple[str, int, object]] = []
         branch_target: GuardedPointer | None = None
         halted = False
@@ -326,6 +342,9 @@ class Cluster:
                 else:
                     thread.regs.write_f(index, value)
             thread.state = ThreadState.HALTED
+            if obs.enabled:
+                obs.emit("thread.halt", now, cluster=self.cluster_id,
+                         tid=thread.tid, bundles=thread.stats.bundles)
             return
 
         try:
@@ -399,6 +418,10 @@ class Cluster:
             if auditor is not None:
                 auditor(thread, GuardedPointer.from_word(target_word),
                         new_ip, now)
+            obs = self.chip.obs
+            if obs.enabled:
+                obs.note_jump(thread, target_word, new_ip, now,
+                              cluster=self.cluster_id)
             return new_ip
         raise AssertionError(f"unhandled integer op {code.name}")
 
@@ -470,6 +493,9 @@ class Cluster:
         if code is Opcode.LD or code is Opcode.LDF:
             vaddr = self._mem_address(regs.read(op.ra), op.imm, write=False)
             result = self.chip.access_memory(vaddr, write=False, now=now)
+            obs = self.chip.obs
+            if obs.enabled:
+                obs.load_to_use.add(result.ready_cycle - now)
             if code is Opcode.LD:
                 write = ("r", op.rd, result.word)
             else:

@@ -85,6 +85,7 @@ class Multicomputer:
         for node in range(self.shape.nodes):
             chip = MAPChip(config)
             chip.node_id = node
+            chip.obs.node = node
             chip.router = self
             arena_base = self.partition.base_of(node) + (1 << arena_order)
             kernel = Kernel(chip, arena_base=arena_base,
@@ -97,6 +98,7 @@ class Multicomputer:
         # and revocation-by-unmap (§4.3) is machine-wide.
         for chip in self.chips:
             chip.page_table.add_invalidation_hook(self._flush_all_decoded)
+        self.network.obs_lookup = lambda node: self.chips[node].obs
         self.arena_order = arena_order
         #: migration forwarding map: virtual page → current home node,
         #: for pages moved off their partition-defined home node by
@@ -176,6 +178,8 @@ class Multicomputer:
             chip.counters.incr("router.remote_reads")
             word = home.memory.load_word(physical)
         chip.counters.incr("router.remote_cycles", reply - now)
+        if chip.obs.enabled:
+            chip.obs.remote_latency.add(reply - now)
         return AccessResult(word=word, ready_cycle=reply, hit=False, bank=-1)
 
     def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:

@@ -81,6 +81,10 @@ class MeshNetwork:
         self.interface_cycles = interface_cycles
         self._port_busy_until = [0] * self.shape.nodes
         self.stats = NetworkStats()
+        #: node → TraceHub resolver (set by the multicomputer); message
+        #: deliveries emit ``router.hop`` spans on the *source* node's
+        #: hub when a sink is attached there
+        self.obs_lookup = None
 
     def deliver(self, source: int, destination: int, now: int) -> int:
         """Inject a message at ``now``; returns its arrival cycle.
@@ -96,6 +100,12 @@ class MeshNetwork:
         arrival = inject_done + hops * self.hop_cycles + self.interface_cycles
         self.stats.messages += 1
         self.stats.total_hops += hops
+        lookup = self.obs_lookup
+        if lookup is not None:
+            obs = lookup(source)
+            if obs.hot:
+                obs.emit("router.hop", now, dur=arrival - now, src=source,
+                         dst=destination, hops=hops)
         return arrival
 
     def round_trip(self, source: int, destination: int, now: int) -> int:

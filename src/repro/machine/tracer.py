@@ -1,14 +1,18 @@
-"""Execution tracing for the MAP simulator.
+"""Per-bundle execution tracing for the MAP simulator (legacy API).
 
-A :class:`Tracer` hooks a chip and records one event per issued bundle
-(plus faults and jumps), giving per-thread timelines for debugging and
-for the pipeline-behaviour assertions in the test suite.  Tracing is
-pull-based and zero-cost when not attached.
+This module predates the structured-tracing spine in :mod:`repro.obs`
+and survives as a compatibility shim over it: a :class:`Tracer` is now
+a sink on the chip's :class:`~repro.obs.hub.TraceHub` that keeps only
+``bundle`` events and converts them to the original flat
+:class:`TraceEvent` records.  The old implementation wrapped
+``chip.fetch``; attaching through the hub instead means the tracer
+composes with every other consumer (flight recorder, ``repro trace``
+sessions) and — like them — cannot perturb timing: attaching a tracer
+never changes a single cycle (see ``tests/machine/test_tracer.py``).
 
-The hook point is :meth:`Cluster.step`'s bundle execution; rather than
-invade the cluster, the tracer wraps ``chip.fetch`` (every executed
-bundle is fetched exactly once per issue) and reads thread state around
-it.
+New code should prefer :meth:`repro.sim.api.Simulation.trace`, which
+records the full event taxonomy (docs/OBSERVABILITY.md) and exports
+Perfetto-loadable traces.
 """
 
 from __future__ import annotations
@@ -16,8 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.machine.chip import MAPChip
-from repro.machine.disasm import disassemble_bundle
-from repro.machine.isa import Bundle
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,14 +33,38 @@ class TraceEvent:
     thread_id: int | None = None
 
 
+class _LegacySink:
+    """Hub sink that narrows the event stream to issued bundles and
+    renders them in the legacy flat shape, honouring the tracer's
+    event limit."""
+
+    __slots__ = ("events", "limit")
+
+    def __init__(self, events: list, limit: int):
+        self.events = events
+        self.limit = limit
+
+    def append(self, event) -> None:
+        if event.name != "bundle" or len(self.events) >= self.limit:
+            return
+        args = event.args
+        self.events.append(TraceEvent(
+            cycle=event.cycle,
+            address=args["address"],
+            text=args["text"],
+            privileged=args["priv"],
+            thread_id=event.tid,
+        ))
+
+
 @dataclass
 class Tracer:
-    """Records every fetch on a chip.
+    """Records every issued bundle on a chip.
 
-    Because a bundle is fetched exactly when it issues (and re-fetched
-    when a faulted bundle is resumed), the fetch stream *is* the issue
-    stream.  Thread attribution uses the unique IP address: each
-    event's thread is the thread whose IP matched at fetch time.
+    A bundle event is emitted exactly when a bundle issues (and again
+    when a faulted bundle is resumed), so the recorded stream *is* the
+    issue stream, attributed to the issuing thread by the cluster
+    itself.
     """
 
     chip: MAPChip
@@ -46,28 +72,11 @@ class Tracer:
     limit: int = 100_000
 
     def __post_init__(self) -> None:
-        self._original_fetch = self.chip.fetch
-        self.chip.fetch = self._traced_fetch  # type: ignore[method-assign]
+        self._sink = _LegacySink(self.events, self.limit)
+        self.chip.obs.attach(self._sink)
 
     def detach(self) -> None:
-        self.chip.fetch = self._original_fetch  # type: ignore[method-assign]
-
-    def _traced_fetch(self, ip) -> Bundle:
-        bundle = self._original_fetch(ip)
-        if len(self.events) < self.limit:
-            thread_id = None
-            for thread in self.chip.all_threads():
-                if thread.ip == ip:
-                    thread_id = thread.tid
-                    break
-            self.events.append(TraceEvent(
-                cycle=self.chip.now,
-                address=ip.address,
-                text=disassemble_bundle(bundle),
-                privileged=ip.permission.name == "EXECUTE_PRIV",
-                thread_id=thread_id,
-            ))
-        return bundle
+        self.chip.obs.detach(self._sink)
 
     # -- queries --------------------------------------------------------
 

@@ -163,6 +163,9 @@ class BankedCache:
         #: cycle until which the single external interface is busy
         self._external_busy_until = 0
         self.stats = CacheStats()
+        #: trace hub handle (set by the chip); miss fills emit
+        #: ``cache.miss_fill`` spans when a sink is attached
+        self.obs = None
         self._line_mask = line_bytes - 1
         # shift/mask forms of the geometry for the per-access hot path
         self._line_shift = line_bytes.bit_length() - 1
@@ -284,6 +287,10 @@ class BankedCache:
             self._external_busy_until = done
             ready = done
             bank.busy_until = ready
+            obs = self.obs
+            if obs is not None and obs.hot:
+                obs.emit("cache.miss_fill", start, dur=ready - start,
+                         vaddr=vaddr, bank=bank_index, write=write)
 
         # Functional path: move the data now (timing handled above).
         # Translation is attempted even on cache hits for stores-through

@@ -60,6 +60,9 @@ class TLB:
             raise ValueError("TLB must have at least one entry")
         self._cache: OrderedDict[int, int] = OrderedDict()
         self._generation = self.page_table.generation
+        #: trace hub handle (set by the chip); misses emit
+        #: ``tlb.miss_walk`` spans when a sink is attached
+        self.obs = None
         # Push invalidation: clear synchronously on every unmap, like
         # the decoded-bundle cache and the data cache's translation
         # line memo, so a revoked translation is gone the moment the
@@ -96,6 +99,10 @@ class TLB:
             return frame + self.page_table.page_offset(vaddr), 0
         self.stats.misses += 1
         self.stats.walk_cycles += self.walk_cycles
+        obs = self.obs
+        if obs is not None and obs.hot:
+            obs.emit("tlb.miss_walk", obs.now(), dur=self.walk_cycles,
+                     vaddr=vaddr)
         physical = self.page_table.walk(vaddr)
         frame = physical - self.page_table.page_offset(vaddr)
         self._cache[page] = frame

@@ -1,0 +1,41 @@
+"""Structured tracing: events, histograms, flight recorder, exporters.
+
+The observability subsystem for the MAP simulator (see
+``docs/OBSERVABILITY.md``):
+
+* :class:`TraceEvent` / :data:`EVENT_NAMES` — the typed event
+  vocabulary (:mod:`repro.obs.events`);
+* :class:`TraceHub` — the per-chip event spine with its always-on
+  :class:`FlightRecorder` ring and hot-path gate
+  (:mod:`repro.obs.hub`);
+* :class:`Histogram` — log2-bucket latency distributions registered as
+  perf-counter pull sources (:mod:`repro.obs.histogram`);
+* :class:`TraceSession` + :func:`to_chrome_trace` /
+  :func:`to_text_timeline` — recording and export, behind
+  ``Simulation.trace()`` and ``repro trace``
+  (:mod:`repro.obs.export`).
+"""
+
+from repro.obs.events import (EVENT_NAMES, TraceEvent, decode_event,
+                              encode_event)
+from repro.obs.export import CHIP_TRACK, to_chrome_trace, to_text_timeline
+from repro.obs.histogram import Histogram
+from repro.obs.hub import (FLIGHT_CAPACITY, HISTOGRAM_NAMES, FlightRecorder,
+                           TraceHub, TraceSession, load_flight)
+
+__all__ = [
+    "CHIP_TRACK",
+    "EVENT_NAMES",
+    "FLIGHT_CAPACITY",
+    "HISTOGRAM_NAMES",
+    "FlightRecorder",
+    "Histogram",
+    "TraceEvent",
+    "TraceHub",
+    "TraceSession",
+    "decode_event",
+    "encode_event",
+    "load_flight",
+    "to_chrome_trace",
+    "to_text_timeline",
+]

@@ -1,0 +1,104 @@
+"""Typed timeline events: the vocabulary of the tracing subsystem.
+
+Every observable moment in the machine — a bundle issuing, a fault
+being raised and dispatched, an enter-pointer crossing, a cache line
+filling — is one :class:`TraceEvent`.  Events are *instants* unless
+they carry ``dur``, in which case they are *spans* starting at
+``cycle`` and covering ``dur`` cycles (a miss fill, a mesh message, a
+fault-handler residency).
+
+The name taxonomy is closed: :data:`EVENT_NAMES` enumerates every name
+the simulator emits, with its cost class —
+
+* ``hot`` events fire on per-bundle/per-miss paths and are emitted
+  only while detailed tracing is attached
+  (:attr:`~repro.obs.hub.TraceHub.hot`);
+* ``cold`` events fire on rare control-plane paths (faults, swaps,
+  protection-domain crossings, migration) and always reach the flight
+  recorder, so a crash dump carries them with zero setup.
+
+``docs/OBSERVABILITY.md`` documents the same table, and
+``tests/integration/test_observability_docs.py`` keeps the two in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: every event name the simulator emits → (cost class, meaning).
+#: The cost class is the emission gate: "hot" needs an attached sink
+#: (``TraceHub.hot``), "cold" only needs the hub enabled.
+EVENT_NAMES: dict[str, tuple[str, str]] = {
+    "bundle": ("hot", "one bundle issued (args: address, text, priv)"),
+    "thread.switch": ("hot", "a cluster issued from a different thread "
+                             "than the previous cycle it issued"),
+    "thread.spawn": ("cold", "a thread was created on a cluster"),
+    "thread.halt": ("cold", "a thread executed HALT"),
+    "cache.miss_fill": ("hot", "a data-cache miss filled a line "
+                               "(span: request to line ready)"),
+    "tlb.miss_walk": ("hot", "a TLB miss walked the page table "
+                             "(span: the walk cycles)"),
+    "router.hop": ("hot", "one mesh message, source to destination "
+                          "(span: injection to arrival)"),
+    "fault.raise": ("cold", "a thread faulted (args: cause, site)"),
+    "fault.dispatch": ("cold", "the fault handler finished (span: "
+                               "thread residency out of the run; args: "
+                               "outcome resumed|blocked|killed)"),
+    "enter.call": ("cold", "a JMP through an ENTER pointer crossed "
+                           "into a protected subsystem"),
+    "enter.return": ("cold", "privilege dropped back to user "
+                             "(span: the enter-call round trip)"),
+    "swap.out": ("cold", "a page was evicted to the backing store"),
+    "swap.in": ("cold", "a swapped page was faulted back in"),
+    "migrate.begin": ("cold", "a process migration started"),
+    "migrate.ship": ("cold", "migration finished shipping pages "
+                             "(span: departure to last arrival)"),
+    "migrate.resume": ("cold", "migrated threads resumed on the "
+                               "destination node"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timeline event.
+
+    ``cycle`` is in simulated machine cycles; ``node``/``cluster``/
+    ``tid`` locate the event on the machine (any may be absent for
+    chip-wide events); ``dur`` turns the instant into a span; ``args``
+    carries name-specific payload (JSON-safe values only).
+    """
+
+    name: str
+    cycle: int
+    node: int = 0
+    cluster: int | None = None
+    tid: int | None = None
+    dur: int | None = None
+    args: dict = field(default_factory=dict)
+
+
+def encode_event(event: TraceEvent) -> dict:
+    """The event as a plain-JSON dict (flight dumps, crash artifacts)."""
+    out = {"name": event.name, "cycle": event.cycle, "node": event.node}
+    if event.cluster is not None:
+        out["cluster"] = event.cluster
+    if event.tid is not None:
+        out["tid"] = event.tid
+    if event.dur is not None:
+        out["dur"] = event.dur
+    if event.args:
+        out["args"] = dict(event.args)
+    return out
+
+
+def decode_event(encoded: dict) -> TraceEvent:
+    """Inverse of :func:`encode_event`."""
+    return TraceEvent(
+        name=encoded["name"],
+        cycle=int(encoded["cycle"]),
+        node=int(encoded.get("node", 0)),
+        cluster=encoded.get("cluster"),
+        tid=encoded.get("tid"),
+        dur=encoded.get("dur"),
+        args=dict(encoded.get("args", {})),
+    )

@@ -1,0 +1,87 @@
+"""Exporters: Chrome trace / Perfetto JSON and a text timeline.
+
+The Chrome trace event format (the ``traceEvents`` JSON array) is what
+https://ui.perfetto.dev and chrome://tracing load directly.  Mapping:
+
+* **process** (pid) = node, **thread track** (tid) = cluster, so a
+  4-cluster chip renders as four parallel tracks per node; events not
+  attributable to a cluster (chip-wide faults before placement, swap,
+  migration) land on a per-node "chip" track;
+* span events (``dur`` set) become complete events (``ph: "X"``),
+  instants become instant events (``ph: "i"``);
+* one simulated cycle maps to one microsecond of trace time (``ts`` is
+  microseconds in the format), so Perfetto's duration labels read
+  directly as cycle counts;
+* metadata events (``ph: "M"``) name every track.
+
+The text timeline is the same event list as one line per event — the
+greppable form for terminals and test assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.events import TraceEvent
+
+#: tid of the per-node fallback track for cluster-less events
+CHIP_TRACK = 99
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
+    """The event list as a Chrome-trace/Perfetto-loadable JSON object."""
+    trace: list[dict] = []
+    tracks: set[tuple[int, int]] = set()
+    processes: set[int] = set()
+    for event in events:
+        pid = event.node
+        tid = event.cluster if event.cluster is not None else CHIP_TRACK
+        if pid not in processes:
+            processes.add(pid)
+            trace.append({"ph": "M", "name": "process_name", "pid": pid,
+                          "args": {"name": f"node{pid}"}})
+        if (pid, tid) not in tracks:
+            tracks.add((pid, tid))
+            label = ("chip" if tid == CHIP_TRACK else f"cluster{tid}")
+            trace.append({"ph": "M", "name": "thread_name", "pid": pid,
+                          "tid": tid, "args": {"name": label}})
+        args = dict(event.args)
+        if event.tid is not None:
+            args["thread"] = event.tid
+        entry = {
+            "name": event.name,
+            "cat": _category(event.name),
+            "pid": pid,
+            "tid": tid,
+            "ts": event.cycle,
+            "args": args,
+        }
+        if event.dur is not None:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # instant scoped to its track
+        trace.append(entry)
+    return {"traceEvents": trace, "displayTimeUnit": "ms",
+            "otherData": {"timeUnit": "1 ts = 1 machine cycle"}}
+
+
+def to_text_timeline(events: Iterable[TraceEvent]) -> str:
+    """One line per event: cycle, location, name, span, args."""
+    lines = []
+    for event in events:
+        where = f"n{event.node}"
+        if event.cluster is not None:
+            where += f".c{event.cluster}"
+        if event.tid is not None:
+            where += f".t{event.tid}"
+        span = f" +{event.dur}" if event.dur is not None else ""
+        args = " ".join(f"{k}={v!r}" for k, v in sorted(event.args.items()))
+        lines.append(f"{event.cycle:>10} {where:<12} {event.name:<16}"
+                     f"{span:<8} {args}".rstrip())
+    return "\n".join(lines)

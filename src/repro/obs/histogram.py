@@ -1,0 +1,119 @@
+"""Log2-bucket latency histograms for the perf-counter file.
+
+A flat counter can say *how many* remote accesses happened; the
+paper-style claims ("a protection-domain crossing costs a handful of
+cycles, not a kernel trap") need *distributions*.  :class:`Histogram`
+records values into power-of-two buckets — bucket ``k`` holds values
+whose ``bit_length()`` is ``k``, i.e. ``[2**(k-1), 2**k)``, with bucket
+0 holding exactly 0 — which makes ``add`` a few integer operations on
+the simulator's per-load path, and p50/p95 answerable at snapshot time
+without keeping samples.
+
+Percentiles are bucket-resolution: the reported value is the bucket's
+inclusive upper bound, clamped by the true maximum.  That is exact for
+the quantities these histograms watch (cache hit latencies are
+constants; the interesting information is which *regime* the tail sits
+in), and it keeps memory constant.
+
+Histograms register with :class:`~repro.machine.counters.PerfCounters`
+as pull sources (``hist.<name>.*``), so every counter snapshot carries
+the distributions and :func:`~repro.machine.counters.merge_snapshots`
+sums them across nodes bucket by bucket.
+"""
+
+from __future__ import annotations
+
+#: bucket count: bucket 0 holds zeros, buckets 1..63 hold bit_length
+#: 1..63, bucket 64 is the overflow bucket for anything wider.
+_OVERFLOW = 64
+BUCKETS = _OVERFLOW + 1
+
+
+class Histogram:
+    """Fixed-size log2 histogram of non-negative integer values."""
+
+    __slots__ = ("name", "count", "total", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self._buckets = [0] * BUCKETS
+
+    def add(self, value: int) -> None:
+        """Record one value.  Negative values clamp to 0 (they cannot
+        occur for latencies; the clamp keeps a bad caller observable in
+        bucket 0 instead of raising on a hot path)."""
+        if value < 0:
+            value = 0
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        index = value.bit_length()
+        self._buckets[index if index < _OVERFLOW else _OVERFLOW] += 1
+
+    # -- queries --------------------------------------------------------
+
+    def percentile(self, fraction: float) -> int:
+        """The smallest bucket upper bound covering ``fraction`` of the
+        recorded values (clamped by the true max); 0 when empty."""
+        if self.count == 0:
+            return 0
+        need = fraction * self.count
+        seen = 0
+        for index, bucket in enumerate(self._buckets):
+            seen += bucket
+            if seen >= need and bucket:
+                if index == 0:
+                    return 0
+                if index == _OVERFLOW:  # unbounded bucket: report max
+                    return self.max
+                return min((1 << index) - 1, self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> list[tuple[int, int]]:
+        """Non-empty buckets as ``(upper_bound, count)`` pairs (the
+        overflow bucket reports the true max as its bound)."""
+        out = []
+        for index, bucket in enumerate(self._buckets):
+            if not bucket:
+                continue
+            if index == 0:
+                upper = 0
+            elif index == _OVERFLOW:
+                upper = self.max
+            else:
+                upper = (1 << index) - 1
+            out.append((upper, bucket))
+        return out
+
+    def as_counters(self) -> dict[str, int | float]:
+        """This histogram's view for
+        :class:`~repro.machine.counters.PerfCounters` — summary
+        statistics plus the non-empty buckets (``bucket<K>`` = count of
+        values with ``bit_length() == K``)."""
+        out: dict[str, int | float] = {
+            "count": self.count,
+            "total": self.total,
+            "mean": round(self.mean, 6),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": self.max,
+        }
+        for index, bucket in enumerate(self._buckets):
+            if bucket:
+                out[f"bucket{index}"] = bucket
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"p50={self.percentile(0.5)}, max={self.max})")

@@ -244,4 +244,14 @@ class MigrationService:
         counters.incr("migrate.pages", report.pages_shipped)
         counters.incr("migrate.threads", report.threads_moved)
         counters.incr("migrate.cycles", arrival - departed)
+        obs = source_kernel.chip.obs
+        if obs.enabled:
+            obs.emit("migrate.begin", departed, domain=process.domain,
+                     src=source, dst=destination,
+                     segments=len(report.segments_moved))
+            obs.emit("migrate.ship", departed, dur=arrival - departed,
+                     pages=report.pages_shipped,
+                     swapped=report.swapped_shipped)
+            obs.emit("migrate.resume", arrival,
+                     threads=report.threads_moved)
         return report

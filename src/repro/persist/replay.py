@@ -93,6 +93,9 @@ def write_crash_dump(divergence, path: str | Path) -> Path:
         "case": encode_case(divergence.case),
         "snapshot_b64": (base64.b64encode(divergence.snapshot).decode("ascii")
                          if divergence.snapshot is not None else None),
+        # flight-recorder dump from the misbehaving chip, when the axis
+        # captured one (load with repro.obs.load_flight)
+        "flight": divergence.flight,
     }
     path.write_text(json.dumps(dump, sort_keys=True, indent=2) + "\n",
                     encoding="utf-8")

@@ -100,6 +100,9 @@ class SwapManager:
         table.unmap(page)
         self._resident.pop(page, None)
         self.stats.evictions += 1
+        chip = self.kernel.chip
+        if chip.obs.enabled:
+            chip.obs.emit("swap.out", chip.now, page=page)
         return True
 
     def _evict_one(self) -> None:
@@ -137,6 +140,9 @@ class SwapManager:
             self._write_page(translation.physical_address, stored,
                              virtual_base=page * table.page_bytes)
             self.stats.swap_ins += 1
+            chip = self.kernel.chip
+            if chip.obs.enabled:
+                chip.obs.emit("swap.in", chip.now, page=page)
         self._resident[page] = True
         return True
 

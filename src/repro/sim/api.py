@@ -111,6 +111,25 @@ class Simulation:
     def threads(self) -> list[Thread]:
         return self.chip.all_threads()
 
+    # -- structured tracing (repro.obs) -------------------------------------
+
+    def trace(self) -> "TraceSession":
+        """Open a recording session over this machine's trace hub
+        (docs/OBSERVABILITY.md).  While the session is attached, every
+        event — per-bundle issue, cache/TLB miss fills, faults, enter
+        crossings, swap and migration — lands in ``session.events``;
+        recording never changes cycle counts.  Use as a context
+        manager, then export::
+
+            with sim.trace() as session:
+                sim.run()
+            session.save_chrome("trace.json")   # ui.perfetto.dev
+            print(session.text())               # greppable timeline
+        """
+        from repro.obs.hub import TraceSession
+
+        return TraceSession([self.chip.obs])
+
     # -- persistence (repro.persist) ---------------------------------------
 
     def save(self, path) -> "Path":

@@ -90,3 +90,111 @@ class TestIsa:
         assert "setptr" in out
         assert "restrict" in out
         assert "fadd" in out
+
+
+class TestTrace:
+    def test_writes_perfetto_loadable_json(self, data_program, tmp_path,
+                                           capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--data", "4096", "--out", str(out),
+                     data_program]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace events" in stdout
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert any(e["name"] == "bundle" for e in events)
+        assert any(e.get("args", {}).get("name", "").startswith("cluster")
+                   for e in events if e["ph"] == "M")
+
+    def test_text_timeline(self, program_file, capsys):
+        assert main(["trace", "--text", "--out", "", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "bundle" in out
+        assert "thread.halt" in out
+
+
+class TestCounters:
+    def run_snapshot(self, program, path, extra=()):
+        assert main(["run", "--counters-json", str(path), *extra,
+                     program]) == 0
+
+    def test_diff_prints_changed_counters(self, program_file, data_program,
+                                          tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self.run_snapshot(program_file, a)
+        self.run_snapshot(data_program, b, extra=["--data", "4096"])
+        capsys.readouterr()
+        assert main(["counters", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "cache.misses" in out
+        assert "->" in out
+
+    def test_identical_snapshots_diff_empty(self, program_file, tmp_path,
+                                            capsys):
+        a = tmp_path / "a.json"
+        self.run_snapshot(program_file, a)
+        capsys.readouterr()
+        assert main(["counters", "--diff", str(a), str(a)]) == 0
+        assert "no counter differences" in capsys.readouterr().out
+
+    def test_all_includes_unchanged(self, program_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self.run_snapshot(program_file, a)
+        capsys.readouterr()
+        assert main(["counters", "--diff", str(a), str(a), "--all"]) == 0
+        assert "chip.cycles" in capsys.readouterr().out
+
+
+class TestQuickstartTraceAcceptance:
+    """The issue's acceptance check: `repro trace` on the quickstart
+    workload emits Perfetto-loadable JSON with cluster tracks, and its
+    cycle count is bit-identical to an untraced `repro run`."""
+
+    WORKLOAD = """
+        movi r2, 8
+        movi r3, 0
+        mov  r4, r1
+        movi r6, 1
+    init:
+        beq r2, summed
+        st r6, r4, 0
+        lea r4, r4, 8
+        subi r2, r2, 1
+        br init
+    summed:
+        movi r2, 8
+        mov r4, r1
+    loop:
+        beq r2, done
+        ld r5, r4, 0
+        add r3, r3, r5
+        lea r4, r4, 8
+        subi r2, r2, 1
+        br loop
+    done:
+        halt
+    """
+
+    def cycles_from(self, out):
+        import re
+
+        return int(re.search(r"after (\d+) cycles", out).group(1))
+
+    def test_traced_cycles_match_untraced(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "quickstart.s"
+        f.write_text(self.WORKLOAD)
+        out = tmp_path / "trace.json"
+        assert main(["run", "--data", "4096", str(f)]) == 0
+        untraced = self.cycles_from(capsys.readouterr().out)
+        assert main(["trace", "--data", "4096", "--out", str(out),
+                     str(f)]) == 0
+        traced = self.cycles_from(capsys.readouterr().out)
+        assert traced == untraced
+        trace = json.loads(out.read_text())
+        tracks = {e["args"]["name"] for e in trace["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert any(t.startswith("cluster") for t in tracks)

@@ -91,3 +91,42 @@ class TestTracer:
         text = tracer.format()
         assert "movi r1, 7" in text
         assert f"t{t.tid}" in text
+
+
+class TestTracerParity:
+    """Attaching a tracer must never change cycle counts — under every
+    combination of the decode-cache and data-fast-path knobs."""
+
+    WORKLOAD = """
+        movi r2, 6
+    loop:
+        ld r3, r1, 0
+        st r3, r1, 8
+        subi r2, r2, 1
+        bne r2, loop
+        halt
+    """
+
+    def run_workload(self, decode_cache, data_fast_path, traced):
+        kernel = Kernel(MAPChip(ChipConfig(
+            memory_bytes=2 * 1024 * 1024,
+            decode_cache=decode_cache,
+            data_fast_path=data_fast_path)))
+        data = kernel.allocate_segment(4096)
+        entry = kernel.load_program(self.WORKLOAD)
+        kernel.spawn(entry, regs={1: data.word}, stack_bytes=0)
+        tracer = Tracer(kernel.chip) if traced else None
+        result = kernel.run()
+        if tracer is not None:
+            assert tracer.events  # the traced run actually recorded
+        return result.cycles
+
+    @pytest.mark.parametrize("decode_cache", [True, False])
+    @pytest.mark.parametrize("data_fast_path", [True, False])
+    def test_traced_and_untraced_cycles_identical(self, decode_cache,
+                                                  data_fast_path):
+        untraced = self.run_workload(decode_cache, data_fast_path,
+                                     traced=False)
+        traced = self.run_workload(decode_cache, data_fast_path,
+                                   traced=True)
+        assert traced == untraced

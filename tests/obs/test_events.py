@@ -1,0 +1,44 @@
+"""The event vocabulary and its JSON codec."""
+
+import json
+
+from repro.obs import EVENT_NAMES, TraceEvent, decode_event, encode_event
+
+
+class TestEventNames:
+    def test_cost_classes_are_hot_or_cold(self):
+        for name, (cost, _) in EVENT_NAMES.items():
+            assert cost in ("hot", "cold"), name
+
+    def test_every_name_is_namespaced_or_bundle(self):
+        # one-segment "bundle" is the deliberate exception (the issue
+        # stream's name long predates the taxonomy)
+        for name in EVENT_NAMES:
+            assert "." in name or name == "bundle"
+
+    def test_every_subsystem_is_represented(self):
+        prefixes = {name.split(".", 1)[0] for name in EVENT_NAMES}
+        assert {"bundle", "thread", "cache", "tlb", "router", "fault",
+                "enter", "swap", "migrate"} <= prefixes
+
+
+class TestCodec:
+    def test_full_round_trip(self):
+        event = TraceEvent(name="cache.miss_fill", cycle=42, node=3,
+                           cluster=1, tid=7, dur=11,
+                           args={"vaddr": 4096, "bank": 2})
+        assert decode_event(encode_event(event)) == event
+
+    def test_minimal_round_trip(self):
+        event = TraceEvent(name="swap.out", cycle=0)
+        assert decode_event(encode_event(event)) == event
+
+    def test_encoding_omits_absent_fields(self):
+        encoded = encode_event(TraceEvent(name="swap.out", cycle=9))
+        assert set(encoded) == {"name", "cycle", "node"}
+
+    def test_encoding_is_json_safe(self):
+        event = TraceEvent(name="fault.raise", cycle=5, cluster=0, tid=1,
+                           args={"cause": "PermissionFault", "ip": 65536})
+        assert decode_event(json.loads(json.dumps(encode_event(event)))) \
+            == event

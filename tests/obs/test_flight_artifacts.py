@@ -1,0 +1,79 @@
+"""The flight recorder inside crash artifacts.
+
+A forced divergence must leave behind a ``flight.json`` (and a
+``flight`` key in the crash dump) that :func:`repro.obs.load_flight`
+decodes into the events leading up to the disagreement — the
+"what was the chip doing" record the issue asked for.
+"""
+
+import json
+
+import repro.fuzz.differ as differ_module
+from repro.fuzz.differ import diff_against_reference
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.runner import Failure, FuzzReport, write_failure_artifacts
+from repro.obs import load_flight
+from repro.persist.replay import read_crash_dump, write_crash_dump
+
+CASE = FuzzCase(seed=1, scenario="straightline", source="""
+    movi r5, 7
+    addi r5, r5, 1
+    halt
+""")
+
+
+def forced_divergence(monkeypatch):
+    """A genuine run of the chip-vs-reference axis, with the reference
+    interpreter's r7 (which the program never writes) corrupted so the
+    engines must disagree at the first comparison."""
+    real_setup = differ_module._setup_reference
+
+    def corrupt(source, chip_thread, fregs=None):
+        ref = real_setup(source, chip_thread, fregs)
+        ref.regs.write(7, 999)
+        return ref
+
+    monkeypatch.setattr(differ_module, "_setup_reference", corrupt)
+    divergence = diff_against_reference(CASE)
+    assert divergence is not None
+    return divergence
+
+
+class TestDivergenceCapture:
+    def test_divergence_carries_a_loadable_flight(self, monkeypatch):
+        divergence = forced_divergence(monkeypatch)
+        assert divergence.flight is not None
+        events = load_flight(divergence.flight)
+        assert events, "flight recorder was empty at the divergence"
+        # the chip had spawned and run bundles before disagreeing
+        assert "thread.spawn" in {e.name for e in events}
+
+    def test_crash_dump_round_trips_the_flight(self, monkeypatch, tmp_path):
+        divergence = forced_divergence(monkeypatch)
+        path = write_crash_dump(divergence, tmp_path / "dump.json")
+        dump = read_crash_dump(path)
+        assert dump["flight"] == divergence.flight
+        assert load_flight(dump["flight"])
+
+
+class TestFailureArtifacts:
+    def test_crash_dir_contains_flight_json(self, monkeypatch, tmp_path):
+        divergence = forced_divergence(monkeypatch)
+        report = FuzzReport(campaign_seed=1, cases=1,
+                            failures=[Failure(divergence)])
+        (crash_dir,) = write_failure_artifacts(report, tmp_path)
+        flight_file = crash_dir / "flight.json"
+        assert flight_file.exists()
+        events = load_flight(json.loads(
+            flight_file.read_text(encoding="utf-8")))
+        assert events
+        assert all(e.cycle >= 0 for e in events)
+
+    def test_no_flight_key_means_no_file(self, tmp_path):
+        from repro.fuzz.differ import Divergence
+
+        divergence = Divergence("decode-cache", CASE, "state", "forced")
+        report = FuzzReport(campaign_seed=2, cases=1,
+                            failures=[Failure(divergence)])
+        (crash_dir,) = write_failure_artifacts(report, tmp_path)
+        assert not (crash_dir / "flight.json").exists()

@@ -1,0 +1,98 @@
+"""Log2-bucket histogram math: buckets, percentiles, counter export."""
+
+from repro.obs import Histogram
+
+
+class TestBuckets:
+    def test_empty(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert h.total == 0
+        assert h.max == 0
+        assert h.mean == 0.0
+        assert h.buckets() == []
+
+    def test_zero_lands_in_the_zero_bucket(self):
+        h = Histogram("zeros")
+        h.add(0)
+        assert h.buckets() == [(0, 1)]
+
+    def test_log2_bucket_boundaries(self):
+        h = Histogram("bounds")
+        for value in (1, 2, 3, 4, 7, 8):
+            h.add(value)
+        # upper bounds are 2^k - 1: 1 | {2,3} | {4..7} | {8..15}
+        assert h.buckets() == [(1, 1), (3, 2), (7, 2), (15, 1)]
+
+    def test_negative_values_clamp_to_zero(self):
+        h = Histogram("clamp")
+        h.add(-5)
+        assert h.buckets() == [(0, 1)]
+        assert h.max == 0
+
+    def test_running_aggregates(self):
+        h = Histogram("agg")
+        for value in (10, 20, 30):
+            h.add(value)
+        assert h.count == 3
+        assert h.total == 60
+        assert h.mean == 20.0
+        assert h.max == 30
+
+
+class TestPercentiles:
+    def test_p50_of_uniform_values(self):
+        h = Histogram("uniform")
+        for value in range(1, 101):
+            h.add(value)
+        # p50 lands in the 33..64 bucket; its upper bound is 63
+        assert h.percentile(0.50) == 63
+
+    def test_percentile_clamps_to_observed_max(self):
+        h = Histogram("clamped")
+        h.add(1000)  # alone in the 512..1023 bucket (upper bound 1023)
+        assert h.percentile(0.50) == 1000
+        assert h.percentile(0.95) == 1000
+
+    def test_p95_reaches_the_tail(self):
+        h = Histogram("tail")
+        for _ in range(99):
+            h.add(1)
+        h.add(10_000)
+        assert h.percentile(0.50) == 1
+        assert h.percentile(0.95) == 1
+        assert h.percentile(1.0) == 10_000
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("none").percentile(0.95) == 0
+
+    def test_huge_values_overflow_bucket(self):
+        h = Histogram("huge")
+        h.add(1 << 70)
+        assert h.count == 1
+        assert h.percentile(0.5) == 1 << 70  # clamped to max
+
+
+class TestCounterExport:
+    def test_counter_keys(self):
+        h = Histogram("latency")
+        for value in (5, 6, 90):
+            h.add(value)
+        counters = h.as_counters()
+        assert counters["count"] == 3
+        assert counters["total"] == 101
+        assert counters["max"] == 90
+        assert counters["p50"] == 7      # the 4..7 bucket's upper bound
+        assert counters["p95"] == 90     # clamped to max
+        # bucket keys are bit_length indices: 5 and 6 have bit_length 3,
+        # 90 has bit_length 7
+        assert counters["bucket3"] == 2
+        assert counters["bucket7"] == 1
+
+    def test_reset(self):
+        h = Histogram("again")
+        h.add(4)
+        h.reset()
+        assert h.count == 0
+        assert h.buckets() == []
+        assert h.as_counters()["count"] == 0

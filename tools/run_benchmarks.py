@@ -2,15 +2,17 @@
 """Run the PR's benchmark suite and record a machine-readable baseline.
 
 Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
-experiment kernels plus the cycle-loop and data-stream microbenchmarks
-(``benchmarks/bench_cycle_loop.py``, ``benchmarks/bench_data_stream.py``),
-takes a perf-counter snapshot of a representative E5 run, cross-checks
-the counter file against ``ChipStats``, and writes everything to
-``BENCH_pr3.json`` at the repo root.
+experiment kernels plus the cycle-loop, data-stream and
+tracing-overhead microbenchmarks (``benchmarks/bench_cycle_loop.py``,
+``benchmarks/bench_data_stream.py``,
+``benchmarks/bench_trace_overhead.py``), takes a perf-counter snapshot
+of a representative E5 run, cross-checks the counter file against
+``ChipStats``, and writes everything to ``BENCH_pr5.json`` at the repo
+root.
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr3.json] [--quick]
+    python tools/run_benchmarks.py [--out BENCH_pr5.json] [--quick]
 
 ``--quick`` shrinks every workload for CI smoke runs; the cross-checks
 and the cycles-equal assertions still apply, only the sizes change.
@@ -39,6 +41,7 @@ from repro.sim.api import Simulation  # noqa: E402
 
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
 from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
+from benchmarks.bench_trace_overhead import measure as trace_overhead_measure  # noqa: E402
 
 
 def timed(fn, *args, **kwargs):
@@ -101,7 +104,7 @@ def counter_snapshot_e5(iterations: int = 500) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr3.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr5.json"))
     parser.add_argument("--quick", action="store_true",
                         help="shrink every workload for CI smoke runs")
     args = parser.parse_args(argv)
@@ -129,6 +132,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{r_stream['slow_cycles_per_s']:,.0f} cycles/s)")
     assert r_stream["cycles_equal"], "data fast path changed the timing model"
     assert r_stream["cross_checks_pass"], r_stream["cross_checks"]
+    print("running tracing-overhead microbenchmark ...")
+    r_trace = trace_overhead_measure(500 if q else 3000)
+    print(f"  default {r_trace['default_overhead']:+.1%}, traced "
+          f"{r_trace['traced_overhead']:+.1%} vs disabled "
+          f"({r_trace['traced_events']} events)")
+    assert r_trace["cycles_equal"], "tracing changed the timing model"
     print("taking the E5 counter snapshot ...")
     r_snap = counter_snapshot_e5(100 if q else 500)
     print("  counter cross-checks passed")
@@ -144,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
             "e9_context_switch": r_e9,
             "cycle_loop": r_loop,
             "data_stream": r_stream,
+            "trace_overhead": r_trace,
             "e5_counter_snapshot": r_snap,
         },
     }
