@@ -25,13 +25,11 @@ Run:  PYTHONPATH=src python examples/migrate_process.py
 """
 
 from repro.core.pointer import GuardedPointer
-from repro.machine.chip import ChipConfig
-from repro.machine.multicomputer import Multicomputer
 from repro.machine.network import MeshShape
 from repro.machine.thread import ThreadState
-from repro.persist import MigrationService
 from repro.runtime.process import ProcessManager
 from repro.runtime.subsystem import ProtectedSubsystem
+from repro.sim.api import Simulation
 
 #: Small pages so the tiny demo segments are page-sized and can move
 #: (sub-page segments share their page and refuse to migrate — §4.3).
@@ -74,17 +72,17 @@ ret2:
 """
 
 
-def read_counter(mc: Multicomputer, counter: GuardedPointer) -> int:
-    kernel = mc.kernels[0]
+def read_counter(sim: Simulation, counter: GuardedPointer) -> int:
+    kernel = sim.kernels[0]
     physical = kernel.chip.page_table.walk(counter.segment_base)
     return kernel.chip.memory.load_word(physical).value
 
 
 def main() -> None:
-    mc = Multicomputer(MeshShape(2, 1, 1),
-                       ChipConfig(page_bytes=PAGE),
-                       arena_order=24)
-    kernel0 = mc.kernels[0]
+    # the unified facade: a mesh with the single-node API surface
+    sim = Simulation.mesh(MeshShape(2, 1, 1), page_bytes=PAGE,
+                          arena_order=24)
+    kernel0 = sim.kernels[0]
 
     counter = kernel0.allocate_segment(PAGE, eager=True)
     service = ProtectedSubsystem.install(kernel0, TICKET_SERVICE,
@@ -99,15 +97,14 @@ def main() -> None:
     print(f"  private counter at : {counter.segment_base:#x}")
 
     print("\n-- the client takes ticket #1 on node 0 --")
-    mc.run(max_cycles=600)
+    sim.run(max_cycles=600)
     assert thread.regs.read(5).value == 1, "first call should have landed"
     assert thread.regs.read(6).value == 0, "second call should be pending"
     print(f"   ticket #1 = {thread.regs.read(5).value}; the client is "
-          f"mid-spin at cycle {mc.chips[0].now}")
+          f"mid-spin at cycle {sim.now}")
 
     print("\n-- migrate the process to node 1 (service pinned home) --")
-    report = MigrationService(mc).migrate(process, destination=1,
-                                          pin=(service.enter,))
+    report = sim.migrate(process, destination=1, pin=(service.enter,))
     print(f"   moved {len(report.segments_moved)} segments, "
           f"{report.pages_shipped} pages, {report.threads_moved} thread; "
           f"departed cycle {report.departed_cycle}, "
@@ -115,7 +112,7 @@ def main() -> None:
     print(f"   capability fixups performed: 0 (there is nothing to fix)")
 
     print("\n-- the client resumes on node 1 and takes ticket #2 --")
-    result = mc.run()
+    result = sim.run()
     enter_after = thread.regs.read(1)
     print(f"   {result.reason} after {result.cycles} cycles")
     print(f"   ticket #2 = {thread.regs.read(6).value} — a protected "
@@ -125,16 +122,16 @@ def main() -> None:
     print(f"   enter pointer after : {enter_after.value:#018x} "
           f"tag={enter_after.tag}")
     print(f"   service counter (still on node 0): "
-          f"{read_counter(mc, counter)}")
+          f"{read_counter(sim, counter)}")
 
     assert thread.state is ThreadState.HALTED, thread.fault
-    assert thread.scheduler.chip is mc.chips[1], "thread should run on node 1"
+    assert thread.scheduler.chip is sim.chips[1], "thread should run on node 1"
     assert thread.regs.read(5).value == 1
     assert thread.regs.read(6).value == 2
     assert (enter_after.value, enter_after.tag) == \
         (enter_before.value, enter_before.tag)
     assert report.threads_moved == 1 and report.pages_shipped >= 1
-    assert read_counter(mc, counter) == 2
+    assert read_counter(sim, counter) == 2
     print("\nThe process changed nodes; not one pointer changed value.")
 
 

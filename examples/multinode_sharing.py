@@ -13,90 +13,93 @@ protection needs no distributed bookkeeping whatsoever:
 * a pointer stored into another node's memory comes back still tagged —
   capabilities travel the machine like ordinary data.
 
+The whole machine sits behind the one :class:`repro.Simulation`
+facade: ``Simulation.mesh(...)`` (or ``Simulation(nodes=N)``) gives
+the same ``load``/``allocate``/``spawn``/``run`` surface as a single
+node, with a ``node=`` keyword to place things — a workload written
+against the facade runs unchanged on 1 node or 16.
+
 Run:  python examples/multinode_sharing.py
 """
 
 from repro.core.operations import restrict
 from repro.core.permissions import Permission
 from repro.core.word import TaggedWord
-from repro.machine.chip import ChipConfig
-from repro.machine.multicomputer import Multicomputer
 from repro.machine.network import MeshShape
 from repro.machine.thread import ThreadState
+from repro.sim.api import Simulation
 
 
 def main():
-    mc = Multicomputer(
-        shape=MeshShape(2, 2, 1),
-        chip_config=ChipConfig(memory_bytes=4 * 1024 * 1024),
-        arena_order=24,
-    )
-    print(f"machine: {mc.shape.nodes} nodes "
-          f"({mc.shape.x}x{mc.shape.y}x{mc.shape.z} mesh), one "
+    sim = Simulation.mesh(MeshShape(2, 2, 1),
+                          memory_bytes=4 * 1024 * 1024,
+                          arena_order=24)
+    print(f"machine: {sim.nodes} nodes "
+          f"({sim.shape.x}x{sim.shape.y}x{sim.shape.z} mesh), one "
           f"{1 << 54:,}-byte global address space")
-    print(f"each node homes {mc.partition.span():,} bytes\n")
+    print(f"each node homes {sim.partition.span():,} bytes\n")
 
     # node 0 owns a table; hands a read-only pointer to node 3's tenant
-    table = mc.allocate_on(0, 4096, eager=True)
-    paddr = mc.chips[0].page_table.walk(table.segment_base)
-    mc.chips[0].memory.store_word(paddr, TaggedWord.integer(2026))
+    table = sim.allocate(4096, node=0, eager=True)
+    paddr = sim.chips[0].page_table.walk(table.segment_base)
+    sim.chips[0].memory.store_word(paddr, TaggedWord.integer(2026))
     table_ro = restrict(table.word, Permission.READ_ONLY)
 
     print("-- node 3 reads node 0's table through a read-only pointer --")
-    reader = mc.load_on(3, """
+    reader = sim.load("""
         ld r2, r1, 0
         halt
-    """)
-    t = mc.spawn_on(3, reader, regs={1: table_ro.word}, stack_bytes=0)
-    result = mc.run()
-    hops = mc.shape.hops(3, 0)
+    """, node=3)
+    # spawn() places the thread on the entry pointer's home node (3)
+    t = sim.spawn(reader, regs={1: table_ro.word}, stack_bytes=0)
+    result = sim.run()
+    hops = sim.shape.hops(3, 0)
     print(f"   value read: {t.regs.read(2).value} "
           f"({hops} hops each way, {t.stats.stall_cycles} stall cycles)")
-    print(f"   mesh traffic so far: {mc.network.stats.messages} messages")
+    print(f"   mesh traffic so far: {sim.network.stats.messages} messages")
 
     print("\n-- node 3 tries to *write* the table --")
-    writer = mc.load_on(3, """
+    writer = sim.load("""
         movi r2, 0
         st r2, r1, 0
         halt
-    """)
-    before = mc.network.stats.messages
-    t2 = mc.spawn_on(3, writer, regs={1: table_ro.word}, stack_bytes=0)
-    mc.run()
+    """, node=3)
+    before = sim.network.stats.messages
+    t2 = sim.spawn(writer, regs={1: table_ro.word}, stack_bytes=0)
+    sim.run()
     print(f"   thread: {t2.state.name} ({type(t2.fault.cause).__name__}) — "
           f"checked at issue on node 3")
     print(f"   mesh messages sent for the attempt: "
-          f"{mc.network.stats.messages - before} (zero: the check needs "
+          f"{sim.network.stats.messages - before} (zero: the check needs "
           f"no remote state)")
 
     print("\n-- capabilities travel as data: node 1 mails node 2 a pointer --")
-    mailbox = mc.allocate_on(2, 4096, eager=True)
-    gift = mc.allocate_on(1, 4096, eager=True)
-    paddr = mc.chips[1].page_table.walk(gift.segment_base)
-    mc.chips[1].memory.store_word(paddr, TaggedWord.integer(555))
-    sender = mc.load_on(1, """
+    mailbox = sim.allocate(4096, node=2, eager=True)
+    gift = sim.allocate(4096, node=1, eager=True)
+    paddr = sim.chips[1].page_table.walk(gift.segment_base)
+    sim.chips[1].memory.store_word(paddr, TaggedWord.integer(555))
+    sender = sim.load("""
         st r2, r1, 0       ; put the pointer in node 2's mailbox
         halt
-    """)
-    receiver = mc.load_on(2, """
+    """, node=1)
+    receiver = sim.load("""
     wait:
         ld r3, r1, 0       ; poll the mailbox
         isptr r4, r3
         beq r4, wait
         ld r5, r3, 0       ; dereference the received capability
         halt
-    """)
-    mc.spawn_on(1, sender, regs={1: mailbox.word, 2: gift.word},
-                stack_bytes=0)
-    t3 = mc.spawn_on(2, receiver, regs={1: mailbox.word}, stack_bytes=0)
-    mc.run(max_cycles=200_000)
+    """, node=2)
+    sim.spawn(sender, regs={1: mailbox.word, 2: gift.word}, stack_bytes=0)
+    t3 = sim.spawn(receiver, regs={1: mailbox.word}, stack_bytes=0)
+    sim.run(max_cycles=200_000)
     # (the deliberately-faulted writer above still sits in its slot, so
     # judge by the receiver thread itself)
     assert t3.state is ThreadState.HALTED, t3.fault
     print(f"   node 2 received a tagged pointer and read {t3.regs.read(5).value} "
           f"through it (data homed on node 1)")
-    print(f"\nmesh totals: {mc.network.stats.messages} messages, "
-          f"mean {mc.network.stats.mean_hops:.1f} hops")
+    print(f"\nmesh totals: {sim.network.stats.messages} messages, "
+          f"mean {sim.network.stats.mean_hops:.1f} hops")
 
     assert t.regs.read(2).value == 2026
     assert t2.state is ThreadState.FAULTED

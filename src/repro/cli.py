@@ -25,6 +25,12 @@ Usage (``python -m repro <command> ...``):
   which a snapshot explicitly permits).
 * ``replay DUMP.json``     — re-run a fuzz crash dump through every
   diff axis; exits 0 when the bug no longer reproduces.
+* ``serve``                — run the multi-tenant KV service under
+  open-loop traffic (tenants isolated purely by guarded pointers,
+  requests entering through enter-pointer gateways) and print
+  throughput with p50/p99/p999 latency; ``--json`` writes the report,
+  ``--trace-out`` records a Perfetto trace, ``--migrate-hot``
+  live-migrates the hottest tenant mid-run (docs/SERVICE.md).
 
 The CLI is intentionally thin: everything it does is one call into the
 library — ``run`` drives the :class:`repro.sim.api.Simulation` facade —
@@ -42,7 +48,6 @@ from repro.machine.assembler import assemble
 from repro.machine.chip import RunReason
 from repro.machine.disasm import disassemble_words
 from repro.machine.isa import OP_INFO, Opcode
-from repro.machine.tracer import Tracer
 from repro.sim.api import Simulation
 
 
@@ -63,7 +68,6 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     sim = Simulation(memory_bytes=args.memory)
-    tracer = Tracer(sim.chip) if args.trace else None
     regs: dict[int, object] = {}
     if args.data:
         segment = sim.allocate(args.data)
@@ -71,11 +75,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"; r1 = {args.data}-byte read/write segment at "
               f"{segment.segment_base:#x}")
     thread = sim.spawn(Path(args.file).read_text(), regs=regs)
-    result = sim.run(max_cycles=args.max_cycles)
-
-    if tracer is not None:
-        print(tracer.format())
+    if args.trace:
+        with sim.trace() as session:
+            result = sim.run(max_cycles=args.max_cycles)
+        print(session.text())
         print()
+    else:
+        result = sim.run(max_cycles=args.max_cycles)
     if args.counters:
         print(sim.counter_table(title="; perf counters"))
         print()
@@ -206,8 +212,7 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 
 def cmd_restore(args: argparse.Namespace) -> int:
     """Rebuild a machine from a snapshot and run it to completion."""
-    from repro.persist import load_machine, read_header
-    from repro.machine.multicomputer import Multicomputer
+    from repro.persist import read_header
 
     header = read_header(args.snapshot)
     if args.info:
@@ -219,26 +224,58 @@ def cmd_restore(args: argparse.Namespace) -> int:
         overrides["decode_cache"] = False
     if args.no_data_fast_path:
         overrides["data_fast_path"] = False
-    machine = load_machine(args.snapshot, **overrides)
-    print(f"; restored {header['kind']} snapshot at cycle "
-          f"{machine.chips[0].now if isinstance(machine, Multicomputer) else machine.now}")
-    result = machine.run(max_cycles=args.max_cycles)
+    # single-node and mesh images both come back behind the facade
+    sim = Simulation.restore(args.snapshot, **overrides)
+    print(f"; restored {header['kind']} snapshot at cycle {sim.now}")
+    result = sim.run(max_cycles=args.max_cycles)
     print(f"; {result.reason} after {result.cycles} further cycles, "
           f"{result.issued_bundles} bundles")
-    threads = (machine.all_threads() if isinstance(machine, Multicomputer)
-               else machine.threads)
-    for thread in threads:
+    for thread in sim.threads:
         print(f"; thread {thread.tid}: {thread.state.name}")
         if thread.fault is not None:
             print(f";   fault: {thread.fault}")
     if args.counters:
-        snapshot = (machine.counters_snapshot()
-                    if isinstance(machine, Multicomputer)
-                    else machine.snapshot())
-        from repro.sim.runner import format_table
-
-        print(format_table(snapshot, title="; perf counters"))
+        print(sim.counter_table(title="; perf counters"))
     return 0 if result.reason == RunReason.HALTED else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant KV service under open-loop traffic and
+    print the throughput/latency report (docs/SERVICE.md)."""
+    from repro.service import ServiceLoadDriver, install_tenants, open_loop
+
+    sim = Simulation(nodes=args.nodes, memory_bytes=args.memory,
+                     page_bytes=args.page_bytes)
+    print(f"; {args.tenants} tenants on {args.nodes} node(s), "
+          f"{args.requests} requests, {args.arrivals} arrivals at "
+          f"{args.rate} req/kcycle, zipf skew {args.skew}, seed {args.seed}")
+    tenants = install_tenants(sim, args.tenants, slots=args.slots)
+    driver = ServiceLoadDriver(sim, tenants, ingress=args.ingress)
+    schedule = open_loop(
+        requests=args.requests, tenants=args.tenants,
+        mean_gap=1000.0 / args.rate, seed=args.seed,
+        arrivals=args.arrivals, skew=args.skew,
+        keys_per_tenant=args.keys_per_tenant, hot_keys=args.hot_keys,
+        hot_fraction=args.hot_fraction, put_ratio=args.put_ratio)
+    migrate_after = args.requests // 2 if args.migrate_hot else None
+    if args.trace_out:
+        with sim.trace() as session:
+            report = driver.run(schedule, migrate_hot_after=migrate_after)
+        path = session.save_chrome(args.trace_out)
+        print(f"; trace written to {path} "
+              f"(open at https://ui.perfetto.dev)")
+    else:
+        report = driver.run(schedule, migrate_hot_after=migrate_after)
+    print(report.format())
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"; report written to {args.json}")
+    ok = (report.completed == args.requests and not report.errors
+          and not report.wrong_results)
+    return 0 if ok else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -358,6 +395,47 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-run a fuzz crash dump through every diff axis")
     p_replay.add_argument("dump", help="dump.json from a fuzz failure")
     p_replay.set_defaults(func=cmd_replay)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant KV service under open-loop "
+                      "traffic and report throughput + latency")
+    p_serve.add_argument("--tenants", type=int, default=1000,
+                         help="tenant count (each its own protected "
+                              "subsystem)")
+    p_serve.add_argument("--nodes", type=int, default=4,
+                         help="mesh nodes (1: a single-node machine)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="traffic seed (same seed = same schedule)")
+    p_serve.add_argument("--requests", type=int, default=2000)
+    p_serve.add_argument("--rate", type=float, default=100.0,
+                         help="mean arrival rate, requests per kilocycle")
+    p_serve.add_argument("--arrivals", default="poisson",
+                         choices=("poisson", "bursty", "uniform"))
+    p_serve.add_argument("--skew", type=float, default=1.1,
+                         help="zipf exponent over tenants (0: uniform)")
+    p_serve.add_argument("--keys-per-tenant", type=int, default=64)
+    p_serve.add_argument("--hot-keys", type=int, default=4)
+    p_serve.add_argument("--hot-fraction", type=float, default=0.8)
+    p_serve.add_argument("--put-ratio", type=float, default=0.5)
+    p_serve.add_argument("--slots", type=int, default=64,
+                         help="KV table slots per tenant (power of two)")
+    p_serve.add_argument("--ingress", default="home",
+                         choices=("home", "scatter"),
+                         help="spawn requests on the tenant's home node, "
+                              "or round-robin across the mesh")
+    p_serve.add_argument("--migrate-hot", action="store_true",
+                         help="live-migrate the hottest tenant halfway "
+                              "through the run")
+    p_serve.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="record the run and write a Perfetto trace")
+    p_serve.add_argument("--json", default=None, metavar="PATH",
+                         help="write the report as JSON")
+    p_serve.add_argument("--memory", type=int, default=8 * 1024 * 1024,
+                         help="physical memory bytes per node")
+    p_serve.add_argument("--page-bytes", type=int, default=512,
+                         help="page size (small pages keep tenant "
+                              "segments migratable)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -565,6 +565,18 @@ class MAPChip:
         return RunResult(max_cycles, self.stats.issued_bundles - start_bundles,
                          RunReason.MAX_CYCLES)
 
+    def advance_idle(self, cycles: int) -> None:
+        """Publicly advance the clock over guaranteed-idle cycles.
+
+        Only legal while nothing is runnable (every thread halted or
+        faulted): the load driver uses this to move the machine to the
+        next request arrival after :meth:`run` drained early.  Timing
+        is identical to stepping the idle machine cycle by cycle."""
+        if self._runnable_count:
+            raise ValueError("cannot skip cycles while threads are runnable")
+        if cycles > 0:
+            self._skip_idle(cycles)
+
     def _skip_idle(self, cycles: int) -> None:
         """Advance the clock over ``cycles`` guaranteed-idle cycles,
         charging each cluster the idle time stepping would have."""

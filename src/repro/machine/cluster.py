@@ -342,6 +342,7 @@ class Cluster:
                 else:
                     thread.regs.write_f(index, value)
             thread.state = ThreadState.HALTED
+            thread.halted_at = now
             if obs.enabled:
                 obs.emit("thread.halt", now, cluster=self.cluster_id,
                          tid=thread.tid, bundles=thread.stats.bundles)

@@ -64,6 +64,12 @@ class PerfCounters:
         (or bare keys when ``prefix`` is empty) in every snapshot."""
         self._sources.append((prefix, source))
 
+    def has_source(self, prefix: str) -> bool:
+        """Whether a pull source is already registered under ``prefix``
+        (late-wired sources — a service's request-latency histogram —
+        use this to register exactly once per chip)."""
+        return any(p == prefix for p, _ in self._sources)
+
     # -- reading ----------------------------------------------------------
 
     def snapshot(self) -> dict[str, int | float]:

@@ -227,6 +227,23 @@ class Multicomputer:
     def all_threads(self) -> list[Thread]:
         return [t for chip in self.chips for t in chip.all_threads()]
 
+    def step(self) -> int:
+        """Advance every node one cycle in lockstep; returns bundles
+        issued machine-wide (the mesh half of :meth:`MAPChip.step`)."""
+        issued = 0
+        for chip in self.chips:
+            issued += chip.step()
+        return issued
+
+    def advance_idle(self, cycles: int) -> None:
+        """Machine-wide half of :meth:`MAPChip.advance_idle`: skip
+        guaranteed-idle cycles on every node in lockstep."""
+        if any(chip._runnable_count for chip in self.chips):
+            raise ValueError("cannot skip cycles while threads are runnable")
+        if cycles > 0:
+            for chip in self.chips:
+                chip._skip_idle(cycles)
+
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Step every node in lockstep until all threads stop.
 

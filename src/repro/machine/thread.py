@@ -59,6 +59,10 @@ class Thread:
     pending_writes: list = field(default_factory=list)
     fault: FaultRecord | None = None
     stats: ThreadStats = field(default_factory=ThreadStats)
+    #: cycle at which this thread executed HALT (None while running) —
+    #: an observability stamp set by the cluster, never read by the
+    #: model; the service load driver turns it into request latency
+    halted_at: int | None = None
     #: the cluster whose slot holds this thread (None while unplaced);
     #: set by Cluster.add_thread, notified on every state transition
     scheduler: object | None = field(default=None, repr=False, compare=False)

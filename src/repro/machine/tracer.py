@@ -1,22 +1,22 @@
-"""Per-bundle execution tracing for the MAP simulator (legacy API).
+"""Per-bundle execution tracing for the MAP simulator (**deprecated**).
 
 This module predates the structured-tracing spine in :mod:`repro.obs`
 and survives as a compatibility shim over it: a :class:`Tracer` is now
 a sink on the chip's :class:`~repro.obs.hub.TraceHub` that keeps only
 ``bundle`` events and converts them to the original flat
-:class:`TraceEvent` records.  The old implementation wrapped
-``chip.fetch``; attaching through the hub instead means the tracer
-composes with every other consumer (flight recorder, ``repro trace``
-sessions) and — like them — cannot perturb timing: attaching a tracer
-never changes a single cycle (see ``tests/machine/test_tracer.py``).
-
-New code should prefer :meth:`repro.sim.api.Simulation.trace`, which
-records the full event taxonomy (docs/OBSERVABILITY.md) and exports
-Perfetto-loadable traces.
+:class:`TraceEvent` records.  Constructing one emits a
+:class:`DeprecationWarning`; use
+:meth:`repro.sim.api.Simulation.trace` instead, which records the full
+event taxonomy (docs/OBSERVABILITY.md), covers every node of a mesh,
+and exports Perfetto-loadable traces.  The shim — and its 2×2 parity
+guarantee that attaching never changes a cycle (see
+``tests/machine/test_tracer.py``) — stays until external callers have
+moved off it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.machine.chip import MAPChip
@@ -72,6 +72,10 @@ class Tracer:
     limit: int = 100_000
 
     def __post_init__(self) -> None:
+        warnings.warn(
+            "repro.machine.tracer.Tracer is deprecated; use "
+            "Simulation.trace() (the repro.obs session API) instead",
+            DeprecationWarning, stacklevel=2)
         self._sink = _LegacySink(self.events, self.limit)
         self.chip.obs.attach(self._sink)
 

@@ -107,6 +107,8 @@ class Histogram:
             "mean": round(self.mean, 6),
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
             "max": self.max,
         }
         for index, bucket in enumerate(self._buckets):
@@ -117,3 +119,39 @@ class Histogram:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Histogram({self.name!r}, count={self.count}, "
                 f"p50={self.percentile(0.5)}, max={self.max})")
+
+
+def percentile_from_snapshot(snapshot: dict, prefix: str,
+                             fraction: float) -> int:
+    """A bucket-resolution percentile recomputed from the ``bucket<K>``
+    counts under ``<prefix>.`` in a counter snapshot.
+
+    Percentiles in *merged* multicomputer snapshots are per-node sums
+    and therefore meaningless; bucket counts, by contrast, sum
+    correctly across nodes — so a machine-wide percentile must come
+    from the merged buckets, which is exactly what this computes (the
+    service load driver's latency report uses it).  Clamped by the
+    summed ``max`` (itself a per-node sum, so only used for the
+    overflow bucket's bound, mirroring :meth:`Histogram.percentile`'s
+    max-clamp only loosely; single-node snapshots reproduce the
+    histogram's own percentile exactly)."""
+    buckets = {}
+    for key, value in snapshot.items():
+        if key.startswith(f"{prefix}.bucket"):
+            buckets[int(key[len(prefix) + len(".bucket"):])] = value
+    count = sum(buckets.values())
+    if not count:
+        return 0
+    maximum = int(snapshot.get(f"{prefix}.max", 0))
+    need = fraction * count
+    seen = 0
+    for index in sorted(buckets):
+        seen += buckets[index]
+        if seen >= need:
+            if index == 0:
+                return 0
+            if index == _OVERFLOW:
+                return maximum
+            upper = (1 << index) - 1
+            return min(upper, maximum) if maximum else upper
+    return maximum

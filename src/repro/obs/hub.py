@@ -112,6 +112,23 @@ class TraceHub:
         #: per-tid stack of in-flight privileged enter-call start cycles
         self._enter_stack: dict[int, list[int]] = {}
 
+    # -- histograms -----------------------------------------------------
+
+    def add_histogram(self, name: str) -> Histogram:
+        """Register an *additional* named histogram on this hub (the
+        standard four in :data:`HISTOGRAM_NAMES` exist on every chip;
+        subsystems with their own latency distributions — the
+        multi-tenant service's per-request latency, say — add theirs
+        here).  Idempotent: asking for an existing name returns the
+        live histogram.  The caller wires it into the chip's counter
+        file (``chip.counters.add_source(f"hist.{name}", h.as_counters)``)
+        so it appears in snapshots like the built-ins."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name)
+            self.histograms[name] = histogram
+        return histogram
+
     # -- sinks ----------------------------------------------------------
 
     def attach(self, sink) -> None:

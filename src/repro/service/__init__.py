@@ -1,0 +1,43 @@
+"""A multi-tenant key-value service built on guarded pointers (§2.3).
+
+Thousands of tenants share one 54-bit address space with **no** kernel
+boundary between them: each tenant's store is a protected subsystem —
+a code segment holding the only pointer to that tenant's table, reachable
+exclusively through an enter-privileged gateway pointer.  Isolation is
+the pointer arithmetic of the paper, not page tables: a request thread
+holds a tenant's ENTER pointer and can call the tenant's operations,
+but cannot read, write, or even address any tenant's data.
+
+The package splits the service into the three layers a load test
+needs:
+
+* :mod:`repro.service.kv` — the tenant gateway (MAP assembly), the
+  per-request client stub, and :func:`~repro.service.kv.install_tenants`
+  to populate a machine;
+* :mod:`repro.service.traffic` — open-loop request schedules (Poisson /
+  bursty / uniform arrivals, Zipf tenant skew, hot keys);
+* :mod:`repro.service.driver` — the load driver that admits requests,
+  spawns them across the mesh, measures per-request latency into the
+  ``request_latency`` histogram, and reports throughput with
+  p50/p99/p999 (``repro serve`` on the command line).
+"""
+
+from repro.service.driver import ServiceLoadDriver, TrafficReport
+from repro.service.kv import (OP_GET, OP_PUT, Tenant, client_source,
+                              gateway_program, install_clients,
+                              install_tenants)
+from repro.service.traffic import Request, open_loop
+
+__all__ = [
+    "OP_GET",
+    "OP_PUT",
+    "Request",
+    "ServiceLoadDriver",
+    "Tenant",
+    "TrafficReport",
+    "client_source",
+    "gateway_program",
+    "install_clients",
+    "install_tenants",
+    "open_loop",
+]

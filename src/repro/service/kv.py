@@ -1,0 +1,162 @@
+"""Tenants as protected subsystems: the KV gateway and client stub.
+
+Each tenant is the paper's Figure-3 construction, instantiated a
+thousand times over: a small code segment whose ``table:`` slot holds
+the **only** pointer to the tenant's key-value table.  The kernel hands
+callers an enter-privileged pointer to that segment and nothing else.
+A request jumps through the enter pointer (which the hardware converts
+to execute-on-entry), the gateway loads its private table pointer out
+of its own code segment, services the operation, wipes the pointer
+from the register file, and jumps back — one protection-domain round
+trip with zero kernel instructions, counted by the chip's
+``enter_roundtrip`` histogram.
+
+Tenant placement rides the multicomputer story (§3): a tenant lives on
+whatever node its segments were allocated on, its enter pointer works
+from any node, and live migration (:mod:`repro.persist.migrate`) can
+rehome a hot tenant without touching a single pointer bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
+from repro.machine.assembler import Program, assemble
+from repro.runtime.process import Process
+from repro.runtime.subsystem import ProtectedSubsystem
+
+OP_GET = 0  #: r3 opcode: read the key's slot into r5
+OP_PUT = 1  #: r3 opcode: store r5 into the key's slot
+
+#: tenant protection domains start here (0 is the kernel's convention,
+#: low ids are used by tests and examples)
+TENANT_DOMAIN_BASE = 1000
+
+_gateway_cache: dict[int, Program] = {}
+
+
+def gateway_source(slots: int) -> str:
+    """The tenant KV gateway for a ``slots``-entry table (power of two).
+
+    Calling convention (the system-service convention of
+    :mod:`repro.runtime.services`): r3 = op (:data:`OP_GET` /
+    :data:`OP_PUT`), r4 = key, r5 = value in (PUT) and result out,
+    r15 = return IP.  Keys hash by masking: slot = key & (slots-1).
+    r10/r11 are clobbered but wiped — the private table pointer must
+    never leak to the caller's domain.
+    """
+    if slots <= 0 or slots & (slots - 1):
+        raise ValueError("slots must be a power of two")
+    return "\n".join([
+        "entry:",
+        "    getip r10, table",
+        "    ld r10, r10, 0          ; the private table pointer (Fig. 3)",
+        f"    andi r11, r4, {slots - 1}   ; slot = key & (slots-1)",
+        "    shli r11, r11, 3        ; one word per slot",
+        "    lear r11, r10, r11",
+        "    beq r3, get",
+        "    st r5, r11, 0           ; PUT: value into the slot",
+        "    br done",
+        "get:",
+        "    ld r5, r11, 0           ; GET: slot into the result",
+        "done:",
+        "    movi r10, 0             ; wipe the table pointer and the",
+        "    movi r11, 0             ;   slot pointer derived from it",
+        "    jmp r15",
+        "table:",
+        "    .word 0",
+    ])
+
+
+def gateway_program(slots: int) -> Program:
+    """The gateway assembled once per table geometry — installing a
+    thousand tenants reuses one :class:`Program` (the per-tenant state
+    is the patched ``table:`` slot, not the code)."""
+    program = _gateway_cache.get(slots)
+    if program is None:
+        program = assemble(gateway_source(slots))
+        _gateway_cache[slots] = program
+    return program
+
+
+def client_source() -> str:
+    """The per-request client stub: capture a return IP, jump through
+    the tenant's enter pointer (r1), halt when the gateway returns.
+    The request's whole life is one enter-call round trip; HALT stamps
+    ``thread.halted_at``, which the load driver turns into latency."""
+    return "\n".join([
+        "entry:",
+        "    getip r15, back",
+        "    jmp r1                  ; through the ENTER pointer",
+        "back:",
+        "    halt                    ; r5 holds the gateway's result",
+    ])
+
+
+@dataclass
+class Tenant:
+    """One installed tenant: its gateway, table and home node.
+
+    ``process`` wraps the tenant's two segments (gateway code + table)
+    as a protection domain so :meth:`Simulation.migrate` can rehome
+    the whole tenant; ``enter`` is the only pointer clients ever hold.
+    """
+
+    index: int
+    domain: int
+    home: int
+    slots: int
+    subsystem: ProtectedSubsystem
+    table: GuardedPointer
+    process: Process
+
+    @property
+    def enter(self) -> GuardedPointer:
+        return self.subsystem.enter
+
+    def rebind(self, sim) -> "Tenant":
+        """This tenant's handles re-attached to another machine holding
+        the same architectural state (the restore-from-snapshot path:
+        pointers are plain words, so only the kernel reference in the
+        :class:`Process` wrapper needs replacing)."""
+        process = Process(kernel=sim.kernels[self.home], domain=self.domain,
+                          entry=self.process.entry,
+                          segments=list(self.process.segments))
+        return replace(self, process=process)
+
+
+def install_tenants(sim, count: int, *, slots: int = 64,
+                    eager: bool = True) -> list[Tenant]:
+    """Populate ``sim`` (single node or mesh) with ``count`` tenants,
+    round-robin across nodes.
+
+    Each tenant gets a zero-filled ``slots``-entry table and a
+    privileged enter gateway whose ``table:`` slot is patched with the
+    only pointer to it.  ``eager`` materializes table pages at install
+    time (the service measures request latency, not first-touch
+    faults)."""
+    program = gateway_program(slots)
+    tenants = []
+    for index in range(count):
+        home = index % sim.nodes
+        kernel = sim.kernels[home]
+        table = kernel.allocate_segment(slots * 8, Permission.READ_WRITE,
+                                        eager=eager)
+        subsystem = ProtectedSubsystem.install(
+            kernel, program, data={"table": table}, privileged=True)
+        domain = TENANT_DOMAIN_BASE + index
+        process = Process(kernel=kernel, domain=domain,
+                          entry=subsystem.execute, segments=[table])
+        tenants.append(Tenant(index=index, domain=domain, home=home,
+                              slots=slots, subsystem=subsystem,
+                              table=table, process=process))
+    return tenants
+
+
+def install_clients(sim) -> list[GuardedPointer]:
+    """The request stub loaded once per node (requests on node *n*
+    spawn at ``entries[n]``); returns the per-node entry pointers."""
+    source = client_source()
+    return [sim.load(source, node=node) for node in range(sim.nodes)]

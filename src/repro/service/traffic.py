@@ -1,0 +1,127 @@
+"""Open-loop traffic: request schedules the machine does not control.
+
+An open-loop generator decides arrival times *in advance* — requests
+keep arriving at the configured rate whether or not the service keeps
+up, so queueing delay shows up in the latency tail instead of being
+hidden by a closed loop's back-pressure.  The schedule is a plain list
+of :class:`Request`, fully determined by the seed: the same seed
+replays the same workload on any machine shape, which is what makes
+the snapshot-mid-load and single-node-vs-mesh comparisons meaningful.
+
+Three arrival processes:
+
+* ``poisson`` — independent exponential gaps (the classic open-loop
+  null model);
+* ``bursty`` — a two-state modulated Poisson process: bursts arrive
+  ``burst_factor`` times faster than the configured rate for
+  ``burst_fraction`` of the time, with the quiet-state rate rescaled
+  so the long-run average still matches ``mean_gap``;
+* ``uniform`` — one request every ``mean_gap`` cycles exactly (the
+  pacing used when only the service's own jitter should matter).
+
+Tenant choice is Zipf-skewed (:class:`repro.sim.workloads.ZipfSampler`
+— rank 0 is the hottest tenant), and within a tenant a ``hot_fraction``
+of requests touch the first ``hot_keys`` keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.workloads import ZipfSampler
+
+#: cycles of one burst/quiet modulation period (bursty arrivals), in
+#: units of mean_gap: bursts are long enough to pile up a queue, short
+#: enough that one schedule sees several
+MODULATION_GAPS = 64
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled request: arrive at ``arrival``, call ``tenant``'s
+    gateway with (op, key, value)."""
+
+    arrival: int
+    tenant: int
+    op: int
+    key: int
+    value: int
+
+
+def open_loop(*, requests: int, tenants: int, mean_gap: float,
+              seed: int, arrivals: str = "poisson", skew: float = 1.1,
+              keys_per_tenant: int = 64, hot_keys: int = 4,
+              hot_fraction: float = 0.8, put_ratio: float = 0.5,
+              burst_factor: float = 8.0,
+              burst_fraction: float = 0.1) -> list[Request]:
+    """A deterministic open-loop schedule of ``requests`` requests.
+
+    ``mean_gap`` is the long-run mean inter-arrival time in cycles
+    (machine-wide rate = 1/mean_gap requests per cycle).  ``skew`` is
+    the Zipf exponent over tenants (``0`` = uniform).  Keys are drawn
+    hot (first ``hot_keys`` keys, probability ``hot_fraction``) or
+    uniformly from the tenant's ``keys_per_tenant``; values are
+    nonzero so a PUT is always distinguishable from an untouched slot.
+    """
+    if requests < 0:
+        raise ValueError("requests must be nonnegative")
+    if tenants <= 0:
+        raise ValueError("need at least one tenant")
+    if mean_gap <= 0:
+        raise ValueError("mean_gap must be positive")
+    if arrivals not in ("poisson", "bursty", "uniform"):
+        raise ValueError(f"unknown arrival process: {arrivals!r}")
+    if not 0 <= hot_fraction <= 1 or not 0 <= put_ratio <= 1:
+        raise ValueError("hot_fraction and put_ratio are probabilities")
+    hot_keys = min(hot_keys, keys_per_tenant)
+
+    rng = random.Random(seed)
+    ranks = ZipfSampler(tenants, exponent=skew) if skew > 0 else None
+
+    # bursty: rescale the quiet-state rate so the time-weighted average
+    # over the modulation period still equals 1/mean_gap
+    if arrivals == "bursty":
+        if burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 < burst_fraction < 1:
+            raise ValueError("burst_fraction must be inside (0, 1)")
+        quiet_rate = (1 - burst_fraction * burst_factor) / (1 - burst_fraction)
+        quiet_rate = max(quiet_rate, 1e-3) / mean_gap
+        burst_rate = burst_factor / mean_gap
+        period = MODULATION_GAPS * mean_gap
+        burst_until = burst_fraction * period
+
+    schedule = []
+    clock = 0.0
+    for _ in range(requests):
+        if arrivals == "uniform":
+            clock += mean_gap
+        elif arrivals == "poisson":
+            clock += rng.expovariate(1.0 / mean_gap)
+        else:  # bursty: exact piecewise-constant-rate sampling — draw
+            # at the current state's rate, and if the gap would cross a
+            # modulation boundary, advance to the boundary and redraw
+            # (memorylessness makes this exact, so the long-run rate
+            # really is the time-weighted 1/mean_gap)
+            while True:
+                position = clock % period
+                in_burst = position < burst_until
+                boundary = burst_until if in_burst else period
+                gap = rng.expovariate(burst_rate if in_burst
+                                      else quiet_rate)
+                if position + gap < boundary:
+                    clock += gap
+                    break
+                clock += boundary - position
+        tenant = ranks.sample(rng) if ranks is not None else \
+            rng.randrange(tenants)
+        if hot_keys and rng.random() < hot_fraction:
+            key = rng.randrange(hot_keys)
+        else:
+            key = rng.randrange(keys_per_tenant)
+        op = 1 if rng.random() < put_ratio else 0
+        value = rng.randrange(1, 1 << 16)
+        schedule.append(Request(arrival=int(clock), tenant=tenant,
+                                op=op, key=key, value=value))
+    return schedule

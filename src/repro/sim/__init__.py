@@ -16,6 +16,7 @@ from repro.sim.trace import Event, MemRef, Switch, Trace
 from repro.sim.workloads import (
     PROCESS_SPAN,
     SHARED_BASE,
+    ZipfSampler,
     gups,
     matrix_traversal,
     multi_segment,
@@ -44,6 +45,7 @@ __all__ = [
     "Trace",
     "PROCESS_SPAN",
     "SHARED_BASE",
+    "ZipfSampler",
     "Summary",
     "geometric_mean",
     "histogram",

@@ -1,4 +1,5 @@
-"""The stable simulation API: one object from chip to counters.
+"""The stable simulation API: one object from chip to counters — for
+one node *or* a whole mesh.
 
 Before this module, every benchmark, example and CLI command rebuilt
 the same scaffolding by hand — construct a :class:`ChipConfig`, wrap a
@@ -16,10 +17,21 @@ facade so callers stop depending on chip internals:
     assert result.reason == RunReason.HALTED
     print(sim.counter_table())        # the chip-wide perf counters
 
-Everything underneath remains reachable (``sim.chip``, ``sim.kernel``)
-for code that genuinely needs the lower layers; the facade is the
-supported surface, and its methods are the ones ``docs/PERF.md``
-documents.
+The same surface fronts a multicomputer: ``Simulation(nodes=4)`` (or
+``Simulation.mesh(MeshShape(2, 2, 1))``) builds a mesh of MAP nodes
+over one 54-bit global address space, and every facade method keeps
+working — ``load``/``allocate``/``spawn`` take a keyword-only ``node``
+to place work, ``run``/``step`` drive every node in lockstep,
+``snapshot()`` merges the per-node counter files, ``trace()`` records
+all nodes onto one timeline, and ``save``/``restore`` round-trip the
+whole machine.  A workload written against the facade runs unchanged
+on 1 node or 16; ``examples/multinode_sharing.py`` and the service
+load driver (:mod:`repro.service`) are the proof.
+
+Everything underneath remains reachable (``sim.chip``, ``sim.kernel``,
+``sim.machine`` on a mesh) for code that genuinely needs the lower
+layers; the facade is the supported surface, and its methods are the
+ones ``docs/PERF.md`` documents.
 """
 
 from __future__ import annotations
@@ -34,8 +46,29 @@ from repro.machine.thread import Thread
 from repro.runtime.kernel import Kernel
 
 
+class SimulationError(RuntimeError):
+    """A facade method was used in a way its machine shape forbids."""
+
+
+def mesh_shape_for(nodes: int) -> "MeshShape":
+    """The most compact mesh holding ``nodes`` nodes: factor into
+    ``x >= y >= z`` as near a cube as the divisors allow (4 -> 2x2x1,
+    8 -> 2x2x2, 6 -> 3x2x1, primes degrade to a chain)."""
+    from repro.machine.network import MeshShape
+
+    if nodes <= 0:
+        raise ValueError("need at least one node")
+    z = max(d for d in range(1, int(nodes ** (1 / 3) + 1e-9) + 1)
+            if nodes % d == 0)
+    rest = nodes // z
+    y = max(d for d in range(1, int(rest ** 0.5 + 1e-9) + 1)
+            if rest % d == 0)
+    x = rest // y
+    return MeshShape(x, y, z)
+
+
 class Simulation:
-    """A single-node MAP machine, ready to load and run programs.
+    """A MAP machine — one node or a mesh — ready to load and run.
 
     ``config`` provides the architectural parameters; keyword overrides
     patch individual fields without spelling out a full config::
@@ -43,61 +76,195 @@ class Simulation:
         Simulation()                                    # paper defaults
         Simulation(memory_bytes=1 << 20)                # one override
         Simulation(ChipConfig(clusters=2), tlb_entries=8)
+        Simulation(nodes=4)                             # a 2x2x1 mesh
+        Simulation.mesh(MeshShape(4, 2, 1), hop_cycles=3)
+
+    On a mesh every chip shares one config; ``node=`` keywords place
+    segments, programs and threads, and the single global address
+    space means a pointer allocated on one node dereferences from any
+    other (the multicomputer story of §3).
     """
 
-    def __init__(self, config: ChipConfig | None = None, **overrides):
+    def __init__(self, config: ChipConfig | None = None, *,
+                 nodes: int = 1, shape=None,
+                 hop_cycles: int = 5, interface_cycles: int = 10,
+                 arena_order: int | None = None, **overrides):
         base = config or ChipConfig()
         self.config = replace(base, **overrides) if overrides else base
-        self.chip = MAPChip(self.config)
-        self.kernel = Kernel(self.chip)
+        if shape is not None and nodes > 1 and shape.nodes != nodes:
+            raise ValueError(f"shape has {shape.nodes} nodes, not {nodes}")
+        if shape is None and nodes > 1:
+            shape = mesh_shape_for(nodes)
+        if shape is not None:
+            from repro.machine.multicomputer import Multicomputer
+
+            kwargs = {} if arena_order is None else {
+                "arena_order": arena_order}
+            self.machine = Multicomputer(
+                shape=shape, chip_config=self.config,
+                hop_cycles=hop_cycles, interface_cycles=interface_cycles,
+                **kwargs)
+            self.chips = self.machine.chips
+            self.kernels = self.machine.kernels
+        else:
+            if arena_order is not None:
+                raise ValueError("arena_order only applies to a mesh")
+            self.machine = None
+            chip = MAPChip(self.config)
+            self.chips = [chip]
+            self.kernels = [Kernel(chip)]
+
+    @classmethod
+    def mesh(cls, shape=None, config: ChipConfig | None = None,
+             **kwargs) -> "Simulation":
+        """A mesh simulation with an explicit
+        :class:`~repro.machine.network.MeshShape` (``None``: the 2x2x2
+        default).  Keyword arguments are the constructor's
+        (``hop_cycles``, ``interface_cycles``, ``arena_order``, chip
+        overrides)."""
+        from repro.machine.network import MeshShape
+
+        return cls(config, shape=shape or MeshShape(), **kwargs)
+
+    @classmethod
+    def _from_multicomputer(cls, machine) -> "Simulation":
+        """Wrap an already-built multicomputer (the restore path)."""
+        sim = cls.__new__(cls)
+        sim.config = machine.chips[0].config
+        sim.machine = machine
+        sim.chips = machine.chips
+        sim.kernels = machine.kernels
+        return sim
+
+    # -- machine shape -----------------------------------------------------
+
+    @property
+    def nodes(self) -> int:
+        return len(self.chips)
+
+    @property
+    def chip(self) -> MAPChip:
+        """Node 0's chip (the only chip on a single-node machine)."""
+        return self.chips[0]
+
+    @property
+    def kernel(self) -> Kernel:
+        """Node 0's kernel (the only kernel on a single-node machine)."""
+        return self.kernels[0]
+
+    def _require_mesh(self, what: str):
+        if self.machine is None:
+            raise SimulationError(
+                f"{what} needs a mesh: build one with Simulation(nodes=N) "
+                f"or Simulation.mesh(...)")
+        return self.machine
+
+    @property
+    def shape(self):
+        """The mesh dimensions (mesh machines only)."""
+        return self._require_mesh("shape").shape
+
+    @property
+    def network(self):
+        """The mesh network (mesh machines only)."""
+        return self._require_mesh("network").network
+
+    @property
+    def partition(self):
+        """The global-address-space carve-up (mesh machines only)."""
+        return self._require_mesh("partition").partition
+
+    def _check_node(self, node: int) -> int:
+        if not 0 <= node < len(self.kernels):
+            raise ValueError(
+                f"node {node} out of range for a {len(self.kernels)}-node "
+                f"machine")
+        return node
 
     # -- workload loading --------------------------------------------------
 
-    def load(self, program: Program | str, **kwargs) -> GuardedPointer:
-        """Assemble-and-install a program; returns its entry pointer.
-        Keyword arguments pass through to ``Kernel.load_program``
-        (``perm``, ``patches``)."""
-        return self.kernel.load_program(program, **kwargs)
+    def load(self, program: Program | str, *, node: int = 0,
+             **kwargs) -> GuardedPointer:
+        """Assemble-and-install a program on ``node``; returns its entry
+        pointer.  Keyword arguments pass through to
+        ``Kernel.load_program`` (``perm``, ``patches``)."""
+        return self.kernels[self._check_node(node)].load_program(
+            program, **kwargs)
 
-    def allocate(self, nbytes: int, **kwargs) -> GuardedPointer:
-        """A fresh data segment (``perm``/``eager`` pass through)."""
-        return self.kernel.allocate_segment(nbytes, **kwargs)
+    def allocate(self, nbytes: int, *, node: int = 0,
+                 **kwargs) -> GuardedPointer:
+        """A fresh data segment homed on ``node`` (``perm``/``eager``
+        pass through)."""
+        return self.kernels[self._check_node(node)].allocate_segment(
+            nbytes, **kwargs)
 
-    def spawn(self, entry: GuardedPointer | Program | str, **kwargs) -> Thread:
+    def spawn(self, entry: GuardedPointer | Program | str, *,
+              node: int | None = None, **kwargs) -> Thread:
         """Start a thread.  ``entry`` may be an entry pointer from
         :meth:`load`, or program source/a ``Program`` to load first.
-        Keyword arguments pass through to ``Kernel.spawn`` (``domain``,
-        ``regs``, ``cluster``, ``stack_bytes``)."""
+        ``node`` places the thread; when omitted, a pointer entry runs
+        on its home node (pointers name their home in the high address
+        bits — §3) and source loads on node 0.  Keyword arguments pass
+        through to ``Kernel.spawn`` (``domain``, ``regs``, ``cluster``,
+        ``stack_bytes``)."""
         if not isinstance(entry, GuardedPointer):
-            entry = self.load(entry)
-        return self.kernel.spawn(entry, **kwargs)
+            entry = self.load(entry, node=node or 0)
+        if node is None:
+            node = (self.machine.home_of(entry.address)
+                    if self.machine is not None else 0)
+        return self.kernels[self._check_node(node)].spawn(entry, **kwargs)
 
     # -- the clock ---------------------------------------------------------
 
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
-        """Run to completion (see :meth:`MAPChip.run`)."""
-        return self.chip.run(max_cycles)
+        """Run to completion — every node in lockstep on a mesh (see
+        :meth:`MAPChip.run` / :meth:`Multicomputer.run`)."""
+        target = self.machine if self.machine is not None else self.chip
+        return target.run(max_cycles)
 
     def step(self, cycles: int = 1) -> int:
-        """Advance the clock ``cycles`` cycles; returns bundles issued."""
+        """Advance the clock ``cycles`` cycles (lockstep across nodes);
+        returns bundles issued."""
+        target = self.machine if self.machine is not None else self.chip
         issued = 0
         for _ in range(cycles):
-            issued += self.chip.step()
+            issued += target.step()
         return issued
+
+    def advance_idle(self, cycles: int) -> None:
+        """Skip guaranteed-idle cycles (only legal when nothing is
+        runnable; see :meth:`MAPChip.advance_idle`)."""
+        target = self.machine if self.machine is not None else self.chip
+        target.advance_idle(cycles)
 
     @property
     def now(self) -> int:
-        return self.chip.now
+        return self.chips[0].now
 
     # -- results and counters ---------------------------------------------
 
     @property
     def counters(self) -> PerfCounters:
-        """The chip-wide performance-counter file."""
+        """The chip-wide performance-counter file.  Single-node only —
+        a mesh has one file per node (:meth:`counters_of`) and a merged
+        view (:meth:`snapshot`)."""
+        if self.machine is not None:
+            raise SimulationError(
+                "a mesh has per-node counter files: use counters_of(node) "
+                "for one node or snapshot() for the merged view")
         return self.chip.counters
 
+    def counters_of(self, node: int) -> PerfCounters:
+        """One node's performance-counter file."""
+        return self.chips[self._check_node(node)].counters
+
     def snapshot(self) -> dict[str, int | float]:
-        """One coherent reading of every perf counter (sorted names)."""
+        """One coherent reading of every perf counter (sorted names).
+        On a mesh: the machine-wide merge — bare names are sums across
+        nodes, ``node<N>.*`` names stay per-node (see
+        :func:`repro.machine.counters.merge_snapshots`)."""
+        if self.machine is not None:
+            return self.machine.counters_snapshot()
         return self.chip.counters.snapshot()
 
     def counter_table(self, title: str = "perf counters") -> str:
@@ -109,17 +276,17 @@ class Simulation:
 
     @property
     def threads(self) -> list[Thread]:
-        return self.chip.all_threads()
+        return [t for chip in self.chips for t in chip.all_threads()]
 
     # -- structured tracing (repro.obs) -------------------------------------
 
     def trace(self) -> "TraceSession":
-        """Open a recording session over this machine's trace hub
-        (docs/OBSERVABILITY.md).  While the session is attached, every
-        event — per-bundle issue, cache/TLB miss fills, faults, enter
-        crossings, swap and migration — lands in ``session.events``;
-        recording never changes cycle counts.  Use as a context
-        manager, then export::
+        """Open a recording session over this machine's trace hubs —
+        every node's, on a mesh (docs/OBSERVABILITY.md).  While the
+        session is attached, every event — per-bundle issue, cache/TLB
+        miss fills, faults, enter crossings, mesh hops, swap and
+        migration — lands in ``session.events``; recording never
+        changes cycle counts.  Use as a context manager, then export::
 
             with sim.trace() as session:
                 sim.run()
@@ -128,32 +295,81 @@ class Simulation:
         """
         from repro.obs.hub import TraceSession
 
-        return TraceSession([self.chip.obs])
+        return TraceSession([chip.obs for chip in self.chips])
+
+    # -- migration (repro.persist) ------------------------------------------
+
+    def migrate(self, process, destination: int, pin=()) -> "MigrationReport":
+        """Live-migrate ``process`` to node ``destination`` (mesh
+        machines only; see
+        :class:`repro.persist.migrate.MigrationService`).  ``pin``
+        lists pointers whose segments stay home."""
+        from repro.persist.migrate import MigrationService
+
+        machine = self._require_mesh("migrate")
+        return MigrationService(machine).migrate(
+            process, destination=destination, pin=pin)
 
     # -- persistence (repro.persist) ---------------------------------------
 
+    def capture_state(self) -> dict:
+        """The whole machine — one node or every node plus the mesh —
+        as one JSON-safe payload (pair with :meth:`restore_state`)."""
+        if self.machine is not None:
+            return self.machine.capture_state()
+        from repro.persist.image import capture_simulation
+
+        return capture_simulation(self)
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this machine's state with a captured image (the
+        machine must have the image's shape)."""
+        if self.machine is not None:
+            self.machine.restore_state(state)
+            return
+        from repro.persist.image import restore_node
+        from repro.persist.snapshot import SnapshotError
+
+        if state.get("kind") != "simulation":
+            raise SnapshotError(
+                f"expected a simulation image, got {state.get('kind')!r}")
+        restore_node(self.kernel, state["node"])
+
     def save(self, path) -> "Path":
         """Write this machine's complete state — memory with tags,
-        registers, page table, cache/TLB/network timing, counters — to
-        a snapshot file.  ``Simulation.restore(path)`` (same process or
-        a different one, days later) resumes cycle-exactly."""
+        registers, page tables, cache/TLB/network timing, counters —
+        to a snapshot file.  ``Simulation.restore(path)`` (same process
+        or a different one, days later) resumes cycle-exactly."""
+        if self.machine is not None:
+            from repro.persist.image import save_multicomputer
+
+            return save_multicomputer(self.machine, path)
         from repro.persist.image import save_simulation
 
         return save_simulation(self, path)
 
     @classmethod
     def restore(cls, path, **overrides) -> "Simulation":
-        """Rebuild a simulation from a :meth:`save` file.  Keyword
-        overrides may flip the simulator speed knobs (``decode_cache``,
-        ``data_fast_path``, ``idle_fast_forward``); architectural
-        overrides are rejected.  (Named ``restore`` because ``load`` is
-        the facade's program loader.)"""
-        from repro.persist.image import load_simulation
+        """Rebuild a simulation from a :meth:`save` file — single-node
+        and mesh images both come back behind this same facade.
+        Keyword overrides may flip the simulator speed knobs
+        (``decode_cache``, ``data_fast_path``, ``idle_fast_forward``);
+        architectural overrides are rejected.  (Named ``restore``
+        because ``load`` is the facade's program loader.)"""
+        from repro.machine.multicomputer import Multicomputer
+        from repro.persist.image import load_machine
 
-        return load_simulation(path, **overrides)
+        machine = load_machine(path, **overrides)
+        if isinstance(machine, Multicomputer):
+            return cls._from_multicomputer(machine)
+        return machine
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         c = self.config
-        return (f"Simulation(clusters={c.clusters}, "
+        mesh = ""
+        if self.machine is not None:
+            s = self.machine.shape
+            mesh = f"nodes={s.nodes} ({s.x}x{s.y}x{s.z}), "
+        return (f"Simulation({mesh}clusters={c.clusters}, "
                 f"threads_per_cluster={c.threads_per_cluster}, "
-                f"now={self.chip.now})")
+                f"now={self.now})")

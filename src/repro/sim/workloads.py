@@ -110,19 +110,45 @@ def shared_access(pids: list[int], n_per_process: int,
     return Trace(events)
 
 
+class ZipfSampler:
+    """Rank sampling with Zipf popularity: rank ``r`` (0-based) is
+    drawn with probability ∝ 1/(r+1)^exponent.
+
+    This is the skew core shared by the :func:`zipf` page-locality
+    trace and the multi-tenant traffic generator
+    (:mod:`repro.service.traffic`), which uses it for tenant
+    popularity.  Cumulative weights are precomputed once so each draw
+    is a binary search, not an O(n) weight scan."""
+
+    def __init__(self, n: int, exponent: float = 1.1):
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        if n <= 0:
+            raise ValueError("need at least one rank")
+        self.n = n
+        self.exponent = exponent
+        total = 0.0
+        self._cum = []
+        for rank in range(1, n + 1):
+            total += 1.0 / (rank ** exponent)
+            self._cum.append(total)
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank in ``[0, n)`` drawn from ``rng``."""
+        return rng.choices(range(self.n), cum_weights=self._cum)[0]
+
+
 def zipf(pid: int, n: int, pages: int = 256, exponent: float = 1.1,
          page_bytes: int = 4096, write_ratio: float = 0.3,
          seed: int = 0, segment: int = 0) -> Trace:
     """Zipf-distributed page popularity — the long-tailed locality of
     real shared services (rank-r page drawn ∝ 1/r^exponent)."""
-    if exponent <= 0:
-        raise ValueError("exponent must be positive")
     rng = random.Random(seed)
-    weights = [1.0 / (rank ** exponent) for rank in range(1, pages + 1)]
+    sampler = ZipfSampler(pages, exponent)
     base = process_base(pid)
     events = []
     for _ in range(n):
-        page = rng.choices(range(pages), weights=weights)[0]
+        page = sampler.sample(rng)
         vaddr = base + page * page_bytes + rng.randrange(page_bytes // 8) * 8
         events.append(MemRef(pid, vaddr, write=rng.random() < write_ratio,
                              segment=segment))

@@ -1,4 +1,6 @@
-"""Tests for the execution tracer."""
+"""Tests for the legacy execution tracer (a deprecated shim — these
+tests silence the construction warning; new code uses
+``Simulation.trace()``)."""
 
 import pytest
 
@@ -7,10 +9,18 @@ from repro.machine.tracer import Tracer
 from repro.runtime.kernel import Kernel
 from repro.runtime.subsystem import ProtectedSubsystem
 
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture
 def kernel():
     return Kernel(MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024)))
+
+
+class TestDeprecation:
+    def test_constructing_a_tracer_warns(self, kernel):
+        with pytest.warns(DeprecationWarning, match="Simulation.trace"):
+            Tracer(kernel.chip)
 
 
 class TestTracer:

@@ -1,0 +1,220 @@
+"""The multi-tenant KV service end to end: gateway round trips,
+isolation, ingress policies, hot-tenant migration, snapshot-mid-load."""
+
+import pytest
+
+from repro.service import (OP_GET, OP_PUT, Request, ServiceLoadDriver,
+                           install_tenants, open_loop)
+from repro.service.kv import gateway_source
+from repro.sim.api import Simulation
+
+
+def build(nodes=1, tenants=8, **config):
+    config.setdefault("memory_bytes", 2 * 1024 * 1024)
+    config.setdefault("page_bytes", 512)
+    sim = Simulation(nodes=nodes, **config)
+    roster = install_tenants(sim, tenants)
+    return sim, roster
+
+
+def table_value(sim, tenant, slot):
+    """The tenant's table slot read straight out of physical memory —
+    ground truth, independent of any gateway."""
+    chip = sim.chips[tenant.home]
+    paddr = chip.page_table.walk(tenant.table.segment_base + 8 * slot)
+    return chip.memory.load_word(paddr).value
+
+
+class TestGatewayRoundTrips:
+    def test_open_loop_run_completes_cleanly(self):
+        sim, roster = build(tenants=8)
+        driver = ServiceLoadDriver(sim, roster)
+        schedule = open_loop(requests=120, tenants=8, mean_gap=15.0, seed=3)
+        report = driver.run(schedule)
+        assert report.completed == 120
+        assert report.errors == 0
+        assert report.wrong_results == 0
+        assert report.latency["count"] == 120
+        assert report.latency["p50"] >= 1
+        assert report.latency["p99"] >= report.latency["p50"]
+
+    def test_enter_roundtrips_match_gateway_calls_exactly(self):
+        # the satellite invariant: under many concurrent tenants across
+        # a mesh, every request is exactly one ENTER_PRIV round trip —
+        # no request skips the gateway, none crosses twice, and nothing
+        # else in the service path touches the histogram
+        sim, roster = build(nodes=2, tenants=40)
+        driver = ServiceLoadDriver(sim, roster)
+        schedule = open_loop(requests=400, tenants=40, mean_gap=2.0, seed=0)
+        report = driver.run(schedule)
+        assert report.completed == 400
+        assert report.errors == 0 and report.wrong_results == 0
+        snap = sim.snapshot()
+        assert snap["hist.enter_roundtrip.count"] == report.completed
+        assert snap["hist.request_latency.count"] == report.completed
+        assert report.enter["count"] == report.completed
+
+    def test_latency_includes_queueing(self):
+        # saturate one node: arrivals far faster than service capacity,
+        # so open-loop latency (arrival -> halt) must grow past the
+        # in-service time of an uncontended request
+        sim, roster = build(tenants=4)
+        driver = ServiceLoadDriver(sim, roster)
+        relaxed = driver.run(open_loop(requests=40, tenants=4,
+                                       mean_gap=200.0, seed=1))
+        slammed = driver.run(open_loop(requests=200, tenants=4,
+                                       mean_gap=1.0, seed=1))
+        assert slammed.completed == 200
+        assert slammed.latency["p99"] > relaxed.latency["p99"]
+
+
+class TestIsolation:
+    def test_tenants_sharing_keys_stay_isolated(self):
+        sim, roster = build(tenants=2)
+        driver = ServiceLoadDriver(sim, roster)
+        report = driver.run([
+            Request(arrival=0, tenant=0, op=OP_PUT, key=0, value=111),
+            Request(arrival=1, tenant=1, op=OP_PUT, key=0, value=222),
+            Request(arrival=60, tenant=0, op=OP_GET, key=0, value=0),
+            Request(arrival=61, tenant=1, op=OP_GET, key=0, value=0),
+        ])
+        assert report.completed == 4
+        assert report.errors == 0 and report.wrong_results == 0
+        # ground truth in physical memory: same key, different tables
+        assert table_value(sim, roster[0], 0) == 111
+        assert table_value(sim, roster[1], 0) == 222
+
+    def test_key_hashing_wraps_within_the_table(self):
+        sim, roster = build(tenants=1)
+        driver = ServiceLoadDriver(sim, roster)
+        slots = roster[0].slots
+        report = driver.run([
+            Request(arrival=0, tenant=0, op=OP_PUT, key=slots + 5,
+                    value=777),
+            Request(arrival=40, tenant=0, op=OP_GET, key=5, value=0),
+        ])
+        assert report.completed == 2 and report.wrong_results == 0
+        assert table_value(sim, roster[0], 5) == 777
+
+    def test_gateway_slots_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            gateway_source(48)
+
+
+class TestIngress:
+    def test_scatter_ingress_drives_mesh_traffic(self):
+        sim, roster = build(nodes=2, tenants=8)
+        driver = ServiceLoadDriver(sim, roster, ingress="scatter")
+        report = driver.run(open_loop(requests=80, tenants=8,
+                                      mean_gap=20.0, seed=1))
+        assert report.completed == 80
+        assert report.errors == 0 and report.wrong_results == 0
+        snap = sim.snapshot()
+        # half the requests ingress away from their tenant's node, so
+        # gateway loads/stores must cross the mesh
+        assert snap["router.remote_reads"] > 0
+        assert snap["hist.remote_latency.count"] > 0
+
+    def test_home_ingress_stays_local(self):
+        sim, roster = build(nodes=2, tenants=8)
+        driver = ServiceLoadDriver(sim, roster, ingress="home")
+        report = driver.run(open_loop(requests=80, tenants=8,
+                                      mean_gap=20.0, seed=1))
+        assert report.completed == 80
+        assert sim.snapshot().get("router.remote_reads", 0) == 0
+
+    def test_unknown_ingress_rejected(self):
+        sim, roster = build(tenants=1)
+        with pytest.raises(ValueError, match="ingress"):
+            ServiceLoadDriver(sim, roster, ingress="teleport")
+
+
+class TestHotTenantMigration:
+    def test_migrate_hot_rehomes_the_hottest_tenant_mid_load(self):
+        sim, roster = build(nodes=2, tenants=6)
+        driver = ServiceLoadDriver(sim, roster)
+        homes_before = [t.home for t in roster]
+        schedule = open_loop(requests=200, tenants=6, mean_gap=8.0,
+                             seed=2, skew=1.3)
+        report = driver.run(schedule, migrate_hot_after=100)
+        assert report.completed == 200
+        assert report.errors == 0 and report.wrong_results == 0
+        assert len(report.migrations) == 1
+        m = report.migrations[0]
+        moved = roster[m["tenant"]]
+        assert m["source"] == homes_before[m["tenant"]]
+        assert m["destination"] != m["source"]
+        assert moved.home == m["destination"]
+        assert m["pages"] >= 1
+        # the moved tenant really is the hottest (Zipf rank 0 dominates
+        # both at migration time and at the end of the run)
+        assert m["tenant"] == max(range(len(roster)),
+                                  key=lambda i: driver.dispatched[i])
+        # post-migration requests ingress at — and are served from —
+        # the new home, and their table data moved with them
+        assert table_value(sim, moved, 0) is not None
+
+
+class TestSnapshotMidLoad:
+    def _continue(self, sim, roster, driver, remainder):
+        """A continuation driver on a restored machine: same client
+        stubs (already in the restored memory image), same write-set."""
+        cont = ServiceLoadDriver(sim, [t.rebind(sim) for t in roster],
+                                 client_entries=driver.client_entries)
+        cont._written = {k: set(v) for k, v in driver._written.items()}
+        return cont.run(remainder)
+
+    @staticmethod
+    def _scrub(obj):
+        """Drop the warm-path memo statistics (decode cache, check
+        memos, translation-line memo): snapshots deliberately do not
+        capture those caches, so a restored machine re-warms them —
+        cycle-exactly, but with different hit/miss tallies."""
+        if isinstance(obj, dict):
+            return {k: TestSnapshotMidLoad._scrub(v)
+                    for k, v in obj.items()
+                    if k not in ("fetch", "check_memo")
+                    and not k.startswith("xlate_memo")}
+        if isinstance(obj, list):
+            return [TestSnapshotMidLoad._scrub(v) for v in obj]
+        return obj
+
+    def test_restore_continues_bit_identically(self, tmp_path):
+        sim, roster = build(nodes=2, tenants=6)
+        driver = ServiceLoadDriver(sim, roster)
+        schedule = open_loop(requests=150, tenants=6, mean_gap=12.0,
+                             seed=5)
+        first = driver.run(schedule, pause_at_completed=60)
+        assert first.completed >= 60
+        assert first.errors == 0 and first.wrong_results == 0
+        assert first.remainder, "pause point left nothing to continue"
+
+        path = tmp_path / "midload.snap"
+        sim.save(path)
+        pause_state = sim.capture_state()
+
+        # two restores of the same file are bit-identical machines
+        sim_a = Simulation.restore(path)
+        sim_b = Simulation.restore(path)
+        assert sim_a.capture_state() == pause_state
+        assert sim_a.capture_state() == sim_b.capture_state()
+
+        # continue all three machines through the same remainder
+        live = driver.run(list(first.remainder))
+        cont_a = self._continue(sim_a, roster, driver,
+                                list(first.remainder))
+        cont_b = self._continue(sim_b, roster, driver,
+                                list(first.remainder))
+
+        for report in (live, cont_a, cont_b):
+            assert report.completed == len(first.remainder)
+            assert report.errors == 0 and report.wrong_results == 0
+        assert cont_a.end_cycle == cont_b.end_cycle == live.end_cycle
+        assert first.completed + live.completed == len(schedule)
+
+        # the two restored continuations are bit-identical throughout;
+        # the live one matches once the uncaptured memo tallies are
+        # set aside (its caches were warm at the pause point)
+        state_a = sim_a.capture_state()
+        assert state_a == sim_b.capture_state()
+        assert self._scrub(state_a) == self._scrub(sim.capture_state())

@@ -1,0 +1,125 @@
+"""The open-loop traffic generator: determinism, shape, skew, knobs."""
+
+import pytest
+
+from repro.service.traffic import Request, open_loop
+
+
+def make(**kwargs):
+    defaults = dict(requests=500, tenants=20, mean_gap=10.0, seed=7)
+    defaults.update(kwargs)
+    return open_loop(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert make() == make()
+
+    def test_different_seed_different_schedule(self):
+        assert make(seed=7) != make(seed=8)
+
+    def test_every_arrival_process_is_deterministic(self):
+        for arrivals in ("poisson", "bursty", "uniform"):
+            a = make(arrivals=arrivals)
+            b = make(arrivals=arrivals)
+            assert a == b, arrivals
+
+
+class TestShape:
+    def test_length_and_field_ranges(self):
+        schedule = make(tenants=16, keys_per_tenant=32)
+        assert len(schedule) == 500
+        for r in schedule:
+            assert isinstance(r, Request)
+            assert r.arrival >= 0
+            assert 0 <= r.tenant < 16
+            assert r.op in (0, 1)
+            assert 0 <= r.key < 32
+            # nonzero, so a PUT is distinguishable from a fresh slot
+            assert 1 <= r.value < (1 << 16)
+
+    def test_arrivals_nondecreasing(self):
+        for arrivals in ("poisson", "bursty", "uniform"):
+            schedule = make(arrivals=arrivals)
+            times = [r.arrival for r in schedule]
+            assert times == sorted(times), arrivals
+
+    def test_uniform_pacing_is_exact(self):
+        schedule = make(arrivals="uniform", mean_gap=25.0, requests=10)
+        assert [r.arrival for r in schedule] == \
+            [25 * (i + 1) for i in range(10)]
+
+    def test_mean_rate_matches_mean_gap(self):
+        # open loop: the long-run rate is the configured one, for every
+        # arrival process (bursty rescales its quiet state to match)
+        for arrivals in ("poisson", "bursty"):
+            schedule = make(arrivals=arrivals, requests=4000, mean_gap=10.0)
+            span = schedule[-1].arrival / len(schedule)
+            assert 8.0 < span < 12.0, (arrivals, span)
+
+    def test_bursty_gaps_are_bimodal(self):
+        schedule = make(arrivals="bursty", requests=4000, mean_gap=10.0,
+                        burst_factor=8.0, burst_fraction=0.1)
+        gaps = [b.arrival - a.arrival
+                for a, b in zip(schedule, schedule[1:])]
+        short = sum(1 for g in gaps if g <= 2)
+        long = sum(1 for g in gaps if g >= 30)
+        # a pure-Poisson schedule at the same mean has far fewer of both
+        assert short > len(gaps) * 0.3
+        assert long > len(gaps) * 0.02
+
+
+class TestSkewAndKeys:
+    def test_zipf_rank_zero_is_hottest(self):
+        schedule = make(requests=3000, tenants=10, skew=1.2)
+        counts = [0] * 10
+        for r in schedule:
+            counts[r.tenant] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 3 * counts[9]
+
+    def test_zero_skew_is_roughly_uniform(self):
+        schedule = make(requests=5000, tenants=5, skew=0)
+        counts = [0] * 5
+        for r in schedule:
+            counts[r.tenant] += 1
+        assert min(counts) > 800  # expectation 1000 each
+
+    def test_hot_key_fraction(self):
+        schedule = make(requests=4000, keys_per_tenant=64, hot_keys=4,
+                        hot_fraction=0.8)
+        hot = sum(1 for r in schedule if r.key < 4)
+        # 0.8 direct hits plus 0.2 * 4/64 uniform spillover ~ 0.81
+        assert 0.75 < hot / len(schedule) < 0.88
+
+    def test_put_ratio(self):
+        puts = sum(r.op for r in make(requests=4000, put_ratio=0.25))
+        assert 0.20 < puts / 4000 < 0.30
+        assert all(r.op == 0 for r in make(put_ratio=0.0))
+
+    def test_hot_keys_clamped_to_keyspace(self):
+        schedule = make(keys_per_tenant=8, hot_keys=100)
+        assert all(r.key < 8 for r in schedule)
+
+
+class TestValidation:
+    def test_unknown_arrival_process(self):
+        with pytest.raises(ValueError, match="arrival process"):
+            make(arrivals="fractal")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(requests=-1),
+        dict(tenants=0),
+        dict(mean_gap=0.0),
+        dict(hot_fraction=1.5),
+        dict(put_ratio=-0.1),
+        dict(arrivals="bursty", burst_factor=0.5),
+        dict(arrivals="bursty", burst_fraction=0.0),
+        dict(arrivals="bursty", burst_fraction=1.0),
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            make(**kwargs)
+
+    def test_zero_requests_is_empty(self):
+        assert make(requests=0) == []

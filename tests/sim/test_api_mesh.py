@@ -1,0 +1,197 @@
+"""The unified facade over a mesh: same surface, ``node=`` placement,
+merged counters, save/restore dispatch, shape errors."""
+
+import pytest
+
+from repro.machine.network import MeshShape
+from repro.machine.thread import ThreadState
+from repro.sim.api import Simulation, SimulationError, mesh_shape_for
+
+PROGRAM = """
+    movi r2, 41
+    addi r2, r2, 1
+    halt
+"""
+
+STORE = """
+    st r2, r1, 0
+    halt
+"""
+
+
+def mesh(nodes=2, **overrides):
+    overrides.setdefault("memory_bytes", 2 * 1024 * 1024)
+    return Simulation(nodes=nodes, **overrides)
+
+
+class TestMeshShapeFor:
+    @pytest.mark.parametrize("nodes,expect", [
+        (1, (1, 1, 1)),
+        (2, (2, 1, 1)),
+        (4, (2, 2, 1)),
+        (6, (3, 2, 1)),
+        (8, (2, 2, 2)),
+        (12, (3, 2, 2)),
+        (7, (7, 1, 1)),     # primes degrade to a chain
+        (16, (4, 2, 2)),
+    ])
+    def test_near_cube_factorization(self, nodes, expect):
+        shape = mesh_shape_for(nodes)
+        assert (shape.x, shape.y, shape.z) == expect
+        assert shape.nodes == nodes
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mesh_shape_for(0)
+
+
+class TestConstruction:
+    def test_nodes_builds_a_mesh(self):
+        sim = mesh(nodes=4)
+        assert sim.nodes == 4
+        assert (sim.shape.x, sim.shape.y, sim.shape.z) == (2, 2, 1)
+        assert len(sim.chips) == len(sim.kernels) == 4
+
+    def test_explicit_shape(self):
+        sim = Simulation.mesh(MeshShape(4, 1, 1),
+                              memory_bytes=2 * 1024 * 1024)
+        assert sim.nodes == 4 and sim.shape.x == 4
+
+    def test_shape_and_nodes_must_agree(self):
+        with pytest.raises(ValueError, match="nodes"):
+            Simulation(nodes=4, shape=MeshShape(2, 1, 1))
+
+    def test_single_node_has_no_mesh_surface(self):
+        sim = Simulation(memory_bytes=2 * 1024 * 1024)
+        assert sim.machine is None and sim.nodes == 1
+        for name in ("shape", "network", "partition"):
+            with pytest.raises(SimulationError, match="mesh"):
+                getattr(sim, name)
+        with pytest.raises(SimulationError, match="mesh"):
+            sim.migrate(None, 0)
+
+    def test_arena_order_is_mesh_only(self):
+        with pytest.raises(ValueError, match="arena_order"):
+            Simulation(arena_order=24)
+
+
+class TestPlacement:
+    def test_allocate_homes_on_the_requested_node(self):
+        sim = mesh(nodes=4)
+        for node in range(4):
+            ptr = sim.allocate(4096, node=node)
+            assert sim.machine.home_of(ptr.address) == node
+
+    def test_spawn_infers_home_from_the_entry_pointer(self):
+        sim = mesh(nodes=4)
+        entry = sim.load(PROGRAM, node=3)
+        thread = sim.spawn(entry, stack_bytes=0)
+        assert thread in sim.chips[3].all_threads()
+        sim.run()
+        assert thread.state is ThreadState.HALTED
+        assert thread.regs.read(2).value == 42
+
+    def test_spawn_with_explicit_node_overrides(self):
+        sim = mesh(nodes=2)
+        entry = sim.load(PROGRAM, node=0)
+        thread = sim.spawn(entry, node=1, stack_bytes=0)
+        assert thread in sim.chips[1].all_threads()
+
+    def test_node_out_of_range(self):
+        sim = mesh(nodes=2)
+        with pytest.raises(ValueError, match="out of range"):
+            sim.allocate(4096, node=2)
+        with pytest.raises(ValueError, match="out of range"):
+            sim.load(PROGRAM, node=-1)
+
+    def test_same_workload_runs_on_any_shape(self):
+        # the api_redesign contract: facade code is shape-agnostic
+        results = []
+        for sim in (Simulation(memory_bytes=2 * 1024 * 1024),
+                    mesh(nodes=2), mesh(nodes=4)):
+            thread = sim.spawn(PROGRAM, stack_bytes=0)
+            sim.run()
+            results.append(thread.regs.read(2).value)
+        assert results == [42, 42, 42]
+
+
+class TestClockAndCounters:
+    def test_step_advances_every_node_in_lockstep(self):
+        sim = mesh(nodes=2)
+        sim.spawn(PROGRAM, stack_bytes=0)
+        sim.step(5)
+        assert [chip.now for chip in sim.chips] == [5, 5]
+
+    def test_advance_idle_over_a_mesh(self):
+        sim = mesh(nodes=2)
+        sim.advance_idle(100)
+        assert [chip.now for chip in sim.chips] == [100, 100]
+
+    def test_counters_property_is_single_node_only(self):
+        sim = mesh(nodes=2)
+        with pytest.raises(SimulationError, match="per-node"):
+            sim.counters
+        assert sim.counters_of(1) is sim.chips[1].counters
+        assert Simulation(memory_bytes=2 * 1024 * 1024).counters is not None
+
+    def test_snapshot_merges_per_node_files(self):
+        sim = mesh(nodes=2)
+        for node in range(2):
+            sim.spawn(sim.load(PROGRAM, node=node), stack_bytes=0)
+        sim.run()
+        snap = sim.snapshot()
+        assert snap["chip.issued_bundles"] == \
+            snap["node0.chip.issued_bundles"] \
+            + snap["node1.chip.issued_bundles"]
+        assert "chip.issued_bundles" in sim.counter_table()
+
+    def test_threads_spans_every_node(self):
+        sim = mesh(nodes=2)
+        for node in range(2):
+            sim.spawn(sim.load(PROGRAM, node=node), stack_bytes=0)
+        assert len(sim.threads) == 2
+
+
+class TestTraceAndPersistence:
+    def test_trace_records_every_node(self):
+        sim = mesh(nodes=2)
+        data = sim.allocate(4096, node=1, eager=True)
+        sim.spawn(sim.load(PROGRAM, node=0), stack_bytes=0)
+        sim.spawn(sim.load(STORE, node=1),
+                  regs={1: data.word, 2: 7}, stack_bytes=0)
+        with sim.trace() as session:
+            sim.run()
+        nodes_seen = {e.node for e in session.events}
+        assert nodes_seen == {0, 1}
+
+    def test_save_restore_round_trips_both_kinds(self, tmp_path):
+        single = Simulation(memory_bytes=2 * 1024 * 1024)
+        single.spawn(PROGRAM, stack_bytes=0)
+        single.step(2)
+        single.save(tmp_path / "single.snap")
+        back = Simulation.restore(tmp_path / "single.snap")
+        assert back.machine is None and back.now == single.now
+        assert back.capture_state() == single.capture_state()
+
+        multi = mesh(nodes=2)
+        multi.spawn(sim_load_both(multi), stack_bytes=0)
+        multi.step(2)
+        multi.save(tmp_path / "mesh.snap")
+        back = Simulation.restore(tmp_path / "mesh.snap")
+        assert back.nodes == 2 and back.now == multi.now
+        assert back.capture_state() == multi.capture_state()
+        back.run()  # the restored mesh still runs behind the facade
+
+    def test_capture_restore_state_in_memory(self):
+        sim = mesh(nodes=2)
+        thread = sim.spawn(PROGRAM, stack_bytes=0)
+        state = sim.capture_state()
+        sim.run()
+        assert thread.state is ThreadState.HALTED
+        sim.restore_state(state)
+        result = sim.run()
+        assert result.cycles > 0  # the rewound thread ran again
+
+
+def sim_load_both(sim):
+    return sim.load(PROGRAM, node=1)

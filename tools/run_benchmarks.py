@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Run the PR's benchmark suite and record a machine-readable baseline.
+"""Run the repo's benchmark suite and record a machine-readable baseline.
 
 Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
-experiment kernels plus the cycle-loop, data-stream and
-tracing-overhead microbenchmarks (``benchmarks/bench_cycle_loop.py``,
-``benchmarks/bench_data_stream.py``,
-``benchmarks/bench_trace_overhead.py``), takes a perf-counter snapshot
-of a representative E5 run, cross-checks the counter file against
-``ChipStats``, and writes everything to ``BENCH_pr5.json`` at the repo
-root.
+experiment kernels, the cycle-loop, data-stream and tracing-overhead
+microbenchmarks, the E5 counter snapshot, and the multi-tenant
+service-traffic run (``benchmarks/bench_service_traffic.py``), and
+writes everything to ``BENCH_pr6.json`` at the repo root.
+
+Every benchmark runs ``--warmup`` unrecorded passes followed by
+``--trials`` recorded passes; numeric results are reported as
+``{"median": ..., "iqr": ..., "q1": ..., "q3": ..., "n": ...}`` so a
+baseline captures run-to-run spread instead of a single noisy sample
+(simulated cycle counts are deterministic — their IQR is 0 by
+construction, which is itself a useful invariant).  Non-numeric values
+(booleans, nested tables) are taken from the last trial.
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr5.json] [--quick]
+    python tools/run_benchmarks.py [--out BENCH_pr6.json] [--quick]
+                                   [--trials N] [--warmup M]
 
 ``--quick`` shrinks every workload for CI smoke runs; the cross-checks
 and the cycles-equal assertions still apply, only the sizes change.
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -41,6 +48,7 @@ from repro.sim.api import Simulation  # noqa: E402
 
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
 from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
+from benchmarks.bench_service_traffic import measure as service_traffic_measure  # noqa: E402
 from benchmarks.bench_trace_overhead import measure as trace_overhead_measure  # noqa: E402
 
 
@@ -49,6 +57,57 @@ def timed(fn, *args, **kwargs):
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - t0
 
+
+# -- repeated trials -------------------------------------------------------
+
+def aggregate(trials: list[dict]) -> dict:
+    """Fold per-trial dicts into one: numeric keys become median + IQR
+    (quartile spread), everything else is the last trial's value."""
+    out: dict = {}
+    for key in trials[-1]:
+        values = [t[key] for t in trials if key in t]
+        if len(values) == len(trials) and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values):
+            if len(values) >= 2:
+                q1, _, q3 = statistics.quantiles(values, n=4)
+            else:
+                q1 = q3 = float(values[0])
+            out[key] = {
+                "median": statistics.median(values),
+                "iqr": q3 - q1,
+                "q1": q1,
+                "q3": q3,
+                "n": len(values),
+            }
+        else:
+            out[key] = values[-1]
+    return out
+
+
+def run_trials(fn, trials: int, warmup: int, check=None) -> dict:
+    """``warmup`` unrecorded passes, then ``trials`` recorded ones;
+    ``check`` (if given) asserts each trial's invariants."""
+    for _ in range(warmup):
+        result = fn()
+        if check is not None:
+            check(result)
+    results = []
+    for _ in range(max(trials, 1)):
+        result = fn()
+        if check is not None:
+            check(result)
+        results.append(result)
+    return aggregate(results)
+
+
+def median_of(aggregated: dict, key: str):
+    value = aggregated[key]
+    return value["median"] if isinstance(value, dict) and "median" in value \
+        else value
+
+
+# -- the benchmarks --------------------------------------------------------
 
 def bench_e2(samples: int = 512) -> dict:
     results, wall = timed(e2.sweep_all_lengths, samples)
@@ -104,47 +163,88 @@ def counter_snapshot_e5(iterations: int = 500) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr5.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr6.json"))
     parser.add_argument("--quick", action="store_true",
                         help="shrink every workload for CI smoke runs")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="recorded passes per benchmark (median + "
+                             "IQR reported)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="unrecorded warmup passes per benchmark")
     args = parser.parse_args(argv)
     q = args.quick
+    trials, warmup = args.trials, args.warmup
+
+    print(f"({trials} trials after {warmup} warmup pass(es) each)")
 
     print("running e2 (LEA checks) ...")
-    r_e2 = bench_e2(64 if q else 512)
-    print(f"  {r_e2['wall_s']:.3f}s")
+    r_e2 = run_trials(lambda: bench_e2(64 if q else 512), trials, warmup)
+    print(f"  {median_of(r_e2, 'wall_s'):.3f}s median")
+
     print("running e5 (multithreading sweep) ...")
-    r_e5 = bench_e5(30 if q else 150)
-    print(f"  {r_e5['wall_s']:.3f}s, {r_e5['cycles_per_s']:,.0f} cycles/s")
+    r_e5 = run_trials(lambda: bench_e5(30 if q else 150), trials, warmup)
+    print(f"  {median_of(r_e5, 'wall_s'):.3f}s median, "
+          f"{median_of(r_e5, 'cycles_per_s'):,.0f} cycles/s")
+
     print("running e9 (context switch) ...")
-    r_e9 = bench_e9()
-    print(f"  {r_e9['wall_s']:.3f}s")
+    r_e9 = run_trials(bench_e9, trials, warmup)
+    print(f"  {median_of(r_e9, 'wall_s'):.3f}s median")
+
     print("running cycle-loop microbenchmark ...")
-    r_loop = cycle_loop_measure(iterations=300 if q else 2000)
-    print(f"  {r_loop['speedup']:.2f}x over the pre-rework loop "
-          f"({r_loop['new_cycles_per_s']:,.0f} vs "
-          f"{r_loop['legacy_cycles_per_s']:,.0f} cycles/s)")
-    assert r_loop["cycles_equal"], "cycle-loop timing models diverged"
+    r_loop = run_trials(
+        lambda: cycle_loop_measure(iterations=300 if q else 2000),
+        trials, warmup,
+        check=lambda r: (_require(r["cycles_equal"],
+                                  "cycle-loop timing models diverged")))
+    print(f"  {median_of(r_loop, 'speedup'):.2f}x over the pre-rework loop "
+          f"({median_of(r_loop, 'new_cycles_per_s'):,.0f} vs "
+          f"{median_of(r_loop, 'legacy_cycles_per_s'):,.0f} cycles/s)")
+
     print("running data-stream microbenchmark ...")
-    r_stream = data_stream_measure(1000 if q else 6000)
-    print(f"  {r_stream['speedup']:.2f}x with the data fast path on "
-          f"({r_stream['fast_cycles_per_s']:,.0f} vs "
-          f"{r_stream['slow_cycles_per_s']:,.0f} cycles/s)")
-    assert r_stream["cycles_equal"], "data fast path changed the timing model"
-    assert r_stream["cross_checks_pass"], r_stream["cross_checks"]
+    r_stream = run_trials(
+        lambda: data_stream_measure(1000 if q else 6000), trials, warmup,
+        check=lambda r: (
+            _require(r["cycles_equal"],
+                     "data fast path changed the timing model"),
+            _require(r["cross_checks_pass"], r["cross_checks"])))
+    print(f"  {median_of(r_stream, 'speedup'):.2f}x with the data fast "
+          f"path on ({median_of(r_stream, 'fast_cycles_per_s'):,.0f} vs "
+          f"{median_of(r_stream, 'slow_cycles_per_s'):,.0f} cycles/s)")
+
     print("running tracing-overhead microbenchmark ...")
-    r_trace = trace_overhead_measure(500 if q else 3000)
-    print(f"  default {r_trace['default_overhead']:+.1%}, traced "
-          f"{r_trace['traced_overhead']:+.1%} vs disabled "
-          f"({r_trace['traced_events']} events)")
-    assert r_trace["cycles_equal"], "tracing changed the timing model"
+    r_trace = run_trials(
+        lambda: trace_overhead_measure(500 if q else 3000), trials, warmup,
+        check=lambda r: _require(r["cycles_equal"],
+                                 "tracing changed the timing model"))
+    print(f"  default {median_of(r_trace, 'default_overhead'):+.1%}, "
+          f"traced {median_of(r_trace, 'traced_overhead'):+.1%} vs disabled")
+
+    print("running service-traffic benchmark ...")
+    r_serve = run_trials(
+        lambda: service_traffic_measure(
+            requests=300 if q else 2000, tenants=50 if q else 200,
+            nodes=2 if q else 4),
+        trials, warmup,
+        check=lambda r: (
+            _require(r["all_completed"], "open-loop run did not drain"),
+            _require(r["clean"], "service errors or wrong results"),
+            _require(r["enter_exact"],
+                     "enter_roundtrip diverged from gateway calls")))
+    print(f"  {median_of(r_serve, 'throughput_rpk'):.1f} req/kcycle, "
+          f"p50 {median_of(r_serve, 'latency_p50')} / "
+          f"p99 {median_of(r_serve, 'latency_p99')} cycles latency, "
+          f"{median_of(r_serve, 'requests_per_s'):,.0f} requests/s wall")
+
     print("taking the E5 counter snapshot ...")
-    r_snap = counter_snapshot_e5(100 if q else 500)
+    r_snap = run_trials(
+        lambda: counter_snapshot_e5(100 if q else 500), trials, warmup)
     print("  counter cross-checks passed")
 
     payload = {
         "version": __version__,
         "quick": q,
+        "trials": trials,
+        "warmup": warmup,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": {
@@ -154,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
             "cycle_loop": r_loop,
             "data_stream": r_stream,
             "trace_overhead": r_trace,
+            "service_traffic": r_serve,
             "e5_counter_snapshot": r_snap,
         },
     }
@@ -161,6 +262,10 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
     return 0
+
+
+def _require(condition, message) -> None:
+    assert condition, message
 
 
 if __name__ == "__main__":
