@@ -63,8 +63,11 @@ def build_chip(fast_path: bool, iterations: int = ITERATIONS) -> MAPChip:
     in r8 (same layout as the fuzzer's ``setup_chip``, minus the
     kernel, so nothing but the stream touches the cache)."""
     program = assemble(STREAM.format(iterations=iterations))
+    # superblock pinned off on both sides: this benchmark isolates the
+    # data-path memos; bench_superblock.py owns the superblock axis
     chip = MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024,
-                              data_fast_path=fast_path))
+                              data_fast_path=fast_path,
+                              superblock=False))
     chip.page_table.ensure_mapped(CODE_BASE, max(program.size_bytes, 8))
     for i, word in enumerate(program.encode()):
         chip.memory.store_word(chip.page_table.walk(CODE_BASE + i * 8), word)

@@ -13,7 +13,7 @@ returns a value some PUT wrote, and the machine-wide
 (one protection-domain round trip per request, zero kernel
 crossings).
 
-``tools/run_benchmarks.py`` records the numbers into ``BENCH_pr6.json``
+``tools/run_benchmarks.py`` records the numbers into ``BENCH_pr7.json``
 (median + IQR across trials) and CI runs the quick variant.
 """
 

@@ -21,7 +21,8 @@ Usage (``python -m repro <command> ...``):
   and save the whole machine to a snapshot file.
 * ``restore SNAP``         — rebuild the machine from a snapshot and
   resume it to completion (``--info`` prints the header and stops;
-  ``--no-decode-cache``/``--no-data-fast-path`` flip the speed knobs,
+  ``--no-decode-cache``/``--no-data-fast-path``/``--no-superblock``
+  flip the speed knobs,
   which a snapshot explicitly permits).
 * ``replay DUMP.json``     — re-run a fuzz crash dump through every
   diff axis; exits 0 when the bug no longer reproduces.
@@ -224,6 +225,8 @@ def cmd_restore(args: argparse.Namespace) -> int:
         overrides["decode_cache"] = False
     if args.no_data_fast_path:
         overrides["data_fast_path"] = False
+    if args.no_superblock:
+        overrides["superblock"] = False
     # single-node and mesh images both come back behind the facade
     sim = Simulation.restore(args.snapshot, **overrides)
     print(f"; restored {header['kind']} snapshot at cycle {sim.now}")
@@ -389,6 +392,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume with the decoded-bundle cache off")
     p_rest.add_argument("--no-data-fast-path", action="store_true",
                         help="resume with the data-path memos off")
+    p_rest.add_argument("--no-superblock", action="store_true",
+                        help="resume with superblock turbo execution off")
     p_rest.set_defaults(func=cmd_restore)
 
     p_replay = sub.add_parser(

@@ -4,9 +4,9 @@ Two independent oracles keep the chip honest:
 
 * the :class:`~repro.machine.reference.ReferenceInterpreter`, a
   flat-memory sequential model run in lockstep with the chip;
-* the chip itself with ``decode_cache=False`` or
-  ``data_fast_path=False`` — any observable difference from the
-  fast-path configuration is a coherence bug;
+* the chip itself with ``decode_cache=False``,
+  ``data_fast_path=False`` or ``superblock=False`` — any observable
+  difference from the fast-path configuration is a coherence bug;
 * the chip *restored from a snapshot* mid-run
   (:func:`~repro.fuzz.scenarios.diff_replay_axis`) — a round-trip
   through the ``repro.persist`` container must change nothing, which is
@@ -22,7 +22,8 @@ from repro.fuzz.generator import (REFERENCE_SCENARIOS, SCENARIOS, FuzzCase,
 from repro.fuzz.runner import (Failure, FuzzReport, run_campaign, run_case,
                                write_failure_artifacts)
 from repro.fuzz.scenarios import (diff_cache_axes, diff_fast_path_axes,
-                                  diff_replay_axis, run_scenario)
+                                  diff_replay_axis, diff_superblock_axes,
+                                  run_scenario)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "diff_cache_axes",
     "diff_fast_path_axes",
     "diff_replay_axis",
+    "diff_superblock_axes",
     "emit_regression_test",
     "generate_case",
     "run_campaign",

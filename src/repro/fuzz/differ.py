@@ -38,7 +38,8 @@ class Divergence:
     """One observed disagreement, attributable to a replayable case."""
 
     axis: str            #: "chip-vs-reference" | "cache-on-vs-off" |
-                         #: "fastpath-on-vs-off" | "replay-roundtrip"
+                         #: "fastpath-on-vs-off" | "superblock-on-vs-off" |
+                         #: "replay-roundtrip"
     case: FuzzCase
     kind: str            #: "state" | "fault-type" | "fault-order" |
                          #: "halt-order" | "memory" | "crash" |
@@ -63,6 +64,7 @@ class Divergence:
 
 def setup_chip(source: str, *, decode_cache: bool = True,
                data_fast_path: bool = True,
+               superblock: bool = True,
                fregs: dict[int, float] | None = None
                ) -> tuple[MAPChip, Thread, GuardedPointer, GuardedPointer]:
     """A bare chip (no kernel) with the program at ``CODE_BASE``, a
@@ -72,7 +74,8 @@ def setup_chip(source: str, *, decode_cache: bool = True,
     program = assemble(source)
     chip = MAPChip(ChipConfig(memory_bytes=2 * 1024 * 1024,
                               decode_cache=decode_cache,
-                              data_fast_path=data_fast_path))
+                              data_fast_path=data_fast_path,
+                              superblock=superblock))
     chip.page_table.ensure_mapped(CODE_BASE, max(program.size_bytes, 8))
     for i, word in enumerate(program.encode()):
         chip.memory.store_word(chip.page_table.walk(CODE_BASE + i * 8), word)

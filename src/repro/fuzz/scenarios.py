@@ -1,13 +1,14 @@
 """Scenario runners and the fast-path diff axes.
 
 Every scenario runs the same case under pairs of fast-path settings —
-``decode_cache`` on/off, and ``data_fast_path`` (the access-check and
-translation-line memos) on/off — and each pair must produce
-*identical* digests: thread state, register files, fault sequence,
-memory image and cycle count (both knobs are documented as
-timing-transparent, so even ``now`` must match).  The scenarios are
-chosen to stress exactly the paths that can leave a stale decoded
-bundle or a stale memoised translation behind:
+``decode_cache`` on/off, ``data_fast_path`` (the access-check and
+translation-line memos) on/off, and ``superblock`` (bulk straight-line
+execution) on/off — and each pair must produce *identical* digests:
+thread state, register files, fault sequence, memory image and cycle
+count (all the knobs are documented as timing-transparent, so even
+``now`` must match).  The scenarios are chosen to stress exactly the
+paths that can leave a stale decoded bundle, a stale memoised
+translation, or a stale superblock node behind:
 
 ==============  ======================================================
 plain           straight ISA soup (control: no mutation at all)
@@ -163,11 +164,13 @@ def _digest_chip(chip: MAPChip, threads: list[Thread],
 
 def _run_program_scenario(case: FuzzCase, decode_cache: bool,
                           data_fast_path: bool = True,
+                          superblock: bool = True,
                           roundtrip: bool = False) -> dict:
     """plain / self_modify / enter_call: a bare chip, run to the end."""
     chip, thread, entry, data = setup_chip(case.source,
                                            decode_cache=decode_cache,
                                            data_fast_path=data_fast_path,
+                                           superblock=superblock,
                                            fregs=case.fregs)
     monitor = SecurityMonitor(chip)
     monitor.note_spawn(thread)
@@ -185,13 +188,15 @@ def _run_program_scenario(case: FuzzCase, decode_cache: bool,
     return digest
 
 
-def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool
+def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool,
+              superblock: bool
               ) -> tuple[Simulation, Thread, SecurityMonitor, int, int]:
     """A kernel-backed single-node machine with the case loaded: data
     segment in r8, stack in r14 (kernel convention)."""
     sim = Simulation(memory_bytes=2 * 1024 * 1024,
                      decode_cache=decode_cache,
-                     data_fast_path=data_fast_path)
+                     data_fast_path=data_fast_path,
+                     superblock=superblock)
     data = sim.allocate(DATA_BYTES, eager=True)
     entry = sim.load(case.source)
     monitor = SecurityMonitor(sim.chip)
@@ -204,11 +209,12 @@ def _make_sim(case: FuzzCase, decode_cache: bool, data_fast_path: bool
 
 def _run_unmap_remap(case: FuzzCase, decode_cache: bool,
                      data_fast_path: bool = True,
+                     superblock: bool = True,
                      roundtrip: bool = False) -> dict:
     """Mid-run, the code page is unmapped, remapped, and rewritten with
     a carpet of HALT bundles — the decoded old program must not run on."""
     sim, thread, monitor, code_base, data_base = _make_sim(
-        case, decode_cache, data_fast_path)
+        case, decode_cache, data_fast_path, superblock)
     sim.step(case.meta["mutate_after"])
     table = sim.chip.page_table
     program_bytes = assemble(case.source).size_bytes
@@ -232,11 +238,12 @@ def _run_unmap_remap(case: FuzzCase, decode_cache: bool,
 
 def _run_swap(case: FuzzCase, decode_cache: bool,
               data_fast_path: bool = True,
+              superblock: bool = True,
               roundtrip: bool = False) -> dict:
     """Mid-run, the code and data pages are forced out to the backing
     store; the demand-pager brings them back on the next touch."""
     sim, thread, monitor, code_base, data_base = _make_sim(
-        case, decode_cache, data_fast_path)
+        case, decode_cache, data_fast_path, superblock)
     swap = SwapManager(sim.kernel, swap_cycles=50)
     sim.step(case.meta["mutate_after"])
     table = sim.chip.page_table
@@ -258,12 +265,13 @@ def _run_swap(case: FuzzCase, decode_cache: bool,
 
 def _run_gc_sweep(case: FuzzCase, decode_cache: bool,
                   data_fast_path: bool = True,
+                  superblock: bool = True,
                   roundtrip: bool = False) -> dict:
     """Mid-run, a full collection frees an unreachable decoy and a
     ``sweep_revoke`` zeroes every copy of a victim pointer — both write
     below translation, which is exactly where staleness hides."""
     sim, thread, monitor, code_base, data_base = _make_sim(
-        case, decode_cache, data_fast_path)
+        case, decode_cache, data_fast_path, superblock)
     victim = sim.allocate(256, eager=True)
     sim.allocate(512, eager=True)  # the decoy: unreachable, GC frees it
     # park the victim pointer in live data so the sweep has work to do
@@ -287,12 +295,14 @@ def _run_gc_sweep(case: FuzzCase, decode_cache: bool,
 
 def _run_loader_reuse(case: FuzzCase, decode_cache: bool,
                       data_fast_path: bool = True,
+                      superblock: bool = True,
                       roundtrip: bool = False) -> dict:
     """Run program A, free its code segment, load program B over the
     recycled range, run that too — B must never execute A's bundles."""
     sim = Simulation(memory_bytes=2 * 1024 * 1024,
                      decode_cache=decode_cache,
-                     data_fast_path=data_fast_path)
+                     data_fast_path=data_fast_path,
+                     superblock=superblock)
     data = sim.allocate(DATA_BYTES, eager=True)
     data_base = data.segment_base
     monitor = SecurityMonitor(sim.chip)
@@ -321,13 +331,18 @@ def _run_loader_reuse(case: FuzzCase, decode_cache: bool,
 
 def _run_remote_store(case: FuzzCase, decode_cache: bool,
                       data_fast_path: bool = True,
+                      superblock: bool = True,
                       roundtrip: bool = False) -> dict:
     """Two mesh nodes; node 1 patches node 0's code through the network
-    mid-run, flipping a ``movi`` immediate the loop keeps executing."""
+    mid-run, flipping a ``movi`` immediate the loop keeps executing.
+    (Superblocks self-disable on meshed chips, so this scenario also
+    proves the knob is inert — not merely parity-clean — with a router
+    attached.)"""
     mc = Multicomputer(MeshShape(2, 1, 1),
                        chip_config=ChipConfig(memory_bytes=2 * 1024 * 1024,
                                               decode_cache=decode_cache,
-                                              data_fast_path=data_fast_path),
+                                              data_fast_path=data_fast_path,
+                                              superblock=superblock),
                        arena_order=24)
     data = mc.allocate_on(0, DATA_BYTES, eager=True)
     entry = mc.load_on(0, case.source)
@@ -374,6 +389,7 @@ _RUNNERS = {
 
 def run_scenario(case: FuzzCase, decode_cache: bool,
                  data_fast_path: bool = True,
+                 superblock: bool = True,
                  roundtrip: bool = False) -> dict:
     """One digest of ``case`` under the given fast-path settings.  With
     ``roundtrip`` the machine takes a snapshot/restore round-trip at
@@ -381,7 +397,7 @@ def run_scenario(case: FuzzCase, decode_cache: bool,
     bytes under the ``"_snapshot"`` side-channel key (popped before any
     comparison)."""
     return _RUNNERS[case.scenario](case, decode_cache, data_fast_path,
-                                   roundtrip=roundtrip)
+                                   superblock, roundtrip=roundtrip)
 
 
 def _first_difference(on: dict, off: dict, knob: str) -> str:
@@ -436,6 +452,16 @@ def diff_fast_path_axes(case: FuzzCase) -> Divergence | None:
     return _diff_knob(
         case, "fastpath-on-vs-off", "fastpath",
         lambda enabled: run_scenario(case, True, data_fast_path=enabled))
+
+
+def diff_superblock_axes(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` with superblock turbo execution on and off (decode
+    cache and data fast path on in both); None means identical digests —
+    bulk straight-line dispatch changed neither a single architectural
+    word nor a single cycle nor a single counter-visible event."""
+    return _diff_knob(
+        case, "superblock-on-vs-off", "superblock",
+        lambda enabled: run_scenario(case, True, superblock=enabled))
 
 
 def diff_replay_axis(case: FuzzCase) -> Divergence | None:

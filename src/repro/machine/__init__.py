@@ -12,7 +12,6 @@ from repro.machine.faults import FaultRecord, TrapFault
 from repro.machine.multicomputer import Multicomputer, Partition
 from repro.machine.network import MeshNetwork, MeshShape
 from repro.machine.reference import ReferenceInterpreter, ReferenceResult
-from repro.machine.tracer import TraceEvent, Tracer
 from repro.machine.verifier import InvariantViolation, SecurityMonitor
 from repro.machine.isa import (
     BUNDLE_BYTES,
@@ -26,6 +25,18 @@ from repro.machine.isa import (
 )
 from repro.machine.registers import RegisterFile, float_to_word, word_to_float
 from repro.machine.thread import Thread, ThreadState, ThreadStats
+
+
+def __getattr__(name: str):
+    # the legacy tracer shim is deprecated: import it lazily so merely
+    # importing repro.machine never touches it (the shim's Tracer class
+    # warns on construction; everything new uses Simulation.trace())
+    if name in ("TraceEvent", "Tracer"):
+        from repro.machine import tracer
+
+        return getattr(tracer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AssemblyError",

@@ -95,6 +95,14 @@ class ChipConfig:
     #: blocked on memory, instead of stepping them cycle by cycle
     #: (cycle counts and per-cluster idle accounting are preserved)
     idle_fast_forward: bool = True
+    #: the busy-cycle twin of ``idle_fast_forward``: when exactly one
+    #: thread is ready and nothing else on the chip can act, execute a
+    #: straight line of already-decoded bundles in one dispatch with
+    #: bulk accounting (see PERF.md §6).  Timing-model-transparent —
+    #: cycle counts, counters and trace events are identical on or off;
+    #: the fuzzer's superblock-on-vs-off axis polices that continuously.
+    #: Requires ``decode_cache`` (superblock nodes are decoded bundles).
+    superblock: bool = True
 
 
 class RunReason:
@@ -195,6 +203,21 @@ class MAPChip:
         #: the fetch checks); flushed on any unmap
         self._decode_cache: dict[int, tuple[Bundle, int]] = {}
         self._decode_enabled = c.decode_cache
+        # -- the superblock node cache (see Cluster.run_superblock) ----
+        #: fetch address -> prepared execution node for the decoded
+        #: bundle there: (pointer word, bundle, compiled int closure or
+        #: None, fp op or None, compiled mem closure or None,
+        #: fall-through IP or None, live ops).
+        #: Strictly a subset of ``_decode_cache`` — every invalidation
+        #: path that drops a decode entry drops the node too, so the
+        #: PERF.md §3 invalidation contract covers both caches at once.
+        self._sb_nodes: dict[int, tuple] = {}
+        #: superblock telemetry (plain attributes, deliberately *not*
+        #: PerfCounters: counter snapshots must be bit-identical with
+        #: the knob on or off, so engine-utilization introspection lives
+        #: outside the counter file)
+        self.superblock_blocks = 0
+        self.superblock_bundles = 0
         #: (pointer word, offset) -> derived pointer, shared by every
         #: cluster's LEA paths (IP advance, branches, address
         #: arithmetic).  LEA is a pure function of pointer bits, so
@@ -377,6 +400,7 @@ class MAPChip:
         if self._decode_cache:
             self.decode_invalidations += len(self._decode_cache)
             self._decode_cache.clear()
+        self._sb_nodes.clear()
 
     def flush_decoded(self) -> None:
         """Drop every decoded bundle — on every node, when meshed."""
@@ -413,9 +437,11 @@ class MAPChip:
         if not cache:
             return
         word = vaddr - (vaddr % OP_BYTES)
+        nodes = self._sb_nodes
         for start in (word, word - OP_BYTES, word - 2 * OP_BYTES):
             if cache.pop(start, None) is not None:
                 self.decode_invalidations += 1
+                nodes.pop(start, None)
 
     def invalidate_decoded_range(self, base: int, nbytes: int) -> None:
         """Drop every cached bundle overlapping ``[base, base+nbytes)``
@@ -434,8 +460,10 @@ class MAPChip:
         lo = base - (BUNDLE_BYTES - OP_BYTES)
         hi = base + nbytes
         stale = [a for a in cache if lo <= a < hi]
+        nodes = self._sb_nodes
         for address in stale:
             del cache[address]
+            nodes.pop(address, None)
         self.decode_invalidations += len(stale)
 
     # -- fault plumbing ------------------------------------------------------
@@ -515,6 +543,49 @@ class MAPChip:
             return RunReason.FAULTED
         return RunReason.HALTED
 
+    def _run_superblock(self, horizon: int) -> int:
+        """Issue straight-line bundles for the chip's single ready
+        thread in one dispatch (the busy-cycle twin of idle
+        fast-forward; see :meth:`Cluster.run_superblock`).
+
+        Eligibility is a property of the whole chip, checked here once
+        per dispatch: exactly one thread is ready, no cluster is
+        mid-drain (pending thread or active stall), the ready thread
+        would not trigger a domain-switch stall, and the run is bounded
+        by the earliest blocked-thread wake-up — so until then nothing
+        anywhere on the chip can act, every wake scan is a no-op, and
+        the only cluster with work is the ready thread's.  Returns the
+        cycles advanced (0 when the machine is not in an eligible
+        state; the caller then falls back to a normal :meth:`step`).
+        """
+        now = self.now
+        cluster = None
+        for cl in self.clusters:
+            if cl._n_ready:
+                cluster = cl
+                break
+        if cluster is None:
+            return 0
+        thread = None
+        for t in cluster.slots:
+            if t is not None and t._state is ThreadState.READY:
+                thread = t
+                break
+        if thread is None:
+            return 0
+        for cl in self.clusters:
+            if cl._pending is not None or now < cl._stall_until:
+                return 0
+        penalty = self.config.domain_switch_penalty
+        if (penalty and cluster.last_domain is not None
+                and thread.domain != cluster.last_domain):
+            return 0
+        wake = self.next_wake()
+        end = horizon if wake is None else min(wake, horizon)
+        if end <= now:
+            return 0
+        return cluster.run_superblock(thread, now, end)
+
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until every thread is halted (or faulted with no handler
         to resume it), the machine deadlocks, or ``max_cycles`` pass.
@@ -530,6 +601,11 @@ class MAPChip:
         start_bundles = self.stats.issued_bundles
         idle_streak = 0
         fast_forward = self.config.idle_fast_forward
+        # superblocks need the decode cache (nodes are decoded bundles)
+        # and a single node: a mesh runs in lockstep through step(), and
+        # remote writes may invalidate code between any two cycles
+        turbo = (self.config.superblock and self._decode_enabled
+                 and self.router is None)
         while self.now - start_cycle < max_cycles:
             if self._runnable_count == 0:
                 return RunResult(self.now - start_cycle,
@@ -551,6 +627,13 @@ class MAPChip:
                 if target > self.now:
                     idle_streak += target - self.now
                     self._skip_idle(target - self.now)
+                    continue
+            if turbo and self._ready_count == 1 and not self.obs.hot:
+                # exactly one thread can issue: try to run its whole
+                # straight-line superblock in one dispatch (hot tracing
+                # wants a per-bundle event stream, so it opts out)
+                if self._run_superblock(start_cycle + max_cycles):
+                    idle_streak = 0
                     continue
             issued = self.step()
             if issued == 0 and self._ready_count == 0:

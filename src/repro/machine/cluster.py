@@ -24,6 +24,8 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.core import operations as ops
+from repro.core.constants import ADDRESS_MASK as _SB_ADDRESS_MASK
+from repro.core.constants import WORD_MASK as _SB_WORD_MASK
 from repro.core.exceptions import GuardedPointerFault, PermissionFault, RestrictFault
 from repro.core.permissions import Permission
 from repro.core.pointer import GuardedPointer
@@ -368,6 +370,320 @@ class Cluster:
                     thread.regs.write(index, value)
                 else:
                     thread.regs.write_f(index, value)
+
+    # -- superblock execution ------------------------------------------------
+
+    def _sb_node(self, address: int, word: int, ip: "GuardedPointer"):
+        """Build (or refuse) a superblock node for the bundle at
+        ``address`` as fetched through pointer ``word``.
+
+        A node is a pre-picked execution plan for one decoded bundle:
+        NOP slots resolved to ``None`` (the units early-out on fillers
+        with zero side effects, so skipping the call is behaviorally
+        identical), plus the memoized fall-through IP.  HALT and TRAP
+        bundles refuse a node — their handling (final thread state,
+        halt events, trap dispatch) belongs to the per-cycle path, and
+        both end the straight line anyway.  The node remembers the
+        exact pointer word it was built through, mirroring the decoded
+        bundle's word check: a different pointer to the same address
+        re-validates through the normal fetch path.
+        """
+        entry = self.chip._decode_cache.get(address)
+        if entry is None or entry[1] != word:
+            return None
+        bundle = entry[0]
+        int_op = bundle.int_op
+        code = int_op.opcode
+        if code is Opcode.NOP:
+            int_fn = None
+        elif code is Opcode.HALT or code is Opcode.TRAP:
+            return None
+        else:
+            int_fn = self._sb_compile_int(int_op, ip)
+        fp_op = bundle.fp_op
+        if fp_op.opcode is Opcode.FNOP or fp_op.opcode is Opcode.NOP:
+            fp_op = None
+        mem_op = bundle.mem_op
+        if mem_op.opcode is Opcode.NOP or mem_op.opcode is Opcode.FNOP:
+            mem_fn = None
+        else:
+            mem_fn = self._sb_compile_mem(mem_op)
+        try:
+            next_ip = self._lea(ip.word, BUNDLE_BYTES)
+        except GuardedPointerFault:
+            # fall-through runs off the code segment; the executor
+            # re-derives live so the fault raises exactly as stepping
+            next_ip = None
+        node = (word, bundle, int_fn, fp_op, mem_fn, next_ip,
+                bundle.live_ops)
+        self.chip._sb_nodes[address] = node
+        return node
+
+    def _sb_compile_int(self, op: Operation, ip: "GuardedPointer"):
+        """Compile an integer-slot op into a node closure.
+
+        The trace-cache idiom: everything that is a pure function of
+        the operation encoding and the bundle's (fixed) fetch address —
+        ALU immediates, branch targets, MOVI's word — resolves once at
+        node-build time, so executing the node spends no cycles
+        re-deciding what the op *is*.  Branch targets come through the
+        same LEA memo the per-cycle path uses (pure, so pre-deriving is
+        invisible); a target whose derivation faults falls back to the
+        unit so the fault raises only when the branch is actually taken,
+        exactly as stepping.  Ops with side effects beyond registers
+        and branches (JMP's audit/trace hooks, traps) always fall back
+        to the integer unit itself.
+        """
+        code = op.opcode
+        # the hot ALU closures build TaggedWords the way the frozen
+        # dataclass's own __init__ does (object.__setattr__), skipping
+        # three Python calls per op; ``.untagged().value`` collapses to
+        # ``.value`` (untagging never changes the bits)
+        new = TaggedWord.__new__
+        setattr_ = object.__setattr__
+        if code in _INT_ALU_IMM:
+            fn = _INT_ALU[_INT_ALU_IMM[code]]
+            b = op.imm & _SB_WORD_MASK
+            ra, rd = op.ra, op.rd
+
+            def run(thread, regs, commits, now):
+                word = new(TaggedWord)
+                setattr_(word, "value",
+                         fn(regs.read(ra).value, b) & _SB_WORD_MASK)
+                setattr_(word, "tag", False)
+                commits.append(("r", rd, word))
+                return None
+            return run
+        if code in _INT_ALU:
+            fn = _INT_ALU[code]
+            ra, rb, rd = op.ra, op.rb, op.rd
+
+            def run(thread, regs, commits, now):
+                word = new(TaggedWord)
+                setattr_(word, "value",
+                         fn(regs.read(ra).value,
+                            regs.read(rb).value) & _SB_WORD_MASK)
+                setattr_(word, "tag", False)
+                commits.append(("r", rd, word))
+                return None
+            return run
+        if code is Opcode.MOVI:
+            word = TaggedWord.integer(op.imm)
+            rd = op.rd
+
+            def run(thread, regs, commits, now):
+                commits.append(("r", rd, word))
+                return None
+            return run
+        if code is Opcode.BEQ or code is Opcode.BNE:
+            target = self._sb_branch_target(ip, op.imm)
+            if target is not None:
+                rd = op.rd
+                want_zero = code is Opcode.BEQ
+
+                def run(thread, regs, commits, now):
+                    value = regs.read(rd).value
+                    taken = (value == 0) if want_zero else (value != 0)
+                    return target if taken else None
+                return run
+        elif code is Opcode.BR:
+            target = self._sb_branch_target(ip, op.imm)
+            if target is not None:
+                def run(thread, regs, commits, now):
+                    return target
+                return run
+        exec_int = self._exec_int
+
+        def run(thread, regs, commits, now):
+            return exec_int(thread, op, commits, now)
+        return run
+
+    def _sb_branch_target(self, ip: "GuardedPointer", imm: int):
+        """Pre-derive a branch target at node-build time, or None when
+        the derivation faults (then the op falls back to the unit, so
+        the fault raises only on a taken branch, as stepping would)."""
+        try:
+            return self._lea(ip.word, imm)
+        except GuardedPointerFault:
+            return None
+
+    def _sb_compile_mem(self, op: Operation):
+        """Compile a memory-slot op into a node closure returning
+        ``(block_until, pending_writes)`` — :meth:`_exec_mem`'s
+        contract with its opcode dispatch pre-resolved.
+
+        Loads and stores keep the exact per-execution path — the
+        access-check memo, the banked cache's timing, the load-to-use
+        histogram, the store's decoded-bundle invalidation — but bind
+        the local cache port directly: superblocks only ever dispatch
+        on an un-meshed chip (``router is None``), so
+        :meth:`MAPChip.access_memory`'s routing branch is a proven
+        no-op here.  Everything else falls back to the memory unit.
+        """
+        code = op.opcode
+        chip = self.chip
+        if code is Opcode.LD or code is Opcode.LDF:
+            mem_address = self._mem_address
+            cache_access = chip.cache.access
+            obs = chip.obs
+            load_to_use = obs.load_to_use.add
+            ra, rd, imm = op.ra, op.rd, op.imm
+            is_ld = code is Opcode.LD
+
+            def run(thread, regs, commits, now):
+                vaddr = mem_address(regs.read(ra), imm, write=False)
+                result = cache_access(vaddr, write=False, now=now)
+                if obs.enabled:
+                    load_to_use(result.ready_cycle - now)
+                if is_ld:
+                    write = ("r", rd, result.word)
+                else:
+                    write = ("f", rd, word_to_float(result.word))
+                return result.ready_cycle, (write,)
+            return run
+        if code is Opcode.ST or code is Opcode.STF:
+            mem_address = self._mem_address
+            cache_access = chip.cache.access
+            invalidate = chip.invalidate_decoded_word
+            ra, rd, imm = op.ra, op.rd, op.imm
+            is_st = code is Opcode.ST
+
+            def run(thread, regs, commits, now):
+                vaddr = mem_address(regs.read(ra), imm, write=True)
+                if is_st:
+                    value = regs.read(rd)
+                else:
+                    value = float_to_word(regs.read_f(rd))
+                invalidate(vaddr)
+                cache_access(vaddr, write=True, now=now, value=value)
+                return None, ()
+            return run
+        exec_mem = self._exec_mem
+
+        def run(thread, regs, commits, now):
+            return exec_mem(thread, op, commits, now)
+        return run
+
+    def run_superblock(self, thread: Thread, start: int, end: int) -> int:
+        """Execute ``thread``'s straight-line bundles for cycles
+        ``[start, end)`` in one dispatch; returns the cycles consumed.
+
+        The chip has proven (in :meth:`MAPChip._run_superblock`) that
+        nothing else can act before ``end``, so this loop is exactly
+        the per-cycle path with the invariant parts hoisted: scheduling
+        collapses to "this thread again", fetch collapses to a node
+        probe, and cycle/issue/idle accounting is settled in bulk at
+        exit.  Everything with an architectural or observable effect —
+        the execution units, guarded-pointer checks, cache timing, the
+        check memos, histograms, fault dispatch — runs live through the
+        same code stepping uses, so cycle counts, counters and trace
+        events are bit-identical to the knob being off.  Any bundle the
+        node cache cannot answer (not decoded yet, self-modified,
+        HALT/TRAP) exits the superblock and the normal path handles it.
+        """
+        chip = self.chip
+        nodes = chip._sb_nodes
+        regs = thread.regs
+        commits: list[tuple[str, int, object]] = []
+        bundles = 0   # committed bundles (a faulting one commits nothing)
+        ops = 0
+        now = start
+        ip = thread.ip
+        while True:
+            word = ip.word.value
+            address = word & _SB_ADDRESS_MASK
+            node = nodes.get(address)
+            if node is None or node[0] != word:
+                node = self._sb_node(address, word, ip)
+                if node is None:
+                    break
+            _, bundle, int_fn, fp_op, mem_fn, next_ip, live = node
+            commits.clear()
+            branch_target = None
+            block_until = None
+            pending = None
+            try:
+                if int_fn is not None:
+                    branch_target = int_fn(thread, regs, commits, now)
+                if fp_op is not None:
+                    self._exec_fp(thread, fp_op, commits)
+                if mem_fn is not None:
+                    block_until, pending = mem_fn(thread, regs, commits, now)
+            except GuardedPointerFault as cause:
+                # the faulting cycle still elapses and the bundle still
+                # issues (fetch hit, then the unit faulted) — but it
+                # commits nothing, exactly like the per-cycle path
+                chip.now = now
+                self._fault(thread, cause,
+                            self._fault_site(bundle, cause), now)
+                self._sb_exit(thread, bundles, ops, start, now + 1)
+                return now + 1 - start
+            for bank, index, value in commits:
+                if bank == "r":
+                    regs.write(index, value)
+                else:
+                    regs.write_f(index, value)
+            bundles += 1
+            ops += live
+            if branch_target is not None:
+                thread.ip = ip = branch_target
+            elif next_ip is not None:
+                thread.ip = ip = next_ip
+            else:
+                # fall-through derivation faulted at node-build time;
+                # re-derive live (pure, so it faults again identically)
+                chip.now = now
+                try:
+                    self._lea(ip.word, BUNDLE_BYTES)
+                except GuardedPointerFault as cause:
+                    self._fault(thread, cause, "ip-advance", now)
+                self._sb_exit(thread, bundles, ops, start, now + 1)
+                return now + 1 - start
+            if block_until is not None and block_until > now + 1:
+                thread.pending_writes.extend(pending)
+                thread.stats.stall_cycles += block_until - (now + 1)
+                self._sb_exit(thread, bundles, ops, start, now + 1)
+                thread.block_until(block_until)
+                return now + 1 - start
+            if pending:
+                for bank, index, value in pending:
+                    if bank == "r":
+                        regs.write(index, value)
+                    else:
+                        regs.write_f(index, value)
+            now += 1
+            if now >= end:
+                break
+        if now > start:
+            self._sb_exit(thread, bundles, ops, start, now)
+        return now - start
+
+    def _sb_exit(self, thread: Thread, bundles: int, ops: int,
+                 start: int, end: int) -> None:
+        """Settle the bulk accounting for a superblock spanning cycles
+        ``[start, end)`` — every total a per-cycle run would have
+        accumulated over the same stretch, applied at once."""
+        n = end - start
+        chip = self.chip
+        chip.now = end
+        chip.stats.cycles += n
+        # every superblock cycle issued a bundle, and every one of
+        # those bundles was a decoded-bundle-cache hit (a faulting
+        # bundle issues too; only the thread's commit stats skip it)
+        chip.stats.issued_bundles += n
+        chip.fetch_hits += n
+        chip.superblock_blocks += 1
+        chip.superblock_bundles += n
+        self.issued_cycles += n
+        # scheduling bookkeeping a per-cycle run would have left behind
+        self._next_slot = (self.slots.index(thread) + 1) % len(self.slots)
+        self.last_domain = thread.domain
+        self._last_tid = thread.tid
+        for cl in chip.clusters:
+            if cl is not self:
+                cl.idle_cycles += n
+        thread.stats.bundles += bundles
+        thread.stats.operations += ops
 
     # -- the integer unit ------------------------------------------------------
 

@@ -22,6 +22,15 @@ The wiring lives in :class:`repro.machine.chip.MAPChip` (every chip
 owns a ``counters`` attribute) and, for multi-node machines, in
 :class:`repro.machine.multicomputer.Multicomputer`, which adds router
 traffic counters per node.  ``docs/PERF.md`` documents every counter.
+
+Superblock turbo execution (``docs/PERF.md`` §6) batches its
+accounting: while a trace runs, the per-cycle sites that feed the pull
+sources (cluster issue/idle counts, fetch hits, thread stats) are
+settled in one shot at trace exit rather than incremented per bundle.
+Because sources are only read at snapshot time — and a snapshot cannot
+be taken mid-trace — the counter file is bit-identical with the knob
+on or off; the fuzzer's superblock axis and
+``benchmarks/bench_superblock.py`` enforce that equality.
 """
 
 from __future__ import annotations

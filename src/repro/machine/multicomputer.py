@@ -112,12 +112,24 @@ class Multicomputer:
 
     def home_of(self, vaddr: int) -> int:
         """The node currently holding ``vaddr``: the partition's static
-        assignment unless migration moved the page."""
+        assignment unless migration moved the page.
+
+        Node counts that are not a power of two leave the tail of the
+        partition space unpopulated (6 nodes span 8 three-bit homes):
+        an address whose high bits name a missing node has *no* home,
+        so it raises :class:`PageFault` — the same fault an unmapped
+        page takes — instead of letting a forged pointer index past the
+        chip list."""
         if self._page_homes:
             home = self._page_homes.get(vaddr // self._page_bytes)
             if home is not None:
                 return home
-        return self.partition.home_of(vaddr)
+        home = self.partition.home_of(vaddr)
+        if home >= len(self.chips):
+            raise PageFault(vaddr,
+                            f"address {vaddr:#x} names node {home} of a "
+                            f"{len(self.chips)}-node machine")
+        return home
 
     def rehome_page(self, page: int, node: int) -> None:
         """Point a virtual page's home at ``node`` (migration's half of
@@ -194,7 +206,13 @@ class Multicomputer:
         def handler(record, thread: Thread) -> None:
             cause = record.cause
             if isinstance(cause, PageFault):
-                home = self.kernels[self.home_of(cause.vaddr)]
+                try:
+                    home = self.kernels[self.home_of(cause.vaddr)]
+                except PageFault:
+                    # the faulting address has no home node at all
+                    # (non-power-of-two mesh tail): nothing to demand-
+                    # page, the local kernel just records the fault
+                    home = local_kernel
                 if home is not local_kernel and home._demand_page(cause.vaddr):
                     thread.resume()
                     return

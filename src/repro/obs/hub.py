@@ -24,6 +24,14 @@ behind ``Simulation.trace()`` and ``repro trace``.
 Emission never changes machine state: cycle counts with tracing on and
 off are bit-identical, and the tracer parity tests and the
 tracing-overhead benchmark police that continuously.
+
+``hub.hot`` is also the gate superblock turbo execution respects
+(``docs/PERF.md`` §6): the chip refuses to enter a bulk-dispatch trace
+while a sink is attached, so per-bundle event streams stay complete —
+turbo mode never skips an emission a listener would have seen.
+Cold-path emissions and the histograms (e.g. load-to-use) are still
+recorded from inside a trace, at the same cycles as the per-cycle
+path.
 """
 
 from __future__ import annotations

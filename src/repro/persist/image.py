@@ -14,7 +14,8 @@ from them:
 Loading builds a *fresh* machine from the snapshot's recorded
 architectural configuration and restores state into it.  Keyword
 overrides on load may change the simulator speed knobs
-(``decode_cache``, ``data_fast_path``, ``idle_fast_forward``) — they
+(``decode_cache``, ``data_fast_path``, ``idle_fast_forward``,
+``superblock``) — they
 alter zero cycles, which the determinism tests prove by running the
 same image to identical digests with each knob flipped both ways.
 Architectural overrides are rejected by the restore path.

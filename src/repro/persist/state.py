@@ -11,12 +11,24 @@ the simulator's timing-transparency contract:
   state / domain history, and every thread's architectural state
   (registers with tags, FP registers as IEEE-754 bit patterns, pending
   deferred writes, wake cycle, fault record);
-* **dropped and re-warmed** — the decoded-bundle cache, the LEA memo,
-  the load/store check memos and the cache's translation line memo.
-  They are pure functions of pointer bits and the page table, change
-  zero cycles by contract (the fuzzer's on-vs-off axes police that
-  continuously), and so a restored machine replays cycle-identically
-  whether or not they were present at capture time.
+* **dropped and re-warmed** — the decoded-bundle cache, the superblock
+  node cache, the LEA memo, the load/store check memos and the cache's
+  translation line memo.  They are pure functions of pointer bits and
+  the page table, change zero cycles by contract (the fuzzer's
+  on-vs-off axes police that continuously), and so a restored machine
+  replays cycle-identically whether or not they were present at
+  capture time.
+
+Capture *also* resets those memos on the live machine.  The memo
+hit/miss tallies (``fetch.*``, ``mem.check_memo_*``,
+``cache.xlate_memo_*``) are architectural counter state and are
+captured exactly; if the live machine kept its warm memos past the
+capture point while a restored twin re-warmed from cold, those tallies
+would silently diverge between two otherwise bit-identical machines.
+Clearing both sides at the snapshot boundary makes capture the common
+reset point: live-after-capture and restored-from-capture re-warm
+identically, so full counter-snapshot equality holds with no
+"modulo memo tallies" carve-out.
 
 Nothing here touches pointers: a guarded pointer's protection state is
 its 64 bits plus the tag, so serialising words *is* serialising
@@ -50,7 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: ChipConfig fields that change simulator speed but zero cycles; a
 #: snapshot restores onto a machine with *any* setting of these.
 SPEED_KNOBS = frozenset({"decode_cache", "data_fast_path",
-                         "idle_fast_forward"})
+                         "idle_fast_forward", "superblock"})
 
 
 def config_dict(config) -> dict:
@@ -193,8 +205,30 @@ def decode_thread(encoded: dict) -> Thread:
 
 # -- the chip -------------------------------------------------------------
 
+def _reset_functional_memos(chip: "MAPChip") -> None:
+    """Raw-clear every functional memo (no invalidation counters bump:
+    this is a snapshot boundary, not an architectural invalidation).
+    Called on both sides of the boundary — by capture on the live
+    machine and by restore on the target — so the two re-warm from the
+    same cold state and their memo tallies stay bit-identical."""
+    chip._decode_cache.clear()
+    chip._sb_nodes.clear()
+    if chip._lea_cache is not None:
+        chip._lea_cache.clear()
+    if chip._load_check_memo is not None:
+        chip._load_check_memo.clear()
+    if chip._store_check_memo is not None:
+        chip._store_check_memo.clear()
+    if chip.cache._xlate is not None:
+        chip.cache._xlate.clear()
+
+
 def capture_chip(chip: "MAPChip") -> dict:
-    """The complete architectural + timing state of one node."""
+    """The complete architectural + timing state of one node.
+
+    Capturing resets the live machine's functional memos (see the
+    module docstring): the snapshot is the common cold-start point from
+    which the live machine and any restored twin re-warm identically."""
     if chip.memory._devices:
         raise SnapshotError(
             "cannot snapshot a machine with MMIO devices attached: "
@@ -215,7 +249,7 @@ def capture_chip(chip: "MAPChip") -> dict:
             "slots": [encode_thread(t) if t is not None else None
                       for t in cluster.slots],
         })
-    return {
+    state = {
         "config": config_dict(chip.config),
         "now": chip.now,
         "next_tid": chip._next_tid,
@@ -233,6 +267,8 @@ def capture_chip(chip: "MAPChip") -> dict:
         "check_memo": {"hits": chip.check_memo_hits,
                        "misses": chip.check_memo_misses},
     }
+    _reset_functional_memos(chip)
+    return state
 
 
 def restore_chip_state(chip: "MAPChip", state: dict) -> None:
@@ -257,14 +293,9 @@ def restore_chip_state(chip: "MAPChip", state: dict) -> None:
     chip.tlb.restore_state(state["tlb"])
     chip.cache.restore_state(state["cache"])
 
-    # drop every functional memo — they re-warm without a cycle's skew
-    chip._decode_cache.clear()
-    if chip._lea_cache is not None:
-        chip._lea_cache.clear()
-    if chip._load_check_memo is not None:
-        chip._load_check_memo.clear()
-    if chip._store_check_memo is not None:
-        chip._store_check_memo.clear()
+    # drop every functional memo — they re-warm without a cycle's skew,
+    # from the same cold state capture left on the live machine
+    _reset_functional_memos(chip)
 
     chip._ready_count = 0
     chip._runnable_count = 0

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.core.exceptions import GuardedPointerFault
 from repro.core.pointer import GuardedPointer
 from repro.machine.assembler import Program
 from repro.machine.chip import ChipConfig, MAPChip, RunResult
@@ -210,8 +211,18 @@ class Simulation:
         if not isinstance(entry, GuardedPointer):
             entry = self.load(entry, node=node or 0)
         if node is None:
-            node = (self.machine.home_of(entry.address)
-                    if self.machine is not None else 0)
+            if self.machine is not None:
+                try:
+                    node = self.machine.home_of(entry.address)
+                except GuardedPointerFault as cause:
+                    # non-power-of-two meshes leave high-bit patterns
+                    # with no node behind them; an entry pointer there
+                    # cannot run anywhere
+                    raise SimulationError(
+                        f"entry pointer has no home node: {cause}"
+                    ) from cause
+            else:
+                node = 0
         return self.kernels[self._check_node(node)].spawn(entry, **kwargs)
 
     # -- the clock ---------------------------------------------------------
@@ -353,7 +364,8 @@ class Simulation:
         """Rebuild a simulation from a :meth:`save` file — single-node
         and mesh images both come back behind this same facade.
         Keyword overrides may flip the simulator speed knobs
-        (``decode_cache``, ``data_fast_path``, ``idle_fast_forward``);
+        (``decode_cache``, ``data_fast_path``, ``idle_fast_forward``,
+        ``superblock``);
         architectural overrides are rejected.  (Named ``restore``
         because ``load`` is the facade's program loader.)"""
         from repro.machine.multicomputer import Multicomputer

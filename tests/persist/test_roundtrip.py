@@ -11,10 +11,10 @@ working pointer (§2).  These tests hold the implementation to that:
 * the swap manager's backing store crosses the boundary: pages swapped
   out before a snapshot fault back in after a restore
   (:class:`TestSwapAcrossSnapshot` — tags included);
-* the simulator speed knobs (``decode_cache``, ``data_fast_path``) can
-  be flipped at load time without changing a single architectural bit
-  (:class:`TestDeterminism` — the 2×2 knob matrix runs one image to
-  identical digests);
+* the simulator speed knobs (``decode_cache``, ``data_fast_path``,
+  ``superblock``) can be flipped at load time without changing a single
+  architectural bit (:class:`TestDeterminism` — the 2×2×2 knob matrix
+  runs one image to identical digests);
 * perf-counter snapshots round-trip through JSON verbatim
   (:class:`TestCounterJson`).
 """
@@ -205,10 +205,11 @@ class TestSwapAcrossSnapshot:
 
 
 class TestDeterminism:
-    """Satellite guarantee: one image, four knob settings, one outcome."""
+    """Satellite guarantee: one image, eight knob settings, one outcome."""
 
-    KNOBS = [dict(decode_cache=dc, data_fast_path=fp)
-             for dc in (True, False) for fp in (True, False)]
+    KNOBS = [dict(decode_cache=dc, data_fast_path=fp, superblock=sb)
+             for dc in (True, False) for fp in (True, False)
+             for sb in (True, False)]
 
     def test_knob_matrix_runs_to_identical_digests(self, tmp_path):
         sim = running_sim()
@@ -219,6 +220,7 @@ class TestDeterminism:
             run = load_simulation(path, **knobs)
             assert run.config.decode_cache == knobs["decode_cache"]
             assert run.config.data_fast_path == knobs["data_fast_path"]
+            assert run.config.superblock == knobs["superblock"]
             result = run.run()
             assert result.reason is RunReason.HALTED
             digests.add(arch_digest(run))

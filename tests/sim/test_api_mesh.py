@@ -195,3 +195,48 @@ class TestTraceAndPersistence:
 
 def sim_load_both(sim):
     return sim.load(PROGRAM, node=1)
+
+
+class TestNonPowerOfTwoHomes:
+    """Node counts that are not a power of two leave unpopulated tail
+    partitions (6 nodes span 8 three-bit homes): addresses whose high
+    bits name a missing node must fault cleanly, never index past the
+    chip list."""
+
+    def _forged(self, sim, perm):
+        from repro.core.pointer import GuardedPointer
+
+        tail = sim.nodes << sim.partition.shift
+        return GuardedPointer.make(perm, 12, tail), tail
+
+    def test_home_of_faults_on_the_unpopulated_tail(self):
+        from repro.core.exceptions import PageFault
+
+        sim = mesh(nodes=6)
+        tail = sim.nodes << sim.partition.shift
+        with pytest.raises(PageFault, match="names node 6"):
+            sim.machine.home_of(tail)
+        # every populated home still resolves
+        for node in range(6):
+            base = node << sim.partition.shift
+            assert sim.machine.home_of(base) == node
+
+    def test_load_through_a_tail_pointer_faults_the_thread(self):
+        from repro.core.exceptions import PageFault
+        from repro.core.permissions import Permission
+
+        sim = mesh(nodes=6)
+        forged, _ = self._forged(sim, Permission.READ_WRITE)
+        thread = sim.spawn("ld r3, r1, 0\nhalt",
+                           regs={1: forged.word}, node=0, stack_bytes=0)
+        sim.run(10_000)
+        assert thread.state is ThreadState.FAULTED
+        assert isinstance(thread.fault.cause, PageFault)
+
+    def test_spawn_rejects_a_homeless_entry_pointer(self):
+        from repro.core.permissions import Permission
+
+        sim = mesh(nodes=6)
+        gate, _ = self._forged(sim, Permission.EXECUTE_USER)
+        with pytest.raises(SimulationError, match="no home node"):
+            sim.spawn(gate)

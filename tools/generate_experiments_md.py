@@ -522,7 +522,7 @@ def e16_section() -> str:
         "capability *is* the pointer.",
         "",
         "**Verdict: mechanism validated** (no paper numbers to compare);",
-        "`BENCH_pr6.json` records median + IQR across trials.",
+        "`BENCH_pr7.json` records median + IQR across trials.",
     ]
     return "\n".join(lines)
 

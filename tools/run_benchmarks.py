@@ -2,10 +2,11 @@
 """Run the repo's benchmark suite and record a machine-readable baseline.
 
 Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
-experiment kernels, the cycle-loop, data-stream and tracing-overhead
-microbenchmarks, the E5 counter snapshot, and the multi-tenant
-service-traffic run (``benchmarks/bench_service_traffic.py``), and
-writes everything to ``BENCH_pr6.json`` at the repo root.
+experiment kernels, the cycle-loop, data-stream, superblock and
+tracing-overhead microbenchmarks, the E5 counter snapshot, and the
+multi-tenant service-traffic run
+(``benchmarks/bench_service_traffic.py``), and writes everything to
+``BENCH_pr7.json`` at the repo root.
 
 Every benchmark runs ``--warmup`` unrecorded passes followed by
 ``--trials`` recorded passes; numeric results are reported as
@@ -17,11 +18,21 @@ construction, which is itself a useful invariant).  Non-numeric values
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr6.json] [--quick]
+    python tools/run_benchmarks.py [--out BENCH_pr7.json] [--quick]
                                    [--trials N] [--warmup M]
+                                   [--baseline BENCH_pr6.json]
 
 ``--quick`` shrinks every workload for CI smoke runs; the cross-checks
 and the cycles-equal assertions still apply, only the sizes change.
+
+``--baseline`` compares the freshly recorded run against a previous
+baseline file and exits nonzero on a statistically significant
+regression: a gated metric's new median falling more than
+``max(3 x IQR, 25%)`` below the baseline's median.  Speedup ratios
+(same-run on/off pairs) are gated unconditionally — they are machine-
+and workload-size-independent; absolute throughputs are only gated when
+both runs used the same workload sizes (the ``--quick`` flag matches),
+since a quick CI run and a full baseline are not comparable.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ from repro.sim.api import Simulation  # noqa: E402
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
 from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
 from benchmarks.bench_service_traffic import measure as service_traffic_measure  # noqa: E402
+from benchmarks.bench_superblock import measure as superblock_measure  # noqa: E402
 from benchmarks.bench_trace_overhead import measure as trace_overhead_measure  # noqa: E402
 
 
@@ -161,9 +173,92 @@ def counter_snapshot_e5(iterations: int = 500) -> dict:
             "cross_checks": checks, "counters": snap}
 
 
+# -- baseline regression gate ----------------------------------------------
+
+#: (benchmark, key, workload_dependent).  Speedup ratios pair an on- and
+#: an off-run from the *same* trial on the same machine, so they stay
+#: comparable across hosts and workload sizes and are always gated.
+#: Absolute throughputs (cycles/s, requests/s) and the simulated
+#: req/kcycle figure depend on the workload size, so they are gated only
+#: when both runs used the same sizes (``quick`` flags match).
+GATED_METRICS = (
+    ("cycle_loop", "speedup", False),
+    ("data_stream", "speedup", False),
+    ("superblock", "alu_speedup", False),
+    ("superblock", "worker_speedup", False),
+    ("e5_multithreading", "cycles_per_s", True),
+    ("data_stream", "fast_cycles_per_s", True),
+    ("service_traffic", "throughput_rpk", True),
+    ("service_traffic", "requests_per_s", True),
+)
+
+#: a metric regresses when its new median drops below the baseline's
+#: median by more than max(3 x IQR, 25%): three quartile spreads of
+#: run-to-run noise, with a relative floor for metrics whose IQR
+#: happens to be tiny.  The floor is wide enough that a quick CI run's
+#: slightly-lower ratios pass against a full-run baseline, while a
+#: genuine collapse of a speed knob (speedup falling toward 1x) fails.
+REL_TOL = 0.25
+
+
+def _stat(table: dict, bench: str, key: str) -> tuple[float, float] | None:
+    """(median, iqr) of one recorded metric, or None if absent."""
+    value = table.get("benchmarks", {}).get(bench, {}).get(key)
+    if isinstance(value, dict) and "median" in value:
+        return float(value["median"]), float(value.get("iqr", 0.0))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value), 0.0
+    return None
+
+
+def compare_to_baseline(payload: dict,
+                        baseline: dict) -> tuple[list[str], list[str]]:
+    """Compare the fresh ``payload`` against a ``baseline`` file's
+    contents; returns (regressions, skipped) message lists."""
+    regressions, skipped = [], []
+    same_workload = payload.get("quick") == baseline.get("quick")
+    for bench, key, workload_dependent in GATED_METRICS:
+        if workload_dependent and not same_workload:
+            skipped.append(f"{bench}.{key}: workload sizes differ "
+                           f"(quick vs full run)")
+            continue
+        base = _stat(baseline, bench, key)
+        new = _stat(payload, bench, key)
+        if base is None or new is None:
+            which = "baseline" if base is None else "current run"
+            skipped.append(f"{bench}.{key}: not recorded in the {which}")
+            continue
+        base_median, base_iqr = base
+        new_median, new_iqr = new
+        allowance = max(3.0 * max(base_iqr, new_iqr),
+                        REL_TOL * base_median)
+        if new_median < base_median - allowance:
+            regressions.append(
+                f"{bench}.{key}: {new_median:,.4g} vs baseline "
+                f"{base_median:,.4g} (allowed drop {allowance:,.4g} = "
+                f"max(3xIQR, {REL_TOL:.0%}))")
+    return regressions, skipped
+
+
+def check_baseline(payload: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    regressions, skipped = compare_to_baseline(payload, baseline)
+    print(f"comparing against baseline {baseline_path} "
+          f"(version {baseline.get('version', '?')}) ...")
+    for message in skipped:
+        print(f"  skipped  {message}")
+    if regressions:
+        for message in regressions:
+            print(f"  REGRESSED {message}")
+        print(f"{len(regressions)} significant regression(s) vs baseline")
+        return 1
+    print("  no significant regressions")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr6.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr7.json"))
     parser.add_argument("--quick", action="store_true",
                         help="shrink every workload for CI smoke runs")
     parser.add_argument("--trials", type=int, default=3,
@@ -171,6 +266,9 @@ def main(argv: list[str] | None = None) -> int:
                              "IQR reported)")
     parser.add_argument("--warmup", type=int, default=1,
                         help="unrecorded warmup passes per benchmark")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="previous baseline JSON to gate against; "
+                             "exit nonzero on a significant regression")
     args = parser.parse_args(argv)
     q = args.quick
     trials, warmup = args.trials, args.warmup
@@ -210,6 +308,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  {median_of(r_stream, 'speedup'):.2f}x with the data fast "
           f"path on ({median_of(r_stream, 'fast_cycles_per_s'):,.0f} vs "
           f"{median_of(r_stream, 'slow_cycles_per_s'):,.0f} cycles/s)")
+
+    print("running superblock microbenchmark ...")
+    r_sb = run_trials(
+        lambda: superblock_measure(800 if q else 4000), trials, warmup,
+        check=lambda r: (
+            _require(r["cycles_equal"],
+                     "superblocks changed the timing model"),
+            _require(r["counters_equal"],
+                     "superblocks changed the counters")))
+    print(f"  alu {median_of(r_sb, 'alu_speedup'):.2f}x, "
+          f"worker {median_of(r_sb, 'worker_speedup'):.2f}x, "
+          f"stream {median_of(r_sb, 'stream_speedup'):.2f}x with "
+          f"superblocks on (cycles and counters identical)")
 
     print("running tracing-overhead microbenchmark ...")
     r_trace = run_trials(
@@ -253,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
             "e9_context_switch": r_e9,
             "cycle_loop": r_loop,
             "data_stream": r_stream,
+            "superblock": r_sb,
             "trace_overhead": r_trace,
             "service_traffic": r_serve,
             "e5_counter_snapshot": r_snap,
@@ -261,6 +373,8 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    if args.baseline is not None:
+        return check_baseline(payload, args.baseline)
     return 0
 
 
