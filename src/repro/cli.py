@@ -8,7 +8,8 @@ Usage (``python -m repro <command> ...``):
   and final register file.  ``--data N`` allocates an N-byte read/write
   segment into r1; ``--trace`` prints the issue stream; ``--counters``
   prints the chip-wide perf-counter file; ``--max-cycles`` bounds the
-  run.
+  run; ``--nodes N --workers W`` runs on a mesh sharded across OS
+  processes (bit-identical to the lockstep engine).
 * ``isa``                  — print the opcode table.
 * ``trace FILE.s``         — run a program with structured tracing
   attached and write a Perfetto/Chrome-trace JSON file (``--out``);
@@ -31,7 +32,9 @@ Usage (``python -m repro <command> ...``):
   requests entering through enter-pointer gateways) and print
   throughput with p50/p99/p999 latency; ``--json`` writes the report,
   ``--trace-out`` records a Perfetto trace, ``--migrate-hot``
-  live-migrates the hottest tenant mid-run (docs/SERVICE.md).
+  live-migrates the hottest tenant mid-run, ``--workers N`` shards the
+  mesh across OS processes with bit-identical results
+  (docs/SERVICE.md, docs/PERF.md).
 
 The CLI is intentionally thin: everything it does is one call into the
 library — ``run`` drives the :class:`repro.sim.api.Simulation` facade —
@@ -68,7 +71,14 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    sim = Simulation(memory_bytes=args.memory)
+    if args.workers > 1 and args.nodes < 2:
+        print("; --workers > 1 needs --nodes > 1 (one node cannot shard)")
+        return 2
+    if args.workers > 1 and args.trace:
+        print("; --trace needs the lockstep engine (drop --workers)")
+        return 2
+    sim = Simulation(nodes=args.nodes, memory_bytes=args.memory,
+                     workers=args.workers)
     regs: dict[int, object] = {}
     if args.data:
         segment = sim.allocate(args.data)
@@ -76,6 +86,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"; r1 = {args.data}-byte read/write segment at "
               f"{segment.segment_base:#x}")
     thread = sim.spawn(Path(args.file).read_text(), regs=regs)
+    tid = thread.tid
     if args.trace:
         with sim.trace() as session:
             result = sim.run(max_cycles=args.max_cycles)
@@ -83,6 +94,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print()
     else:
         result = sim.run(max_cycles=args.max_cycles)
+    # on a sharded run the live thread objects sit in the workers;
+    # pull the machine state back before reading registers
+    sim.sync_back()
+    thread = next(t for t in sim.threads if t.tid == tid)
     if args.counters:
         print(sim.counter_table(title="; perf counters"))
         print()
@@ -109,6 +124,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         value = thread.regs.read_f(index)
         if value:
             print(f"f{index:<3}= {value}")
+    sim.close()
     return 0 if result.reason == RunReason.HALTED else 1
 
 
@@ -247,9 +263,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print the throughput/latency report (docs/SERVICE.md)."""
     from repro.service import ServiceLoadDriver, install_tenants, open_loop
 
+    if args.workers > 1 and args.trace_out:
+        print("; --trace-out needs the lockstep engine (drop --workers)")
+        return 2
+    if args.workers > 1 and args.nodes < 2:
+        print("; --workers > 1 needs --nodes > 1 (one node cannot shard)")
+        return 2
     sim = Simulation(nodes=args.nodes, memory_bytes=args.memory,
-                     page_bytes=args.page_bytes)
+                     page_bytes=args.page_bytes, workers=args.workers)
     print(f"; {args.tenants} tenants on {args.nodes} node(s), "
+          f"{args.workers} worker(s), "
           f"{args.requests} requests, {args.arrivals} arrivals at "
           f"{args.rate} req/kcycle, zipf skew {args.skew}, seed {args.seed}")
     tenants = install_tenants(sim, args.tenants, slots=args.slots)
@@ -276,6 +299,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.json).write_text(
             json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
         print(f"; report written to {args.json}")
+    sim.close()
     ok = (report.completed == args.requests and not report.errors
           and not report.wrong_results)
     return 0 if ok else 1
@@ -321,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the counter snapshot as JSON "
                             "(diff two with 'repro counters --diff')")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_run.add_argument("--nodes", type=int, default=1,
+                       help="mesh nodes (default 1: a single chip)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="OS worker processes for a mesh "
+                            "(default 1: the lockstep engine)")
     p_run.add_argument("--memory", type=int, default=8 * 1024 * 1024,
                        help="physical memory bytes")
     p_run.set_defaults(func=cmd_run)
@@ -409,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "subsystem)")
     p_serve.add_argument("--nodes", type=int, default=4,
                          help="mesh nodes (1: a single-node machine)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="OS worker processes sharding the mesh "
+                              "(default 1: the lockstep engine; results "
+                              "are bit-identical either way)")
     p_serve.add_argument("--seed", type=int, default=0,
                          help="traffic seed (same seed = same schedule)")
     p_serve.add_argument("--requests", type=int, default=2000)

@@ -61,3 +61,18 @@ class PageFault(GuardedPointerFault):
 class EncodingFault(GuardedPointerFault):
     """A pointer could not be encoded because a field is out of range
     (e.g. an address wider than 54 bits or a misaligned segment)."""
+
+
+class FetchPending(Exception):
+    """Not a fault: an instruction fetch needs code words homed on
+    another node and the windowed mesh engine has requested them.  The
+    cluster blocks the thread until ``resume_at`` (the next window
+    barrier, when the words arrive in the chip's remote-code mirror)
+    and retries the fetch.  Deliberately *not* a
+    :class:`GuardedPointerFault` — nothing architectural went wrong."""
+
+    def __init__(self, resume_at: int, vaddr: int):
+        self.resume_at = resume_at
+        self.vaddr = vaddr
+        super().__init__(f"remote code words at {vaddr:#x} requested; "
+                         f"resume at cycle {resume_at}")

@@ -10,7 +10,11 @@ Two independent oracles keep the chip honest:
 * the chip *restored from a snapshot* mid-run
   (:func:`~repro.fuzz.scenarios.diff_replay_axis`) — a round-trip
   through the ``repro.persist`` container must change nothing, which is
-  the deterministic-replay guarantee policed case by case.
+  the deterministic-replay guarantee policed case by case;
+* the same case on a two-node mesh under the sharded engine
+  (:func:`~repro.fuzz.scenarios.diff_parallel_axis`) — ``workers=2``
+  must be bit-identical to the lockstep engine, mid-run snapshot
+  digest included.
 
 See ``docs/FUZZING.md`` for the scenario space and the invalidation
 contract this subsystem polices.
@@ -21,7 +25,8 @@ from repro.fuzz.generator import (REFERENCE_SCENARIOS, SCENARIOS, FuzzCase,
                                   generate_case)
 from repro.fuzz.runner import (Failure, FuzzReport, run_campaign, run_case,
                                write_failure_artifacts)
-from repro.fuzz.scenarios import (diff_cache_axes, diff_fast_path_axes,
+from repro.fuzz.scenarios import (PARALLEL_SCENARIOS, diff_cache_axes,
+                                  diff_fast_path_axes, diff_parallel_axis,
                                   diff_replay_axis, diff_superblock_axes,
                                   run_scenario)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
@@ -31,11 +36,13 @@ __all__ = [
     "Failure",
     "FuzzCase",
     "FuzzReport",
+    "PARALLEL_SCENARIOS",
     "REFERENCE_SCENARIOS",
     "SCENARIOS",
     "diff_against_reference",
     "diff_cache_axes",
     "diff_fast_path_axes",
+    "diff_parallel_axis",
     "diff_replay_axis",
     "diff_superblock_axes",
     "emit_regression_test",

@@ -16,16 +16,19 @@ from repro.fuzz.differ import Divergence, diff_against_reference
 from repro.fuzz.generator import (REFERENCE_SCENARIOS, FuzzCase,
                                   generate_case)
 from repro.fuzz.scenarios import (diff_cache_axes, diff_fast_path_axes,
-                                  diff_replay_axis, diff_superblock_axes)
+                                  diff_parallel_axis, diff_replay_axis,
+                                  diff_superblock_axes)
 from repro.fuzz.shrink import emit_regression_test, shrink_case
 
 
 def run_case(case: FuzzCase) -> list[Divergence]:
     """Every divergence ``case`` produces: the decode-cache,
     data-fast-path, superblock and snapshot-replay axes always run; the
-    chip-vs-reference axis runs for the scenarios the flat-memory
-    reference can execute (no paging, no kernel, no mesh).  An empty
-    list is the pass verdict the regression tests assert."""
+    parallel-vs-lockstep axis runs for the self-contained scenarios a
+    mesh can host (``PARALLEL_SCENARIOS``); the chip-vs-reference axis
+    runs for the scenarios the flat-memory reference can execute (no
+    paging, no kernel, no mesh).  An empty list is the pass verdict
+    the regression tests assert."""
     divergences = []
     d = diff_cache_axes(case)
     if d is not None:
@@ -37,6 +40,9 @@ def run_case(case: FuzzCase) -> list[Divergence]:
     if d is not None:
         divergences.append(d)
     d = diff_replay_axis(case)
+    if d is not None:
+        divergences.append(d)
+    d = diff_parallel_axis(case)
     if d is not None:
         divergences.append(d)
     if case.scenario in REFERENCE_SCENARIOS:

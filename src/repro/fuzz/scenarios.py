@@ -34,6 +34,7 @@ fast-path settings — that is the deterministic-replay guarantee
 from __future__ import annotations
 
 from repro.core.permissions import Permission
+from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord
 from repro.machine.assembler import assemble
 from repro.machine.chip import ChipConfig, MAPChip
@@ -505,4 +506,113 @@ def diff_replay_axis(case: FuzzCase) -> Divergence | None:
                 detail = "digests differ"
             return Divergence(axis, case, "state", detail,
                               snapshot=snapshot, flight=flight)
+    return None
+
+
+# -- the parallel axis -----------------------------------------------------
+
+#: scenarios the sharded axis can transplant onto a mesh: their sources
+#: are self-contained given the bare-chip register convention (r8 data,
+#: r15 a writable code alias) — no kernel choreography mid-run
+PARALLEL_SCENARIOS = ("plain", "self_modify")
+
+
+def _run_sharded_mesh(case: FuzzCase, workers: int) -> dict:
+    """The case on a two-node mesh: one copy of the program per node,
+    r8 pointing at a data segment homed on the *other* node so every
+    access crosses the network, r15 a writable alias of the node's own
+    code (the bare-chip register convention, transplanted).  With
+    ``workers=1`` the lockstep engine runs it; with ``workers=2`` each
+    node lives in its own OS process and the digest must not be able
+    to tell.
+
+    Capture points are symmetric on purpose: ``capture_state`` resets
+    the functional memos on the live machine (the documented carve-out
+    in ``repro.persist.state``), and the sharded engine captures once
+    at worker warm-start, so the lockstep arm takes an explicit capture
+    at the same point.  Both arms then capture at a window-aligned
+    split, which doubles as the mid-run snapshot-digest comparison.
+    """
+    import hashlib
+
+    from repro.persist.snapshot import encode_snapshot
+    from repro.persist.state import threads_by_tid
+
+    sim = Simulation(nodes=2, memory_bytes=2 * 1024 * 1024,
+                     arena_order=24, workers=workers)
+    try:
+        datas = [sim.allocate(DATA_BYTES, node=node, eager=True)
+                 for node in (0, 1)]
+        tids = []
+        for node in (0, 1):
+            entry = sim.load(case.source, node=node)
+            rw = GuardedPointer.make(Permission.READ_WRITE, entry.seglen,
+                                     entry.address)
+            thread = sim.spawn(entry, node=node, stack_bytes=0,
+                               regs={8: datas[1 - node].word,
+                                     15: rw.word})
+            for index, value in case.fregs.items():
+                thread.regs.write_f(index, value)
+            tids.append(thread.tid)
+        if workers == 1:
+            sim.capture_state()  # parity with the warm-start capture
+        budget = MAX_CYCLES
+        budget -= sim.run(max_cycles=8 * sim.machine.window).cycles
+        mid = hashlib.sha256(
+            encode_snapshot(sim.capture_state())).hexdigest()
+        sim.run(max_cycles=budget)
+        counters = sim.snapshot()
+        sim.sync_back()
+        nodes = []
+        for node, tid in enumerate(tids):
+            chip = sim.chips[node]
+            nodes.append(_digest_chip(
+                chip, [threads_by_tid(chip)[tid]],
+                [(datas[node].segment_base, DATA_BYTES)], []))
+        return {
+            "cycles": max(chip.now for chip in sim.chips),
+            "mid_snapshot": mid,
+            "nodes": nodes,
+            "counters": counters,
+            "invariant": None,
+            "_flight": [d.pop("_flight") for d in nodes],
+        }
+    finally:
+        sim.close()
+
+
+def diff_parallel_axis(case: FuzzCase) -> Divergence | None:
+    """Run ``case`` on a two-node mesh under the lockstep engine and
+    again with ``workers=2`` — every node advanced in its own OS
+    process — and require bit-identical digests: cycle counts,
+    registers, memory, fault sequences, the merged counter snapshot,
+    and a sha-256 of the full machine image captured at a
+    window-aligned split mid-run.  This is the sharded engine's whole
+    contract: the partition map must be unobservable."""
+    if case.scenario not in PARALLEL_SCENARIOS:
+        return None
+    axis = "parallel-vs-lockstep"
+    try:
+        lockstep = _run_sharded_mesh(case, workers=1)
+    except Exception as e:
+        return Divergence(axis, case, "crash",
+                          f"lockstep mesh run crashed: "
+                          f"{type(e).__name__}: {e}")
+    try:
+        sharded = _run_sharded_mesh(case, workers=2)
+    except Exception as e:
+        return Divergence(axis, case, "crash",
+                          f"2-worker mesh run crashed: "
+                          f"{type(e).__name__}: {e}")
+    lockstep.pop("_flight", None)
+    flight = sharded.pop("_flight", None)
+    if lockstep != sharded:
+        for key in lockstep:
+            if lockstep[key] != sharded[key]:
+                detail = (f"{key}: lockstep={lockstep[key]!r} "
+                          f"2-worker={sharded[key]!r}")
+                break
+        else:
+            detail = "digests differ"
+        return Divergence(axis, case, "state", detail, flight=flight)
     return None

@@ -42,7 +42,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.constants import ADDRESS_MASK as _ADDRESS_MASK
-from repro.core.exceptions import PermissionFault
+from repro.core.constants import WORD_BYTES
+from repro.core.exceptions import FetchPending, PageFault, PermissionFault
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord
 from repro.machine.cluster import Cluster
@@ -53,7 +54,7 @@ from repro.machine.thread import Thread, ThreadState
 from repro.mem.cache import BankedCache
 from repro.mem.page_table import PageTable
 from repro.mem.physical import FrameAllocator
-from repro.mem.tagged_memory import TaggedMemory
+from repro.mem.tagged_memory import AlignmentFault, TaggedMemory
 from repro.mem.tlb import TLB
 from repro.obs.hub import TraceHub
 
@@ -196,6 +197,19 @@ class MAPChip:
         #: node's id and the router that services non-local addresses
         self.node_id = 0
         self.router = None
+        # -- windowed-mesh state (unused off a mesh) -------------------
+        #: remote-code mirror: vaddr -> (value, tag) for code words
+        #: fetched from their home node, or None as a one-shot negative
+        #: (the home had no mapping; the retry faults precisely).
+        #: Invalidated with the decode cache — homes broadcast when an
+        #: exported word is overwritten.
+        self._remote_mirror: dict[int, tuple | None] = {}
+        #: code words this node has served to remote fetchers (drives
+        #: the invalidation broadcast when one is overwritten)
+        self._exported_code: set[int] = set()
+        #: in-flight remote loads: seq -> (tid, bank, rd), resolved at
+        #: the next window barrier
+        self._remote_pending: dict[int, tuple[int, str, int]] = {}
         self._next_tid = 0
         self.now = 0
         # -- the decoded-bundle cache (see module docstring) ----------
@@ -327,17 +341,27 @@ class MAPChip:
         signature shared with :meth:`BankedCache.access` and
         :meth:`Multicomputer.remote_access`.
         """
+        router = self.router
         if write:
             # keep the decoded-bundle cache coherent with stores
-            # (self-modifying code; on a mesh, any node may have the
-            # written address decoded, so invalidation is machine-wide)
-            if self.router is not None:
-                self.router.invalidate_decoded(vaddr)
-            else:
-                self.invalidate_decoded_word(vaddr)
-        if self.router is not None and not self.router.is_local(self, vaddr):
-            return self.router.remote_access(self, vaddr, write=write,
-                                             now=now, value=value)
+            # (self-modifying code).  This node drops its copy now; on
+            # a mesh every other node drops its copy at the window
+            # barrier — before any remote observer can fetch, since no
+            # cross-node traffic moves inside a window.
+            self.invalidate_decoded_word(vaddr)
+        if router is not None and not router.is_local(self, vaddr):
+            if vaddr % WORD_BYTES:
+                # alignment is a pure property of the virtual address:
+                # fault at the issue site like a local access would,
+                # instead of shipping a doomed message across the mesh
+                raise AlignmentFault(
+                    f"unaligned word access at {vaddr:#x}")
+            if write:
+                self._remote_mirror.pop(vaddr - (vaddr % OP_BYTES), None)
+            return router.remote_access(self, vaddr, write=write,
+                                        now=now, value=value)
+        if write and router is not None:
+            router.note_local_store(self, vaddr, now)
         return self.cache.access(vaddr, write=write, now=now, value=value)
 
     # -- instruction fetch ---------------------------------------------------
@@ -373,12 +397,35 @@ class MAPChip:
             self._decode_cache[address] = (entry[0], word)
             return entry[0]
         self.fetch_misses += 1
+        router = self.router
+        if router is not None:
+            # words homed elsewhere come out of the remote-code mirror;
+            # anything missing is requested at the next window barrier
+            # and the fetch retries (FetchPending blocks the thread)
+            mirror = self._remote_mirror
+            missing = []
+            for slot in range(SLOTS):
+                vaddr = address + slot * OP_BYTES
+                if router.is_local(self, vaddr):
+                    continue
+                if vaddr not in mirror:
+                    missing.append(vaddr)
+                elif mirror[vaddr] is None:
+                    # one-shot negative: the home answered "no mapping";
+                    # fault precisely on this retry
+                    del mirror[vaddr]
+                    raise PageFault(vaddr,
+                                    f"code word at {vaddr:#x} is unmapped "
+                                    f"on its home node")
+            if missing:
+                raise FetchPending(
+                    router.fetch_remote(self, missing, self.now), address)
         words = []
         for slot in range(SLOTS):
             vaddr = address + slot * OP_BYTES
-            if self.router is not None and not self.router.is_local(self, vaddr):
-                home, physical = self.router.remote_walk(vaddr)
-                words.append(home.memory.load_word(physical))
+            if router is not None and not router.is_local(self, vaddr):
+                value, tag = self._remote_mirror[vaddr]
+                words.append(TaggedWord(value, tag))
             else:
                 physical = self.page_table.walk(vaddr)
                 words.append(self.memory.load_word(physical))
@@ -403,9 +450,10 @@ class MAPChip:
         self._sb_nodes.clear()
 
     def flush_decoded(self) -> None:
-        """Drop every decoded bundle — on every node, when meshed."""
+        """Drop every decoded bundle — on every node, when meshed (this
+        node immediately, the rest at the next window barrier)."""
         if self.router is not None:
-            self.router.flush_decoded()
+            self.router.flush_decoded(self)
         else:
             self._flush_decoded_local()
 
@@ -447,9 +495,10 @@ class MAPChip:
         """Drop every cached bundle overlapping ``[base, base+nbytes)``
         (program loaders and the swap manager rewriting a virtual range
         call this).  On a mesh the range is dropped on *every* node —
-        any node may have the rewritten code decoded."""
+        any node may have the rewritten code decoded (this node
+        immediately, the rest at the next window barrier)."""
         if self.router is not None:
-            self.router.invalidate_decoded_range(base, nbytes)
+            self.router.invalidate_decoded_range(self, base, nbytes)
         else:
             self._invalidate_decoded_range_local(base, nbytes)
 

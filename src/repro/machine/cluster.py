@@ -26,7 +26,12 @@ from typing import TYPE_CHECKING
 from repro.core import operations as ops
 from repro.core.constants import ADDRESS_MASK as _SB_ADDRESS_MASK
 from repro.core.constants import WORD_MASK as _SB_WORD_MASK
-from repro.core.exceptions import GuardedPointerFault, PermissionFault, RestrictFault
+from repro.core.exceptions import (
+    FetchPending,
+    GuardedPointerFault,
+    PermissionFault,
+    RestrictFault,
+)
 from repro.core.permissions import Permission
 from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord, to_s64
@@ -34,7 +39,7 @@ from repro.machine.disasm import disassemble_bundle
 from repro.machine.faults import FaultRecord, TrapFault
 from repro.machine.isa import BUNDLE_BYTES, Bundle, Opcode, Operation
 from repro.machine.registers import float_to_word, saturating_ftoi, word_to_float
-from repro.machine.thread import Thread, ThreadState
+from repro.machine.thread import REMOTE_WAIT, Thread, ThreadState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.chip import MAPChip
@@ -255,9 +260,13 @@ class Cluster:
                      tid=thread.tid, from_tid=self._last_tid)
         self._last_tid = thread.tid
 
-        self._execute_bundle(thread, now)
-        self.issued_cycles += 1
-        return True
+        if self._execute_bundle(thread, now):
+            self.issued_cycles += 1
+            return True
+        # the fetch is waiting on remote code words (FetchPending):
+        # nothing issued; the cycle is idle like any other stall
+        self.idle_cycles += 1
+        return False
 
     def _select(self, now: int) -> Thread | None:
         n = len(self.slots)
@@ -293,12 +302,20 @@ class Cluster:
             cache[key] = ptr
         return ptr
 
-    def _execute_bundle(self, thread: Thread, now: int) -> None:
+    def _execute_bundle(self, thread: Thread, now: int) -> bool:
+        """Execute one bundle; returns True when the bundle issued (a
+        faulting bundle issues too), False when the fetch is stalled on
+        remote code words and nothing happened this cycle."""
         try:
             bundle = self.chip.fetch(thread.ip)
+        except FetchPending as pend:
+            # remote code words were requested at the window barrier;
+            # the thread blocks until they land and the fetch retries
+            thread.block_until(pend.resume_at)
+            return False
         except Exception as cause:  # decode/translation failure at fetch
             self._fault(thread, cause, "fetch", now)
-            return
+            return True
 
         obs = self.chip.obs
         if obs.hot:
@@ -322,7 +339,7 @@ class Cluster:
             block_until, pending = self._exec_mem(thread, bundle.mem_op, commits, now)
         except GuardedPointerFault as cause:
             self._fault(thread, cause, self._fault_site(bundle, cause), now)
-            return
+            return True
 
         # Commit phase: nothing above faulted.
         for bank, index, value in commits:
@@ -348,7 +365,7 @@ class Cluster:
             if obs.enabled:
                 obs.emit("thread.halt", now, cluster=self.cluster_id,
                          tid=thread.tid, bundles=thread.stats.bundles)
-            return
+            return True
 
         try:
             if branch_target is not None:
@@ -358,9 +375,15 @@ class Cluster:
         except GuardedPointerFault as cause:
             # running off the end of the code segment
             self._fault(thread, cause, "ip-advance", now)
-            return
+            return True
 
-        if block_until is not None and block_until > now + 1:
+        if block_until == REMOTE_WAIT:
+            # remote load: the true reply cycle is computed at the next
+            # window barrier, which rewrites wake_at and charges the
+            # stall; the register write arrives the same way
+            thread.pending_writes.extend(pending)
+            thread.block_until(REMOTE_WAIT)
+        elif block_until is not None and block_until > now + 1:
             thread.pending_writes.extend(pending)
             thread.stats.stall_cycles += block_until - (now + 1)
             thread.block_until(block_until)
@@ -370,6 +393,7 @@ class Cluster:
                     thread.regs.write(index, value)
                 else:
                     thread.regs.write_f(index, value)
+        return True
 
     # -- superblock execution ------------------------------------------------
 
@@ -810,6 +834,13 @@ class Cluster:
         if code is Opcode.LD or code is Opcode.LDF:
             vaddr = self._mem_address(regs.read(op.ra), op.imm, write=False)
             result = self.chip.access_memory(vaddr, write=False, now=now)
+            if result.ready_cycle == REMOTE_WAIT:
+                # remote load: the window barrier resolves the value and
+                # the true latency (the histogram is charged then too)
+                self.chip.router.bind_remote_load(
+                    self.chip, thread.tid,
+                    "r" if code is Opcode.LD else "f", op.rd)
+                return REMOTE_WAIT, []
             obs = self.chip.obs
             if obs.enabled:
                 obs.load_to_use.add(result.ready_cycle - now)

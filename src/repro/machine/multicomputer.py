@@ -1,4 +1,4 @@
-"""The M-Machine as a multicomputer (§3).
+"""The M-Machine as a multicomputer (§3) — windowed mesh engine.
 
 Multiple MAP nodes share the single 54-bit global address space: the
 high-order address bits name the *home node* of every byte.  A guarded
@@ -14,6 +14,53 @@ node's memory, and are not cached locally (the real M-Machine cached
 remote blocks under an LTLB protocol; bypassing keeps the model simple
 and conservative — remote stays slower than local, which is the only
 property the experiments rely on).
+
+**The window protocol.**  The mesh has a hard minimum one-way latency:
+two interface crossings plus at least one hop
+(``2*interface_cycles + hop_cycles``).  That bound is exactly the
+*lookahead* a conservative parallel-discrete-event engine needs — a
+message injected at cycle ``T`` cannot affect its destination before
+``T + W`` — so the machine advances in windows of ``W`` cycles:
+
+* within a window every node runs **independently**; all cross-node
+  traffic (remote loads/stores, remote code-word fetches, decode-cache
+  invalidations, flushes) is queued in per-node outboxes instead of
+  touching another node's state directly;
+* at each window barrier the queued messages are sorted by the
+  deterministic key ``(cycle, src_node, seq)``, network timing is
+  computed in that order (reproducing the injection-port serialisation
+  a cycle-interleaved engine would see), home nodes service the
+  requests in that order, and replies/invalidations are applied back
+  at the sources in that order.
+
+Because nodes never interact inside a window, advancing the nodes of a
+window serially, or sharded across OS processes
+(:mod:`repro.machine.parallel`), produces **bit-identical** machines —
+the partitioned-vs-lockstep fuzz axis proves it continuously.
+
+Semantics under the protocol (visible differences from a
+cycle-interleaved engine, all bounded by one window):
+
+* remote stores are *posted*: the issuing thread proceeds immediately
+  (it never blocked on stores before either) and the word lands in the
+  home memory at the barrier, timestamped with its true network
+  arrival;
+* a remote load blocks its thread on the :data:`REMOTE_WAIT` sentinel;
+  the barrier computes the true reply cycle ``R`` (always ≥ the next
+  barrier, by the lookahead bound) and rewrites the wake-up;
+* remote *code* words are mirrored: a fetch touching words homed
+  elsewhere requests them at the barrier and retries out of the
+  per-chip mirror.  Homes remember which code words they exported and
+  broadcast invalidations when those words are overwritten, so the
+  mirror obeys the same coherence contract as the decoded-bundle
+  cache;
+* demand paging for remote accesses happens home-side at the barrier
+  (the home kernel maps the page and the access retries in place), so
+  machine-wide lazy allocation works exactly as before — without a
+  fault/resume round trip through the issuing thread;
+* revocation (unmap/flush) propagates at window granularity: the local
+  node drops its own state immediately, every other node at the next
+  barrier.
 """
 
 from __future__ import annotations
@@ -26,8 +73,11 @@ from repro.core.pointer import GuardedPointer
 from repro.core.word import TaggedWord
 from repro.machine.chip import ChipConfig, MAPChip, RunReason, RunResult
 from repro.machine.counters import merge_snapshots
+from repro.machine.faults import FaultRecord
+from repro.machine.isa import OP_BYTES
 from repro.machine.network import MeshNetwork, MeshShape
-from repro.machine.thread import Thread
+from repro.machine.registers import word_to_float
+from repro.machine.thread import REMOTE_WAIT, Thread, ThreadState
 from repro.mem.cache import AccessResult
 from repro.runtime.kernel import Kernel
 
@@ -60,13 +110,21 @@ class Partition:
         return 1 << self.shift
 
 
+def window_cycles(hop_cycles: int, interface_cycles: int) -> int:
+    """The conservative lookahead: the minimum one-way latency of any
+    cross-node message (source interface + one hop + destination
+    interface), floored at 1 cycle."""
+    return max(1, 2 * interface_cycles + hop_cycles)
+
+
 class Multicomputer:
-    """A mesh of MAP nodes over one global address space.
+    """A mesh of MAP nodes over one global address space, advanced in
+    conservative lookahead windows (see the module docstring).
 
     Each node gets its own :class:`~repro.runtime.kernel.Kernel` whose
     arena lives inside the node's partition; page faults on remote
-    addresses are forwarded to the home node's kernel, so demand paging
-    works machine-wide.
+    addresses are serviced by the home node's kernel at the window
+    barrier, so demand paging works machine-wide.
     """
 
     def __init__(self, shape: MeshShape | None = None,
@@ -90,14 +148,20 @@ class Multicomputer:
             arena_base = self.partition.base_of(node) + (1 << arena_order)
             kernel = Kernel(chip, arena_base=arena_base,
                             arena_order=arena_order)
-            chip.fault_handler = self._make_fault_handler(kernel)
+            # remote page faults never reach a thread anymore — the
+            # home kernel demand-pages at the barrier — so the local
+            # kernel's own handler is the whole fault story
+            chip.fault_handler = kernel._handle_fault
             self.chips.append(chip)
             self.kernels.append(kernel)
         # Any unmap anywhere must reach every node's decoded-bundle
-        # cache: a thread may be executing code homed on another node,
-        # and revocation-by-unmap (§4.3) is machine-wide.
+        # cache and remote-code mirror: a thread may be executing code
+        # homed on another node, and revocation-by-unmap (§4.3) is
+        # machine-wide.  The unmapping chip's own hook already flushed
+        # locally; the machine hook broadcasts to everyone else at the
+        # next window barrier.
         for chip in self.chips:
-            chip.page_table.add_invalidation_hook(self._flush_all_decoded)
+            chip.page_table.add_invalidation_hook(self._make_unmap_hook(chip))
         self.network.obs_lookup = lambda node: self.chips[node].obs
         self.arena_order = arena_order
         #: migration forwarding map: virtual page → current home node,
@@ -109,6 +173,20 @@ class Multicomputer:
         #: changes when pages change nodes.
         self._page_homes: dict[int, int] = {}
         self._page_bytes = config.page_bytes
+        # -- window-engine state ---------------------------------------
+        #: conservative lookahead: barrier spacing in cycles
+        self.window = window_cycles(hop_cycles, interface_cycles)
+        #: absolute cycle of the next window barrier
+        self._next_barrier = self.window
+        #: per-node outbox of cross-node messages queued this window
+        self._outbox: list[list[list]] = [[] for _ in self.chips]
+        #: per-node message sequence counters (the third component of
+        #: the deterministic barrier sort key)
+        self._seq: list[int] = [0] * len(self.chips)
+        #: (src, seq) of the most recently queued remote load, so the
+        #: cluster can attach its destination register immediately
+        self._last_load: tuple[int, int] = (0, -1)
+        self._external_cycles = config.external_cycles
 
     def home_of(self, vaddr: int) -> int:
         """The node currently holding ``vaddr``: the partition's static
@@ -141,26 +219,59 @@ class Multicomputer:
         else:
             self._page_homes[page] = node
 
-    def _flush_all_decoded(self, _virtual_page: int) -> None:
-        for chip in self.chips:
-            chip._flush_decoded_local()
+    # -- the per-node outbox -----------------------------------------------
 
-    def invalidate_decoded(self, vaddr: int) -> None:
-        """Router half of store-coherence for decoded bundles: a write
-        anywhere drops the bundles overlapping that word on every node."""
-        for chip in self.chips:
-            chip.invalidate_decoded_word(vaddr)
+    def _enqueue(self, src: int, message: list) -> int:
+        """Queue a cross-node message; returns its sequence number (the
+        message's third field, already filled in by the caller via
+        :meth:`_next_seq`)."""
+        self._outbox[src].append(message)
+        return message[3]
 
-    def invalidate_decoded_range(self, base: int, nbytes: int) -> None:
-        """Machine-wide half of :meth:`MAPChip.invalidate_decoded_range`."""
-        for chip in self.chips:
-            chip._invalidate_decoded_range_local(base, nbytes)
+    def _next_seq(self, src: int) -> int:
+        seq = self._seq[src]
+        self._seq[src] = seq + 1
+        return seq
 
-    def flush_decoded(self) -> None:
+    def _in_flight(self) -> bool:
+        return any(self._outbox)
+
+    def _make_unmap_hook(self, chip: MAPChip):
+        def hook(_virtual_page: int) -> None:
+            src = chip.node_id
+            self._enqueue(src, ["flush", chip.now, src,
+                                self._next_seq(src)])
+        return hook
+
+    # -- decode-cache coherence (router half) ------------------------------
+
+    def note_local_store(self, chip: MAPChip, vaddr: int, now: int) -> None:
+        """A store on ``chip`` to an address it homes: if that code
+        word was ever exported to a remote fetcher, broadcast an
+        invalidation so every mirror and decode cache drops it at the
+        next barrier (the local caches were already dropped at issue)."""
+        aligned = vaddr - (vaddr % OP_BYTES)
+        if aligned in chip._exported_code:
+            chip._exported_code.discard(aligned)
+            src = chip.node_id
+            self._enqueue(src, ["inv", now, src, self._next_seq(src),
+                                aligned])
+
+    def invalidate_decoded_range(self, chip: MAPChip, base: int,
+                                 nbytes: int) -> None:
+        """Machine-wide half of :meth:`MAPChip.invalidate_decoded_range`:
+        drop the range locally now, everywhere else at the barrier."""
+        chip._invalidate_decoded_range_local(base, nbytes)
+        src = chip.node_id
+        self._enqueue(src, ["invr", chip.now, src, self._next_seq(src),
+                            base, nbytes])
+
+    def flush_decoded(self, chip: MAPChip) -> None:
         """Machine-wide half of :meth:`MAPChip.flush_decoded` (runtime
         physical stores cannot be reverse-translated on any node)."""
-        for chip in self.chips:
-            chip._flush_decoded_local()
+        chip._flush_decoded_local()
+        src = chip.node_id
+        self._enqueue(src, ["flush", chip.now, src, self._next_seq(src)])
 
     # -- the router contract used by MAPChip.access_memory ---------------
 
@@ -169,57 +280,327 @@ class Multicomputer:
 
     def remote_access(self, chip: MAPChip, vaddr: int, *, write: bool,
                       now: int, value: TaggedWord | None = None) -> AccessResult:
-        """Service an access whose home is another node (keyword-only
+        """Queue an access whose home is another node (keyword-only
         port signature, shared with ``MAPChip.access_memory`` and
-        ``BankedCache.access``)."""
-        home = self.chips[self.home_of(vaddr)]
-        # PageFault → local thread; the home node's translation line
-        # memo answers repeat traffic (cleared by the home unmap hook,
-        # so remote revocation stays airtight)
-        physical = home.cache.translate_functional(vaddr)
-        arrive = self.network.deliver(chip.node_id, home.node_id, now)
-        serviced = arrive + home.cache.external_cycles
-        reply = self.network.deliver(home.node_id, chip.node_id, serviced)
+        ``BankedCache.access``).
+
+        Stores are posted (the thread proceeds; the word lands at the
+        barrier).  Loads return the :data:`REMOTE_WAIT` sentinel as
+        their ready cycle — the cluster blocks the thread on it and the
+        barrier rewrites the wake-up with the true reply cycle."""
+        src = chip.node_id
+        seq = self._next_seq(src)
         if write:
             if value is None:
                 raise ValueError("store requires a value")
             chip.counters.incr("router.remote_writes")
-            home.memory.store_word(physical, value)
-            word = TaggedWord.zero()
-        else:
-            chip.counters.incr("router.remote_reads")
+            self._enqueue(src, ["st", now, src, seq, vaddr,
+                                value.value, value.tag])
+            return AccessResult(word=TaggedWord.zero(), ready_cycle=now,
+                                hit=False, bank=-1)
+        chip.counters.incr("router.remote_reads")
+        self._enqueue(src, ["ld", now, src, seq, vaddr])
+        self._last_load = (src, seq)
+        return AccessResult(word=TaggedWord.zero(), ready_cycle=REMOTE_WAIT,
+                            hit=False, bank=-1)
+
+    def bind_remote_load(self, chip: MAPChip, tid: int, bank: str,
+                         rd: int) -> None:
+        """Attach the destination register of the remote load this chip
+        just issued (the cluster calls this immediately after seeing
+        the :data:`REMOTE_WAIT` sentinel)."""
+        src, seq = self._last_load
+        chip._remote_pending[seq] = (tid, bank, rd)
+
+    def fetch_remote(self, chip: MAPChip, vaddrs: list[int],
+                     now: int) -> int:
+        """Request remote code words for an instruction fetch; returns
+        the barrier cycle at which the mirror will hold them (the
+        cluster blocks the thread until then and retries).
+
+        A bundle straddling a partition edge can name words with two
+        different homes, so the request is split per home node — each
+        home services exactly its own words."""
+        src = chip.node_id
+        by_home: dict[int, list[int]] = {}
+        for vaddr in vaddrs:
+            by_home.setdefault(self.home_of(vaddr), []).append(vaddr)
+        for home in sorted(by_home):
+            self._enqueue(src, ["fetch", now, src, self._next_seq(src),
+                                by_home[home]])
+        return self._next_barrier
+
+    # -- the window barrier ------------------------------------------------
+
+    def _collect_messages(self) -> list[list]:
+        """Drain every outbox into one deterministically ordered batch:
+        sorted by (cycle, src_node, seq) — exactly the order a
+        cycle-interleaved lockstep engine would have presented them to
+        the network and the home memories."""
+        messages: list[list] = []
+        for box in self._outbox:
+            messages.extend(box)
+            box.clear()
+        messages.sort(key=lambda m: (m[1], m[2], m[3]))
+        return messages
+
+    def _home_translate(self, home_node: int, vaddr: int) -> int | None:
+        """Functional translation at the home node, demand-paging
+        through the home kernel on a miss (the barrier-time equivalent
+        of the old fault-forwarding path).  Returns the physical
+        address, or None when the address is genuinely unmapped."""
+        home = self.chips[home_node]
+        try:
+            return home.cache.translate_functional(vaddr)
+        except PageFault:
+            if not self.kernels[home_node]._demand_page(vaddr):
+                return None
+            try:
+                return home.cache.translate_functional(vaddr)
+            except PageFault:
+                return None
+
+    def _apply_home_op(self, msg: list, home_node: int) -> list:
+        """Service one request at its home node; returns the reply
+        payload (delivered back to the source in phase B).  Runs at the
+        home — in the sharded engine this executes inside the worker
+        process that owns ``home_node``."""
+        kind = msg[0]
+        home = self.chips[home_node]
+        if kind == "st":
+            _, _t, _src, _seq, vaddr, value, tag = msg
+            physical = self._home_translate(home_node, vaddr)
+            if physical is None:
+                return ["sterr", vaddr]
+            home.memory.store_word(physical, TaggedWord(value, tag))
+            # the remote writer's invalidation fan-out (phase B) covers
+            # every mirror; the home's exported record is now stale
+            home._exported_code.discard(vaddr - (vaddr % OP_BYTES))
+            return ["stdone"]
+        if kind == "ld":
+            _, _t, _src, _seq, vaddr = msg
+            physical = self._home_translate(home_node, vaddr)
+            if physical is None:
+                return ["lderr", vaddr]
             word = home.memory.load_word(physical)
-        chip.counters.incr("router.remote_cycles", reply - now)
+            return ["lddone", value_pair(word)]
+        if kind == "fetch":
+            fills = []
+            for vaddr in msg[4]:
+                physical = self._home_translate(home_node, vaddr)
+                if physical is None:
+                    fills.append([vaddr, None])
+                    continue
+                word = home.memory.load_word(physical)
+                home._exported_code.add(vaddr - (vaddr % OP_BYTES))
+                fills.append([vaddr, value_pair(word)])
+            return ["fetched", fills]
+        raise AssertionError(f"not a home-serviced message: {kind!r}")
+
+    def _plan_barrier(self, messages: list[list]):
+        """Phase A, network half: charge the mesh for every request +
+        reply in deterministic order and split the batch into per-home
+        service lists and per-node invalidation fan-outs.
+
+        Returns ``(home_ops, timing)`` where ``home_ops`` maps home
+        node → ordered ``(index, msg)`` pairs and ``timing`` maps
+        message index → ``(arrive, reply)`` cycles for the timed kinds.
+        Pure function of the batch plus network state — the sharded
+        engine runs it on the coordinator, which owns the mesh."""
+        home_ops: dict[int, list] = {}
+        timing: dict[int, tuple[int, int]] = {}
+        for index, msg in enumerate(messages):
+            kind = msg[0]
+            if kind in ("st", "ld"):
+                t, src, vaddr = msg[1], msg[2], msg[4]
+                home = self.home_of(vaddr)
+                arrive = self.network.deliver(src, home, t)
+                serviced = arrive + self._external_cycles
+                reply = self.network.deliver(home, src, serviced)
+                timing[index] = (arrive, reply)
+                home_ops.setdefault(home, []).append((index, msg))
+            elif kind == "fetch":
+                # code-word fetch is functional (no timing charge), as
+                # instruction fetch always was
+                home = self.home_of(msg[4][0])
+                home_ops.setdefault(home, []).append((index, msg))
+            # inv / invr / flush broadcasts carry no home-side work:
+            # they become per-destination effects in _route_effects
+        return home_ops, timing
+
+    def _apply_effects(self, chip: MAPChip, effects: list) -> None:
+        """Phase B at one node: apply replies and invalidation fan-outs
+        in global batch order.  ``effects`` is a list of
+        ``(index, payload)`` pairs already sorted by ``index``; runs at
+        the owning node — in the sharded engine, inside its worker."""
+        for _index, effect in effects:
+            kind = effect[0]
+            if kind == "fill":
+                for vaddr, pair in effect[1]:
+                    chip._remote_mirror[vaddr] = (None if pair is None
+                                                  else tuple(pair))
+            elif kind == "inv":
+                vaddr = effect[1]
+                chip.invalidate_decoded_word(vaddr)
+                chip._remote_mirror.pop(vaddr - (vaddr % OP_BYTES), None)
+            elif kind == "invr":
+                base, nbytes = effect[1], effect[2]
+                chip._invalidate_decoded_range_local(base, nbytes)
+                mirror = chip._remote_mirror
+                if mirror:
+                    lo = base - (base % OP_BYTES)
+                    hi = base + nbytes
+                    for vaddr in [a for a in mirror if lo <= a < hi]:
+                        del mirror[vaddr]
+            elif kind == "flush":
+                chip._flush_decoded_local()
+                chip._remote_mirror.clear()
+            elif kind == "lddone":
+                t, seq, reply, pair = effect[1], effect[2], effect[3], effect[4]
+                self._finish_remote_load(chip, t, seq, reply, pair)
+            elif kind == "lderr":
+                t, seq, vaddr = effect[1], effect[2], effect[3]
+                self._fail_remote_load(chip, seq, vaddr)
+            elif kind == "stdone":
+                t, reply = effect[1], effect[2]
+                chip.counters.incr("router.remote_cycles", reply - t)
+                if chip.obs.enabled:
+                    chip.obs.remote_latency.add(reply - t)
+            elif kind == "sterr":
+                t, vaddr = effect[1], effect[2]
+                self._fail_remote_store(chip, vaddr, t)
+            else:
+                raise AssertionError(f"unknown barrier effect {kind!r}")
+
+    def _finish_remote_load(self, chip: MAPChip, t: int, seq: int,
+                            reply: int, pair) -> None:
+        binding = chip._remote_pending.pop(seq, None)
+        chip.counters.incr("router.remote_cycles", reply - t)
         if chip.obs.enabled:
-            chip.obs.remote_latency.add(reply - now)
-        return AccessResult(word=word, ready_cycle=reply, hit=False, bank=-1)
+            chip.obs.remote_latency.add(reply - t)
+            chip.obs.load_to_use.add(reply - t)
+        if binding is None:
+            return  # thread was reaped mid-flight; the value is dropped
+        tid, bank, rd = binding
+        thread = _thread_by_tid(chip, tid)
+        if thread is None:
+            return
+        word = TaggedWord(pair[0], pair[1])
+        value = word if bank == "r" else word_to_float(word)
+        if (thread._state is ThreadState.BLOCKED
+                and thread.wake_at == REMOTE_WAIT):
+            thread.pending_writes.append((bank, rd, value))
+            thread.stats.stall_cycles += reply - (t + 1)
+            thread.wake_at = reply
+        else:
+            # the thread was resumed some other way (kernel repair);
+            # land the value directly, as a completed load would have
+            if bank == "r":
+                thread.regs.write(rd, value)
+            else:
+                thread.regs.write_f(rd, value)
 
-    def remote_walk(self, vaddr: int) -> tuple[MAPChip, int]:
-        """Functional translation at the home node (used by fetch),
-        through the home node's translation line memo."""
-        home = self.chips[self.home_of(vaddr)]
-        return home, home.cache.translate_functional(vaddr)
+    def _fail_remote_load(self, chip: MAPChip, seq: int, vaddr: int) -> None:
+        binding = chip._remote_pending.pop(seq, None)
+        if binding is None:
+            return
+        tid, _bank, _rd = binding
+        thread = _thread_by_tid(chip, tid)
+        if thread is None:
+            return
+        if thread.wake_at == REMOTE_WAIT and thread._state is ThreadState.BLOCKED:
+            thread.wake_at = chip.now
+            thread.pending_writes.clear()
+        record = FaultRecord(
+            thread_id=tid, cycle=chip.now,
+            cause=PageFault(vaddr, f"remote load from unmapped {vaddr:#x}"),
+            opcode_name="remote-load", ip_address=thread.ip.address)
+        thread.record_fault(record)
+        chip.report_fault(record, thread)
 
-    # -- machine-wide fault handling ------------------------------------------
+    def _fail_remote_store(self, chip: MAPChip, vaddr: int, t: int) -> None:
+        # posted-store semantics: the fault is asynchronous and
+        # imprecise (the storing thread has moved on; it may even have
+        # halted).  The record lands in the chip's fault log either way.
+        record = FaultRecord(
+            thread_id=-1, cycle=chip.now,
+            cause=PageFault(vaddr, f"remote store to unmapped {vaddr:#x}"),
+            opcode_name="remote-store", ip_address=0)
+        chip.fault_log.append(record)
+        chip.stats.faults += 1
+        chip.counters.incr(f"fault.{type(record.cause).__name__}")
+        if chip.obs.enabled:
+            chip.obs.emit("fault.raise", record.cycle, tid=-1,
+                          cause="PageFault", site="remote-store", ip=0)
 
-    def _make_fault_handler(self, local_kernel: Kernel):
-        def handler(record, thread: Thread) -> None:
-            cause = record.cause
-            if isinstance(cause, PageFault):
-                try:
-                    home = self.kernels[self.home_of(cause.vaddr)]
-                except PageFault:
-                    # the faulting address has no home node at all
-                    # (non-power-of-two mesh tail): nothing to demand-
-                    # page, the local kernel just records the fault
-                    home = local_kernel
-                if home is not local_kernel and home._demand_page(cause.vaddr):
-                    thread.resume()
-                    return
-            local_kernel._handle_fault(record, thread)
-        return handler
+    def _route_effects(self, messages, timing, replies) -> dict[int, list]:
+        """Turn home-service replies + broadcast invalidations into
+        per-destination effect lists, each sorted by global batch
+        index.  ``replies`` maps message index → reply payload."""
+        per_node: dict[int, list] = {node: [] for node in range(len(self.chips))}
+        for index, msg in enumerate(messages):
+            kind = msg[0]
+            t, src = msg[1], msg[2]
+            if kind == "st":
+                reply = replies[index]
+                if reply[0] == "stdone":
+                    _arrive, reply_cycle = timing[index]
+                    per_node[src].append((index, ["stdone", t, reply_cycle]))
+                else:
+                    per_node[src].append((index, ["sterr", t, reply[1]]))
+                # unconditional invalidation fan-out: any node may have
+                # the written word decoded or mirrored
+                for node in range(len(self.chips)):
+                    if node != src:
+                        per_node[node].append((index, ["inv", msg[4]]))
+            elif kind == "ld":
+                reply = replies[index]
+                seq = msg[3]
+                if reply[0] == "lddone":
+                    _arrive, reply_cycle = timing[index]
+                    per_node[src].append(
+                        (index, ["lddone", t, seq, reply_cycle, reply[1]]))
+                else:
+                    per_node[src].append((index, ["lderr", t, seq, reply[1]]))
+            elif kind == "fetch":
+                reply = replies[index]
+                per_node[src].append((index, ["fill", reply[1]]))
+            elif kind == "inv":
+                for node in range(len(self.chips)):
+                    if node != src:
+                        per_node[node].append((index, ["inv", msg[4]]))
+            elif kind == "invr":
+                for node in range(len(self.chips)):
+                    if node != src:
+                        per_node[node].append(
+                            (index, ["invr", msg[4], msg[5]]))
+            elif kind == "flush":
+                for node in range(len(self.chips)):
+                    if node != src:
+                        per_node[node].append((index, ["flush"]))
+        return per_node
 
-    # -- global-kernel conveniences -----------------------------------------------
+    def _process_barrier(self) -> None:
+        """Exchange one window's traffic (both phases, serially)."""
+        messages = self._collect_messages()
+        if not messages:
+            return
+        home_ops, timing = self._plan_barrier(messages)
+        replies: dict[int, list] = {}
+        for home_node in sorted(home_ops):
+            for index, msg in home_ops[home_node]:
+                replies[index] = self._apply_home_op(msg, home_node)
+        per_node = self._route_effects(messages, timing, replies)
+        for node, effects in per_node.items():
+            if effects:
+                self._apply_effects(self.chips[node], effects)
+
+    # -- machine-wide fault handling --------------------------------------
+    # (kept for API compatibility: callers may still install per-node
+    # handlers; remote page faults are now serviced home-side at the
+    # barrier, so the per-node kernel handler is the default.)
+
+    # -- global-kernel conveniences ----------------------------------------
 
     def allocate_on(self, node: int, nbytes: int, perm=None,
                     eager: bool = False) -> GuardedPointer:
@@ -240,65 +621,123 @@ class Multicomputer:
         return merge_snapshots(
             {chip.node_id: chip.counters.snapshot() for chip in self.chips})
 
-    # -- the machine-wide clock ----------------------------------------------------
+    # -- the machine-wide clock --------------------------------------------
 
     def all_threads(self) -> list[Thread]:
         return [t for chip in self.chips for t in chip.all_threads()]
 
+    def _advance_chip(self, chip: MAPChip, end: int) -> int:
+        """Run one node independently up to cycle ``end`` (a window
+        boundary or the run deadline); returns bundles issued.  Within
+        a window no cross-node interaction exists, so this is exactly
+        the single-chip engine.  A node that goes quiet stops at its
+        last live cycle; the caller re-aligns clocks (charging idle
+        time, exactly as lockstep would have) once it knows whether the
+        whole machine stopped."""
+        issued = 0
+        while chip.now < end and chip._runnable_count:
+            result = chip.run(max_cycles=end - chip.now)
+            issued += result.issued_bundles
+        return issued
+
     def step(self) -> int:
-        """Advance every node one cycle in lockstep; returns bundles
-        issued machine-wide (the mesh half of :meth:`MAPChip.step`)."""
+        """Advance every node one cycle; returns bundles issued
+        machine-wide.  Barriers fire exactly when the clock reaches
+        them, identically to :meth:`run`."""
         issued = 0
         for chip in self.chips:
             issued += chip.step()
+        if self.chips[0].now >= self._next_barrier:
+            self._process_barrier()
+            self._next_barrier += self.window
         return issued
 
     def advance_idle(self, cycles: int) -> None:
         """Machine-wide half of :meth:`MAPChip.advance_idle`: skip
-        guaranteed-idle cycles on every node in lockstep."""
+        guaranteed-idle cycles on every node.  Any in-flight window
+        traffic drains first (nothing runnable can observe the early
+        exchange), and the barrier grid re-anchors past the skip."""
         if any(chip._runnable_count for chip in self.chips):
             raise ValueError("cannot skip cycles while threads are runnable")
-        if cycles > 0:
-            for chip in self.chips:
-                chip._skip_idle(cycles)
+        if cycles <= 0:
+            return
+        self._process_barrier()
+        for chip in self.chips:
+            chip._skip_idle(cycles)
+        now = self.chips[0].now
+        if self._next_barrier <= now:
+            self._next_barrier = now + self.window
 
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
-        """Step every node in lockstep until all threads stop.
-
-        Like :meth:`MAPChip.run`, liveness comes from the clusters'
-        incremental counts, and all-blocked stretches (threads waiting
-        on the mesh) fast-forward every node's clock to the earliest
-        wake-up in the machine.
-        """
-        cycles = 0
-        issued = 0
+        """Advance the machine in lookahead windows until every thread
+        stops (see the module docstring).  Within a window each node
+        runs independently; barriers exchange the queued traffic."""
         chips = self.chips
-        fast_forward = all(c.config.idle_fast_forward for c in chips)
-        while cycles < max_cycles:
-            runnable = sum(c.runnable_threads() for c in chips)
+        start = chips[0].now
+        deadline = start + max_cycles
+        issued = 0
+        while True:
+            runnable = sum(c._runnable_count for c in chips)
             if runnable == 0:
-                if any(cl.faulted_count for c in chips for cl in c.clusters):
+                # Threads may be done while posted stores / broadcasts
+                # are still queued: drain them early (nothing runnable
+                # can observe the exchange), re-align every node to the
+                # last cycle any node actually reached — the cycle
+                # lockstep would have stopped at — and report why.
+                self._process_barrier()
+                last = max(c.now for c in chips)
+                for chip in chips:
+                    if chip.now < last:
+                        chip._skip_idle(last - chip.now)
+                if any(c._runnable_count for c in chips):
+                    continue  # defensive; barrier effects cannot wake
+                if any(cl.faulted_count for c in chips
+                       for cl in c.clusters):
                     reason = RunReason.FAULTED
                 else:
                     reason = RunReason.HALTED
-                return RunResult(cycles, issued, reason)
-            if fast_forward and sum(c.ready_threads() for c in chips) == 0:
-                wakes = [w for w in (c.next_wake() for c in chips)
-                         if w is not None]
-                # nodes run in lockstep: now is identical on every chip
-                target = min(min(wakes), chips[0].now + (max_cycles - cycles))
-                skip = target - chips[0].now
-                if skip > 0:
-                    for chip in chips:
-                        chip._skip_idle(skip)
-                    cycles += skip
-                    continue
+                return RunResult(last - start, issued, reason)
+            # runnable chips are clock-aligned here (every window pass
+            # below re-aligns the quiet ones)
+            now = max(c.now for c in chips)
+            if now >= deadline:
+                return RunResult(now - start, issued,
+                                 RunReason.MAX_CYCLES)
+            end = min(self._next_barrier, deadline)
             for chip in chips:
-                issued += chip.step()
-            cycles += 1
-        return RunResult(cycles, issued, RunReason.MAX_CYCLES)
+                issued += self._advance_chip(chip, end)
+            if any(c._runnable_count for c in chips):
+                # the machine is still alive: nodes that went quiet
+                # mid-window idle along to the boundary, as lockstep
+                # would have charged them
+                for chip in chips:
+                    if chip.now < end:
+                        chip._skip_idle(end - chip.now)
+            if end == self._next_barrier:
+                self._process_barrier()
+                self._next_barrier += self.window
 
     # -- persistence (repro.persist) -----------------------------------
+
+    def windows_state(self) -> dict:
+        """The window engine's machine-level state (per-chip mirror /
+        exported / pending state rides in each chip's image)."""
+        return {
+            "next_barrier": self._next_barrier,
+            "seq": list(self._seq),
+            "outbox": [list(box) for box in self._outbox],
+        }
+
+    def restore_windows_state(self, state: dict | None) -> None:
+        if not state:
+            self._next_barrier = max(self.chips[0].now + self.window,
+                                     self.window)
+            self._seq = [0] * len(self.chips)
+            self._outbox = [[] for _ in self.chips]
+            return
+        self._next_barrier = int(state["next_barrier"])
+        self._seq = [int(s) for s in state["seq"]]
+        self._outbox = [[list(m) for m in box] for box in state["outbox"]]
 
     def capture_state(self) -> dict:
         """The whole machine — every node, the mesh timing state and
@@ -312,3 +751,17 @@ class Multicomputer:
         from repro.persist.image import restore_multicomputer_state
 
         restore_multicomputer_state(self, state)
+
+
+def value_pair(word: TaggedWord) -> list:
+    """A tagged word as the JSON-safe ``[value, tag]`` pair the window
+    messages carry."""
+    return [word.value, word.tag]
+
+
+def _thread_by_tid(chip: MAPChip, tid: int) -> Thread | None:
+    for cluster in chip.clusters:
+        for thread in cluster.slots:
+            if thread is not None and thread.tid == tid:
+                return thread
+    return None

@@ -22,6 +22,14 @@ from repro.machine.faults import FaultRecord
 from repro.machine.registers import RegisterFile
 
 
+#: ``wake_at`` sentinel for a thread blocked on a remote load whose
+#: reply cycle is not known yet (the windowed mesh engine resolves it
+#: at the next window barrier and rewrites ``wake_at`` with the real
+#: reply cycle).  Far beyond any reachable cycle count, so the normal
+#: wake scan never fires on it.
+REMOTE_WAIT = 1 << 60
+
+
 class ThreadState(enum.Enum):
     READY = "ready"        #: may issue this cycle
     BLOCKED = "blocked"    #: waiting on the memory system

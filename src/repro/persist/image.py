@@ -108,6 +108,10 @@ def capture_multicomputer(machine: "Multicomputer") -> dict:
         "arena_order": machine.arena_order,
         "network": machine.network.capture_state(),
         "page_homes": sorted(machine._page_homes.items()),
+        # the window engine's machine half: barrier position, per-node
+        # sequence counters and any traffic still queued mid-window
+        # (per-node mirror/exported/pending state rides in each chip)
+        "windows": machine.windows_state(),
         "nodes": [capture_node(kernel) for kernel in machine.kernels],
     }
 
@@ -124,6 +128,8 @@ def restore_multicomputer_state(machine: "Multicomputer",
     machine._page_homes = {int(p): int(n) for p, n in state["page_homes"]}
     for kernel, node_state in zip(machine.kernels, state["nodes"]):
         restore_node(kernel, node_state)
+    # after the chips: the fallback barrier anchor reads chip clocks
+    machine.restore_windows_state(state.get("windows"))
 
 
 def restore_multicomputer(payload: dict, **overrides) -> "Multicomputer":

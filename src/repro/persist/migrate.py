@@ -216,8 +216,12 @@ class MigrationService:
                 report.pages_rehomed += 1
             # belt and braces for code segments: the unmap hooks above
             # already flushed, but a fully swapped-out segment unmaps
-            # nothing, and its decoded bundles must not survive the move
-            machine.invalidate_decoded_range(base, segment.size)
+            # nothing, and its decoded bundles must not survive the move.
+            # The machine is quiesced, so dropping the range on every
+            # node synchronously is exact (no window traffic to order
+            # against).
+            for chip in machine.chips:
+                chip._invalidate_decoded_range_local(base, segment.size)
             dest_kernel.segments[base] = source_kernel.segments.pop(base)
 
         # 3. ship the thread state (one message, after the pages)

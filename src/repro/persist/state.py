@@ -203,6 +203,67 @@ def decode_thread(encoded: dict) -> Thread:
     return thread
 
 
+# -- the trace hub --------------------------------------------------------
+
+def capture_obs(obs) -> dict:
+    """The hub's accumulated observability state: every histogram's
+    exact contents, the flight-recorder ring, and the in-flight
+    enter-call stacks.  All of it feeds counter snapshots (``hist.*``,
+    ``flight.*``) or future ``enter.return`` durations, so a restored
+    machine must carry it to stay counter-identical with the live one —
+    and the parallel engine ships it back from the workers the same
+    way."""
+    return {
+        "histograms": [[name, {"count": h.count, "total": h.total,
+                               "max": h.max, "buckets": list(h._buckets)}]
+                       for name, h in sorted(obs.histograms.items())],
+        "flight": obs.flight.dump(),
+        "enter_stack": [[tid, list(stack)]
+                        for tid, stack in sorted(obs._enter_stack.items())
+                        if stack],
+    }
+
+
+def restore_obs(chip: "MAPChip", state: dict | None) -> None:
+    """Inverse of :func:`capture_obs` onto ``chip.obs``.  Histograms the
+    snapshot knows but the hub does not (late-wired ones, like the
+    service's ``request_latency``) are created and wired into the
+    chip's counter file, exactly as their original creator did."""
+    from repro.obs.hub import load_flight
+
+    obs = chip.obs
+    if state is None:  # pre-windows image: start observability cold
+        for histogram in obs.histograms.values():
+            histogram.reset()
+        obs.flight.clear()
+        obs._enter_stack = {}
+        return
+    captured = dict((name, data) for name, data in state["histograms"])
+    for name in list(obs.histograms) + [n for n in captured
+                                        if n not in obs.histograms]:
+        histogram = obs.histograms.get(name)
+        if histogram is None:
+            histogram = obs.add_histogram(name)
+            prefix = f"hist.{name}"
+            if not chip.counters.has_source(prefix):
+                chip.counters.add_source(prefix, histogram.as_counters)
+        data = captured.get(name)
+        if data is None:
+            histogram.reset()
+            continue
+        histogram.count = int(data["count"])
+        histogram.total = int(data["total"])
+        histogram.max = int(data["max"])
+        histogram._buckets = [int(b) for b in data["buckets"]]
+    flight = obs.flight
+    flight.clear()
+    for event in load_flight(state["flight"]):
+        flight.append(event)
+    flight.total = int(state["flight"]["total"])
+    obs._enter_stack = {int(tid): [int(c) for c in stack]
+                        for tid, stack in state["enter_stack"]}
+
+
 # -- the chip -------------------------------------------------------------
 
 def _reset_functional_memos(chip: "MAPChip") -> None:
@@ -266,6 +327,17 @@ def capture_chip(chip: "MAPChip") -> dict:
                   "invalidations": chip.decode_invalidations},
         "check_memo": {"hits": chip.check_memo_hits,
                        "misses": chip.check_memo_misses},
+        # windowed-mesh per-node state (empty off a mesh): the
+        # remote-code mirror, the words this node exported to remote
+        # fetchers, and in-flight remote-load register bindings
+        "windows": {
+            "mirror": [[vaddr, None if pair is None else list(pair)]
+                       for vaddr, pair in sorted(chip._remote_mirror.items())],
+            "exported": sorted(chip._exported_code),
+            "pending": [[seq, list(binding)]
+                        for seq, binding in sorted(chip._remote_pending.items())],
+        },
+        "obs": capture_obs(chip.obs),
     }
     _reset_functional_memos(chip)
     return state
@@ -331,6 +403,20 @@ def restore_chip_state(chip: "MAPChip", state: dict) -> None:
     chip.decode_invalidations = int(state["fetch"]["invalidations"])
     chip.check_memo_hits = int(state["check_memo"]["hits"])
     chip.check_memo_misses = int(state["check_memo"]["misses"])
+    windows = state.get("windows")  # tolerate pre-windows images
+    if windows is None:
+        chip._remote_mirror = {}
+        chip._exported_code = set()
+        chip._remote_pending = {}
+    else:
+        chip._remote_mirror = {
+            int(vaddr): None if pair is None else (int(pair[0]), bool(pair[1]))
+            for vaddr, pair in windows["mirror"]}
+        chip._exported_code = {int(v) for v in windows["exported"]}
+        chip._remote_pending = {
+            int(seq): (int(b[0]), b[1], int(b[2]))
+            for seq, b in windows["pending"]}
+    restore_obs(chip, state.get("obs"))
     chip.now = int(state["now"])
     chip._next_tid = int(state["next_tid"])
 

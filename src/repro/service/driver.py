@@ -31,7 +31,6 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.obs.histogram import percentile_from_snapshot
-from repro.machine.thread import Thread, ThreadState
 from repro.service.kv import OP_PUT, Tenant, install_clients
 from repro.service.traffic import Request
 
@@ -167,23 +166,26 @@ class ServiceLoadDriver:
             return serial % self.sim.nodes
         return self.tenants[request.tenant].home
 
-    def _spawn(self, request: Request, node: int) -> Thread:
+    def _spawn(self, request: Request, node: int) -> int:
+        """Dispatch one request as a hardware thread; returns its tid
+        (an engine-neutral handle — on the sharded engine the thread
+        object lives in a worker process)."""
         tenant = self.tenants[request.tenant]
         regs = {1: tenant.enter.word, 3: request.op, 4: request.key,
                 5: request.value}
         # no stack: the stub never spills, and a per-request stack
         # segment would leak address space at traffic rates
-        thread = self.sim.kernels[node].spawn(
-            self.client_entries[node], domain=tenant.domain, regs=regs,
-            stack_bytes=0)
+        tid = self.sim.spawn_request(
+            node, self.client_entries[node], domain=tenant.domain,
+            regs=regs, stack_bytes=0)
         self.dispatched[request.tenant] += 1
         if self.verify and request.op == OP_PUT:
             slot = request.key & (tenant.slots - 1)
             self._written.setdefault((request.tenant, slot),
                                      {0}).add(request.value)
-        return thread
+        return tid
 
-    def _check_result(self, request: Request, thread: Thread) -> bool:
+    def _check_result(self, request: Request, result: int) -> bool:
         """A completed GET must return a value some PUT wrote to that
         slot (or 0 for an untouched slot) — the isolation check: a
         gateway reading another tenant's memory could not pass."""
@@ -191,7 +193,6 @@ class ServiceLoadDriver:
             return True
         tenant = self.tenants[request.tenant]
         slot = request.key & (tenant.slots - 1)
-        result = thread.regs.read(5).value
         return result in self._written.get((request.tenant, slot), {0})
 
     def _reap(self, inflight: dict, node_load: list) -> tuple[int, int, int]:
@@ -199,22 +200,23 @@ class ServiceLoadDriver:
         errors, wrong) deltas.  Latency is arrival -> halted_at and
         lands in the ingress node's histogram."""
         completed = errors = wrong = 0
-        done = [key for key, (thread, _) in inflight.items()
-                if thread.state in (ThreadState.HALTED, ThreadState.FAULTED)]
-        for key in done:
-            thread, request = inflight.pop(key)
-            node = key[0]
+        if not inflight:
+            return 0, 0, 0
+        # retire_finished frees each cluster slot (a FAULTED thread
+        # would hold its slot forever otherwise) and reports r5 at HALT
+        for entry in self.sim.retire_finished(list(inflight), result_reg=5):
+            node = entry["node"]
+            request = inflight.pop((node, entry["tid"]))
             node_load[node] -= 1
-            if thread.state is ThreadState.HALTED:
+            if entry["state"] == "HALTED":
                 completed += 1
-                self._latency[node].add(thread.halted_at - request.arrival)
-                if self.verify and not self._check_result(request, thread):
+                self.sim.record_sample(node, "request_latency",
+                                       entry["halted_at"] - request.arrival)
+                if self.verify and not self._check_result(request,
+                                                          entry["result"]):
                     wrong += 1
             else:
                 errors += 1
-            # free the cluster slot either way (a FAULTED thread holds
-            # its slot forever otherwise)
-            thread.scheduler.remove_thread(thread)
         return completed, errors, wrong
 
     def _hottest_tenant(self) -> int:
@@ -284,9 +286,9 @@ class ServiceLoadDriver:
         start_cycle = sim.now
         start_hist = self._snapshot_latency()
         queues = [deque() for _ in range(sim.nodes)]
-        #: (ingress node, tid) -> (thread, request); tids are unique
-        #: per chip, so the pair is unique machine-wide
-        inflight: dict[tuple[int, int], tuple[Thread, Request]] = {}
+        #: (ingress node, tid) -> request; tids are unique per chip,
+        #: so the pair is unique machine-wide
+        inflight: dict[tuple[int, int], Request] = {}
         node_load = [0] * sim.nodes
         completed = errors = wrong = 0
         next_i = 0
@@ -320,8 +322,8 @@ class ServiceLoadDriver:
                                 and queue[0].tenant == draining_tenant):
                             break
                         request = queue.popleft()
-                        thread = self._spawn(request, node)
-                        inflight[(node, thread.tid)] = (thread, request)
+                        tid = self._spawn(request, node)
+                        inflight[(node, tid)] = request
                         node_load[node] += 1
             # advance: bounded quanta while work is queued (so freed
             # slots are noticed), else to the next arrival
@@ -353,7 +355,7 @@ class ServiceLoadDriver:
                 draining_tenant = self._hottest_tenant()
             if draining_tenant is not None and not any(
                     req.tenant == draining_tenant
-                    for _, req in inflight.values()):
+                    for req in inflight.values()):
                 migrations.append(self._migrate(draining_tenant))
                 draining_tenant = None
             if budget <= 0 and ran == 0:

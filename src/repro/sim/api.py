@@ -89,9 +89,12 @@ class Simulation:
     def __init__(self, config: ChipConfig | None = None, *,
                  nodes: int = 1, shape=None,
                  hop_cycles: int = 5, interface_cycles: int = 10,
-                 arena_order: int | None = None, **overrides):
+                 arena_order: int | None = None, workers: int = 1,
+                 **overrides):
         base = config or ChipConfig()
         self.config = replace(base, **overrides) if overrides else base
+        if workers < 1:
+            raise ValueError("need at least one worker")
         if shape is not None and nodes > 1 and shape.nodes != nodes:
             raise ValueError(f"shape has {shape.nodes} nodes, not {nodes}")
         if shape is None and nodes > 1:
@@ -114,6 +117,15 @@ class Simulation:
             chip = MAPChip(self.config)
             self.chips = [chip]
             self.kernels = [Kernel(chip)]
+        self._engine = None
+        if workers > 1:
+            if self.machine is None:
+                raise SimulationError(
+                    "workers > 1 needs a mesh: a single node has nothing "
+                    "to shard")
+            from repro.machine.parallel import ParallelMulticomputer
+
+            self._engine = ParallelMulticomputer(self.machine, workers)
 
     @classmethod
     def mesh(cls, shape=None, config: ChipConfig | None = None,
@@ -135,7 +147,55 @@ class Simulation:
         sim.machine = machine
         sim.chips = machine.chips
         sim.kernels = machine.kernels
+        sim._engine = None
         return sim
+
+    # -- the sharded engine (repro.machine.parallel) ------------------------
+
+    @property
+    def workers(self) -> int:
+        """OS worker processes the clock runs across (1 = lockstep)."""
+        return 1 if self._engine is None else self._engine.workers
+
+    @property
+    def engine(self):
+        """The sharded coordinator, or ``None`` on the lockstep engine."""
+        return self._engine
+
+    def _guard_sharded(self, what: str) -> None:
+        """Forbid direct machine access once worker state has advanced
+        past the in-process machine's (the mirror is stale)."""
+        if self._engine is not None and self._engine.started \
+                and self._engine.dirty:
+            raise SimulationError(
+                f"{what}: the machine is sharded across worker processes "
+                f"and the in-process copy is stale; use the facade verbs "
+                f"(spawn_request / retire_finished / snapshot), or call "
+                f"sync_back() first")
+
+    def sync_back(self) -> None:
+        """Make the in-process machine authoritative again: on the
+        sharded engine, drain to a window barrier and pull every node's
+        state back (no-op on the lockstep engine)."""
+        if self._engine is not None and self._engine.started:
+            self._engine.sync_back()
+
+    def close(self) -> None:
+        """Stop worker processes, if any (no-op on the lockstep
+        engine).  The in-process machine keeps the state of the last
+        :meth:`sync_back`."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def rebalance(self, owned: list[list[int]] | None = None) -> None:
+        """Re-shard node ownership across the workers (sharded engine
+        only): drain, sync, and warm-start every worker from the fresh
+        snapshot — bit-exact, since the window protocol makes execution
+        independent of the ownership map."""
+        if self._engine is None:
+            raise SimulationError("rebalance needs workers > 1")
+        self._engine._ensure_started()
+        self._engine.rebalance(owned)
 
     # -- machine shape -----------------------------------------------------
 
@@ -189,6 +249,7 @@ class Simulation:
         """Assemble-and-install a program on ``node``; returns its entry
         pointer.  Keyword arguments pass through to
         ``Kernel.load_program`` (``perm``, ``patches``)."""
+        self._guard_sharded("load")
         return self.kernels[self._check_node(node)].load_program(
             program, **kwargs)
 
@@ -196,6 +257,7 @@ class Simulation:
                  **kwargs) -> GuardedPointer:
         """A fresh data segment homed on ``node`` (``perm``/``eager``
         pass through)."""
+        self._guard_sharded("allocate")
         return self.kernels[self._check_node(node)].allocate_segment(
             nbytes, **kwargs)
 
@@ -207,7 +269,10 @@ class Simulation:
         on its home node (pointers name their home in the high address
         bits — §3) and source loads on node 0.  Keyword arguments pass
         through to ``Kernel.spawn`` (``domain``, ``regs``, ``cluster``,
-        ``stack_bytes``)."""
+        ``stack_bytes``).  On a started sharded machine use
+        :meth:`spawn_request` instead (it returns a tid, not a live
+        thread object)."""
+        self._guard_sharded("spawn")
         if not isinstance(entry, GuardedPointer):
             entry = self.load(entry, node=node or 0)
         if node is None:
@@ -229,13 +294,18 @@ class Simulation:
 
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run to completion — every node in lockstep on a mesh (see
-        :meth:`MAPChip.run` / :meth:`Multicomputer.run`)."""
+        :meth:`MAPChip.run` / :meth:`Multicomputer.run`), sharded
+        across OS processes with ``workers > 1``."""
+        if self._engine is not None:
+            return self._engine.run(max_cycles)
         target = self.machine if self.machine is not None else self.chip
         return target.run(max_cycles)
 
     def step(self, cycles: int = 1) -> int:
         """Advance the clock ``cycles`` cycles (lockstep across nodes);
         returns bundles issued."""
+        if self._engine is not None:
+            return self._engine.step_many(cycles)
         target = self.machine if self.machine is not None else self.chip
         issued = 0
         for _ in range(cycles):
@@ -245,12 +315,74 @@ class Simulation:
     def advance_idle(self, cycles: int) -> None:
         """Skip guaranteed-idle cycles (only legal when nothing is
         runnable; see :meth:`MAPChip.advance_idle`)."""
+        if self._engine is not None:
+            self._engine.advance_idle(cycles)
+            return
         target = self.machine if self.machine is not None else self.chip
         target.advance_idle(cycles)
 
     @property
     def now(self) -> int:
+        if self._engine is not None:
+            return self._engine.now
         return self.chips[0].now
+
+    # -- engine-neutral request handles -------------------------------------
+    # (the service load driver runs on these, so the same driver code
+    # drives the lockstep and the sharded engine bit-identically)
+
+    def spawn_request(self, node: int, entry: GuardedPointer, *,
+                      domain: int = 0, regs: dict | None = None,
+                      stack_bytes: int = 0) -> int:
+        """Spawn a request thread on ``node`` and return its tid — a
+        handle that stays valid on both engines (a live
+        :class:`Thread` object would not cross a process boundary)."""
+        node = self._check_node(node)
+        if self._engine is not None and self._engine.started:
+            return self._engine.spawn_request(
+                node, entry, {"domain": domain, "regs": regs,
+                              "stack_bytes": stack_bytes})
+        return self.kernels[node].spawn(entry, domain=domain, regs=regs,
+                                        stack_bytes=stack_bytes).tid
+
+    def retire_finished(self, pending, result_reg: int = 5) -> list[dict]:
+        """Retire the finished threads among ``pending`` — an iterable
+        of ``(node, tid)`` handles — removing each from its cluster
+        slot.  Returns, in ``pending`` order, one dict per finished
+        thread: ``node``, ``tid``, ``state`` ("HALTED"/"FAULTED"),
+        ``halted_at`` and ``result`` (the value of ``result_reg`` at
+        HALT).  Still-running handles are left alone; a handle whose
+        thread the kernel already reaped reports as FAULTED."""
+        pending = list(pending)
+        if self._engine is not None and self._engine.started:
+            return self._engine.retire_finished(pending, result_reg)
+        from repro.machine.parallel import retire_on_chip
+
+        per_node: list[tuple[int, list[int]]] = []
+        for node, tid in pending:
+            if per_node and per_node[-1][0] == node:
+                per_node[-1][1].append(tid)
+            else:
+                per_node.append((self._check_node(node), [tid]))
+        by_key = {}
+        for node, tids in per_node:
+            for tid, state, halted_at, result in retire_on_chip(
+                    self.chips[node], tids, result_reg):
+                by_key[(node, tid)] = {"node": node, "tid": tid,
+                                       "state": state,
+                                       "halted_at": halted_at,
+                                       "result": result}
+        return [by_key[key] for key in pending if key in by_key]
+
+    def record_sample(self, node: int, name: str, value: int) -> None:
+        """Add one sample to ``node``'s named histogram (created on
+        first use; see :meth:`repro.obs.hub.TraceHub.add_histogram`) —
+        works on both engines."""
+        node = self._check_node(node)
+        if self._engine is not None and self._engine.started:
+            self._engine.record_sample(node, name, value)
+            return
+        self.chips[node].obs.add_histogram(name).add(value)
 
     # -- results and counters ---------------------------------------------
 
@@ -267,13 +399,17 @@ class Simulation:
 
     def counters_of(self, node: int) -> PerfCounters:
         """One node's performance-counter file."""
+        self._guard_sharded("counters_of")
         return self.chips[self._check_node(node)].counters
 
     def snapshot(self) -> dict[str, int | float]:
         """One coherent reading of every perf counter (sorted names).
         On a mesh: the machine-wide merge — bare names are sums across
         nodes, ``node<N>.*`` names stay per-node (see
-        :func:`repro.machine.counters.merge_snapshots`)."""
+        :func:`repro.machine.counters.merge_snapshots`).  On a started
+        sharded machine the workers' files are merged over RPC."""
+        if self._engine is not None and self._engine.started:
+            return self._engine.counters_snapshot()
         if self.machine is not None:
             return self.machine.counters_snapshot()
         return self.chip.counters.snapshot()
@@ -287,6 +423,7 @@ class Simulation:
 
     @property
     def threads(self) -> list[Thread]:
+        self._guard_sharded("threads")
         return [t for chip in self.chips for t in chip.all_threads()]
 
     # -- structured tracing (repro.obs) -------------------------------------
@@ -304,6 +441,11 @@ class Simulation:
             session.save_chrome("trace.json")   # ui.perfetto.dev
             print(session.text())               # greppable timeline
         """
+        if self._engine is not None:
+            raise SimulationError(
+                "tracing needs the lockstep engine: a session cannot "
+                "attach to chips living in worker processes — run with "
+                "workers=1 to trace")
         from repro.obs.hub import TraceSession
 
         return TraceSession([chip.obs for chip in self.chips])
@@ -315,9 +457,11 @@ class Simulation:
         machines only; see
         :class:`repro.persist.migrate.MigrationService`).  ``pin``
         lists pointers whose segments stay home."""
+        machine = self._require_mesh("migrate")
+        if self._engine is not None and self._engine.started:
+            return self._engine.migrate(process, destination, pin)
         from repro.persist.migrate import MigrationService
 
-        machine = self._require_mesh("migrate")
         return MigrationService(machine).migrate(
             process, destination=destination, pin=pin)
 
@@ -325,7 +469,13 @@ class Simulation:
 
     def capture_state(self) -> dict:
         """The whole machine — one node or every node plus the mesh —
-        as one JSON-safe payload (pair with :meth:`restore_state`)."""
+        as one JSON-safe payload (pair with :meth:`restore_state`).  On
+        a started sharded machine this drains in-flight window traffic
+        to the barrier first (the clock may advance by up to one
+        window), then syncs every shard back; the image is
+        engine-neutral and restores onto either engine."""
+        if self._engine is not None and self._engine.started:
+            return self._engine.capture_state()
         if self.machine is not None:
             return self.machine.capture_state()
         from repro.persist.image import capture_simulation
@@ -335,6 +485,10 @@ class Simulation:
     def restore_state(self, state: dict) -> None:
         """Overwrite this machine's state with a captured image (the
         machine must have the image's shape)."""
+        if self._engine is not None and self._engine.started:
+            raise SimulationError(
+                "cannot restore into running workers; build a fresh "
+                "Simulation from the image instead")
         if self.machine is not None:
             self.machine.restore_state(state)
             return
@@ -350,7 +504,14 @@ class Simulation:
         """Write this machine's complete state — memory with tags,
         registers, page tables, cache/TLB/network timing, counters —
         to a snapshot file.  ``Simulation.restore(path)`` (same process
-        or a different one, days later) resumes cycle-exactly."""
+        or a different one, days later) resumes cycle-exactly.  A
+        sharded machine drains to its window barrier first; the image
+        is engine-neutral, so a parallel-captured file restores into a
+        lockstep simulation bit-identically (and vice versa)."""
+        if self._engine is not None and self._engine.started:
+            from repro.persist.snapshot import write_snapshot
+
+            return write_snapshot(self._engine.capture_state(), path)
         if self.machine is not None:
             from repro.persist.image import save_multicomputer
 

@@ -131,10 +131,11 @@ class TestInvalidation:
         assert chip0.fetch(entry).int_op.opcode is Opcode.MOVI
         assert entry.address in chip0._decode_cache
         # node 1 writes the code word through the mesh; node 0's
-        # decoded copy must go
+        # decoded copy must be gone once the window's traffic lands
         patch = assemble("addi r1, r1, 5").encode()[0]
         mc.chips[1].access_memory(entry.address, write=True, now=0,
                                   value=patch)
+        mc.advance_idle(mc.window)
         assert entry.address not in chip0._decode_cache
         assert chip0.fetch(entry).int_op.opcode is Opcode.ADDI
 
@@ -147,6 +148,10 @@ class TestInvalidation:
         assert mc.chips[0]._decode_cache
         page = mc.chips[1].page_table.map(0x7000 // mc.chips[1].page_table.page_bytes)
         mc.chips[1].page_table.unmap(page.virtual_page)
+        # node 1's own cache flushed at the unmap; node 0's copy goes
+        # when the broadcast lands at the window barrier
+        assert not mc.chips[1]._decode_cache
+        mc.advance_idle(mc.window)
         assert not mc.chips[0]._decode_cache
 
 

@@ -1,0 +1,228 @@
+"""The sharded mesh engine: ``workers=N`` must be unobservable.
+
+Every test here runs the same workload under the lockstep engine and
+under :class:`~repro.machine.parallel.ParallelMulticomputer` and
+compares bit-for-bit — cycle counts, counters, memory images, full
+snapshot digests.  One asymmetry needs care: ``capture_state`` resets
+the functional memos on the live machine (the documented carve-out in
+``repro.persist.state``), and the sharded engine captures once at
+worker warm-start, so every lockstep arm takes an explicit capture at
+the matching point before comparing gauge counters.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.machine.parallel import partition_nodes
+from repro.persist.snapshot import encode_snapshot
+from repro.sim.api import Simulation, SimulationError
+
+CROSS_LOOP = """
+    movi r2, 20
+loop:
+    ld r3, r1, 0
+    addi r3, r3, 1
+    st r3, r1, 0
+    subi r2, r2, 1
+    bne r2, loop
+    halt
+"""
+
+
+def build_cross(workers, nodes=2):
+    """One thread per node, its data homed on the *next* node, so every
+    iteration crosses the network both ways."""
+    sim = Simulation(nodes=nodes, memory_bytes=2 * 1024 * 1024,
+                     arena_order=24, workers=workers)
+    for node in range(nodes):
+        data = sim.allocate(4096, node=(node + 1) % nodes, eager=True)
+        sim.spawn(CROSS_LOOP, node=node, regs={1: data.word})
+    if workers == 1:
+        sim.capture_state()  # parity with the sharded warm-start capture
+    return sim
+
+
+def digest(sim):
+    return hashlib.sha256(
+        encode_snapshot(sim.capture_state())).hexdigest()
+
+
+def read_word(sim, pointer, offset=0):
+    """A word straight out of physical memory on its home node."""
+    chip = sim.chips[sim.machine.home_of(pointer.address)]
+    paddr = chip.page_table.walk(pointer.segment_base + offset)
+    return chip.memory.load_word(paddr).value
+
+
+class TestPartitionMap:
+    def test_contiguous_near_equal_slices(self):
+        assert partition_nodes(5, 2) == [[0, 1, 2], [3, 4]]
+        assert partition_nodes(4, 4) == [[0], [1], [2], [3]]
+
+    def test_workers_clamp_to_nodes(self):
+        assert partition_nodes(2, 8) == [[0], [1]]
+
+
+class TestBitEquality:
+    def test_final_state_matches_lockstep(self):
+        serial = build_cross(workers=1)
+        sharded = build_cross(workers=2)
+        try:
+            a = serial.run()
+            b = sharded.run()
+            assert (b.cycles, b.reason) == (a.cycles, a.reason)
+            assert sharded.snapshot() == serial.snapshot()
+            assert digest(sharded) == digest(serial)
+        finally:
+            sharded.close()
+
+    def test_step_parity_with_odd_increments(self):
+        serial = build_cross(workers=1)
+        sharded = build_cross(workers=2)
+        try:
+            for _ in range(12):
+                serial.step(137)
+                sharded.step(137)
+                assert sharded.now == serial.now
+            serial.run()
+            sharded.run()
+            assert sharded.snapshot() == serial.snapshot()
+            assert digest(sharded) == digest(serial)
+        finally:
+            sharded.close()
+
+    def test_mid_run_snapshot_digests_match(self):
+        serial = build_cross(workers=1)
+        sharded = build_cross(workers=2)
+        try:
+            split = 7 * serial.machine.window
+            serial.run(max_cycles=split)
+            sharded.run(max_cycles=split)
+            assert digest(sharded) == digest(serial)
+            serial.run()
+            sharded.run()
+            assert digest(sharded) == digest(serial)
+        finally:
+            sharded.close()
+
+
+class TestWindowEdgeRace:
+    def test_same_cycle_stores_resolve_by_source_node(self):
+        """Nodes 1 and 2 store different values to the same word homed
+        on node 0 at the same cycle; the barrier's deterministic
+        (cycle, src, seq) sort applies the higher source last — under
+        either engine."""
+        finals = []
+        for workers in (1, 2):
+            sim = Simulation(nodes=4, memory_bytes=2 * 1024 * 1024,
+                             arena_order=24, workers=workers)
+            target = sim.allocate(4096, node=0, eager=True)
+            for node, value in ((1, 111), (2, 222)):
+                sim.spawn("st r2, r1, 0\nhalt", node=node,
+                          regs={1: target.word, 2: value})
+            if workers == 1:
+                sim.capture_state()
+            try:
+                sim.run()
+                sim.sync_back()
+                finals.append((read_word(sim, target), digest(sim)))
+            finally:
+                sim.close()
+        assert finals[0][0] == 222
+        assert finals[1] == finals[0]
+
+
+class TestDeterminism:
+    def test_three_repeats_produce_identical_flight_streams(self):
+        dumps = []
+        for _ in range(3):
+            sim = build_cross(workers=2)
+            try:
+                sim.run()
+                dumps.append(sim.engine.flight_dumps())
+            finally:
+                sim.close()
+        assert dumps[0] == dumps[1] == dumps[2]
+        assert any(dumps[0].values())  # the streams are not vacuously equal
+
+    def test_one_vs_two_workers_same_counters_and_image(self):
+        serial = build_cross(workers=1, nodes=4)
+        sharded = build_cross(workers=2, nodes=4)
+        try:
+            serial.run()
+            sharded.run()
+            assert sharded.snapshot() == serial.snapshot()
+            assert digest(sharded) == digest(serial)
+        finally:
+            sharded.close()
+
+
+class TestRebalance:
+    def test_mid_run_rebalance_stays_bit_exact(self):
+        serial = build_cross(workers=1, nodes=4)
+        sharded = build_cross(workers=2, nodes=4)
+        try:
+            split = 5 * serial.machine.window
+            serial.run(max_cycles=split)
+            sharded.run(max_cycles=split)
+            sharded.rebalance([[0, 2], [1, 3]])  # interleave ownership
+            serial.capture_state()  # parity with the rebalance reship
+            serial.run()
+            sharded.run()
+            assert sharded.snapshot() == serial.snapshot()
+            assert digest(sharded) == digest(serial)
+        finally:
+            sharded.close()
+
+    def test_rebalance_map_must_cover_every_node_once(self):
+        sim = build_cross(workers=2, nodes=4)
+        try:
+            sim.step(1)
+            with pytest.raises(ValueError):
+                sim.rebalance([[0, 1], [1, 2, 3]])
+            with pytest.raises(ValueError):
+                sim.rebalance([[0, 1], [2]])
+        finally:
+            sim.close()
+
+
+class TestGuards:
+    def test_workers_need_a_mesh(self):
+        with pytest.raises(SimulationError):
+            Simulation(workers=2)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Simulation(nodes=2, memory_bytes=2 * 1024 * 1024,
+                       arena_order=24, workers=0)
+
+    def test_tracing_needs_the_lockstep_engine(self):
+        sim = build_cross(workers=2)
+        try:
+            with pytest.raises(SimulationError):
+                sim.trace()
+        finally:
+            sim.close()
+
+    def test_direct_machine_access_refused_once_sharded(self):
+        sim = build_cross(workers=2)
+        try:
+            sim.step(1)  # starts the workers; the mirror is now stale
+            with pytest.raises(SimulationError):
+                sim.spawn("halt", node=0)
+            with pytest.raises(SimulationError):
+                sim.load("halt", node=0)
+            with pytest.raises(SimulationError):
+                sim.restore_state({})
+        finally:
+            sim.close()
+
+    def test_sync_back_reopens_direct_access(self):
+        sim = build_cross(workers=2)
+        try:
+            sim.step(1)
+            sim.sync_back()
+            assert sim.threads  # readable again without raising
+        finally:
+            sim.close()

@@ -151,6 +151,9 @@ class TestMesh:
         with TraceSession([chip.obs for chip in mc.chips]) as session:
             mc.chips[0].access_memory(remote.segment_base, write=False,
                                       now=mc.chips[0].now)
+            # the load travels at the window barrier; drain it while
+            # the session is still recording
+            mc.advance_idle(mc.window)
         hops = [e for e in session.events if e.name == "router.hop"]
         assert len(hops) == 2  # request + reply
         assert {e.args["src"] for e in hops} == {0, 1}

@@ -18,9 +18,9 @@ construction, which is itself a useful invariant).  Non-numeric values
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr7.json] [--quick]
+    python tools/run_benchmarks.py [--out BENCH_pr8.json] [--quick]
                                    [--trials N] [--warmup M]
-                                   [--baseline BENCH_pr6.json]
+                                   [--baseline BENCH_pr7.json]
 
 ``--quick`` shrinks every workload for CI smoke runs; the cross-checks
 and the cycles-equal assertions still apply, only the sizes change.
@@ -59,6 +59,7 @@ from repro.sim.api import Simulation  # noqa: E402
 
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
 from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
+from benchmarks.bench_parallel_mesh import measure as parallel_mesh_measure  # noqa: E402
 from benchmarks.bench_service_traffic import measure as service_traffic_measure  # noqa: E402
 from benchmarks.bench_superblock import measure as superblock_measure  # noqa: E402
 from benchmarks.bench_trace_overhead import measure as trace_overhead_measure  # noqa: E402
@@ -190,6 +191,11 @@ GATED_METRICS = (
     ("data_stream", "fast_cycles_per_s", True),
     ("service_traffic", "throughput_rpk", True),
     ("service_traffic", "requests_per_s", True),
+    # wall-clock speedup of the sharded engine depends on host cores as
+    # well as workload size, so it is gated like-for-like only
+    ("parallel_mesh", "strong_speedup_2", True),
+    ("parallel_mesh", "strong_speedup_4", True),
+    ("parallel_mesh", "weak_efficiency_2", True),
 )
 
 #: a metric regresses when its new median drops below the baseline's
@@ -258,7 +264,7 @@ def check_baseline(payload: dict, baseline_path: Path) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr7.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr8.json"))
     parser.add_argument("--quick", action="store_true",
                         help="shrink every workload for CI smoke runs")
     parser.add_argument("--trials", type=int, default=3,
@@ -346,6 +352,26 @@ def main(argv: list[str] | None = None) -> int:
           f"p99 {median_of(r_serve, 'latency_p99')} cycles latency, "
           f"{median_of(r_serve, 'requests_per_s'):,.0f} requests/s wall")
 
+    print("running parallel-mesh scaling sweep ...")
+    r_par = run_trials(
+        lambda: parallel_mesh_measure(
+            requests=120 if q else 400, tenants=24 if q else 48,
+            side=2 if q else 4,
+            workers_list=(1, 2) if q else (1, 2, 4)),
+        trials, warmup,
+        check=lambda r: (
+            _require(r["cycles_equal"],
+                     "worker count changed the simulated run"),
+            _require(r["reports_equal"],
+                     "worker count changed the service report"),
+            _require(r["clean"], "service errors or wrong results")))
+    top = 4 if not q else 2
+    print(f"  {median_of(r_par, 'cycles')} simulated cycles at every "
+          f"worker count; strong "
+          f"{median_of(r_par, f'strong_speedup_{top}'):.2f}x, weak "
+          f"efficiency {median_of(r_par, f'weak_efficiency_{top}'):.2f} "
+          f"at {top} workers on {median_of(r_par, 'cores'):.0f} core(s)")
+
     print("taking the E5 counter snapshot ...")
     r_snap = run_trials(
         lambda: counter_snapshot_e5(100 if q else 500), trials, warmup)
@@ -367,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
             "superblock": r_sb,
             "trace_overhead": r_trace,
             "service_traffic": r_serve,
+            "parallel_mesh": r_par,
             "e5_counter_snapshot": r_snap,
         },
     }
