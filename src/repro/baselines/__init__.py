@@ -1,7 +1,10 @@
 """The §5 comparison schemes as trace-driven timing models.
 
 ``ALL_SCHEMES`` builds one instance of every scheme — benchmarks
-iterate it to print cross-scheme tables.
+iterate it to print cross-scheme tables.  ``battleground_schemes``
+builds the nine-scheme E17 roster: the five named §5 rivals, guarded
+pointers, and the three modern capability successors from
+:mod:`repro.baselines.modern` (docs/BASELINES.md explains the split).
 """
 
 from repro.baselines.asid import AsidPagedScheme
@@ -9,12 +12,13 @@ from repro.baselines.base import Lookaside, ProtectionScheme, SchemeMetrics, Sim
 from repro.baselines.captable import CapTableScheme
 from repro.baselines.domain_page import DomainPageScheme
 from repro.baselines.guarded import GuardedPointerScheme
+from repro.baselines.modern import CapacityScheme, CapstoneScheme, UninitCapScheme
 from repro.baselines.page_group import PageGroupScheme
 from repro.baselines.paged import PagedSeparateScheme
 from repro.baselines.segmentation import SegmentationScheme
 from repro.baselines.sfi import SFIScheme
 
-#: constructors for every scheme, in the order §5 discusses them
+#: constructors for every §5-era scheme, in the order §5 discusses them
 SCHEME_CLASSES = [
     GuardedPointerScheme,
     PagedSeparateScheme,
@@ -26,10 +30,38 @@ SCHEME_CLASSES = [
     SFIScheme,
 ]
 
+#: the 2020s capability successors (E17's challengers)
+MODERN_SCHEME_CLASSES = [
+    CapstoneScheme,
+    CapacityScheme,
+    UninitCapScheme,
+]
+
+#: the nine-scheme E17 battleground: guarded pointers, the five rivals
+#: §5 names head-on (paged, ASID, segmentation, capability tables,
+#: SFI), and the three modern schemes.  Domain-page and page-group are
+#: §5.1 variants kept for E9 but outside the battleground roster.
+BATTLEGROUND_CLASSES = [
+    GuardedPointerScheme,
+    PagedSeparateScheme,
+    AsidPagedScheme,
+    SegmentationScheme,
+    CapTableScheme,
+    SFIScheme,
+    CapstoneScheme,
+    CapacityScheme,
+    UninitCapScheme,
+]
+
 
 def all_schemes(costs=None, **kwargs):
-    """Fresh instances of every scheme sharing one cost model."""
+    """Fresh instances of every §5-era scheme sharing one cost model."""
     return [cls(costs, **kwargs) for cls in SCHEME_CLASSES]
+
+
+def battleground_schemes(costs=None, **kwargs):
+    """Fresh instances of the nine E17 schemes sharing one cost model."""
+    return [cls(costs, **kwargs) for cls in BATTLEGROUND_CLASSES]
 
 
 __all__ = [
@@ -39,12 +71,18 @@ __all__ = [
     "SchemeMetrics",
     "SimpleCache",
     "CapTableScheme",
+    "CapacityScheme",
+    "CapstoneScheme",
     "DomainPageScheme",
     "GuardedPointerScheme",
     "PageGroupScheme",
     "PagedSeparateScheme",
     "SegmentationScheme",
     "SFIScheme",
+    "UninitCapScheme",
     "SCHEME_CLASSES",
+    "MODERN_SCHEME_CLASSES",
+    "BATTLEGROUND_CLASSES",
     "all_schemes",
+    "battleground_schemes",
 ]

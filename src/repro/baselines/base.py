@@ -3,7 +3,14 @@
 Every scheme implements :class:`ProtectionScheme`: it consumes the same
 :class:`~repro.sim.trace.MemRef`/:class:`~repro.sim.trace.Switch`
 events and charges cycles through the same :class:`~repro.sim.costs.
-CostModel`, so the cross-scheme numbers in E9–E12 are commensurable.
+CostModel`, so the cross-scheme numbers in E9–E12 and the E17
+compartmentalization study are commensurable.  Beyond ``access`` and
+``switch``, schemes can charge capability hand-offs (:meth:`
+ProtectionScheme.handoff`), price a bulk domain revocation
+(:meth:`ProtectionScheme.revoke_domain` — revoked domains' later
+references trap uniformly), and report protection-metadata footprint
+(:meth:`ProtectionScheme.memory_overhead_bytes`).  The contract is
+documented in docs/BASELINES.md.
 
 Two reusable hardware models live here:
 
@@ -94,6 +101,14 @@ class SimpleCache:
             s.clear()
 
 
+#: page size every scheme's bookkeeping assumes (matches the per-scheme
+#: PAGE_BYTES constants) and a PTE's size in a radix page table
+PAGE_BYTES = 4096
+PTE_BYTES = 8
+#: one tag bit per 64-bit word = 1/64 of the data held (§4.1)
+TAG_BITS_PER_WORD = 1
+
+
 @dataclass
 class SchemeMetrics:
     """Per-run accounting for one scheme."""
@@ -104,6 +119,9 @@ class SchemeMetrics:
     switch_cycles: int = 0
     check_instructions: int = 0   #: SFI-style inserted instructions
     protection_faults: int = 0    #: access-control rejections/software traps
+    handoffs: int = 0             #: capabilities handed across switches
+    revocations: int = 0          #: bulk domain revocations performed
+    revoke_cycles: int = 0        #: cycles spent revoking
 
     @property
     def total_cycles(self) -> int:
@@ -128,6 +146,10 @@ class ProtectionScheme(abc.ABC):
         self.costs = costs or CostModel()
         self.metrics = SchemeMetrics()
         self.current_pid: int | None = None
+        #: domains whose access rights were bulk-revoked; their later
+        #: references trap to software (uniform across schemes, so the
+        #: E17 post-revocation fault counts are comparable)
+        self.revoked: set[int] = set()
 
     # -- the two scheme-defining operations ---------------------------------
 
@@ -140,6 +162,17 @@ class ProtectionScheme(abc.ABC):
     def switch(self, pid: int) -> int:
         """Cycles charged to change the protection domain to ``pid``."""
 
+    # -- capability hand-off (modern schemes charge this) -------------------
+
+    def handoff(self, pointers: int, crossed: bool) -> int:
+        """Cycles to hand ``pointers`` capabilities across a switch
+        (``crossed`` is False when the switch stayed in the same
+        domain).  Free for the §5 schemes: pointers there are plain
+        integers (or table indices) that copy for nothing.  Capstone
+        pays a linear move per pointer; Capacity re-MACs each pointer
+        for the receiving domain's key when the domain changed."""
+        return 0
+
     # -- bookkeeping for the sharing experiment (E8) ----------------------------
 
     def share_cost_entries(self, pages: int, processes: int) -> int:
@@ -148,16 +181,63 @@ class ProtectionScheme(abc.ABC):
         capability schemes need one pointer per process."""
         return pages * processes
 
+    # -- revocation and memory overhead (E17) -------------------------------
+
+    def revoke_domain(self, pid: int, *, pages: int = 1,
+                      segments: int = 1) -> int:
+        """Bulk-revoke every right domain ``pid`` holds (the tenant-
+        eviction case): returns the cycles charged and marks the
+        domain so its later references trap.  ``pages``/``segments``
+        size the victim's footprint for cost models that walk it."""
+        cycles = self._revoke_cost(max(pages, 1), max(segments, 1))
+        self.revoked.add(pid)
+        self.metrics.revocations += 1
+        self.metrics.revoke_cycles += cycles
+        return cycles
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        """Default: a kernel walks the victim's page table dropping
+        every PTE, then flushes the TLB (the §5 page-based story)."""
+        return (self.costs.trap_entry + pages * self.costs.pte_invalidate
+                + self.costs.tlb_flush + self.costs.trap_return)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        """Protection-metadata bytes for ``domains`` domains each
+        owning ``words_per_domain`` private 64-bit words.  Default:
+        one private radix page table per domain (the paged/ASID
+        story) — its leaves are page-granular, so even a tiny domain
+        pays a whole root page."""
+        pages = max(1, -(-words_per_domain * 8 // PAGE_BYTES))
+        table_bytes = -(-pages * PTE_BYTES // PAGE_BYTES) * PAGE_BYTES
+        return domains * table_bytes
+
+    def extras(self) -> dict:
+        """Scheme-specific counters worth surfacing in reports."""
+        return {}
+
     # -- driver ------------------------------------------------------------------
 
     def run(self, trace: Trace) -> SchemeMetrics:
-        """Consume a trace, accumulating metrics."""
+        """Consume a trace, accumulating metrics.  References by a
+        revoked domain do not reach the scheme's access path: they
+        trap to software (counted as protection faults)."""
         for event in trace:
             if isinstance(event, Switch):
                 cycles = self.switch(event.pid)
+                handed = getattr(event, "handoff", 0)
+                if handed:
+                    cycles += self.handoff(handed,
+                                           event.pid != self.current_pid)
+                    self.metrics.handoffs += handed
                 self.current_pid = event.pid
                 self.metrics.switches += 1
                 self.metrics.switch_cycles += cycles
+            elif event.pid in self.revoked:
+                self.metrics.protection_faults += 1
+                self.metrics.accesses += 1
+                self.metrics.access_cycles += (self.costs.trap_entry
+                                               + self.costs.trap_return)
             else:
                 cycles = self.access(event)
                 self.metrics.accesses += 1

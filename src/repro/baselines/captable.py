@@ -50,3 +50,18 @@ class CapTableScheme(ProtectionScheme):
 
     def share_cost_entries(self, pages: int, processes: int) -> int:
         return processes  # one capability per process
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # the indirection pays off exactly here: kill the object-table
+        # entries and every outstanding capability dies at once
+        self.capcache.flush()
+        return (self.costs.trap_entry
+                + segments * self.costs.pte_invalidate
+                + self.costs.trap_return)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # a global object-table entry per segment (16 B: base, length,
+        # rights, generation) plus each domain's c-list entry
+        segments = max(1, words_per_domain // 512)
+        return domains * segments * (16 + 8)

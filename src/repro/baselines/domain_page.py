@@ -49,3 +49,18 @@ class DomainPageScheme(ProtectionScheme):
     # Domain-Page keeps the base class's n×m: each process's protection
     # table needs an entry per shared page (translation is shared, the
     # protection rows are not).
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # drop the victim's protection-table rows; translation (the
+        # shared page table) survives, but the PLB must be purged
+        self.plb.flush()
+        return (self.costs.trap_entry + pages * self.costs.pte_invalidate
+                + self.costs.trap_return)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # one shared page table plus a protection table per domain
+        # (protection rows are half a PTE: rights, no translation)
+        from repro.baselines.base import PTE_BYTES
+        pages = max(1, -(-words_per_domain * 8 // PAGE_BYTES))
+        return domains * pages * (PTE_BYTES + PTE_BYTES // 2)

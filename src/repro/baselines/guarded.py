@@ -39,3 +39,12 @@ class GuardedPointerScheme(ProtectionScheme):
     def share_cost_entries(self, pages: int, processes: int) -> int:
         # one guarded pointer per process, independent of region size
         return processes
+
+    # revocation keeps the base-class cost: §4.3's cheap path *is* the
+    # page-based one — unmap the segment's pages and flush the TLB.
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # no tables at all; the cost is the tag bit on every word the
+        # domain holds (1/64 ≈ 1.5625%, §4.1)
+        return domains * words_per_domain // 8

@@ -1,0 +1,250 @@
+"""The 2020s capability successors as trace-driven timing models (E17).
+
+The paper's §5 rivals are all early-90s designs.  These three schemes
+are the modern battleground — each keeps guarded pointers'
+single-address-space memory path (shared virtually-addressed cache,
+translation only on misses) but answers the questions the 1994 design
+left open, and pays for the answer somewhere measurable:
+
+* :class:`CapstoneScheme` — Capstone's linear + revocable capabilities
+  (arxiv 2302.13863).  Every capability is dominated by a node in a
+  revocation tree; a dereference must observe the node's state (a
+  revocation-cache probe, else a revnode fetch from memory), and
+  handing a linear capability to another party *moves* it — the source
+  is invalidated, which costs cycles on every cross-domain hand-off.
+  In exchange, revoking a whole subtree is one node flip: bulk
+  revocation is O(1) and needs no privileged software.
+
+* :class:`CapacityScheme` — Capacity's PAC-style MACed pointers
+  (arxiv 2309.11151).  No tag bit at all (the memory-overhead win):
+  authenticity comes from a per-domain MAC folded into the pointer's
+  unused high bits.  The price is a MAC verification on dereference
+  (cached for already-verified pointers) and a re-sign whenever a
+  pointer is handed to a domain with a different key.  Bulk revocation
+  is a key rotation.
+
+* :class:`UninitCapScheme` — uninitialized capabilities
+  (arxiv 2006.01608).  A guarded-pointer machine whose fresh segments
+  carry write-before-read permission: memory can be passed to an
+  untrusted allocatee *without zeroing it first*, because reads of
+  never-written words are refused by the same issue-site comparator
+  that checks bounds.  The model charges a permission-state transition
+  (frontier advance) on each first write and counts refused
+  uninitialized reads; the win is the zero-fill traffic every other
+  scheme spends at allocation, reported via :meth:`extras`.
+
+All three share :class:`~repro.baselines.base.Lookaside` /
+:class:`~repro.baselines.base.SimpleCache` and charge through the one
+:class:`~repro.sim.costs.CostModel`, so their numbers are commensurable
+with the §5 schemes (docs/BASELINES.md has the full contract).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Lookaside, ProtectionScheme, SimpleCache
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef
+
+PAGE_BYTES = 4096
+
+#: bytes of one revocation-tree node (parent link, state, bounds)
+REVNODE_BYTES = 32
+#: bytes of one per-domain MAC key
+KEY_BYTES = 16
+
+
+class CapstoneScheme(ProtectionScheme):
+    """Capstone-style linear/revocable capabilities."""
+
+    name = "capstone-linear"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64,
+                 revcache_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+        #: recently-checked revocation-tree nodes, keyed by segment
+        self.revcache = Lookaside(revcache_entries)
+        self.revnode_walks = 0
+        self.linear_moves = 0
+
+    def access(self, ref: MemRef) -> int:
+        # the capability's revnode state must be observed before the
+        # access commits: a revcache hit overlaps the cache probe, a
+        # miss fetches the node from memory (the Capstone tax)
+        cycles = self.costs.cache_hit
+        if not self.revcache.probe(ref.segment):
+            cycles += self.costs.capstone_revnode_walk
+            self.revnode_walks += 1
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        return 0  # capabilities are possessions — no tables to swap
+
+    def handoff(self, pointers: int, crossed: bool) -> int:
+        # a linear capability *moves*: delete at the source, install
+        # at the destination — charged whether or not the receiving
+        # thread runs in the same domain
+        self.linear_moves += pointers
+        return pointers * self.costs.capstone_linear_move
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # flip the node dominating the victim's subtree: every
+        # capability under it dies at once, no kernel involved —
+        # the cached copies of the node must go, nothing else
+        self.revcache.flush()
+        return self.costs.capstone_revoke_node
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        return processes  # one capability per sharer
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # tag bits on every held word, plus one revnode per segment
+        segments = max(1, words_per_domain // 512)
+        return domains * (words_per_domain // 8
+                          + segments * REVNODE_BYTES)
+
+    def extras(self) -> dict:
+        return {"revnode_walks": self.revnode_walks,
+                "linear_moves": self.linear_moves,
+                "revcache_hit_rate": round(
+                    self.revcache.hits
+                    / max(self.revcache.hits + self.revcache.misses, 1), 4)}
+
+
+class CapacityScheme(ProtectionScheme):
+    """Capacity-style cryptographically-MACed (PAC-like) pointers."""
+
+    name = "capacity-mac"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64,
+                 verified_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+        #: pointers already MAC-verified under the current key, keyed
+        #: by (domain, object) — a verified pointer stays cheap until
+        #: it leaves the table
+        self.verified = Lookaside(verified_entries)
+        self.mac_verifies = 0
+        self.mac_signs = 0
+
+    def access(self, ref: MemRef) -> int:
+        cycles = self.costs.cache_hit
+        # authenticity check: recompute the MAC under the domain's key
+        # unless this pointer was verified recently
+        if not self.verified.probe((ref.pid, ref.segment)):
+            cycles += self.costs.capacity_mac_verify
+            self.mac_verifies += 1
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        if pid == self.current_pid:
+            return 0
+        return self.costs.capacity_key_switch
+
+    def handoff(self, pointers: int, crossed: bool) -> int:
+        # a pointer minted for one domain fails the MAC under another
+        # domain's key: crossing hand-offs strip and re-sign
+        if not crossed:
+            return 0
+        self.mac_signs += pointers
+        return pointers * self.costs.capacity_mac_sign
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # rotate the victim's key: every pointer signed under it fails
+        # verification from now on.  Monitor-mediated (a trap), and the
+        # verified-pointer table can no longer be trusted.
+        self.verified.flush()
+        return (self.costs.trap_entry + self.costs.capacity_key_rotate
+                + self.costs.trap_return)
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        return processes  # one signed pointer per sharer
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # the headline win: no tag bit, no tables — the MAC rides in
+        # the pointer's unused high bits; state is one key per domain
+        return domains * KEY_BYTES
+
+    def extras(self) -> dict:
+        return {"mac_verifies": self.mac_verifies,
+                "mac_signs": self.mac_signs,
+                "verified_hit_rate": round(
+                    self.verified.hits
+                    / max(self.verified.hits + self.verified.misses, 1), 4)}
+
+
+class UninitCapScheme(ProtectionScheme):
+    """Uninitialized capabilities: write-before-read permission flow."""
+
+    name = "uninit-caps"
+
+    def __init__(self, costs: CostModel | None = None,
+                 cache_bytes: int = 128 * 1024, tlb_entries: int = 64):
+        super().__init__(costs)
+        self.cache = SimpleCache(total_bytes=cache_bytes)
+        self.tlb = Lookaside(tlb_entries)
+        #: word addresses known initialized (the paper tracks a linear
+        #: frontier per capability; per-word tracking is the sparse
+        #: upper bound of that — every first write is a promotion)
+        self._written: set[int] = set()
+        self.init_promotes = 0
+        self.uninit_reads = 0
+
+    def access(self, ref: MemRef) -> int:
+        word = ref.vaddr & ~7
+        if ref.write:
+            if word not in self._written:
+                # first write: promote the word past the init frontier
+                # (the U-permission state transition)
+                self._written.add(word)
+                self.init_promotes += 1
+                return self._memory_path(ref) + self.costs.uninit_promote
+        elif word not in self._written:
+            # a read below the frontier is refused by the same
+            # issue-site comparator that checks bounds: no cycles, but
+            # the program sees a fault instead of leaked garbage
+            self.uninit_reads += 1
+        return self._memory_path(ref)
+
+    def _memory_path(self, ref: MemRef) -> int:
+        cycles = self.costs.cache_hit
+        if not self.cache.probe(ref.vaddr, space=0):
+            cycles += self.costs.cache_miss_penalty
+            if not self.tlb.probe(ref.vaddr // PAGE_BYTES):
+                cycles += self.costs.tlb_walk
+        return cycles
+
+    def switch(self, pid: int) -> int:
+        return 0  # guarded-pointer machine: zero-cost switching
+
+    def share_cost_entries(self, pages: int, processes: int) -> int:
+        return processes
+
+    # revocation keeps the guarded-pointer cost (unmap the pages)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # tag bits as guarded; the frontier reuses the capability
+        # word's offset field, so it stores for free
+        return domains * words_per_domain // 8
+
+    def extras(self) -> dict:
+        return {"init_promotes": self.init_promotes,
+                "uninit_reads": self.uninit_reads,
+                # what every zero-on-allocate scheme would have paid to
+                # hand these words out safely
+                "zero_fill_words_saved": len(self._written)}

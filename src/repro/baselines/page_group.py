@@ -73,3 +73,17 @@ class PageGroupScheme(ProtectionScheme):
         # sharing process (in its register set / protection state), but
         # the group occupies one of only four fast slots per process
         return processes
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # retire the victim's group id from every TLB entry carrying it
+        self._saved.pop(self.current_pid, None)
+        return (self.costs.trap_entry + pages * self.costs.pte_invalidate
+                + self.costs.tlb_flush + self.costs.trap_return)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # the shared page table carries group ids; per-domain state is
+        # the four saved access-id registers
+        from repro.baselines.base import PTE_BYTES
+        pages = max(1, -(-words_per_domain * 8 // PAGE_BYTES))
+        return domains * (pages * PTE_BYTES + GROUP_REGISTERS * 8)

@@ -55,3 +55,22 @@ class SegmentationScheme(ProtectionScheme):
         # available" (§5.2) — one descriptor per process, regardless of
         # size, but each requires OS intervention to install.
         return processes
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # invalidate the victim's descriptors, then drop the pages
+        # beneath them (segmentation here rides on paging)
+        self.descriptors.flush()
+        return (self.costs.trap_entry
+                + segments * self.costs.pte_invalidate
+                + pages * self.costs.pte_invalidate
+                + self.costs.trap_return)
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # a per-domain descriptor table over a per-domain page table
+        # (page-granular, like the base paged story)
+        from repro.baselines.base import PTE_BYTES
+        segments = max(1, words_per_domain // 512)
+        pages = max(1, -(-words_per_domain * 8 // PAGE_BYTES))
+        table_bytes = -(-pages * PTE_BYTES // PAGE_BYTES) * PAGE_BYTES
+        return domains * (segments * 8 + table_bytes)

@@ -56,3 +56,16 @@ class SFIScheme(ProtectionScheme):
         # Cross-domain *write* sharing in Wahbe et al. really goes via
         # RPC, which this count understates — noted in E8's output.
         return processes
+
+    def _revoke_cost(self, pages: int, segments: int) -> int:
+        # drop the domain's sandbox masks; no hardware state to walk —
+        # but the revoked code keeps running until unmapped, so the
+        # kernel still round-trips to tear the region down
+        return self.costs.trap_entry + self.costs.trap_return
+
+    def memory_overhead_bytes(self, domains: int,
+                              words_per_domain: int) -> int:
+        # per-domain sandbox masks/rules only; the real cost (inserted
+        # check instructions in every unsafe code page) is charged per
+        # access, not stored as protection state
+        return domains * 64

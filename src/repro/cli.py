@@ -33,8 +33,16 @@ Usage (``python -m repro <command> ...``):
   throughput with p50/p99/p999 latency; ``--json`` writes the report,
   ``--trace-out`` records a Perfetto trace, ``--migrate-hot``
   live-migrates the hottest tenant mid-run, ``--workers N`` shards the
-  mesh across OS processes with bit-identical results
-  (docs/SERVICE.md, docs/PERF.md).
+  mesh across OS processes with bit-identical results,
+  ``--export-trace`` writes the protection-level event stream for
+  ``compare`` (docs/SERVICE.md, docs/PERF.md).
+* ``compare``              — the E17 battleground: replay one captured
+  service trace through all nine protection schemes (the five §5
+  rivals, guarded pointers, Capstone, Capacity, uninit caps) with a
+  mid-run tenant eviction, and print the cross-domain call /
+  revocation / memory-overhead trade-off tables (docs/BASELINES.md);
+  ``--trace`` reuses a file from ``serve --export-trace``, otherwise
+  the service runs in-process first.
 
 The CLI is intentionally thin: everything it does is one call into the
 library — ``run`` drives the :class:`repro.sim.api.Simulation` facade —
@@ -261,7 +269,8 @@ def cmd_restore(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant KV service under open-loop traffic and
     print the throughput/latency report (docs/SERVICE.md)."""
-    from repro.service import ServiceLoadDriver, install_tenants, open_loop
+    from repro.service import (ServiceLoadDriver, ServiceTraceExporter,
+                               install_tenants, open_loop)
 
     if args.workers > 1 and args.trace_out:
         print("; --trace-out needs the lockstep engine (drop --workers)")
@@ -276,7 +285,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{args.requests} requests, {args.arrivals} arrivals at "
           f"{args.rate} req/kcycle, zipf skew {args.skew}, seed {args.seed}")
     tenants = install_tenants(sim, args.tenants, slots=args.slots)
-    driver = ServiceLoadDriver(sim, tenants, ingress=args.ingress)
+    exporter = ServiceTraceExporter() if args.export_trace else None
+    driver = ServiceLoadDriver(sim, tenants, ingress=args.ingress,
+                               exporter=exporter)
     schedule = open_loop(
         requests=args.requests, tenants=args.tenants,
         mean_gap=1000.0 / args.rate, seed=args.seed,
@@ -293,6 +304,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         report = driver.run(schedule, migrate_hot_after=migrate_after)
     print(report.format())
+    if exporter is not None:
+        exporter.save(args.export_trace, tenants=args.tenants,
+                      nodes=args.nodes, seed=args.seed,
+                      arrivals=args.arrivals, slots=args.slots)
+        print(f"; protection trace written to {args.export_trace} "
+              f"({len(exporter.events)} events)")
     if args.json:
         import json
 
@@ -303,6 +320,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ok = (report.completed == args.requests and not report.errors
           and not report.wrong_results)
     return 0 if ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Replay one service trace through all nine protection schemes
+    and print the E17 trade-off tables (docs/BASELINES.md)."""
+    from repro.experiments import e17_compartmentalization as e17
+
+    if args.trace:
+        from repro.service.export import load_trace
+
+        meta, trace = load_trace(args.trace)
+        tenants = meta.get("tenants", args.tenants)
+        print(f"; replaying {args.trace}: {len(trace)} events, "
+              f"{tenants} tenants")
+    else:
+        meta, trace = e17.capture_service_trace(
+            requests=args.requests, tenants=args.tenants,
+            nodes=args.nodes, seed=args.seed, arrivals=args.arrivals)
+        tenants = args.tenants
+        print(f"; captured {len(trace)} events from {meta['completed']} "
+              f"requests over {tenants} tenants on {args.nodes} node(s), "
+              f"seed {args.seed}")
+    reports = e17.battleground(trace, tenants=tenants,
+                               revoke_fraction=args.revoke_fraction)
+    overhead = e17.memory_overhead_table()
+    print(f"; victim: domain {e17.hottest_pid(trace)} evicted at "
+          f"{args.revoke_fraction:.0%} of the trace")
+    print(e17.format_battleground(reports))
+    print()
+    print("; protection-metadata bytes at 10/100/1000 tenants")
+    print(e17.format_overhead(overhead))
+    if args.json:
+        import json
+
+        payload = {"meta": meta,
+                   "schemes": [r.as_dict() for r in reports],
+                   "memory_overhead_bytes": overhead}
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"; report written to {args.json}")
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -466,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "through the run")
     p_serve.add_argument("--trace-out", default=None, metavar="PATH",
                          help="record the run and write a Perfetto trace")
+    p_serve.add_argument("--export-trace", default=None, metavar="PATH",
+                         help="write the protection-level event stream "
+                              "(one Switch + four MemRefs per request) "
+                              "for `repro compare`")
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="write the report as JSON")
     p_serve.add_argument("--memory", type=int, default=8 * 1024 * 1024,
@@ -474,6 +536,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="page size (small pages keep tenant "
                               "segments migratable)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cmp = sub.add_parser(
+        "compare", help="replay a service trace through all nine "
+                        "protection schemes (the E17 battleground)")
+    p_cmp.add_argument("--trace", default=None, metavar="PATH",
+                       help="trace file from `repro serve "
+                            "--export-trace` (default: run the service "
+                            "in-process first)")
+    p_cmp.add_argument("--tenants", type=int, default=100,
+                       help="tenant count when capturing in-process")
+    p_cmp.add_argument("--requests", type=int, default=1000)
+    p_cmp.add_argument("--nodes", type=int, default=1)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--arrivals", default="poisson",
+                       choices=("poisson", "bursty", "uniform"))
+    p_cmp.add_argument("--revoke-fraction", type=float, default=0.5,
+                       help="evict the hottest tenant after this "
+                            "fraction of the trace")
+    p_cmp.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full report as JSON")
+    p_cmp.set_defaults(func=cmd_compare)
     return parser
 
 

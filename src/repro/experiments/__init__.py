@@ -20,6 +20,7 @@ E12    §5.4 — SFI dynamic check overhead
 E13    §4.3 — revocation unmap vs sweep; address-space GC scaling
 E14    §4.2 — sparse software capabilities vs the tag bit
 E15    §3 (extension) — guarded pointers across the mesh
+E17    modern battleground — nine schemes over the service trace
 A1–A4  ablations of the design ingredients (see ``ablations``)
 =====  ==============================================================
 """
@@ -41,6 +42,7 @@ from repro.experiments import (
     e13_revocation_gc,
     e14_sparse_capabilities,
     e15_multinode,
+    e17_compartmentalization,
 )
 
 __all__ = [
@@ -60,4 +62,5 @@ __all__ = [
     "e13_revocation_gc",
     "e14_sparse_capabilities",
     "e15_multinode",
+    "e17_compartmentalization",
 ]

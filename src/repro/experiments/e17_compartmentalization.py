@@ -1,0 +1,246 @@
+"""E17 — the compartmentalization trade-off study (modern battleground).
+
+The paper's §5 argues guarded pointers beat the 1994 alternatives on
+cross-domain call cost.  Thirty years later the published comparisons
+(e.g. the CHERI-era compartmentalization studies) score schemes on
+three axes instead: **cross-domain call cost**, **revocation cost**,
+and **memory overhead** at realistic domain counts.  E17 runs that
+study over *this* repo's own workload: the PR 6 multi-tenant KV
+service's protection-level event stream, captured once
+(:func:`capture_service_trace` via
+:class:`~repro.service.export.ServiceTraceExporter`) and replayed
+bit-identically through all nine schemes of
+:func:`~repro.baselines.battleground_schemes` — the five §5 rivals,
+guarded pointers, and the three modern capability successors.
+
+Each replay is two-phase: run the first half of the trace, bulk-revoke
+the hottest tenant (the eviction case — a tenant's key leaked, kill its
+rights *now*), then run the rest.  That makes the revocation axis an
+in-context number — cycles to revoke plus how the scheme's steady-state
+cost shifts afterwards — rather than a detached microbenchmark.
+Memory overhead is scored separately at 10/100/1000 tenants
+(:func:`memory_overhead_table`), where the schemes diverge by orders
+of magnitude: per-domain page tables grow linearly in pages × domains,
+tag bits in held words, Capacity in nothing but keys.
+
+``repro compare`` is the CLI face of this module; the checked-in
+tables live in EXPERIMENTS.md §E17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import battleground_schemes
+from repro.baselines.base import ProtectionScheme
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef, Switch, Trace
+
+PAGE_BYTES = 4096
+
+#: protection-relevant footprint assumed per tenant when scoring
+#: memory overhead: 512 64-bit words (a 4 KB domain — table + gateway,
+#: rounded up to the page every page-based scheme must map anyway)
+WORDS_PER_DOMAIN = 512
+
+
+@dataclass(frozen=True)
+class SchemeReport:
+    """One scheme's three-axis score over one captured trace."""
+
+    scheme: str
+    total_cycles: int
+    accesses: int
+    cycles_per_access: float
+    calls: int                #: boundary crossings (Switch events)
+    cycles_per_call: float    #: switch + hand-off cycles per crossing
+    handoffs: int
+    revoke_cycles: int        #: the bulk-revocation bill itself
+    post_revoke_faults: int   #: victim references trapped afterwards
+    memory_bytes: int         #: protection metadata at the run's tenants
+    extras: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "total_cycles": self.total_cycles,
+            "accesses": self.accesses,
+            "cycles_per_access": round(self.cycles_per_access, 3),
+            "calls": self.calls,
+            "cycles_per_call": round(self.cycles_per_call, 3),
+            "handoffs": self.handoffs,
+            "revoke_cycles": self.revoke_cycles,
+            "post_revoke_faults": self.post_revoke_faults,
+            "memory_bytes": self.memory_bytes,
+            "extras": self.extras,
+        }
+
+
+def capture_service_trace(*, requests: int = 400, tenants: int = 20,
+                          nodes: int = 1, seed: int = 0,
+                          arrivals: str = "poisson",
+                          mean_gap: float = 10.0) -> tuple[dict, Trace]:
+    """Run the KV service under open-loop load with the trace exporter
+    hooked in; returns ``(metadata, Trace)``.  The run must be clean —
+    a faulting service would export a skewed trace."""
+    from repro.service import (ServiceLoadDriver, ServiceTraceExporter,
+                               install_tenants, open_loop)
+    from repro.sim.api import Simulation
+
+    sim = Simulation(nodes=nodes, page_bytes=512,
+                     memory_bytes=4 * 1024 * 1024)
+    roster = install_tenants(sim, tenants)
+    exporter = ServiceTraceExporter()
+    driver = ServiceLoadDriver(sim, roster, exporter=exporter)
+    schedule = open_loop(requests=requests, tenants=tenants,
+                         mean_gap=mean_gap, seed=seed, arrivals=arrivals)
+    report = driver.run(schedule)
+    if report.errors or report.wrong_results:
+        raise RuntimeError(
+            f"service run not clean: {report.errors} errors, "
+            f"{report.wrong_results} wrong results")
+    meta = {"requests": requests, "tenants": tenants, "nodes": nodes,
+            "seed": seed, "arrivals": arrivals, "mean_gap": mean_gap,
+            "completed": report.completed}
+    return meta, exporter.trace()
+
+
+def hottest_pid(trace: Trace) -> int:
+    """The domain with the most references — the tenant E17 evicts."""
+    counts: dict[int, int] = {}
+    for event in trace:
+        if isinstance(event, MemRef):
+            counts[event.pid] = counts.get(event.pid, 0) + 1
+    return max(sorted(counts), key=lambda pid: counts[pid])
+
+
+def _split_at_fraction(trace: Trace, fraction: float) -> int:
+    """Event index at ~``fraction``, snapped forward to the next
+    Switch so no request is cut mid-flight."""
+    k = int(len(trace) * fraction)
+    events = trace.events
+    while k < len(events) and not isinstance(events[k], Switch):
+        k += 1
+    return k
+
+
+def replay(scheme: ProtectionScheme, trace: Trace, *, tenants: int,
+           revoke_fraction: float = 0.5, victim: int | None = None,
+           words_per_domain: int = WORDS_PER_DOMAIN) -> SchemeReport:
+    """Two-phase replay: first half, evict the victim, second half."""
+    if victim is None:
+        victim = hottest_pid(trace)
+    k = _split_at_fraction(trace, revoke_fraction)
+    scheme.run(Trace(events=trace.events[:k]))
+    faults_before = scheme.metrics.protection_faults
+    pages = max(1, -(-words_per_domain * 8 // PAGE_BYTES))
+    revoke_cycles = scheme.revoke_domain(victim, pages=pages, segments=2)
+    scheme.run(Trace(events=trace.events[k:]))
+    m = scheme.metrics
+    return SchemeReport(
+        scheme=scheme.name,
+        total_cycles=m.total_cycles + m.revoke_cycles,
+        accesses=m.accesses,
+        cycles_per_access=m.cycles_per_access,
+        calls=m.switches,
+        cycles_per_call=m.cycles_per_switch,
+        handoffs=m.handoffs,
+        revoke_cycles=revoke_cycles,
+        post_revoke_faults=m.protection_faults - faults_before,
+        memory_bytes=scheme.memory_overhead_bytes(tenants,
+                                                  words_per_domain),
+        extras=scheme.extras())
+
+
+def battleground(trace: Trace, *, tenants: int,
+                 costs: CostModel | None = None,
+                 revoke_fraction: float = 0.5,
+                 words_per_domain: int = WORDS_PER_DOMAIN
+                 ) -> list[SchemeReport]:
+    """All nine schemes over the same trace, same victim, same knobs."""
+    costs = costs or CostModel()
+    victim = hottest_pid(trace)
+    return [replay(scheme, trace, tenants=tenants, victim=victim,
+                   revoke_fraction=revoke_fraction,
+                   words_per_domain=words_per_domain)
+            for scheme in battleground_schemes(costs)]
+
+
+def memory_overhead_table(tenant_counts=(10, 100, 1000),
+                          words_per_domain: int = WORDS_PER_DOMAIN,
+                          costs: CostModel | None = None
+                          ) -> dict[str, dict[int, int]]:
+    """Protection-metadata bytes per scheme at each tenant count."""
+    costs = costs or CostModel()
+    table: dict[str, dict[int, int]] = {}
+    for scheme in battleground_schemes(costs):
+        table[scheme.name] = {
+            n: scheme.memory_overhead_bytes(n, words_per_domain)
+            for n in tenant_counts}
+    return table
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The full E17 study: one captured workload, nine replays, and
+    the memory-overhead scaling table."""
+
+    meta: dict
+    reports: list  #: list[SchemeReport]
+    overhead: dict  #: scheme -> {tenant count -> bytes}
+
+    def report(self, scheme: str) -> SchemeReport:
+        return next(r for r in self.reports if r.scheme == scheme)
+
+    def relative_cycles(self, scheme: str,
+                        baseline: str = "guarded-pointers") -> float:
+        return (self.report(scheme).total_cycles
+                / self.report(baseline).total_cycles)
+
+    def as_dict(self) -> dict:
+        return {"meta": self.meta,
+                "schemes": [r.as_dict() for r in self.reports],
+                "memory_overhead_bytes": self.overhead}
+
+
+def study(*, requests: int = 400, tenants: int = 20, nodes: int = 1,
+          seed: int = 0, arrivals: str = "poisson",
+          tenant_counts=(10, 100, 1000),
+          costs: CostModel | None = None) -> StudyResult:
+    """Capture the service trace once, replay it through all nine
+    schemes, and score memory overhead at scale."""
+    meta, trace = capture_service_trace(
+        requests=requests, tenants=tenants, nodes=nodes, seed=seed,
+        arrivals=arrivals)
+    meta["events"] = len(trace)
+    meta["victim"] = hottest_pid(trace)
+    return StudyResult(
+        meta=meta,
+        reports=battleground(trace, tenants=tenants, costs=costs),
+        overhead=memory_overhead_table(tenant_counts, costs=costs))
+
+
+def format_battleground(reports: list, baseline: str = "guarded-pointers"
+                        ) -> str:
+    """The nine-row trade-off table ``repro compare`` prints."""
+    base = next(r for r in reports if r.scheme == baseline)
+    lines = [f"{'scheme':<18} {'cycles':>9} {'rel':>6} {'cyc/call':>9} "
+             f"{'cyc/access':>10} {'revoke':>7} {'faults':>7}"]
+    for r in reports:
+        lines.append(
+            f"{r.scheme:<18} {r.total_cycles:>9} "
+            f"{r.total_cycles / base.total_cycles:>6.2f} "
+            f"{r.cycles_per_call:>9.2f} {r.cycles_per_access:>10.2f} "
+            f"{r.revoke_cycles:>7} {r.post_revoke_faults:>7}")
+    return "\n".join(lines)
+
+
+def format_overhead(overhead: dict) -> str:
+    """The memory-overhead scaling table (bytes per tenant count)."""
+    counts = sorted(next(iter(overhead.values())))
+    header = f"{'scheme':<18}" + "".join(f" {f'@{n}':>12}" for n in counts)
+    lines = [header]
+    for scheme, row in overhead.items():
+        lines.append(f"{scheme:<18}"
+                     + "".join(f" {row[n]:>12}" for n in counts))
+    return "\n".join(lines)

@@ -19,10 +19,15 @@ needs:
 * :mod:`repro.service.driver` — the load driver that admits requests,
   spawns them across the mesh, measures per-request latency into the
   ``request_latency`` histogram, and reports throughput with
-  p50/p99/p999 (``repro serve`` on the command line).
+  p50/p99/p999 (``repro serve`` on the command line);
+* :mod:`repro.service.export` — the bridge to the baseline comparison:
+  a driver hook that records each request's protection-level event
+  skeleton as a :class:`~repro.sim.trace.Trace`, replayed through all
+  nine schemes by E17 and ``repro compare``.
 """
 
 from repro.service.driver import ServiceLoadDriver, TrafficReport
+from repro.service.export import ServiceTraceExporter, load_trace
 from repro.service.kv import (OP_GET, OP_PUT, Tenant, client_source,
                               gateway_program, install_clients,
                               install_tenants)
@@ -33,11 +38,13 @@ __all__ = [
     "OP_PUT",
     "Request",
     "ServiceLoadDriver",
+    "ServiceTraceExporter",
     "Tenant",
     "TrafficReport",
     "client_source",
     "gateway_program",
     "install_clients",
     "install_tenants",
+    "load_trace",
     "open_loop",
 ]

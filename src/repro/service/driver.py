@@ -124,11 +124,15 @@ class ServiceLoadDriver:
     ``client_entries`` reuses already-loaded client stubs (the
     restore-from-snapshot path must not load fresh segments into the
     restored machine); by default the driver loads one stub per node.
+
+    ``exporter`` (a :class:`~repro.service.export.ServiceTraceExporter`)
+    records each dispatched request's protection-level event skeleton,
+    for replay through the E17 baseline schemes.
     """
 
     def __init__(self, sim, tenants: list[Tenant], *,
                  ingress: str = "home", quantum: int = DEFAULT_QUANTUM,
-                 verify: bool = True, client_entries=None):
+                 verify: bool = True, client_entries=None, exporter=None):
         if ingress not in ("home", "scatter"):
             raise ValueError(f"unknown ingress policy: {ingress!r}")
         if quantum <= 0:
@@ -138,6 +142,7 @@ class ServiceLoadDriver:
         self.ingress = ingress
         self.quantum = quantum
         self.verify = verify
+        self.exporter = exporter
         self.client_entries = (client_entries if client_entries is not None
                                else install_clients(sim))
         if len(self.client_entries) != sim.nodes:
@@ -178,6 +183,9 @@ class ServiceLoadDriver:
         tid = self.sim.spawn_request(
             node, self.client_entries[node], domain=tenant.domain,
             regs=regs, stack_bytes=0)
+        if self.exporter is not None:
+            self.exporter.record(request, tenant, node,
+                                 self.client_entries[node])
         self.dispatched[request.tenant] += 1
         if self.verify and request.op == OP_PUT:
             slot = request.key & (tenant.slots - 1)

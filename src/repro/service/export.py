@@ -1,0 +1,121 @@
+"""Export the service's protection-level event stream as a baseline trace.
+
+The multi-tenant KV service and the E9–E12 baseline comparison speak
+different languages: the service runs real threads on the simulated
+machine, the baselines consume abstract :class:`~repro.sim.trace.MemRef`
+/ :class:`~repro.sim.trace.Switch` streams.  This module is the bridge
+— a :class:`ServiceTraceExporter` hooked into the load driver records,
+for every dispatched request, the protection-relevant skeleton of its
+enter-call round trip:
+
+1. a :class:`~repro.sim.trace.Switch` into the tenant's domain with
+   ``handoff=1`` (the enter pointer crosses the boundary — the event
+   the modern capability schemes charge for);
+2. the client stub's instruction fetch (one *shared per-node* segment
+   touched under a per-tenant pid — the reference pattern that costs
+   ASID-tagged schemes their synonym duplicates at service scale);
+3. the gateway's load of its private ``table:`` slot;
+4. the table-slot access itself (a write for PUT);
+5. the client's return-address fetch.
+
+No switch is recorded for the return: the next request's Switch is the
+next boundary crossing, so consecutive dispatches for the same tenant
+stay free under pid-keyed schemes — the same convention E9 uses.
+
+Everything here is derived from architectural state at dispatch time
+(segment bases, label offsets, the request itself), so a deterministic
+run exports a byte-identical trace file — tested, and the property
+``repro compare`` leans on to replay one captured workload through all
+nine schemes.
+
+The on-disk format is JSONL: a metadata header line, then one
+canonically-serialised (sorted keys, no whitespace) object per event.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.service.kv import OP_PUT, Tenant, gateway_program
+from repro.service.traffic import Request
+from repro.sim.trace import MemRef, Switch, Trace
+
+FORMAT = "repro-service-trace"
+VERSION = 1
+
+
+def _canonical(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ServiceTraceExporter:
+    """Accumulates one five-event skeleton per dispatched request.
+
+    Segment ids are chosen so the schemes' descriptor/revocation
+    machinery sees the service's real sharing structure: client stubs
+    are per *node* (negative ids, shared by every tenant ingressing
+    there), tenant gateway code is ``2*index``, tenant tables are
+    ``2*index + 1``.
+    """
+
+    def __init__(self):
+        self.events: list = []
+        self.requests = 0
+
+    def record(self, request: Request, tenant: Tenant, node: int,
+               client_entry) -> None:
+        pid = tenant.domain
+        stub = client_entry.segment_base
+        table_slot = gateway_program(tenant.slots).labels["table"]
+        slot = request.key & (tenant.slots - 1)
+        self.events.extend([
+            Switch(pid=pid, handoff=1),
+            MemRef(pid=pid, vaddr=stub, segment=-(node + 1)),
+            MemRef(pid=pid,
+                   vaddr=tenant.subsystem.execute.segment_base + table_slot,
+                   segment=2 * tenant.index),
+            MemRef(pid=pid, vaddr=tenant.table.segment_base + slot * 8,
+                   write=request.op == OP_PUT,
+                   segment=2 * tenant.index + 1),
+            MemRef(pid=pid, vaddr=stub + 8, segment=-(node + 1)),
+        ])
+        self.requests += 1
+
+    def trace(self) -> Trace:
+        return Trace(events=list(self.events))
+
+    def save(self, path: str, **meta) -> None:
+        with open(path, "w") as fh:
+            write_trace(fh, self.events, requests=self.requests, **meta)
+
+
+def write_trace(fh: TextIO, events, **meta) -> None:
+    fh.write(_canonical({"format": FORMAT, "version": VERSION, **meta}))
+    fh.write("\n")
+    for event in events:
+        if isinstance(event, Switch):
+            row = {"t": "sw", "pid": event.pid, "h": event.handoff}
+        else:
+            row = {"t": "ref", "pid": event.pid, "va": event.vaddr,
+                   "w": int(event.write), "seg": event.segment}
+        fh.write(_canonical(row))
+        fh.write("\n")
+
+
+def load_trace(path: str) -> tuple[dict, Trace]:
+    """Read a trace file back; returns ``(metadata, Trace)``."""
+    with open(path) as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != FORMAT:
+            raise ValueError(f"{path}: not a {FORMAT} file")
+        events = []
+        for line in fh:
+            row = json.loads(line)
+            if row["t"] == "sw":
+                events.append(Switch(pid=row["pid"], handoff=row["h"]))
+            else:
+                events.append(MemRef(pid=row["pid"], vaddr=row["va"],
+                                     write=bool(row["w"]),
+                                     segment=row["seg"]))
+    return header, Trace(events=events)

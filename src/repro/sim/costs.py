@@ -54,6 +54,23 @@ class CostModel:
     trap_entry: int = 50             #: enter the kernel on a trap
     trap_return: int = 30            #: return from the kernel
 
+    # -- revocation paths (E17) ---------------------------------------------------------
+    pte_invalidate: int = 2          #: drop one PTE / descriptor / table entry
+
+    # -- Capstone linear/revocable capabilities (arxiv 2302.13863) ----------------------
+    capstone_revnode_walk: int = 10  #: fetch a revocation-tree node from memory
+    capstone_linear_move: int = 3    #: linear hand-off: invalidate source, install dest
+    capstone_revoke_node: int = 6    #: flip one revnode (kills the dominated subtree)
+
+    # -- Capacity MACed pointers (arxiv 2309.11151) -------------------------------------
+    capacity_mac_verify: int = 4     #: PAC-style MAC check on dereference
+    capacity_mac_sign: int = 4       #: (re-)MAC a pointer for a receiving domain
+    capacity_key_switch: int = 1     #: load another domain's key register
+    capacity_key_rotate: int = 8     #: mint a fresh key (bulk-revokes the old one)
+
+    # -- uninitialized capabilities (arxiv 2006.01608) ----------------------------------
+    uninit_promote: int = 1          #: advance the init frontier on a first write
+
 
 #: The default model used by every benchmark unless overridden.
 DEFAULT_COSTS = CostModel()

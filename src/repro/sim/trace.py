@@ -30,9 +30,18 @@ class MemRef:
 
 @dataclass(frozen=True, slots=True)
 class Switch:
-    """A context switch to process ``pid``."""
+    """A context switch to process ``pid``.
+
+    ``handoff`` is the number of capabilities/pointers handed across
+    the boundary with the switch (the enter pointer of a cross-domain
+    call, arguments passed by reference).  Table- and page-based
+    schemes ignore it; the modern capability baselines charge it —
+    Capstone moves each one linearly, Capacity re-MACs each one for
+    the receiving domain's key.
+    """
 
     pid: int
+    handoff: int = 0
 
 
 Event = MemRef | Switch

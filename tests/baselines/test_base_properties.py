@@ -1,0 +1,110 @@
+"""Property tests for the shared baseline hardware models.
+
+Every scheme in the nine-way comparison stands on ``Lookaside`` and
+``SimpleCache``, so these two models carry the whole study's numbers.
+The properties: ``Lookaside`` is exactly an LRU (checked against an
+independent OrderedDict oracle), and ``SimpleCache``'s space-qualified
+tags duplicate shared lines per space — the mechanism behind the ASID
+in-cache-sharing loss — while space 0 shares them.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.base import Lookaside, SimpleCache
+
+keys = st.integers(min_value=0, max_value=9)
+key_sequences = st.lists(keys, min_size=1, max_size=200)
+capacities = st.integers(min_value=1, max_value=8)
+
+
+class OracleLRU:
+    """An independent, obviously-correct LRU to test Lookaside against."""
+
+    def __init__(self, entries):
+        self.entries = entries
+        self.order = OrderedDict()
+
+    def probe(self, key):
+        hit = key in self.order
+        if hit:
+            del self.order[key]
+        self.order[key] = True
+        while len(self.order) > self.entries:
+            self.order.popitem(last=False)
+        return hit
+
+
+class TestLookasideIsExactlyLRU:
+    @settings(max_examples=200, deadline=None)
+    @given(seq=key_sequences, entries=capacities)
+    def test_probe_results_match_the_oracle(self, seq, entries):
+        buffer = Lookaside(entries)
+        oracle = OracleLRU(entries)
+        for key in seq:
+            assert buffer.probe(key) == oracle.probe(key)
+
+    @settings(max_examples=100, deadline=None)
+    @given(seq=key_sequences, entries=capacities)
+    def test_bookkeeping_invariants(self, seq, entries):
+        buffer = Lookaside(entries)
+        for key in seq:
+            buffer.probe(key)
+        assert buffer.hits + buffer.misses == len(seq)
+        assert buffer.occupancy <= entries
+        assert buffer.occupancy <= len(set(seq))
+
+    @settings(max_examples=100, deadline=None)
+    @given(seq=key_sequences, entries=capacities)
+    def test_flush_forgets_everything(self, seq, entries):
+        buffer = Lookaside(entries)
+        for key in seq:
+            buffer.probe(key)
+        buffer.flush()
+        assert buffer.occupancy == 0
+        assert not buffer.probe(seq[0])
+
+
+addr_sequences = st.lists(
+    st.integers(min_value=0, max_value=63).map(lambda line: line * 64),
+    min_size=1, max_size=200)
+
+
+def tiny_cache():
+    # 8 sets x 2 ways of 64-byte lines: small enough that duplication
+    # causes real evictions
+    return SimpleCache(total_bytes=1024, line_bytes=64, ways=2)
+
+
+class TestSimpleCacheSpaceTags:
+    @settings(max_examples=150, deadline=None)
+    @given(seq=addr_sequences)
+    def test_space_ids_duplicate_shared_lines(self, seq):
+        """The ASID synonym loss: the same address stream touched from
+        two spaces can never hit more than the single-space stream —
+        every shared line is tagged (and evicted) per space."""
+        shared = tiny_cache()
+        split = tiny_cache()
+        shared_hits = sum(shared.probe(a, space=0) for a in seq
+                          for _ in (0, 1))
+        split_hits = sum(split.probe(a, space=s) for a in seq
+                         for s in (1, 2))
+        assert split_hits <= shared_hits
+
+    @settings(max_examples=150, deadline=None)
+    @given(seq=addr_sequences, space=st.integers(0, 3))
+    def test_a_single_space_behaves_like_no_tag(self, seq, space):
+        """Qualifying the tag with one constant space id must not
+        change hit behaviour at all — only *different* ids split."""
+        plain = tiny_cache()
+        tagged = tiny_cache()
+        for a in seq:
+            assert plain.probe(a, space=0) == tagged.probe(a, space=space)
+
+    def test_cross_space_probe_is_a_miss(self):
+        cache = tiny_cache()
+        cache.probe(0x1000, space=1)
+        assert not cache.probe(0x1000, space=2)
+        assert cache.probe(0x1000, space=1)

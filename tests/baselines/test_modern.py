@@ -1,0 +1,166 @@
+"""The modern capability schemes (Capstone / Capacity / uninit caps)."""
+
+import pytest
+
+from repro.baselines import (BATTLEGROUND_CLASSES, MODERN_SCHEME_CLASSES,
+                             SCHEME_CLASSES, CapacityScheme, CapstoneScheme,
+                             UninitCapScheme, battleground_schemes)
+from repro.sim.costs import CostModel
+from repro.sim.trace import MemRef, Switch, Trace
+
+COSTS = CostModel()
+
+
+def mixed_trace(domains=3, refs=60):
+    events = []
+    for i in range(refs):
+        pid = i % domains
+        events.append(Switch(pid=pid, handoff=1))
+        events.append(MemRef(pid=pid, vaddr=0x10000 * pid + (i % 4) * 8,
+                             write=i % 2 == 0, segment=pid))
+    return Trace(events=events)
+
+
+class TestRoster:
+    def test_battleground_fields_nine_schemes(self):
+        schemes = battleground_schemes(COSTS)
+        assert len(schemes) == 9
+        assert len({s.name for s in schemes}) == 9
+
+    def test_classic_roster_unchanged(self):
+        assert len(SCHEME_CLASSES) == 8
+        assert not set(MODERN_SCHEME_CLASSES) & set(SCHEME_CLASSES)
+        assert set(MODERN_SCHEME_CLASSES) < set(BATTLEGROUND_CLASSES)
+
+    def test_same_trace_same_accesses(self):
+        trace = mixed_trace()
+        metrics = [s.run(trace) for s in battleground_schemes(COSTS)]
+        assert len({m.accesses for m in metrics}) == 1
+        assert len({m.switches for m in metrics}) == 1
+
+
+class TestCapstone:
+    def test_revnode_walk_charged_once_per_cached_segment(self):
+        s = CapstoneScheme(COSTS)
+        s.access(MemRef(pid=0, vaddr=0x100, segment=0))  # warm cache+TLB
+        first = s.access(MemRef(pid=0, vaddr=0x100, segment=7))
+        second = s.access(MemRef(pid=0, vaddr=0x100, segment=7))
+        assert first - second == COSTS.capstone_revnode_walk
+        assert s.revnode_walks == 2
+
+    def test_handoff_charges_linear_move_even_within_domain(self):
+        s = CapstoneScheme(COSTS)
+        assert s.handoff(2, crossed=False) == 2 * COSTS.capstone_linear_move
+        assert s.handoff(3, crossed=True) == 3 * COSTS.capstone_linear_move
+        assert s.linear_moves == 5
+
+    def test_revocation_is_one_node_flip_and_kills_the_revcache(self):
+        s = CapstoneScheme(COSTS)
+        s.access(MemRef(pid=0, vaddr=0x100, segment=7))
+        cycles = s.revoke_domain(9, pages=64, segments=16)
+        # O(1): independent of the victim's footprint, no kernel trap
+        assert cycles == COSTS.capstone_revoke_node
+        assert cycles < COSTS.trap_entry
+        assert s.revcache.occupancy == 0
+
+    def test_switch_is_free(self):
+        s = CapstoneScheme(COSTS)
+        assert s.switch(1) == 0
+
+
+class TestCapacity:
+    def test_mac_verify_charged_until_cached(self):
+        s = CapacityScheme(COSTS)
+        s.access(MemRef(pid=9, vaddr=0x100, segment=3))  # warm cache+TLB
+        first = s.access(MemRef(pid=1, vaddr=0x100, segment=3))
+        second = s.access(MemRef(pid=1, vaddr=0x100, segment=3))
+        assert first - second == COSTS.capacity_mac_verify
+        # a different domain's pointer to the same object re-verifies
+        s.access(MemRef(pid=2, vaddr=0x100, segment=3))
+        assert s.mac_verifies == 3
+
+    def test_handoff_resigns_only_across_domains(self):
+        s = CapacityScheme(COSTS)
+        assert s.handoff(4, crossed=False) == 0
+        assert s.handoff(4, crossed=True) == 4 * COSTS.capacity_mac_sign
+        assert s.mac_signs == 4
+
+    def test_switch_charges_key_change_once(self):
+        s = CapacityScheme(COSTS)
+        assert s.switch(1) == COSTS.capacity_key_switch
+        s.current_pid = 1
+        assert s.switch(1) == 0
+
+    def test_revocation_rotates_the_key_and_flushes_verified(self):
+        s = CapacityScheme(COSTS)
+        s.access(MemRef(pid=1, vaddr=0x100, segment=3))
+        cycles = s.revoke_domain(1, pages=64, segments=16)
+        assert cycles == (COSTS.trap_entry + COSTS.capacity_key_rotate
+                          + COSTS.trap_return)
+        assert s.verified.occupancy == 0
+
+    def test_no_tag_bit_footprint(self):
+        s = CapacityScheme(COSTS)
+        # keys only: far below one tag bit per word
+        assert s.memory_overhead_bytes(1000, 512) < 1000 * 512 // 8
+
+
+class TestUninitCaps:
+    def test_first_write_promotes_then_settles(self):
+        s = UninitCapScheme(COSTS)
+        s.access(MemRef(pid=0, vaddr=0x208))  # warm the cache line
+        first = s.access(MemRef(pid=0, vaddr=0x200, write=True))
+        second = s.access(MemRef(pid=0, vaddr=0x200, write=True))
+        assert first - second == COSTS.uninit_promote
+        assert s.init_promotes == 1
+
+    def test_read_before_write_is_refused_not_charged(self):
+        s = UninitCapScheme(COSTS)
+        s.access(MemRef(pid=0, vaddr=0x308, write=True))  # warm the line
+        read_cold = s.access(MemRef(pid=0, vaddr=0x300))
+        assert s.uninit_reads == 1
+        s.access(MemRef(pid=0, vaddr=0x300, write=True))
+        read_warm = s.access(MemRef(pid=0, vaddr=0x300))
+        assert s.uninit_reads == 1
+        # the refusal is an issue-site comparator: no cycle penalty
+        assert read_cold == read_warm
+
+    def test_extras_report_the_zero_fill_win(self):
+        s = UninitCapScheme(COSTS)
+        for i in range(5):
+            s.access(MemRef(pid=0, vaddr=0x400 + 8 * i, write=True))
+        extras = s.extras()
+        assert extras["zero_fill_words_saved"] == 5
+        assert extras["init_promotes"] == 5
+
+
+class TestRevokedDomainUniformity:
+    @pytest.mark.parametrize("cls", BATTLEGROUND_CLASSES,
+                             ids=lambda c: c.name)
+    def test_revoked_references_trap_identically(self, cls):
+        scheme = cls(COSTS)
+        scheme.revoke_domain(5)
+        before = scheme.metrics.access_cycles
+        scheme.run(Trace(events=[MemRef(pid=5, vaddr=0x100)] * 4))
+        assert scheme.metrics.protection_faults == 4
+        assert (scheme.metrics.access_cycles - before
+                == 4 * (COSTS.trap_entry + COSTS.trap_return))
+
+    def test_unrevoked_domains_unaffected(self):
+        s = CapstoneScheme(COSTS)
+        s.revoke_domain(5)
+        s.run(Trace(events=[MemRef(pid=1, vaddr=0x100, segment=1)]))
+        assert s.metrics.protection_faults == 0
+
+
+class TestMemoryOverheadOrdering:
+    def test_the_three_axis_story_holds_at_scale(self):
+        by = {cls.name: cls(COSTS).memory_overhead_bytes(1000, 512)
+              for cls in BATTLEGROUND_CLASSES}
+        # Capacity's no-tag design is the smallest footprint of all nine
+        assert by["capacity-mac"] == min(by.values())
+        # per-domain page tables dwarf tag bits by orders of magnitude
+        assert by["paged-separate"] > 10 * by["guarded-pointers"]
+        # Capstone pays revnodes on top of guarded's tag bits
+        assert by["capstone-linear"] > by["guarded-pointers"]
+        assert by["uninit-caps"] == by["guarded-pointers"]

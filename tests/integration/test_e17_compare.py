@@ -1,0 +1,110 @@
+"""E17 — the compartmentalization study and the `repro compare` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import e17_compartmentalization as e17
+
+REQUESTS = 80
+TENANTS = 6
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return e17.study(requests=REQUESTS, tenants=TENANTS, seed=0)
+
+
+class TestStudy:
+    def test_nine_schemes_over_the_identical_trace(self, small_study):
+        assert len(small_study.reports) == 9
+        assert len({r.accesses for r in small_study.reports}) == 1
+        assert len({r.calls for r in small_study.reports}) == 1
+
+    def test_the_section5_win_survives(self, small_study):
+        assert small_study.relative_cycles("paged-separate") > 1.5
+        assert small_study.relative_cycles("paged-asid") > 1.0
+        guarded = small_study.report("guarded-pointers")
+        assert guarded.cycles_per_call == 0.0
+
+    def test_capstone_trades_handoffs_for_cheap_revocation(self,
+                                                           small_study):
+        capstone = small_study.report("capstone-linear")
+        assert capstone.revoke_cycles == min(
+            r.revoke_cycles for r in small_study.reports)
+        assert capstone.cycles_per_call > 0.0
+        assert capstone.extras["linear_moves"] == capstone.handoffs
+
+    def test_capacity_trades_mac_checks_for_no_tag_memory(self,
+                                                          small_study):
+        capacity = small_study.report("capacity-mac")
+        assert small_study.overhead["capacity-mac"][1000] == min(
+            row[1000] for row in small_study.overhead.values())
+        assert capacity.extras["mac_verifies"] > 0
+
+    def test_eviction_is_uniform_across_schemes(self, small_study):
+        faults = {r.post_revoke_faults for r in small_study.reports}
+        assert len(faults) == 1
+        assert faults.pop() > 0
+
+    def test_overhead_table_covers_all_scales(self, small_study):
+        for row in small_study.overhead.values():
+            assert sorted(row) == [10, 100, 1000]
+            assert row[1000] > row[10] > 0
+
+    def test_as_dict_round_trips_through_json(self, small_study):
+        payload = json.loads(json.dumps(small_study.as_dict()))
+        assert len(payload["schemes"]) == 9
+
+
+class TestReplayMechanics:
+    def test_split_lands_on_a_switch(self):
+        _, trace = e17.capture_service_trace(requests=20, tenants=3)
+        from repro.sim.trace import Switch
+
+        k = e17._split_at_fraction(trace, 0.5)
+        assert isinstance(trace.events[k], Switch)
+
+    def test_victim_is_the_hottest_domain(self):
+        _, trace = e17.capture_service_trace(requests=40, tenants=4)
+        victim = e17.hottest_pid(trace)
+        counts = {}
+        for e in trace.events:
+            if hasattr(e, "vaddr"):
+                counts[e.pid] = counts.get(e.pid, 0) + 1
+        assert counts[victim] == max(counts.values())
+
+    def test_formatters_render_every_scheme(self, small_study):
+        table = e17.format_battleground(small_study.reports)
+        overhead = e17.format_overhead(small_study.overhead)
+        for report in small_study.reports:
+            assert report.scheme in table
+            assert report.scheme in overhead
+
+
+class TestCompareCLI:
+    def test_in_process_capture_and_json(self, tmp_path, capsys):
+        out = tmp_path / "compare.json"
+        assert main(["compare", "--requests", str(REQUESTS),
+                     "--tenants", str(TENANTS), "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "guarded-pointers" in printed
+        assert "capacity-mac" in printed
+        payload = json.loads(out.read_text())
+        schemes = payload["schemes"]
+        assert len(schemes) == 9
+        # every scheme reports the same metric keys (the CI smoke
+        # invariant: reports stay comparable column-for-column)
+        keysets = {tuple(sorted(s)) for s in schemes}
+        assert len(keysets) == 1
+
+    def test_replays_an_exported_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "service.jsonl"
+        assert main(["serve", "--tenants", str(TENANTS), "--nodes", "1",
+                     "--requests", str(REQUESTS),
+                     "--export-trace", str(trace_path)]) == 0
+        assert main(["compare", "--trace", str(trace_path)]) == 0
+        printed = capsys.readouterr().out
+        assert f"replaying {trace_path}" in printed
+        assert "uninit-caps" in printed

@@ -1,0 +1,95 @@
+"""The service trace exporter: shape, round-trip, determinism."""
+
+import pytest
+
+from repro.service import (OP_PUT, ServiceLoadDriver, ServiceTraceExporter,
+                           install_tenants, load_trace, open_loop)
+from repro.sim.api import Simulation
+from repro.sim.trace import MemRef, Switch
+
+TENANTS = 6
+REQUESTS = 60
+
+
+def exported_run(tmp_path, name, seed=0):
+    sim = Simulation(nodes=1, page_bytes=512, memory_bytes=4 * 1024 * 1024)
+    roster = install_tenants(sim, TENANTS)
+    exporter = ServiceTraceExporter()
+    driver = ServiceLoadDriver(sim, roster, exporter=exporter)
+    schedule = open_loop(requests=REQUESTS, tenants=TENANTS,
+                         mean_gap=10.0, seed=seed)
+    report = driver.run(schedule)
+    assert report.completed == REQUESTS and not report.errors
+    path = tmp_path / name
+    exporter.save(str(path), tenants=TENANTS, seed=seed)
+    return exporter, path
+
+
+class TestShape:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        return exported_run(tmp_path_factory.mktemp("trace"), "t.jsonl")
+
+    def test_five_events_per_request(self, run):
+        exporter, _ = run
+        assert exporter.requests == REQUESTS
+        assert len(exporter.events) == 5 * REQUESTS
+
+    def test_each_request_starts_with_a_handoff_switch(self, run):
+        exporter, _ = run
+        for i in range(0, len(exporter.events), 5):
+            event = exporter.events[i]
+            assert isinstance(event, Switch)
+            assert event.handoff == 1
+            refs = exporter.events[i + 1:i + 5]
+            assert all(isinstance(r, MemRef) for r in refs)
+            # the whole skeleton runs in the tenant's domain
+            assert {r.pid for r in refs} == {event.pid}
+
+    def test_puts_write_the_table_segment(self, run):
+        exporter, _ = run
+        writes = [e for e in exporter.events
+                  if isinstance(e, MemRef) and e.write]
+        assert writes, "a 0.5 put ratio must produce writes"
+        # only the third ref (the table slot) is ever a write, and
+        # table segments are the odd positive ids
+        assert all(e.segment % 2 == 1 and e.segment >= 0 for e in writes)
+
+    def test_client_stub_segment_is_shared_per_node(self, run):
+        exporter, _ = run
+        stubs = [e for e in exporter.events
+                 if isinstance(e, MemRef) and e.segment < 0]
+        assert {e.segment for e in stubs} == {-1}
+        assert len({e.pid for e in stubs}) == TENANTS
+
+    def test_round_trip(self, run):
+        exporter, path = run
+        meta, trace = load_trace(str(path))
+        assert meta["tenants"] == TENANTS
+        assert meta["requests"] == REQUESTS
+        assert trace.events == exporter.events
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self, tmp_path):
+        _, a = exported_run(tmp_path, "a.jsonl", seed=3)
+        _, b = exported_run(tmp_path, "b.jsonl", seed=3)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        _, a = exported_run(tmp_path, "a.jsonl", seed=0)
+        _, b = exported_run(tmp_path, "b.jsonl", seed=1)
+        assert a.read_bytes() != b.read_bytes()
+
+
+class TestErrors:
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-service-trace"):
+            load_trace(str(path))
+
+
+def test_op_put_constant_matches_export_convention():
+    # the exporter marks writes by comparing against OP_PUT; pin it
+    assert OP_PUT == 1

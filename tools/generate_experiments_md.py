@@ -6,6 +6,11 @@ Usage:  python tools/generate_experiments_md.py [output-path]
 Every number in EXPERIMENTS.md comes from this script, so the document
 can always be reproduced from a clean checkout.  Runtime is a couple of
 minutes (E5 and E9 run the cycle-level simulator).
+
+The ``SECTIONS`` registry at the bottom is the single source of truth
+for the document: the header's summary counts, the index, and the
+section order are all derived from it, so adding an experiment is one
+registry entry — the index cannot drift from the body.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.experiments import (
     e13_revocation_gc,
     e14_sparse_capabilities,
     e15_multinode,
+    e17_compartmentalization,
 )
 
 
@@ -522,7 +528,80 @@ def e16_section() -> str:
         "capability *is* the pointer.",
         "",
         "**Verdict: mechanism validated** (no paper numbers to compare);",
-        "`BENCH_pr7.json` records median + IQR across trials.",
+        "`BENCH_pr9.json` records median + IQR across trials.",
+    ]
+    return "\n".join(lines)
+
+
+def e17_section() -> str:
+    s = e17_compartmentalization.study(requests=1000, tenants=100)
+    base = s.report("guarded-pointers")
+    lines = [
+        "## E17 — modern battleground: the compartmentalization "
+        "trade-off study",
+        "",
+        "**Paper:** §5 scores guarded pointers against 1994's rivals on",
+        "cross-domain call cost alone.  Modern compartmentalization",
+        "studies score on three axes — call cost, revocation cost, and",
+        "memory overhead at scale — and the capability successors of the",
+        "2020s (Capstone's linear/revocable capabilities, Capacity's",
+        "MACed pointers, uninitialized capabilities) each move the",
+        "trade-off somewhere the 1994 design did not.  Extension",
+        "experiment: the E16 service's protection-level event stream",
+        f"({s.meta['events']} events from {s.meta['completed']} requests",
+        f"over {s.meta['tenants']} tenants), captured once and replayed",
+        "bit-identically through all nine schemes, with the hottest",
+        f"tenant (domain {s.meta['victim']}) bulk-revoked halfway through",
+        "— `repro compare` prints the same tables (docs/BASELINES.md).",
+        "",
+        "| scheme | cycles | vs guarded | cyc/call | cyc/access | "
+        "revoke cycles | post-revoke faults |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for r in s.reports:
+        lines.append(
+            f"| {r.scheme} | {r.total_cycles} | "
+            f"{r.total_cycles / base.total_cycles:.2f}× | "
+            f"{r.cycles_per_call:.2f} | {r.cycles_per_access:.2f} | "
+            f"{r.revoke_cycles} | {r.post_revoke_faults} |")
+    counts = sorted(next(iter(s.overhead.values())))
+    lines += [
+        "",
+        "Protection-metadata bytes at 10/100/1000 tenants:",
+        "",
+        "| scheme | " + " | ".join(f"@{n}" for n in counts) + " |",
+        "|---|" + "---|" * len(counts),
+    ]
+    for scheme, row in s.overhead.items():
+        lines.append(f"| {scheme} | "
+                     + " | ".join(str(row[n]) for n in counts) + " |")
+    capstone = s.report("capstone-linear")
+    capacity = s.report("capacity-mac")
+    uninit = s.report("uninit-caps")
+    lines += [
+        "",
+        "The §5 result survives the modern workload (paged "
+        f"{s.relative_cycles('paged-separate'):.2f}×, ASID "
+        f"{s.relative_cycles('paged-asid'):.2f}× guarded cycles), and",
+        "each successor's trade is visible in one row: Capstone buys",
+        f"O(1) revocation ({capstone.revoke_cycles} cycles, no kernel,",
+        "vs ~90 for every table-walking scheme) by paying "
+        f"{capstone.extras['linear_moves']} linear moves on hand-offs "
+        f"({capstone.cycles_per_call:.1f} cyc/call where guarded pays 0);",
+        "Capacity buys the smallest footprint "
+        f"({capacity.memory_bytes} B at {s.meta['tenants']} tenants — no "
+        "tag bits, keys only) by paying MAC verification "
+        f"({capacity.extras['mac_verifies']} verifies, "
+        f"{capacity.extras['mac_signs']} re-signs); uninitialized",
+        f"capabilities ride guarded's numbers "
+        f"({s.relative_cycles('uninit-caps'):.2f}×) while saving the "
+        f"zero-fill of {uninit.extras['zero_fill_words_saved']} "
+        "first-written words.",
+        "",
+        "**Verdict: mechanism validated** (no paper numbers to compare) —",
+        "the 1994 design still wins the call-cost axis outright; its",
+        "successors trade that edge for revocation or memory, never",
+        "getting all three.",
     ]
     return "\n".join(lines)
 
@@ -585,37 +664,90 @@ def ablations_section() -> str:
     return "\n".join(lines)
 
 
-HEADER = """\
-# EXPERIMENTS — paper claims vs. measured results
+#: the document, in order: (id, kind, hook, section function).  ``kind``
+#: drives the summary counts ("paper" claims vs "extension" validations
+#: vs the ablation block); ``hook`` is the one-line index entry.  The
+#: header's summary, the index, and the body are all generated from
+#: this list — append here and everything stays consistent.
+SECTIONS = [
+    ("E1", "paper", "Figure 1 — pointer format round-trips", e1_section),
+    ("E2", "paper", "Figure 2 — LEA masked-comparator exactness", e2_section),
+    ("E3", "paper", "Figure 3 — enter-pointer call vs inline vs trap",
+     e3_section),
+    ("E4", "paper", "Figure 4 — two-way protection cost", e4_section),
+    ("E5", "paper", "Figure 5/§3 — multithreading across domains",
+     e5_section),
+    ("E6", "paper", "§4.1 — tag overhead, hardware inventory", e6_section),
+    ("E7", "paper", "§4.2 — fragmentation, buddy coalescing", e7_section),
+    ("E8", "paper", "§5.1 — sharing: n×m entries vs m pointers",
+     e8_section),
+    ("E9", "paper", "§5.1/§3 — context-switch cost vs quantum",
+     e9_section),
+    ("E10", "paper", "§5.2 — segmentation latency + rigidity",
+     e10_section),
+    ("E11", "paper", "§5.3 — capability-table indirection", e11_section),
+    ("E12", "paper", "§5.4 — SFI dynamic check overhead", e12_section),
+    ("E13", "paper", "§4.3 — revocation unmap vs sweep; GC", e13_section),
+    ("E14", "paper", "§4.2 — sparse capabilities vs the tag bit",
+     e14_section),
+    ("E15", "extension", "§3 — guarded pointers across the mesh",
+     e15_section),
+    ("E16", "extension", "§2.3+§3 — multi-tenant service under load",
+     e16_section),
+    ("E17", "extension", "modern battleground — nine schemes, three axes",
+     e17_section),
+    ("A1–A5", "ablations", "removing one design ingredient at a time",
+     ablations_section),
+]
 
-Reproduction of *Hardware Support for Fast Capability-based Addressing*
-(Carter, Keckler & Dally, ASPLOS 1994).  The paper is an architecture
-paper: its five figures are mechanisms and its quantitative claims live
-in §4–§5, so each experiment below reproduces one mechanism or claim
-(the mapping is DESIGN.md §4).  Absolute cycle counts depend on the cost
-model in `repro/sim/costs.py` (printed by every benchmark); the claims
-checked here are *shapes* — who wins, by what growth law, where the
-crossovers sit.
 
-**Regenerate this file:** `python tools/generate_experiments_md.py`
-**Run the benches:** `pytest benchmarks/ --benchmark-only`
-
-Summary: **14/14 paper-claim experiments reproduce** (E1–E14), plus two
-mechanism-validation extensions (E15 mesh, E16 multi-tenant service)
-and four design ablations (A1–A4).
-"""
+def header() -> str:
+    """The document head — summary counts and index derived from
+    ``SECTIONS``, so they cannot drift from the body."""
+    papers = [s for s in SECTIONS if s[1] == "paper"]
+    extensions = [s for s in SECTIONS if s[1] == "extension"]
+    lines = [
+        "# EXPERIMENTS — paper claims vs. measured results",
+        "",
+        "Reproduction of *Hardware Support for Fast Capability-based "
+        "Addressing*",
+        "(Carter, Keckler & Dally, ASPLOS 1994).  The paper is an "
+        "architecture",
+        "paper: its five figures are mechanisms and its quantitative "
+        "claims live",
+        "in §4–§5, so each experiment below reproduces one mechanism or "
+        "claim",
+        "(the mapping is DESIGN.md §4).  Absolute cycle counts depend on "
+        "the cost",
+        "model in `repro/sim/costs.py` (printed by every benchmark); the "
+        "claims",
+        "checked here are *shapes* — who wins, by what growth law, where "
+        "the",
+        "crossovers sit.",
+        "",
+        "**Regenerate this file:** `python tools/generate_experiments_md.py`",
+        "**Run the benches:** `pytest benchmarks/ --benchmark-only`",
+        "",
+        f"Summary: **{len(papers)}/{len(papers)} paper-claim experiments "
+        f"reproduce** ({papers[0][0]}–{papers[-1][0]}), plus "
+        f"{len(extensions)} mechanism-validation extensions "
+        f"({', '.join(s[0] for s in extensions)}) and the design "
+        "ablations (A1–A5).",
+        "",
+        "| # | experiment |",
+        "|---|---|",
+    ]
+    for sid, _, hook, _fn in SECTIONS:
+        lines.append(f"| {sid} | {hook} |")
+    return "\n".join(lines)
 
 
 def main() -> None:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
-    sections = [
-        HEADER,
-        e1_section(), e2_section(), e3_section(), e4_section(),
-        e5_section(), e6_section(), e7_section(), e8_section(),
-        e9_section(), e10_section(), e11_section(), e12_section(),
-        e13_section(), e14_section(), e15_section(), e16_section(),
-        ablations_section(),
-    ]
+    sections = [header()]
+    for sid, _, _, fn in SECTIONS:
+        print(f"running {sid} ...", flush=True)
+        sections.append(fn())
     out.write_text("\n\n".join(sections) + "\n")
     print(f"wrote {out} ({out.stat().st_size} bytes)")
 

@@ -3,10 +3,11 @@
 
 Times the E2 (LEA checks), E5 (multithreading) and E9 (context switch)
 experiment kernels, the cycle-loop, data-stream, superblock and
-tracing-overhead microbenchmarks, the E5 counter snapshot, and the
+tracing-overhead microbenchmarks, the E5 counter snapshot, the
 multi-tenant service-traffic run
-(``benchmarks/bench_service_traffic.py``), and writes everything to
-``BENCH_pr7.json`` at the repo root.
+(``benchmarks/bench_service_traffic.py``), and the E17 nine-scheme
+battleground (``benchmarks/bench_e17_compartmentalization.py``), and
+writes everything to ``BENCH_pr9.json`` at the repo root.
 
 Every benchmark runs ``--warmup`` unrecorded passes followed by
 ``--trials`` recorded passes; numeric results are reported as
@@ -18,9 +19,9 @@ construction, which is itself a useful invariant).  Non-numeric values
 
 Usage::
 
-    python tools/run_benchmarks.py [--out BENCH_pr8.json] [--quick]
+    python tools/run_benchmarks.py [--out BENCH_pr9.json] [--quick]
                                    [--trials N] [--warmup M]
-                                   [--baseline BENCH_pr7.json]
+                                   [--baseline BENCH_pr9.json]
 
 ``--quick`` shrinks every workload for CI smoke runs; the cross-checks
 and the cycles-equal assertions still apply, only the sizes change.
@@ -59,6 +60,7 @@ from repro.sim.api import Simulation  # noqa: E402
 
 from benchmarks.bench_cycle_loop import measure as cycle_loop_measure  # noqa: E402
 from benchmarks.bench_data_stream import measure as data_stream_measure  # noqa: E402
+from benchmarks.bench_e17_compartmentalization import measure as e17_measure  # noqa: E402
 from benchmarks.bench_parallel_mesh import measure as parallel_mesh_measure  # noqa: E402
 from benchmarks.bench_service_traffic import measure as service_traffic_measure  # noqa: E402
 from benchmarks.bench_superblock import measure as superblock_measure  # noqa: E402
@@ -196,6 +198,11 @@ GATED_METRICS = (
     ("parallel_mesh", "strong_speedup_2", True),
     ("parallel_mesh", "strong_speedup_4", True),
     ("parallel_mesh", "weak_efficiency_2", True),
+    # E17 scheme ratios are deterministic cycle counts, but their
+    # magnitudes depend on the captured trace's size and mix, so they
+    # are gated like-for-like only
+    ("e17_compartmentalization", "rel_paged", True),
+    ("e17_compartmentalization", "rel_asid", True),
 )
 
 #: a metric regresses when its new median drops below the baseline's
@@ -264,7 +271,7 @@ def check_baseline(payload: dict, baseline_path: Path) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr8.json"))
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr9.json"))
     parser.add_argument("--quick", action="store_true",
                         help="shrink every workload for CI smoke runs")
     parser.add_argument("--trials", type=int, default=3,
@@ -372,6 +379,26 @@ def main(argv: list[str] | None = None) -> int:
           f"efficiency {median_of(r_par, f'weak_efficiency_{top}'):.2f} "
           f"at {top} workers on {median_of(r_par, 'cores'):.0f} core(s)")
 
+    print("running e17 (nine-scheme battleground) ...")
+    r_e17 = run_trials(
+        lambda: {k: v for k, v in e17_measure(
+            requests=200 if q else 1000, tenants=20 if q else 100
+        ).items() if k != "result"},
+        trials, warmup,
+        check=lambda r: (
+            _require(r["schemes"] == 9, "battleground must field nine"),
+            _require(r["same_trace"], "schemes diverged on the trace"),
+            _require(r["capstone_revoke_cheapest"],
+                     "Capstone revocation not cheapest"),
+            _require(r["capacity_smallest"],
+                     "Capacity footprint not smallest")))
+    print(f"  paged {median_of(r_e17, 'rel_paged'):.2f}x, asid "
+          f"{median_of(r_e17, 'rel_asid'):.2f}x, capstone "
+          f"{median_of(r_e17, 'rel_capstone'):.2f}x, capacity "
+          f"{median_of(r_e17, 'rel_capacity'):.2f}x guarded cycles; "
+          f"capstone revoke {median_of(r_e17, 'capstone_revoke'):.0f} vs "
+          f"paged {median_of(r_e17, 'paged_revoke'):.0f} cycles")
+
     print("taking the E5 counter snapshot ...")
     r_snap = run_trials(
         lambda: counter_snapshot_e5(100 if q else 500), trials, warmup)
@@ -394,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
             "trace_overhead": r_trace,
             "service_traffic": r_serve,
             "parallel_mesh": r_par,
+            "e17_compartmentalization": r_e17,
             "e5_counter_snapshot": r_snap,
         },
     }
