@@ -1,20 +1,29 @@
 """The tracing-overhead benchmark: the observability layer must be
 (near-)free when nobody is listening.
 
-Runs a multithreaded load/store workload under three configurations:
+Runs a multithreaded load/store workload under five configurations:
 
 * ``disabled`` — ``chip.obs.enabled = False``: every emission site is a
   dead branch (the floor);
 * ``default`` — the shipping configuration: flight recorder and latency
   histograms on, no sink attached (``hot`` is false, so per-bundle
   sites cost one attribute load and branch);
+* ``requests`` — a span-only collector attached (how
+  ``--explain-tail`` listens): the ``spans`` gate is up, per-miss
+  events materialize, but the per-bundle path stays dark and
+  superblock turbo stays engaged — must stay within the always-on
+  noise band;
+* ``timeseries`` — a windowed counter sampler polled from a chunked
+  run loop, against a matching chunked no-sampler baseline
+  (``chunked``) so the chunking itself is priced separately;
 * ``traced`` — a :class:`~repro.obs.hub.TraceSession` attached: every
   hot event materializes (the ceiling; only paid while tracing).
 
-All three must agree on the simulated cycle count exactly — emission
-never touches machine state.  The acceptance check is that ``default``
-is within noise of ``disabled``; ``tools/run_benchmarks.py`` records
-the numbers into ``BENCH_pr5.json`` and CI runs the quick variant.
+All of them must agree on the simulated cycle count exactly — emission
+and sampling never touch machine state.  The acceptance check is that
+``default`` and ``requests`` are within noise of ``disabled``;
+``tools/run_benchmarks.py`` records the numbers into ``BENCH_pr10.json``
+and CI runs the quick variant.
 """
 
 from __future__ import annotations
@@ -42,8 +51,15 @@ done:
     halt
 """
 
-#: the three configurations measured, in cost order
-CONFIGS = ("disabled", "default", "traced")
+#: the five configurations measured, in cost order, plus the chunked
+#: no-sampler baseline the timeseries config is priced against
+CONFIGS = ("disabled", "default", "requests", "chunked", "timeseries",
+           "traced")
+
+#: per-call cycle budget for the chunked configurations (the sampler
+#: polls at each chunk boundary, like the service driver's drain loop)
+CHUNK_CYCLES = 50_000
+SAMPLER_WINDOW = 20_000
 
 
 def _run(config: str, iterations: int) -> tuple[int, float, int]:
@@ -57,19 +73,36 @@ def _run(config: str, iterations: int) -> tuple[int, float, int]:
     if config == "disabled":
         sim.chip.obs.enabled = False
     session = sim.trace() if config == "traced" else None
+    collector = sim.span_collector() if config == "requests" else None
+    sampler = (sim.timeseries(SAMPLER_WINDOW)
+               if config == "timeseries" else None)
     t0 = time.perf_counter()
-    result = sim.run(MAX_CYCLES)
+    if config in ("chunked", "timeseries"):
+        while True:
+            result = sim.run(CHUNK_CYCLES)
+            if sampler is not None:
+                sampler.poll(sim.now)
+            if result.reason == RunReason.HALTED:
+                break
+        cycles = sim.now
+    else:
+        result = sim.run(MAX_CYCLES)
+        cycles = result.cycles
     wall = time.perf_counter() - t0
     if session is not None:
         session.stop()
+    if collector is not None:
+        assert collector.drain(), "the span collector saw no events"
+    if sampler is not None:
+        assert sampler.finish(), "the sampler closed no windows"
     assert result.reason == RunReason.HALTED, result.reason
     events = len(session.events) if session is not None else 0
-    return result.cycles, wall, events
+    return cycles, wall, events
 
 
 def measure(iterations: int = ITERATIONS) -> dict:
-    """Time the workload under all three configurations; cycle counts
-    must be bit-identical across them."""
+    """Time the workload under every configuration; cycle counts must
+    be bit-identical across them."""
     out: dict = {"workload": f"{THREADS} threads x {iterations} "
                              f"load/store iterations"}
     cycles_seen = set()
@@ -85,6 +118,12 @@ def measure(iterations: int = ITERATIONS) -> dict:
     # wall-clock cost of the always-on layer relative to the dead floor
     out["default_overhead"] = (out["default_wall_s"]
                                / out["disabled_wall_s"]) - 1.0
+    out["requests_overhead"] = (out["requests_wall_s"]
+                                / out["disabled_wall_s"]) - 1.0
+    # the sampler against the matching chunked baseline, so the
+    # chunked run loop itself is not billed to the sampler
+    out["timeseries_overhead"] = (out["timeseries_wall_s"]
+                                  / out["chunked_wall_s"]) - 1.0
     out["traced_overhead"] = (out["traced_wall_s"]
                               / out["disabled_wall_s"]) - 1.0
     return out
@@ -92,19 +131,24 @@ def measure(iterations: int = ITERATIONS) -> dict:
 
 def test_trace_overhead(benchmark):
     r = benchmark.pedantic(measure, rounds=1, iterations=1)
-    emit("tracing overhead — disabled vs default vs traced", "\n".join([
+    emit("tracing overhead — disabled .. traced", "\n".join([
         f"{'config':<10} {'cycles':>9} {'wall (s)':>9} {'cycles/s':>12}",
         "-" * 43,
         *(f"{c:<10} {r[f'{c}_cycles']:>9} {r[f'{c}_wall_s']:>9.3f} "
           f"{r[f'{c}_cycles_per_s']:>12,.0f}" for c in CONFIGS),
         "",
-        f"default overhead {r['default_overhead']:+.1%}, traced "
+        f"default overhead {r['default_overhead']:+.1%}, requests "
+        f"{r['requests_overhead']:+.1%}, timeseries "
+        f"{r['timeseries_overhead']:+.1%} (vs chunked), traced "
         f"{r['traced_overhead']:+.1%} ({r['traced_events']} events); "
         f"cycle counts "
         f"{'identical' if r['cycles_equal'] else 'DIFFER'}",
     ]))
     assert r["cycles_equal"], "tracing changed the timing model"
-    # the always-on layer must stay within noise of fully-disabled;
-    # 25% headroom keeps slow shared CI machines from flaking
+    # the always-on layer and the span-only request path must stay
+    # within noise of fully-disabled; 25% headroom keeps slow shared
+    # CI machines from flaking
     assert r["default_overhead"] < 0.25, \
         f"always-on tracing costs {r['default_overhead']:+.1%}"
+    assert r["requests_overhead"] < 0.25, \
+        f"span-only recording costs {r['requests_overhead']:+.1%}"

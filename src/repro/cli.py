@@ -35,7 +35,10 @@ Usage (``python -m repro <command> ...``):
   live-migrates the hottest tenant mid-run, ``--workers N`` shards the
   mesh across OS processes with bit-identical results,
   ``--export-trace`` writes the protection-level event stream for
-  ``compare`` (docs/SERVICE.md, docs/PERF.md).
+  ``compare``, ``--explain-tail K`` decomposes the slowest K requests
+  along their critical paths, ``--timeseries-out`` writes windowed
+  counter deltas as JSON/CSV (docs/SERVICE.md, docs/OBSERVABILITY.md,
+  docs/PERF.md).
 * ``compare``              — the E17 battleground: replay one captured
   service trace through all nine protection schemes (the five §5
   rivals, guarded pointers, Capstone, Capacity, uninit caps) with a
@@ -86,7 +89,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("; --trace needs the lockstep engine (drop --workers)")
         return 2
     sim = Simulation(nodes=args.nodes, memory_bytes=args.memory,
-                     workers=args.workers)
+                     workers=args.workers,
+                     flight_capacity=args.flight_capacity)
     regs: dict[int, object] = {}
     if args.data:
         segment = sim.allocate(args.data)
@@ -279,7 +283,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("; --workers > 1 needs --nodes > 1 (one node cannot shard)")
         return 2
     sim = Simulation(nodes=args.nodes, memory_bytes=args.memory,
-                     page_bytes=args.page_bytes, workers=args.workers)
+                     page_bytes=args.page_bytes, workers=args.workers,
+                     flight_capacity=args.flight_capacity)
     print(f"; {args.tenants} tenants on {args.nodes} node(s), "
           f"{args.workers} worker(s), "
           f"{args.requests} requests, {args.arrivals} arrivals at "
@@ -288,6 +293,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     exporter = ServiceTraceExporter() if args.export_trace else None
     driver = ServiceLoadDriver(sim, tenants, ingress=args.ingress,
                                exporter=exporter)
+    # the recorder attaches span sinks (on a sharded machine that
+    # starts the workers), so it must come after all workload setup
+    if args.explain_tail:
+        driver.recorder = sim.record_requests()
+    if args.timeseries_out:
+        driver.sampler = sim.timeseries(args.timeseries_window)
     schedule = open_loop(
         requests=args.requests, tenants=args.tenants,
         mean_gap=1000.0 / args.rate, seed=args.seed,
@@ -295,15 +306,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
         keys_per_tenant=args.keys_per_tenant, hot_keys=args.hot_keys,
         hot_fraction=args.hot_fraction, put_ratio=args.put_ratio)
     migrate_after = args.requests // 2 if args.migrate_hot else None
+    session = None
     if args.trace_out:
         with sim.trace() as session:
             report = driver.run(schedule, migrate_hot_after=migrate_after)
-        path = session.save_chrome(args.trace_out)
-        print(f"; trace written to {path} "
-              f"(open at https://ui.perfetto.dev)")
     else:
         report = driver.run(schedule, migrate_hot_after=migrate_after)
     print(report.format())
+    tail = None
+    if args.explain_tail:
+        from repro.obs.requests import render_tail
+
+        tail = driver.recorder.explain_tail(args.explain_tail)
+        print(render_tail(tail))
+    if driver.sampler is not None:
+        driver.sampler.finish()
+        out = Path(args.timeseries_out)
+        if out.suffix == ".csv":
+            driver.sampler.write_csv(out)
+        else:
+            driver.sampler.write_json(out)
+        print(f"; time series written to {out} "
+              f"({len(driver.sampler.rows)} windows of "
+              f"{args.timeseries_window} cycles)")
+    if session is not None:
+        import json
+
+        from repro.obs.export import (append_counter_tracks,
+                                      append_request_tracks)
+
+        trace = session.to_chrome()
+        if tail is not None:
+            append_request_tracks(trace, tail)
+        if driver.sampler is not None:
+            append_counter_tracks(trace, driver.sampler.rows)
+        Path(args.trace_out).write_text(json.dumps(trace) + "\n",
+                                        encoding="utf-8")
+        print(f"; trace written to {args.trace_out} "
+              f"(open at https://ui.perfetto.dev)")
     if exporter is not None:
         exporter.save(args.export_trace, tenants=args.tenants,
                       nodes=args.nodes, seed=args.seed,
@@ -313,8 +353,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
+        payload = report.as_dict()
+        if tail is not None:
+            payload["explain_tail"] = tail
         Path(args.json).write_text(
-            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"; report written to {args.json}")
     sim.close()
     ok = (report.completed == args.requests and not report.errors
@@ -410,6 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 1: the lockstep engine)")
     p_run.add_argument("--memory", type=int, default=8 * 1024 * 1024,
                        help="physical memory bytes")
+    p_run.add_argument("--flight-capacity", type=int, default=512,
+                       help="flight-recorder ring capacity per node "
+                            "(cold events kept for crash dumps)")
     p_run.set_defaults(func=cmd_run)
 
     p_isa = sub.add_parser("isa", help="print the opcode table")
@@ -523,7 +569,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="live-migrate the hottest tenant halfway "
                               "through the run")
     p_serve.add_argument("--trace-out", default=None, metavar="PATH",
-                         help="record the run and write a Perfetto trace")
+                         help="record the run and write a Perfetto trace "
+                              "(with --explain-tail/--timeseries-out it "
+                              "also carries per-request tracks and "
+                              "counter series)")
+    p_serve.add_argument("--explain-tail", type=int, default=0,
+                         metavar="K",
+                         help="decompose the slowest K requests along "
+                              "their critical paths (works on both "
+                              "engines; byte-identical across workers)")
+    p_serve.add_argument("--timeseries-window", type=int, default=20_000,
+                         metavar="CYCLES",
+                         help="time-series window width in cycles")
+    p_serve.add_argument("--timeseries-out", default=None, metavar="PATH",
+                         help="write windowed counter deltas "
+                              "(.csv for CSV, anything else for JSON)")
+    p_serve.add_argument("--flight-capacity", type=int, default=512,
+                         help="flight-recorder ring capacity per node")
     p_serve.add_argument("--export-trace", default=None, metavar="PATH",
                          help="write the protection-level event stream "
                               "(one Switch + four MemRefs per request) "

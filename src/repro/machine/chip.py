@@ -104,6 +104,9 @@ class ChipConfig:
     #: the fuzzer's superblock-on-vs-off axis polices that continuously.
     #: Requires ``decode_cache`` (superblock nodes are decoded bundles).
     superblock: bool = True
+    #: flight-recorder ring depth (events kept for crash dumps); purely
+    #: observational — no architectural or timing effect
+    flight_capacity: int = 512
 
 
 class RunReason:
@@ -157,7 +160,7 @@ class MAPChip:
         # -- the trace hub (repro.obs): event spine + flight recorder.
         # Observability only — nothing below ever reads it to make a
         # decision, so cycle counts are identical with it on or off.
-        self.obs = TraceHub()
+        self.obs = TraceHub(flight_capacity=c.flight_capacity)
         self.obs.clock = lambda: self.now
         self.memory = TaggedMemory(c.memory_bytes)
         self.frames = FrameAllocator(c.memory_bytes, c.page_bytes)

@@ -103,9 +103,10 @@ class MeshNetwork:
         lookup = self.obs_lookup
         if lookup is not None:
             obs = lookup(source)
-            # the parallel coordinator owns the network but no chips:
-            # its resolver answers None and timing stays silent there
-            if obs is not None and obs.hot:
+            # under the parallel engine this runs on the coordinator,
+            # whose (paused) chips still own live hubs — so request
+            # recorders attached there see every hop
+            if obs is not None and obs.spans:
                 obs.emit("router.hop", now, dur=arrival - now, src=source,
                          dst=destination, hops=hops)
         return arrival

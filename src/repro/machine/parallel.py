@@ -113,6 +113,9 @@ class _Worker:
     def __init__(self):
         self.machine = None
         self.owned: list[int] = []
+        #: per-owned-node span-level sinks (the request tracer's
+        #: worker half); attached by "trace_on", drained by "trace_drain"
+        self._span_sinks: dict[int, list] = {}
 
     # every mutating verb replies with this so the coordinator's
     # mirrors of the per-node clocks / runnable / faulted states stay
@@ -209,6 +212,34 @@ class _Worker:
         chip = self.machine.chips[node]
         chip.obs.add_histogram(name).add(value)
         return {}
+
+    def emit(self, node: int, name: str, cycle: int, tid, dur,
+             args: dict) -> dict:
+        self.machine.chips[node].obs.emit(name, cycle, tid=tid, dur=dur,
+                                          **args)
+        return {}
+
+    def trace_on(self) -> dict:
+        """Attach a span-level (``hot=False``) sink to every owned
+        node's hub — per-miss and cold events start accumulating, the
+        per-bundle path stays dark and turbo stays engaged.  Sinks
+        survive ``reload`` (restore mutates chips in place)."""
+        for n in self.owned:
+            if n not in self._span_sinks:
+                sink: list = []
+                self.machine.chips[n].obs.attach(sink, hot=False)
+                self._span_sinks[n] = sink
+        return {}
+
+    def trace_drain(self) -> dict:
+        from repro.obs.events import encode_event
+
+        out = {}
+        for n, sink in sorted(self._span_sinks.items()):
+            self.machine.chips[n].obs.detach(sink)
+            out[n] = [encode_event(e) for e in sink]
+        self._span_sinks = {}
+        return {"events": out}
 
     def counters(self) -> dict:
         return {n: self.machine.chips[n].counters.snapshot()
@@ -595,12 +626,37 @@ class ParallelMulticomputer:
         self._call(self._owner[node], ["hist", node, name, value])
         self.dirty = True
 
-    def counters_snapshot(self) -> dict:
+    def emit(self, node: int, name: str, cycle: int, tid, dur,
+             args: dict) -> None:
+        """Emit one event into ``node``'s hub, wherever it lives — the
+        owning worker's flight recorder (and any attached sinks) gets
+        it, exactly as a lockstep emit would."""
+        self._ensure_started()
+        self._call(self._owner[node], ["emit", node, name, cycle, tid,
+                                       dur, args])
+        self.dirty = True
+
+    def counters_per_node(self) -> dict[int, dict]:
+        """Every node's counter snapshot, pulled from its owning worker
+        (the time-series sampler's per-window read)."""
         self._ensure_started()
         per_node: dict[int, dict] = {}
         for reply in self._broadcast([["counters"]] * self.workers):
             per_node.update({int(n): snap for n, snap in reply.items()})
-        return merge_snapshots(per_node)
+        return per_node
+
+    def counters_snapshot(self) -> dict:
+        return merge_snapshots(self.counters_per_node())
+
+    def span_collector(self) -> "_ParallelSpanCollector":
+        """Span-level recording across the shards: worker-side sinks
+        catch chip events (misses, faults, enter crossings, swap,
+        halts); coordinator-side sinks catch what only the coordinator
+        runs — ``router.hop`` from barrier planning and the serial
+        migration path's ``migrate.*``.  The two sets are disjoint, so
+        their union is exactly the lockstep engine's stream."""
+        self._ensure_started()
+        return _ParallelSpanCollector(self)
 
     def flight_dumps(self) -> dict[int, dict]:
         self._ensure_started()
@@ -718,3 +774,33 @@ class ParallelMulticomputer:
         self._reship()
         self.dirty = True
         return report
+
+
+class _ParallelSpanCollector:
+    """Worker-side span sinks plus coordinator-side sinks, drained as
+    one event list (see :meth:`ParallelMulticomputer.span_collector`)."""
+
+    def __init__(self, engine: ParallelMulticomputer):
+        from repro.obs.requests import LockstepSpanCollector
+
+        self._engine = engine
+        # coordinator chips never advance, but their hubs receive
+        # router.hop (barrier planning) and migrate/swap events from
+        # the serial migration path run after sync_back
+        self._local = LockstepSpanCollector(
+            [chip.obs for chip in engine.machine.chips])
+        engine._broadcast([["trace_on"]] * engine.workers)
+        self._drained = None
+
+    def drain(self):
+        from repro.obs.events import decode_event
+
+        if self._drained is None:
+            events = list(self._local.drain())
+            replies = self._engine._broadcast(
+                [["trace_drain"]] * self._engine.workers)
+            for reply in replies:
+                for _, encoded in sorted(reply["events"].items()):
+                    events.extend(decode_event(e) for e in encoded)
+            self._drained = events
+        return self._drained

@@ -288,7 +288,7 @@ class BankedCache:
             ready = done
             bank.busy_until = ready
             obs = self.obs
-            if obs is not None and obs.hot:
+            if obs is not None and obs.spans:
                 obs.emit("cache.miss_fill", start, dur=ready - start,
                          vaddr=vaddr, bank=bank_index, write=write)
 

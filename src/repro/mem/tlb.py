@@ -100,7 +100,7 @@ class TLB:
         self.stats.misses += 1
         self.stats.walk_cycles += self.walk_cycles
         obs = self.obs
-        if obs is not None and obs.hot:
+        if obs is not None and obs.spans:
             obs.emit("tlb.miss_walk", obs.now(), dur=self.walk_cycles,
                      vaddr=vaddr)
         physical = self.page_table.walk(vaddr)

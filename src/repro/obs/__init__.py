@@ -6,22 +6,34 @@ The observability subsystem for the MAP simulator (see
 * :class:`TraceEvent` / :data:`EVENT_NAMES` — the typed event
   vocabulary (:mod:`repro.obs.events`);
 * :class:`TraceHub` — the per-chip event spine with its always-on
-  :class:`FlightRecorder` ring and hot-path gate
+  :class:`FlightRecorder` ring and hot/span gates
   (:mod:`repro.obs.hub`);
 * :class:`Histogram` — log2-bucket latency distributions registered as
   perf-counter pull sources (:mod:`repro.obs.histogram`);
 * :class:`TraceSession` + :func:`to_chrome_trace` /
   :func:`to_text_timeline` — recording and export, behind
   ``Simulation.trace()`` and ``repro trace``
-  (:mod:`repro.obs.export`).
+  (:mod:`repro.obs.export`);
+* :class:`RequestTraceRecorder` + :func:`assemble_tail` /
+  :func:`render_tail` — request-scoped tracing and tail-latency
+  attribution, behind ``Simulation.record_requests()`` and
+  ``repro serve --explain-tail`` (:mod:`repro.obs.requests`);
+* :class:`TimeseriesSampler` — windowed counter deltas, behind
+  ``Simulation.timeseries()`` and ``repro serve --timeseries-out``
+  (:mod:`repro.obs.timeseries`).
 """
 
 from repro.obs.events import (EVENT_NAMES, TraceEvent, decode_event,
                               encode_event)
-from repro.obs.export import CHIP_TRACK, to_chrome_trace, to_text_timeline
+from repro.obs.export import (CHIP_TRACK, append_counter_tracks,
+                              append_request_tracks, to_chrome_trace,
+                              to_text_timeline)
 from repro.obs.histogram import Histogram
 from repro.obs.hub import (FLIGHT_CAPACITY, HISTOGRAM_NAMES, FlightRecorder,
                            TraceHub, TraceSession, load_flight)
+from repro.obs.requests import (RequestRecord, RequestTraceRecorder,
+                                assemble_tail, decompose, render_tail)
+from repro.obs.timeseries import TimeseriesSampler
 
 __all__ = [
     "CHIP_TRACK",
@@ -30,12 +42,20 @@ __all__ = [
     "HISTOGRAM_NAMES",
     "FlightRecorder",
     "Histogram",
+    "RequestRecord",
+    "RequestTraceRecorder",
+    "TimeseriesSampler",
     "TraceEvent",
     "TraceHub",
     "TraceSession",
+    "append_counter_tracks",
+    "append_request_tracks",
+    "assemble_tail",
     "decode_event",
+    "decompose",
     "encode_event",
     "load_flight",
+    "render_tail",
     "to_chrome_trace",
     "to_text_timeline",
 ]

@@ -10,12 +10,18 @@ fault-handler residency).
 The name taxonomy is closed: :data:`EVENT_NAMES` enumerates every name
 the simulator emits, with its cost class —
 
-* ``hot`` events fire on per-bundle/per-miss paths and are emitted
-  only while detailed tracing is attached
+* ``hot`` events fire on the per-bundle path and are emitted only
+  while *detailed* tracing is attached
   (:attr:`~repro.obs.hub.TraceHub.hot`);
+* ``span`` events fire on per-miss paths (cache fill, TLB walk, router
+  hop) and are emitted while *any* sink is attached
+  (:attr:`~repro.obs.hub.TraceHub.spans`) — cheap enough for
+  request-scoped recording, which must see them without paying for the
+  bundle stream;
 * ``cold`` events fire on rare control-plane paths (faults, swaps,
-  protection-domain crossings, migration) and always reach the flight
-  recorder, so a crash dump carries them with zero setup.
+  protection-domain crossings, migration, request admission) and
+  always reach the flight recorder, so a crash dump carries them with
+  zero setup.
 
 ``docs/OBSERVABILITY.md`` documents the same table, and
 ``tests/integration/test_observability_docs.py`` keeps the two in sync.
@@ -26,20 +32,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: every event name the simulator emits → (cost class, meaning).
-#: The cost class is the emission gate: "hot" needs an attached sink
-#: (``TraceHub.hot``), "cold" only needs the hub enabled.
+#: The cost class is the emission gate: "hot" needs an attached *hot*
+#: sink (``TraceHub.hot``), "span" needs any sink (``TraceHub.spans``),
+#: "cold" only needs the hub enabled.
 EVENT_NAMES: dict[str, tuple[str, str]] = {
     "bundle": ("hot", "one bundle issued (args: address, text, priv)"),
     "thread.switch": ("hot", "a cluster issued from a different thread "
                              "than the previous cycle it issued"),
     "thread.spawn": ("cold", "a thread was created on a cluster"),
     "thread.halt": ("cold", "a thread executed HALT"),
-    "cache.miss_fill": ("hot", "a data-cache miss filled a line "
-                               "(span: request to line ready)"),
-    "tlb.miss_walk": ("hot", "a TLB miss walked the page table "
-                             "(span: the walk cycles)"),
-    "router.hop": ("hot", "one mesh message, source to destination "
-                          "(span: injection to arrival)"),
+    "cache.miss_fill": ("span", "a data-cache miss filled a line "
+                                "(span: request to line ready)"),
+    "tlb.miss_walk": ("span", "a TLB miss walked the page table "
+                              "(span: the walk cycles)"),
+    "router.hop": ("span", "one mesh message, source to destination "
+                           "(span: injection to arrival)"),
     "fault.raise": ("cold", "a thread faulted (args: cause, site)"),
     "fault.dispatch": ("cold", "the fault handler finished (span: "
                                "thread residency out of the run; args: "
@@ -55,6 +62,11 @@ EVENT_NAMES: dict[str, tuple[str, str]] = {
                              "(span: departure to last arrival)"),
     "migrate.resume": ("cold", "migrated threads resumed on the "
                                "destination node"),
+    "request.admit": ("cold", "the service driver admitted a request "
+                              "onto a node (args: req, tenant, op)"),
+    "request.done": ("cold", "a service request retired (span: "
+                             "admission to halt; args: req, tenant, "
+                             "state)"),
 }
 
 

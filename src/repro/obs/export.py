@@ -16,6 +16,13 @@ https://ui.perfetto.dev and chrome://tracing load directly.  Mapping:
 
 The text timeline is the same event list as one line per event — the
 greppable form for terminals and test assertions.
+
+Two append helpers extend a built trace in place:
+:func:`append_request_tracks` adds a synthetic "requests" process with
+one track per slowest-K request (the whole-request span carries the
+critical-path components in its args; the worst request's track also
+replays its event timeline), and :func:`append_counter_tracks` turns
+time-series windows into Perfetto counter (``ph: "C"``) series.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ from repro.obs.events import TraceEvent
 
 #: tid of the per-node fallback track for cluster-less events
 CHIP_TRACK = 99
+
+#: pid of the synthetic per-request process (above any real node id)
+REQUEST_PROCESS = 1000
 
 
 def _category(name: str) -> str:
@@ -69,6 +79,74 @@ def to_chrome_trace(events: Iterable[TraceEvent]) -> dict:
         trace.append(entry)
     return {"traceEvents": trace, "displayTimeUnit": "ms",
             "otherData": {"timeUnit": "1 ts = 1 machine cycle"}}
+
+
+def append_request_tracks(trace: dict, tail: dict) -> dict:
+    """Append per-request tracks from an ``--explain-tail`` payload to
+    a built Chrome trace: one thread track per slowest-K request under
+    a synthetic "requests" process.  Each track gets the whole-request
+    span (arrival -> halt, critical-path components in its args) and a
+    ``queueing`` child span; the worst request's track additionally
+    replays its event timeline, so the machine events that made it slow
+    sit on the request's own timeline."""
+    events = trace["traceEvents"]
+    slowest = tail.get("slowest", [])
+    if slowest:
+        events.append({"ph": "M", "name": "process_name",
+                       "pid": REQUEST_PROCESS,
+                       "args": {"name": "requests (slowest first)"}})
+    worst = tail.get("worst", {})
+    for entry in slowest:
+        tid = entry["req"]
+        events.append({"ph": "M", "name": "thread_name",
+                       "pid": REQUEST_PROCESS, "tid": tid,
+                       "args": {"name": f"req{entry['req']} "
+                                        f"tenant{entry['tenant']} "
+                                        f"node{entry['node']}"}})
+        events.append({"ph": "X", "name": "request", "cat": "request",
+                       "pid": REQUEST_PROCESS, "tid": tid,
+                       "ts": entry["arrival"], "dur": entry["latency"],
+                       "args": dict(entry["components"])})
+        if entry["admitted"] > entry["arrival"]:
+            events.append({"ph": "X", "name": "queueing",
+                           "cat": "request", "pid": REQUEST_PROCESS,
+                           "tid": tid, "ts": entry["arrival"],
+                           "dur": entry["admitted"] - entry["arrival"],
+                           "args": {}})
+        if entry["req"] == worst.get("req"):
+            for encoded in worst.get("timeline", []):
+                replayed = {"name": encoded["name"],
+                            "cat": _category(encoded["name"]),
+                            "pid": REQUEST_PROCESS, "tid": tid,
+                            "ts": encoded["cycle"],
+                            "args": dict(encoded.get("args", {}))}
+                if "dur" in encoded:
+                    replayed["ph"] = "X"
+                    replayed["dur"] = encoded["dur"]
+                else:
+                    replayed["ph"] = "i"
+                    replayed["s"] = "t"
+                events.append(replayed)
+    return trace
+
+
+#: the time-series columns exported as Perfetto counter tracks
+COUNTER_SERIES = ("throughput_rpk", "inflight", "cache_hit_rate",
+                  "tlb_hit_rate", "remote_reads")
+
+
+def append_counter_tracks(trace: dict, rows: Iterable[dict],
+                          pid: int = 0) -> dict:
+    """Append time-series windows (``TimeseriesSampler.rows``) as
+    Perfetto counter events: each window closes with one ``ph: "C"``
+    sample per series at the window's end cycle."""
+    events = trace["traceEvents"]
+    for row in rows:
+        for name in COUNTER_SERIES:
+            events.append({"ph": "C", "name": f"ts.{name}", "pid": pid,
+                           "ts": row["end"],
+                           "args": {name: row[name]}})
+    return trace
 
 
 def to_text_timeline(events: Iterable[TraceEvent]) -> str:

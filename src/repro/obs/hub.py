@@ -1,19 +1,26 @@
 """The per-chip trace hub: event spine, flight recorder, histograms.
 
 Every :class:`~repro.machine.chip.MAPChip` owns one :class:`TraceHub`
-(``chip.obs``).  Emission has two gates, matching the two cost classes
-in :data:`~repro.obs.events.EVENT_NAMES`:
+(``chip.obs``).  Emission has three gates, matching the three cost
+classes in :data:`~repro.obs.events.EVENT_NAMES`:
 
 * ``hub.enabled`` — the master switch.  Cold-path events (faults,
-  enter crossings, swap, migration, spawn/halt) and the latency
-  histograms are on by default; their cost is negligible because the
-  paths are rare or already expensive.  ``enabled = False`` turns the
-  whole subsystem into a handful of dead branches, which is what the
-  tracing-overhead benchmark measures.
-* ``hub.hot`` — true exactly while a sink is attached.  Per-bundle and
-  per-miss sites guard with one attribute load and branch
-  (``if obs.hot:``), so detailed tracing is zero-cost when nobody is
-  listening.
+  enter crossings, swap, migration, spawn/halt, request admission) and
+  the latency histograms are on by default; their cost is negligible
+  because the paths are rare or already expensive.  ``enabled =
+  False`` turns the whole subsystem into a handful of dead branches,
+  which is what the tracing-overhead benchmark measures.
+* ``hub.spans`` — true exactly while *any* sink is attached.  Per-miss
+  sites (cache fill, TLB walk, router hop) guard with one attribute
+  load and branch (``if obs.spans:``), so span recording — what the
+  request tracer needs — costs one rare branch per miss and nothing
+  per bundle.
+* ``hub.hot`` — true exactly while a sink attached with ``hot=True``
+  is present (the default, and what :class:`TraceSession` uses).
+  Per-bundle sites (``bundle``, ``thread.switch``) guard with
+  ``if obs.hot:``, so detailed tracing is zero-cost when nobody is
+  listening, and a spans-only listener never pays for the issue
+  stream.
 
 Events always land in the **flight recorder** — a fixed-size ring that
 keeps the last N events at O(1) per event — and are forwarded to any
@@ -27,8 +34,10 @@ tracing-overhead benchmark police that continuously.
 
 ``hub.hot`` is also the gate superblock turbo execution respects
 (``docs/PERF.md`` §6): the chip refuses to enter a bulk-dispatch trace
-while a sink is attached, so per-bundle event streams stay complete —
-turbo mode never skips an emission a listener would have seen.
+while a *hot* sink is attached, so per-bundle event streams stay
+complete — turbo mode never skips an emission a listener would have
+seen.  A spans-only sink leaves turbo on: miss fills inside a
+superblock go through the same cache access path and still emit.
 Cold-path emissions and the histograms (e.g. load-to-use) are still
 recorded from inside a trace, at the same cycles as the per-cycle
 path.
@@ -103,10 +112,13 @@ class TraceHub:
         self.node = node
         #: master switch; False turns every site into a dead branch
         self.enabled = True
-        #: true exactly while a sink is attached (hot-path gate)
+        #: true exactly while a hot sink is attached (per-bundle gate)
         self.hot = False
+        #: true exactly while any sink is attached (per-miss gate)
+        self.spans = False
         self.flight = FlightRecorder(flight_capacity)
         self._sinks: list = []
+        self._hot_sinks: list = []
         #: clock callback (set by the chip) so sites without a cycle
         #: argument — the TLB — can still stamp events
         self.clock = None
@@ -139,15 +151,25 @@ class TraceHub:
 
     # -- sinks ----------------------------------------------------------
 
-    def attach(self, sink) -> None:
-        """Forward every event to ``sink`` (anything with ``.append``)
-        and open the hot-path gate."""
+    def attach(self, sink, *, hot: bool = True) -> None:
+        """Forward every event to ``sink`` (anything with ``.append``).
+        ``hot=True`` (the default) opens the per-bundle gate too;
+        ``hot=False`` opens only the per-miss ``spans`` gate — what the
+        request tracer uses, so superblock turbo stays engaged."""
         self._sinks.append(sink)
-        self.hot = True
+        if hot:
+            self._hot_sinks.append(sink)
+        self.spans = True
+        self.hot = bool(self._hot_sinks)
 
     def detach(self, sink) -> None:
-        self._sinks.remove(sink)
-        self.hot = bool(self._sinks)
+        # identity-based removal: sinks are often plain lists, and two
+        # empty lists compare equal — ``list.remove`` would drop the
+        # wrong listener
+        self._sinks = [s for s in self._sinks if s is not sink]
+        self._hot_sinks = [s for s in self._hot_sinks if s is not sink]
+        self.spans = bool(self._sinks)
+        self.hot = bool(self._hot_sinks)
 
     # -- emission -------------------------------------------------------
 

@@ -64,6 +64,10 @@ if TYPE_CHECKING:  # pragma: no cover
 SPEED_KNOBS = frozenset({"decode_cache", "data_fast_path",
                          "idle_fast_forward", "superblock"})
 
+#: purely observational ChipConfig fields (no architectural or timing
+#: effect), equally exempt from the restore shape check
+OBS_KNOBS = frozenset({"flight_capacity"})
+
 
 def config_dict(config) -> dict:
     return asdict(config)
@@ -76,7 +80,7 @@ def check_architecture(snapshot_config: dict, config) -> None:
     determinism test's whole point."""
     live = config_dict(config)
     for name, value in snapshot_config.items():
-        if name in SPEED_KNOBS:
+        if name in SPEED_KNOBS or name in OBS_KNOBS:
             continue
         if name not in live or live[name] != value:
             raise SnapshotError(
@@ -215,7 +219,8 @@ def capture_obs(obs) -> dict:
     way."""
     return {
         "histograms": [[name, {"count": h.count, "total": h.total,
-                               "max": h.max, "buckets": list(h._buckets)}]
+                               "max": h.max, "buckets": list(h._buckets),
+                               "sums": list(h._sums)}]
                        for name, h in sorted(obs.histograms.items())],
         "flight": obs.flight.dump(),
         "enter_stack": [[tid, list(stack)]
@@ -255,6 +260,16 @@ def restore_obs(chip: "MAPChip", state: dict | None) -> None:
         histogram.total = int(data["total"])
         histogram.max = int(data["max"])
         histogram._buckets = [int(b) for b in data["buckets"]]
+        if "sums" in data:
+            histogram._sums = [int(s) for s in data["sums"]]
+        else:
+            # pre-sum snapshot: reconstruct the legacy upper-bound
+            # sums so old images keep reporting their old percentiles
+            from repro.obs.histogram import _OVERFLOW
+            histogram._sums = [
+                b * (histogram.max if k == _OVERFLOW else (1 << k) - 1)
+                if k else 0
+                for k, b in enumerate(histogram._buckets)]
     flight = obs.flight
     flight.clear()
     for event in load_flight(state["flight"]):

@@ -92,7 +92,8 @@ class TrafficReport:
             f"  cycles       {self.cycles}"
             f"  [{self.start_cycle} .. {self.end_cycle}]",
             f"  throughput   {self.throughput_rpk:.2f} req/kcycle",
-            "  latency (cycles, arrival to halt; log2-bucket bounds)",
+            "  latency (cycles, arrival to halt; interpolated log2 "
+            "buckets)",
             f"    p50   {self.latency.get('p50', 0)}",
             f"    p99   {self.latency.get('p99', 0)}",
             f"    p999  {self.latency.get('p999', 0)}",
@@ -132,7 +133,8 @@ class ServiceLoadDriver:
 
     def __init__(self, sim, tenants: list[Tenant], *,
                  ingress: str = "home", quantum: int = DEFAULT_QUANTUM,
-                 verify: bool = True, client_entries=None, exporter=None):
+                 verify: bool = True, client_entries=None, exporter=None,
+                 recorder=None, sampler=None):
         if ingress not in ("home", "scatter"):
             raise ValueError(f"unknown ingress policy: {ingress!r}")
         if quantum <= 0:
@@ -143,6 +145,15 @@ class ServiceLoadDriver:
         self.quantum = quantum
         self.verify = verify
         self.exporter = exporter
+        #: a :class:`~repro.obs.requests.RequestTraceRecorder` — told
+        #: about every admission/retirement for tail attribution.  On a
+        #: sharded sim create it *after* this constructor (attaching
+        #: starts the workers, freezing workload setup).
+        self.recorder = recorder
+        #: a :class:`~repro.obs.timeseries.TimeseriesSampler` — polled
+        #: at the run loop's drain points (deterministic cycles, so the
+        #: series is engine-independent)
+        self.sampler = sampler
         self.client_entries = (client_entries if client_entries is not None
                                else install_clients(sim))
         if len(self.client_entries) != sim.nodes:
@@ -171,7 +182,7 @@ class ServiceLoadDriver:
             return serial % self.sim.nodes
         return self.tenants[request.tenant].home
 
-    def _spawn(self, request: Request, node: int) -> int:
+    def _spawn(self, request: Request, node: int, serial: int) -> int:
         """Dispatch one request as a hardware thread; returns its tid
         (an engine-neutral handle — on the sharded engine the thread
         object lives in a worker process)."""
@@ -183,6 +194,8 @@ class ServiceLoadDriver:
         tid = self.sim.spawn_request(
             node, self.client_entries[node], domain=tenant.domain,
             regs=regs, stack_bytes=0)
+        if self.recorder is not None:
+            self.recorder.admit(serial, request, node, tid, self.sim.now)
         if self.exporter is not None:
             self.exporter.record(request, tenant, node,
                                  self.client_entries[node])
@@ -216,6 +229,9 @@ class ServiceLoadDriver:
             node = entry["node"]
             request = inflight.pop((node, entry["tid"]))
             node_load[node] -= 1
+            if self.recorder is not None:
+                self.recorder.done(node, entry["tid"], entry["halted_at"],
+                                   entry["state"])
             if entry["state"] == "HALTED":
                 completed += 1
                 self.sim.record_sample(node, "request_latency",
@@ -253,7 +269,8 @@ class ServiceLoadDriver:
             if not key.startswith(prefix + "."):
                 continue
             stat = key[len(prefix) + 1:]
-            if stat.startswith("bucket") or stat in ("count", "total"):
+            if stat.startswith(("bucket", "sum")) or stat in ("count",
+                                                              "total"):
                 out[key] = value - start.get(key, 0)
             else:
                 out[key] = value
@@ -314,11 +331,14 @@ class ServiceLoadDriver:
 
         while not finished():
             now = sim.now
-            # admit everything that has arrived by now
+            # admit everything that has arrived by now (each queued
+            # entry carries its admission serial — the request id the
+            # tail-attribution recorder keys on)
             while (not paused and next_i < len(schedule)
                    and schedule[next_i].arrival <= now):
                 request = schedule[next_i]
-                queues[self._node_for(request, serial)].append(request)
+                queues[self._node_for(request, serial)].append(
+                    (serial, request))
                 next_i += 1
                 serial += 1
             # dispatch while slots are free (hold the draining tenant's
@@ -327,10 +347,10 @@ class ServiceLoadDriver:
                 for node, queue in enumerate(queues):
                     while queue and node_load[node] < self._capacity:
                         if (draining_tenant is not None
-                                and queue[0].tenant == draining_tenant):
+                                and queue[0][1].tenant == draining_tenant):
                             break
-                        request = queue.popleft()
-                        tid = self._spawn(request, node)
+                        req_serial, request = queue.popleft()
+                        tid = self._spawn(request, node, req_serial)
                         inflight[(node, tid)] = request
                         node_load[node] += 1
             # advance: bounded quanta while work is queued (so freed
@@ -354,6 +374,8 @@ class ServiceLoadDriver:
             completed += c
             errors += e
             wrong += w
+            if self.sampler is not None:
+                self.sampler.poll(sim.now, inflight=len(inflight))
             done = completed + errors
             if pause_at_completed is not None and not paused \
                     and done >= pause_at_completed:
@@ -374,7 +396,7 @@ class ServiceLoadDriver:
                 break
 
         end_hist = self._snapshot_latency()
-        remainder = sorted([r for q in queues for r in q]
+        remainder = sorted([req for q in queues for _, req in q]
                            + schedule[next_i:], key=lambda r: r.arrival)
         return TrafficReport(
             requests=len(schedule), completed=completed, errors=errors,

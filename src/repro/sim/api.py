@@ -384,6 +384,29 @@ class Simulation:
             return
         self.chips[node].obs.add_histogram(name).add(value)
 
+    def emit(self, node: int, name: str, cycle: int, *,
+             tid: int | None = None, dur: int | None = None,
+             **args) -> None:
+        """Land one event in ``node``'s trace hub (flight recorder plus
+        any attached sinks) — works on both engines.  This is how the
+        service driver threads ``request.admit``/``request.done``
+        instants into the event stream; ``name`` should come from
+        :data:`repro.obs.EVENT_NAMES`."""
+        node = self._check_node(node)
+        if self._engine is not None and self._engine.started:
+            self._engine.emit(node, name, cycle, tid, dur, args)
+            return
+        self.chips[node].obs.emit(name, cycle, tid=tid, dur=dur, **args)
+
+    def counters_per_node(self) -> dict[int, dict]:
+        """Each node's (unmerged) counter snapshot — on a started
+        sharded machine pulled from the owning workers over RPC.  The
+        time-series sampler reads this at every window boundary."""
+        if self._engine is not None and self._engine.started:
+            return self._engine.counters_per_node()
+        return {n: chip.counters.snapshot()
+                for n, chip in enumerate(self.chips)}
+
     # -- results and counters ---------------------------------------------
 
     @property
@@ -444,11 +467,49 @@ class Simulation:
         if self._engine is not None:
             raise SimulationError(
                 "tracing needs the lockstep engine: a session cannot "
-                "attach to chips living in worker processes — run with "
-                "workers=1 to trace")
+                "attach to chips living in worker processes (not even "
+                "after sync_back() — the next run re-advances them "
+                "there).  For time-resolved telemetry under workers>1 "
+                "use Simulation.timeseries(window) / repro serve "
+                "--timeseries-out (per-window counter deltas over RPC), "
+                "or capture_state() and restore into a workers=1 "
+                "Simulation to trace a replay")
         from repro.obs.hub import TraceSession
 
         return TraceSession([chip.obs for chip in self.chips])
+
+    def span_collector(self):
+        """Span-level event recording (``hot=False`` sinks: per-miss
+        and cold events only, per-bundle path stays dark, superblock
+        turbo stays engaged) — works on both engines; the request
+        tracer builds on this.  Returns an object with ``drain()``."""
+        if self._engine is not None:
+            return self._engine.span_collector()
+        from repro.obs.requests import LockstepSpanCollector
+
+        return LockstepSpanCollector([chip.obs for chip in self.chips])
+
+    def record_requests(self) -> "RequestTraceRecorder":
+        """A request-scoped trace recorder for a service run: hand it
+        to the :class:`~repro.service.driver.ServiceLoadDriver`
+        (``recorder=``), then ``recorder.explain_tail(k)`` after the
+        run (docs/OBSERVABILITY.md §"Reading a request trace").  On a
+        sharded machine, create it after all workload setup — attaching
+        starts the workers."""
+        from repro.obs.requests import RequestTraceRecorder
+
+        return RequestTraceRecorder(self)
+
+    def timeseries(self, window: int) -> "TimeseriesSampler":
+        """A windowed counter sampler (docs/OBSERVABILITY.md
+        §"Time-series sampling"): poll it at deterministic points (the
+        load driver does, via ``sampler=``), read ``rows`` or write
+        JSON/CSV after :meth:`~repro.obs.timeseries.TimeseriesSampler.
+        finish`.  Works on both engines — the sharded engine samples
+        over RPC at window boundaries."""
+        from repro.obs.timeseries import TimeseriesSampler
+
+        return TimeseriesSampler(self, window)
 
     # -- migration (repro.persist) ------------------------------------------
 

@@ -55,6 +55,7 @@ def normalize(name: str) -> str:
     name = re.sub(r"^fault\.[A-Z]\w*$", "fault.<ExceptionName>", name)
     name = re.sub(r"^(hist\.)\w+(\.)", r"\1<name>\2", name)
     name = re.sub(r"bucket\d+$", "bucket<K>", name)
+    name = re.sub(r"sum\d+$", "sum<K>", name)
     return name
 
 

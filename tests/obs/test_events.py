@@ -6,9 +6,9 @@ from repro.obs import EVENT_NAMES, TraceEvent, decode_event, encode_event
 
 
 class TestEventNames:
-    def test_cost_classes_are_hot_or_cold(self):
+    def test_cost_classes_are_hot_span_or_cold(self):
         for name, (cost, _) in EVENT_NAMES.items():
-            assert cost in ("hot", "cold"), name
+            assert cost in ("hot", "span", "cold"), name
 
     def test_every_name_is_namespaced_or_bundle(self):
         # one-segment "bundle" is the deliberate exception (the issue

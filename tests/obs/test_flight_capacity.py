@@ -1,0 +1,77 @@
+"""The flight-recorder ring capacity is a configurable observability
+knob: it plumbs from ``ChipConfig`` to every hub, survives
+snapshot/restore, may be overridden at restore time (it is not
+architectural), and crash dumps report the configured value."""
+
+from repro.machine.chip import ChipConfig
+from repro.sim.api import Simulation
+
+PROGRAM = """
+    movi r2, 41
+    addi r2, r2, 1
+    halt
+"""
+
+
+class TestPlumbing:
+    def test_config_reaches_the_hub(self):
+        sim = Simulation(ChipConfig(memory_bytes=2 * 1024 * 1024,
+                                    flight_capacity=32))
+        assert sim.chip.obs.flight.capacity == 32
+
+    def test_override_kwarg(self):
+        sim = Simulation(memory_bytes=2 * 1024 * 1024, flight_capacity=64)
+        assert sim.config.flight_capacity == 64
+        assert sim.chip.obs.flight.capacity == 64
+
+    def test_every_mesh_node_gets_the_capacity(self):
+        sim = Simulation(nodes=2, memory_bytes=2 * 1024 * 1024,
+                         flight_capacity=16)
+        assert [chip.obs.flight.capacity for chip in sim.chips] == [16, 16]
+
+    def test_default_stays_512(self):
+        assert ChipConfig().flight_capacity == 512
+
+    def test_capacity_bounds_the_ring(self):
+        sim = Simulation(memory_bytes=2 * 1024 * 1024, flight_capacity=4)
+        for index in range(10):
+            sim.spawn(PROGRAM, stack_bytes=0)
+            sim.run()
+        flight = sim.chip.obs.flight
+        assert len(flight) == 4
+        assert flight.dump()["capacity"] == 4
+        assert flight.dump()["dropped"] == flight.total - 4
+
+
+class TestPersistence:
+    def test_snapshot_round_trips_the_capacity(self, tmp_path):
+        sim = Simulation(memory_bytes=2 * 1024 * 1024, flight_capacity=32)
+        sim.spawn(PROGRAM, stack_bytes=0)
+        sim.step(2)
+        sim.save(tmp_path / "cap.snap")
+        back = Simulation.restore(tmp_path / "cap.snap")
+        assert back.config.flight_capacity == 32
+        assert back.chip.obs.flight.capacity == 32
+        back.run()
+
+    def test_restore_accepts_a_capacity_override(self, tmp_path):
+        # observability knobs are not architectural: restoring at a
+        # different ring size is allowed, unlike e.g. cluster count
+        sim = Simulation(memory_bytes=2 * 1024 * 1024)
+        sim.spawn(PROGRAM, stack_bytes=0)
+        sim.save(tmp_path / "plain.snap")
+        back = Simulation.restore(tmp_path / "plain.snap",
+                                  flight_capacity=8)
+        assert back.chip.obs.flight.capacity == 8
+        back.run()
+
+    def test_mesh_snapshot_round_trips_the_capacity(self, tmp_path):
+        sim = Simulation(nodes=2, memory_bytes=2 * 1024 * 1024,
+                         flight_capacity=24)
+        sim.spawn(sim.load(PROGRAM, node=1), stack_bytes=0)
+        sim.step(2)
+        sim.save(tmp_path / "mesh.snap")
+        back = Simulation.restore(tmp_path / "mesh.snap")
+        assert [chip.obs.flight.capacity for chip in back.chips] == \
+            [24, 24]
+        back.run()

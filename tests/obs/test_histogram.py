@@ -1,6 +1,10 @@
 """Log2-bucket histogram math: buckets, percentiles, counter export."""
 
+import math
+import random
+
 from repro.obs import Histogram
+from repro.obs.histogram import percentile_from_snapshot
 
 
 class TestBuckets:
@@ -45,8 +49,9 @@ class TestPercentiles:
         h = Histogram("uniform")
         for value in range(1, 101):
             h.add(value)
-        # p50 lands in the 33..64 bucket; its upper bound is 63
-        assert h.percentile(0.50) == 63
+        # p50 lands in the 32..63 bucket; sum-interpolation inside the
+        # bucket recovers the exact sorted-sample median
+        assert h.percentile(0.50) == 50
 
     def test_percentile_clamps_to_observed_max(self):
         h = Histogram("clamped")
@@ -73,6 +78,64 @@ class TestPercentiles:
         assert h.percentile(0.5) == 1 << 70  # clamped to max
 
 
+class TestInterpolation:
+    """Sum-interpolated percentiles track the exact sorted-sample
+    percentiles, not the bucket upper bound."""
+
+    @staticmethod
+    def exact(samples, fraction):
+        ordered = sorted(samples)
+        return ordered[max(math.ceil(fraction * len(ordered)), 1) - 1]
+
+    def test_tracks_exact_percentiles_within_half_a_bucket(self):
+        rng = random.Random(7)
+        samples = [rng.randint(1, 4000) for _ in range(500)]
+        h = Histogram("mixed")
+        for value in samples:
+            h.add(value)
+        for fraction in (0.5, 0.9, 0.95, 0.99):
+            exact = self.exact(samples, fraction)
+            estimate = h.percentile(fraction)
+            # the covering bucket spans [2^(k-1), 2^k); interpolation
+            # must land within half that bucket's width of the truth
+            half_width = max((1 << (exact.bit_length() - 1)) // 2, 1)
+            assert abs(estimate - exact) <= half_width, (fraction,
+                                                         estimate, exact)
+
+    def test_single_sample_buckets_are_exact(self):
+        h = Histogram("sparse")
+        for value in (3, 17, 200, 999):
+            h.add(value)
+        assert h.percentile(0.25) == 3
+        assert h.percentile(0.50) == 17
+        assert h.percentile(0.75) == 200
+        assert h.percentile(1.00) == 999
+
+    def test_constant_bucket_reports_the_constant(self):
+        h = Histogram("constant")
+        for _ in range(64):
+            h.add(40)  # all in the 32..63 bucket, mean pinned at 40
+        assert h.percentile(0.50) == 40
+        assert h.percentile(0.99) == 40
+
+    def test_snapshot_recomputation_matches_the_histogram(self):
+        rng = random.Random(11)
+        h = Histogram("roundtrip")
+        for _ in range(300):
+            h.add(rng.randint(0, 900))
+        snapshot = {f"hist.roundtrip.{k}": v
+                    for k, v in h.as_counters().items()}
+        for fraction in (0.5, 0.95, 0.999):
+            assert percentile_from_snapshot(
+                snapshot, "hist.roundtrip", fraction) == \
+                h.percentile(fraction)
+
+    def test_legacy_snapshot_without_sums_reports_upper_bounds(self):
+        # pre-sum snapshots reconstruct the old upper-bound behaviour
+        snapshot = {"hist.old.bucket6": 32, "hist.old.max": 63}
+        assert percentile_from_snapshot(snapshot, "hist.old", 0.5) == 63
+
+
 class TestCounterExport:
     def test_counter_keys(self):
         h = Histogram("latency")
@@ -82,12 +145,14 @@ class TestCounterExport:
         assert counters["count"] == 3
         assert counters["total"] == 101
         assert counters["max"] == 90
-        assert counters["p50"] == 7      # the 4..7 bucket's upper bound
-        assert counters["p95"] == 90     # clamped to max
+        assert counters["p50"] == 6      # interpolated inside 4..7
+        assert counters["p95"] == 90     # single-sample bucket: exact
         # bucket keys are bit_length indices: 5 and 6 have bit_length 3,
-        # 90 has bit_length 7
+        # 90 has bit_length 7; sum keys carry each bucket's value sum
         assert counters["bucket3"] == 2
+        assert counters["sum3"] == 11
         assert counters["bucket7"] == 1
+        assert counters["sum7"] == 90
 
     def test_reset(self):
         h = Histogram("again")

@@ -1,0 +1,146 @@
+"""Request-scoped tracing: the critical-path decomposition must claim
+every overlapping span exactly once, sum exactly to the latency, and
+assemble into a deterministic tail payload."""
+
+from repro.obs.requests import (COMPONENTS, RequestRecord, _free_parts,
+                                _merge, assemble_tail, decompose,
+                                render_tail, sort_events)
+from repro.obs import TraceEvent
+
+
+def record(**kw):
+    base = dict(req=0, tenant=0, op=0, key=0, node=0, tid=1,
+                arrival=100, admitted=100, halted_at=200, state="HALTED")
+    base.update(kw)
+    return RequestRecord(**base)
+
+
+class TestIntervalHelpers:
+    def test_merge_coalesces_overlaps(self):
+        assert _merge([(5, 9), (1, 3), (2, 6)]) == [[1, 9]]
+
+    def test_merge_keeps_gaps(self):
+        assert _merge([(1, 3), (5, 7)]) == [[1, 3], [5, 7]]
+
+    def test_free_parts_carves_claims_out(self):
+        assert _free_parts((0, 10), [[2, 4], [6, 8]]) == \
+            [(0, 2), (4, 6), (8, 10)]
+
+    def test_free_parts_of_fully_claimed_span(self):
+        assert _free_parts((2, 8), [[0, 10]]) == []
+
+
+class TestDecompose:
+    def test_pure_execution(self):
+        components = decompose(record(), [])
+        assert components["execute"] == 100
+        assert sum(components.values()) == 100
+
+    def test_queueing_is_outside_the_window(self):
+        components = decompose(record(arrival=80), [])
+        assert components["queueing"] == 20
+        assert components["execute"] == 100
+        assert sum(components.values()) == 120
+
+    def test_miss_spans_on_the_node_are_claimed(self):
+        events = [TraceEvent("cache.miss_fill", 110, node=0, dur=30),
+                  TraceEvent("tlb.miss_walk", 150, node=0, dur=10)]
+        components = decompose(record(), events)
+        assert components["miss_fill"] == 40
+        assert components["execute"] == 60
+
+    def test_other_nodes_spans_are_ignored(self):
+        events = [TraceEvent("cache.miss_fill", 110, node=1, dur=30)]
+        assert decompose(record(), events)["miss_fill"] == 0
+
+    def test_spans_clip_to_the_window(self):
+        # starts before admission, ends after halt: only the window part
+        events = [TraceEvent("cache.miss_fill", 90, node=0, dur=200)]
+        components = decompose(record(), events)
+        assert components["miss_fill"] == 100
+        assert components["execute"] == 0
+
+    def test_priority_claims_overlaps_once(self):
+        # a miss fill entirely inside a migration stall counts as stall
+        events = [TraceEvent("migrate.ship", 110, node=0, dur=50),
+                  TraceEvent("cache.miss_fill", 120, node=0, dur=20)]
+        components = decompose(record(), events)
+        assert components["migration_stall"] == 50
+        assert components["miss_fill"] == 0
+        assert components["execute"] == 50
+
+    def test_fault_residency_is_tid_matched(self):
+        events = [TraceEvent("fault.dispatch", 120, node=0, tid=1, dur=25),
+                  TraceEvent("fault.dispatch", 150, node=0, tid=9, dur=25)]
+        assert decompose(record(), events)["fault_residency"] == 25
+
+    def test_remote_is_source_matched(self):
+        events = [
+            TraceEvent("router.hop", 110, node=1, dur=8, args={"src": 0}),
+            TraceEvent("router.hop", 130, node=0, dur=8, args={"src": 1}),
+        ]
+        assert decompose(record(), events)["remote"] == 8
+
+    def test_gateway_entry_runs_to_the_first_enter_call(self):
+        events = [TraceEvent("enter.call", 115, node=0, tid=1)]
+        components = decompose(record(), events)
+        assert components["gateway_entry"] == 15
+        assert components["execute"] == 85
+
+    def test_components_always_sum_to_latency(self):
+        events = [TraceEvent("migrate.ship", 90, node=0, dur=40),
+                  TraceEvent("cache.miss_fill", 125, node=0, dur=30),
+                  TraceEvent("fault.dispatch", 140, node=0, tid=1, dur=30),
+                  TraceEvent("enter.call", 112, node=0, tid=1),
+                  TraceEvent("router.hop", 180, node=0, dur=40,
+                             args={"src": 0})]
+        rec = record(arrival=70)
+        components = decompose(rec, events)
+        assert sum(components.values()) == rec.latency
+        assert set(components) == set(COMPONENTS)
+
+
+class TestAssembleTail:
+    def build(self):
+        records = {
+            0: record(req=0, tid=1, arrival=0, admitted=0, halted_at=50),
+            1: record(req=1, tid=2, arrival=10, admitted=20, halted_at=200),
+            2: record(req=2, tid=3, arrival=30, admitted=30, halted_at=90,
+                      state="FAULTED"),
+        }
+        return records, [TraceEvent("cache.miss_fill", 40, node=0, dur=20)]
+
+    def test_ranks_by_latency_and_counts_unexplained(self):
+        records, events = self.build()
+        tail = assemble_tail(records, events, 2)
+        assert tail["requests"] == 3
+        assert tail["completed"] == 2
+        assert tail["unexplained"] == 1  # the faulted request
+        assert [e["req"] for e in tail["slowest"]] == [1, 0]
+        assert tail["worst"]["req"] == 1
+
+    def test_every_entry_sums_exactly(self):
+        records, events = self.build()
+        for entry in assemble_tail(records, events, 2)["slowest"]:
+            assert sum(entry["components"].values()) == entry["latency"]
+
+    def test_k_zero_explains_nothing(self):
+        records, events = self.build()
+        tail = assemble_tail(records, events, 0)
+        assert tail["slowest"] == []
+        assert "worst" not in tail
+
+    def test_render_tail_lists_every_component(self):
+        records, events = self.build()
+        text = render_tail(assemble_tail(records, events, 2))
+        for name in COMPONENTS:
+            assert name in text
+        assert "worst request 1" in text
+
+
+class TestCanonicalOrder:
+    def test_sort_is_engine_independent(self):
+        a = TraceEvent("cache.miss_fill", 10, node=1, dur=5)
+        b = TraceEvent("cache.miss_fill", 10, node=0, dur=5)
+        c = TraceEvent("router.hop", 5, node=3, dur=2)
+        assert sort_events([a, b, c]) == sort_events([c, b, a]) == [c, b, a]

@@ -240,3 +240,52 @@ class TestNonPowerOfTwoHomes:
         gate, _ = self._forged(sim, Permission.EXECUTE_USER)
         with pytest.raises(SimulationError, match="no home node"):
             sim.spawn(gate)
+
+
+class TestTraceUnderWorkers:
+    """``trace()`` cannot attach to chips living in worker processes;
+    the error must hand the caller the working alternatives."""
+
+    def sharded(self):
+        return Simulation(nodes=2, memory_bytes=2 * 1024 * 1024,
+                          workers=2)
+
+    def test_trace_raises_and_names_the_timeseries_alternative(self):
+        sim = self.sharded()
+        try:
+            with pytest.raises(SimulationError) as excinfo:
+                sim.trace()
+            message = str(excinfo.value)
+            assert "Simulation.timeseries(window)" in message
+            assert "--timeseries-out" in message
+            assert "capture_state()" in message
+        finally:
+            sim.close()
+
+    def test_trace_still_raises_after_sync_back(self):
+        # sync_back() pulls state to the coordinator, but the next run
+        # re-advances the chips in the workers — tracing stays invalid
+        sim = self.sharded()
+        try:
+            sim.spawn(sim.load(PROGRAM, node=0), stack_bytes=0)
+            sim.run()
+            sim.sync_back()
+            with pytest.raises(SimulationError, match="sync_back"):
+                sim.trace()
+        finally:
+            sim.close()
+
+    def test_capture_then_lockstep_restore_traces_a_replay(self):
+        # the escape hatch the error message recommends
+        sim = self.sharded()
+        try:
+            sim.spawn(sim.load(PROGRAM, node=0), stack_bytes=0)
+            state = sim.capture_state()
+        finally:
+            sim.close()
+        replay = Simulation(nodes=2, memory_bytes=2 * 1024 * 1024)
+        replay.restore_state(state)
+        with replay.trace() as session:
+            replay.run()
+        assert {e.name for e in session.events} >= {"bundle",
+                                                    "thread.halt"}
